@@ -1,0 +1,157 @@
+(* Benchmark harness for the reproduction.
+
+   Two kinds of measurements:
+
+   - E1-E6, E8, E9: deterministic simulated-time experiments (the
+     tables DESIGN.md maps to the paper's claims). These live in the
+     [workloads] library; this executable prints all of them.
+
+   - E7: wall-clock microbenchmarks (Bechamel) comparing typed
+     promises against MultiLisp-style dynamically checked futures —
+     the §3.3 claim that futures "are inefficient to implement unless
+     specialized hardware is available, since every object must be
+     examined each time it is accessed". *)
+
+open Bechamel
+open Toolkit
+module P = Core.Promise
+module F = Futures_baseline
+
+let n_items = 1000
+
+(* --- E7 subjects --------------------------------------------------- *)
+
+let bench_int_sum () =
+  let arr = Array.init n_items Fun.id in
+  Staged.stage (fun () ->
+      let total = ref 0 in
+      for i = 0 to n_items - 1 do
+        total := !total + arr.(i)
+      done;
+      !total)
+
+let bench_promise_claim_sum () =
+  let sched = Sched.Scheduler.create () in
+  let arr : (int, Core.Sigs.nothing) P.t array =
+    Array.init n_items (fun i -> P.resolved sched (P.Normal i))
+  in
+  Staged.stage (fun () ->
+      (* Typed: one claim per promise, then plain typed arithmetic —
+         no per-operation tag checks. *)
+      let total = ref 0 in
+      for i = 0 to n_items - 1 do
+        match P.claim arr.(i) with
+        | P.Normal v -> total := !total + v
+        | P.Signal _ | P.Unavailable _ | P.Failure _ -> ()
+      done;
+      !total)
+
+let bench_future_touch_sum () =
+  let sched = Sched.Scheduler.create () in
+  let lst =
+    List.init n_items (fun i ->
+        let fut, resolve = F.make_unresolved sched in
+        resolve (F.Int i);
+        fut)
+  in
+  let dyn_list = List.fold_right (fun f acc -> F.Cons (f, acc)) lst F.Nil in
+  Staged.stage (fun () ->
+      (* Dynamic: every + must touch both operands and check tags. *)
+      F.sum_list dyn_list)
+
+let bench_promise_lifecycle () =
+  let sched = Sched.Scheduler.create () in
+  Staged.stage (fun () ->
+      let p : (int, Core.Sigs.nothing) P.t = P.create sched in
+      P.resolve p (P.Normal 42);
+      match P.claim p with
+      | P.Normal v -> v
+      | P.Signal _ | P.Unavailable _ | P.Failure _ -> 0)
+
+let bench_future_lifecycle () =
+  let sched = Sched.Scheduler.create () in
+  Staged.stage (fun () ->
+      let fut, resolve = F.make_unresolved sched in
+      resolve (F.Int 42);
+      match F.touch fut with F.Int v -> v | _ -> 0)
+
+(* The full suspension path: a fiber parks in claim, another resolves,
+   the scheduler resumes the first — one effect capture + continue. *)
+let bench_suspended_claim () =
+  Staged.stage (fun () ->
+      let sched = Sched.Scheduler.create () in
+      let p : (int, Core.Sigs.nothing) P.t = P.create sched in
+      let got = ref 0 in
+      ignore
+        (Sched.Scheduler.spawn sched (fun () ->
+             match P.claim p with
+             | P.Normal v -> got := v
+             | P.Signal _ | P.Unavailable _ | P.Failure _ -> ()));
+      ignore (Sched.Scheduler.spawn sched (fun () -> P.resolve p (P.Normal 7)));
+      ignore (Sched.Scheduler.run sched : Sched.Scheduler.outcome);
+      !got)
+
+let bench_spawn_run () =
+  Staged.stage (fun () ->
+      let sched = Sched.Scheduler.create () in
+      for _ = 1 to 10 do
+        ignore (Sched.Scheduler.spawn sched (fun () -> Sched.Scheduler.yield sched))
+      done;
+      ignore (Sched.Scheduler.run sched : Sched.Scheduler.outcome))
+
+let e7_tests =
+  Test.make_grouped ~name:"E7"
+    [
+      Test.make ~name:(Printf.sprintf "plain int sum (%d)" n_items) (bench_int_sum ());
+      Test.make
+        ~name:(Printf.sprintf "promises: claim+sum (%d)" n_items)
+        (bench_promise_claim_sum ());
+      Test.make
+        ~name:(Printf.sprintf "futures: touch+sum (%d)" n_items)
+        (bench_future_touch_sum ());
+      Test.make ~name:"promise create/resolve/claim" (bench_promise_lifecycle ());
+      Test.make ~name:"future create/resolve/touch" (bench_future_lifecycle ());
+      Test.make ~name:"sched create + blocked claim roundtrip" (bench_suspended_claim ());
+      Test.make ~name:"spawn+yield+run 10 fibers" (bench_spawn_run ());
+    ]
+
+let run_e7 () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances e7_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  let table_rows = List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) rows in
+  Workloads.Table.make ~id:"E7"
+    ~title:"wall-clock: typed promises vs dynamically checked futures"
+    ~header:[ "subject"; "time/run" ]
+    ~notes:
+      [
+        "paper claim (§3.3): futures pay a dynamic check on every access; promises are \
+         statically typed so claiming and using values costs no tag checks";
+        "wall-clock numbers vary by machine; the shape (futures sum >> promises sum) is the \
+         reproduced result";
+      ]
+    table_rows
+
+(* --- main ---------------------------------------------------------- *)
+
+let () =
+  print_endline "Promises (Liskov & Shrira, PLDI 1988) -- reproduction benchmarks";
+  print_endline "simulated-time experiments (deterministic):";
+  print_newline ();
+  List.iter Workloads.Table.print (Workloads.Experiments.run_all ());
+  print_endline "wall-clock microbenchmarks (E7, Bechamel):";
+  print_newline ();
+  Workloads.Table.print (run_e7 ())

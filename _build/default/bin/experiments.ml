@@ -1,0 +1,29 @@
+(* CLI to run the reproduction experiments individually or all at
+   once. `dune exec bin/experiments.exe -- --id E3` *)
+
+let run_ids ids =
+  let ids = if ids = [] then Workloads.Experiments.all_ids else ids in
+  let ok = ref true in
+  List.iter
+    (fun id ->
+      match Workloads.Experiments.run id with
+      | table -> Workloads.Table.print table
+      | exception Not_found ->
+          Printf.eprintf "unknown experiment id %S (known: %s)\n" id
+            (String.concat ", " Workloads.Experiments.all_ids);
+          ok := false)
+    ids;
+  if !ok then 0 else 1
+
+open Cmdliner
+
+let ids_arg =
+  let doc = "Experiment id to run (repeatable; default: all). E7 is in bench/main.exe." in
+  Arg.(value & opt_all string [] & info [ "i"; "id" ] ~docv:"ID" ~doc)
+
+let cmd =
+  let doc = "run the Promises (PLDI 1988) reproduction experiments" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const run_ids $ ids_arg)
+
+let () = exit (Cmd.eval' cmd)

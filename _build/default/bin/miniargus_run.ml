@@ -1,0 +1,75 @@
+(* Run a Mini-Argus program: parse, type-check, instantiate guardians
+   and processes on a simulated network, execute deterministically.
+
+   dune exec bin/miniargus_run.exe -- FILE [--crash g=t] [--fast-breaks] *)
+
+let parse_crash spec =
+  match String.index_opt spec '=' with
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      match float_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some time -> Ok (name, time)
+      | None -> Error (`Msg "expected GUARDIAN=SECONDS, e.g. db=0.002"))
+  | None -> Error (`Msg "expected GUARDIAN=SECONDS, e.g. db=0.002")
+
+let run file crashes recoveries fast_breaks quiet =
+  let chan_config =
+    if fast_breaks then
+      Some
+        {
+          Cstream.Chanhub.default_config with
+          Cstream.Chanhub.retransmit_timeout = 2e-3;
+          max_retries = 3;
+        }
+    else None
+  in
+  match Miniargus.Run.run_file ?chan_config ~echo:(not quiet) ~crashes ~recoveries file with
+  | Error e ->
+      prerr_endline (Miniargus.Run.error_to_string e);
+      1
+  | Ok outcome ->
+      Printf.printf "-- finished at %.3f ms (virtual time)\n"
+        (outcome.Miniargus.Interp.finished_at *. 1e3);
+      List.iter
+        (fun (p, r) ->
+          Printf.printf "-- process %s: %s\n" p
+            (match r with
+            | Miniargus.Interp.Pok -> "ok"
+            | Miniargus.Interp.Pfailed m -> m))
+        outcome.Miniargus.Interp.processes;
+      (match outcome.Miniargus.Interp.deadlocked with
+      | Some fibers ->
+          Printf.printf "-- PROGRAM HANGS: these fibers are blocked forever: %s\n"
+            (String.concat ", " fibers)
+      | None -> ());
+      0
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-Argus source file")
+
+let crash_conv = Arg.conv (parse_crash, fun ppf (n, t) -> Format.fprintf ppf "%s=%g" n t)
+
+let crashes_arg =
+  let doc = "Crash guardian $(docv)'s node at the given virtual time (repeatable)." in
+  Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"GUARDIAN=SECONDS" ~doc)
+
+let recoveries_arg =
+  let doc = "Recover guardian $(docv)'s node at the given virtual time (repeatable)." in
+  Arg.(value & opt_all crash_conv [] & info [ "recover" ] ~docv:"GUARDIAN=SECONDS" ~doc)
+
+let fast_breaks_arg =
+  let doc = "Detect broken streams quickly (short retransmission budget)." in
+  Arg.(value & flag & info [ "fast-breaks" ] ~doc)
+
+let quiet_arg =
+  let doc = "Suppress program output (put_line)." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let cmd =
+  let doc = "run a Mini-Argus program on the simulated Argus runtime" in
+  Cmd.v (Cmd.info "miniargus_run" ~doc)
+    Term.(const run $ file_arg $ crashes_arg $ recoveries_arg $ fast_breaks_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

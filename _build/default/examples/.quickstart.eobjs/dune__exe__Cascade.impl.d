@@ -1,0 +1,1 @@
+examples/cascade.ml: Core Printf Sched Workloads

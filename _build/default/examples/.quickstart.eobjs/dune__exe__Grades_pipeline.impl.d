@@ -1,0 +1,1 @@
+examples/grades_pipeline.ml: Core Float List Printf Sched Workloads

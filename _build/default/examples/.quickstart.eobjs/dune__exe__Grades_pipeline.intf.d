@@ -1,0 +1,1 @@
+examples/grades_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/mailer.ml: Argus Core Cstream Hashtbl List Net Option Printf Sched String Xdr

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Argus Core Cstream List Net Printf Sched Xdr

@@ -1,0 +1,1 @@
+examples/tree_search.mli:

@@ -1,0 +1,1 @@
+examples/window.ml: Argus Core Cstream Net Printf Sched Xdr

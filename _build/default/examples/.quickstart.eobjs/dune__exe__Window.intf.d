@@ -1,0 +1,1 @@
+examples/window.mli:

@@ -1,0 +1,111 @@
+(* The mailer guardian of §2.1: handlers send_mail and read_mail in the
+   same port group, used by two clients.
+
+   Demonstrates the stream sequencing rules: calls by ONE client on one
+   stream run strictly in order (C1's read_mail waits for C1's
+   send_mail), while calls by DIFFERENT clients run concurrently. Also
+   shows a declared exception (no_such_user).
+
+   Run with: dune exec examples/mailer.exe *)
+
+module S = Sched.Scheduler
+module P = Core.Promise
+module R = Core.Remote
+module G = Argus.Guardian
+
+type mail_err = No_such_user of string
+
+let mail_err_codec =
+  Core.Sigs.(
+    empty_signals
+    |> signal_case ~name:"no_such_user" Xdr.string
+         ~inj:(fun u -> No_such_user u)
+         ~proj:(fun (No_such_user u) -> Some u))
+
+(* send_mail: port (user, text) returns () signals (no_such_user) *)
+let send_mail_sig =
+  Core.Sigs.hsig "send_mail" ~arg:(Xdr.pair Xdr.string Xdr.string) ~res:Xdr.unit
+    ~signals_c:mail_err_codec ()
+
+(* read_mail: port (user) returns (string list) signals (no_such_user) *)
+let read_mail_sig =
+  Core.Sigs.hsig "read_mail" ~arg:Xdr.string ~res:(Xdr.list Xdr.string)
+    ~signals_c:mail_err_codec ()
+
+let () =
+  let sched = S.create () in
+  let net = Net.create sched Net.default_config in
+  let c1_node = Net.add_node net ~name:"c1" in
+  let c2_node = Net.add_node net ~name:"c2" in
+  let mailer_node = Net.add_node net ~name:"mailer" in
+  let c1_hub = Cstream.Chanhub.create_hub net c1_node in
+  let c2_hub = Cstream.Chanhub.create_hub net c2_node in
+  let mailer_hub = Cstream.Chanhub.create_hub net mailer_node in
+
+  (* The mailer guardian: mailboxes keyed by user. *)
+  let mailer = G.create mailer_hub ~name:"mailer" in
+  let boxes : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace boxes "alice" [];
+  Hashtbl.replace boxes "ben" [];
+  let known user = Hashtbl.mem boxes user in
+  G.register mailer ~group:"mail" send_mail_sig (fun ctx (user, text) ->
+      S.sleep ctx.G.sched 1e-3;
+      if not (known user) then Error (No_such_user user)
+      else begin
+        Hashtbl.replace boxes user (text :: Option.value ~default:[] (Hashtbl.find_opt boxes user));
+        Ok ()
+      end);
+  G.register mailer ~group:"mail" read_mail_sig (fun ctx user ->
+      S.sleep ctx.G.sched 1e-3;
+      match Hashtbl.find_opt boxes user with
+      | None -> Error (No_such_user user)
+      | Some msgs -> Ok (List.rev msgs));
+
+  let dst = Net.address mailer_node in
+
+  (* Client C1: sends mail to ben, then reads alice's box — on the SAME
+     stream, so the read is processed after the send completes. *)
+  ignore
+    (S.spawn sched ~name:"C1" (fun () ->
+         let agent = Core.Agent.create c1_hub ~name:"c1-agent" () in
+         let send_mail = R.bind agent ~dst ~gid:"mail" send_mail_sig in
+         let read_mail = R.bind agent ~dst ~gid:"mail" read_mail_sig in
+         Printf.printf "[%5.2f ms] C1: streaming send_mail(ben) then read_mail(ben)\n"
+           (S.now sched *. 1e3);
+         let sent = R.stream_call send_mail ("ben", "lunch at noon?") in
+         let inbox = R.stream_call read_mail "ben" in
+         R.flush read_mail;
+         (match P.claim sent with
+         | P.Normal () -> ()
+         | P.Signal (No_such_user u) -> Printf.printf "C1: no such user %s\n" u
+         | P.Unavailable r | P.Failure r -> Printf.printf "C1: %s\n" r);
+         (match P.claim inbox with
+         | P.Normal msgs ->
+             Printf.printf "[%5.2f ms] C1: ben's mail after C1's send: [%s]\n"
+               (S.now sched *. 1e3) (String.concat "; " msgs)
+         | P.Signal (No_such_user u) -> Printf.printf "C1: no such user %s\n" u
+         | P.Unavailable r | P.Failure r -> Printf.printf "C1: %s\n" r);
+         (* An unknown user signals the declared exception. *)
+         match R.rpc send_mail ("zeke", "hello?") with
+         | P.Signal (No_such_user u) ->
+             Printf.printf "[%5.2f ms] C1: mail to unknown user signalled no_such_user(%s)\n"
+               (S.now sched *. 1e3) u
+         | P.Normal () | P.Unavailable _ | P.Failure _ -> print_endline "C1: unexpected"));
+
+  (* Client C2 runs concurrently on its own stream: its read_mail does
+     not wait for C1's calls. *)
+  ignore
+    (S.spawn sched ~name:"C2" (fun () ->
+         let agent = Core.Agent.create c2_hub ~name:"c2-agent" () in
+         let read_mail = R.bind agent ~dst ~gid:"mail" read_mail_sig in
+         match R.rpc read_mail "alice" with
+         | P.Normal msgs ->
+             Printf.printf "[%5.2f ms] C2: alice's mail (concurrent with C1): [%s]\n"
+               (S.now sched *. 1e3) (String.concat "; " msgs)
+         | P.Signal (No_such_user u) -> Printf.printf "C2: no such user %s\n" u
+         | P.Unavailable r | P.Failure r -> Printf.printf "C2: %s\n" r));
+
+  match S.run sched with
+  | S.Completed -> print_endline "done."
+  | S.Deadlocked _ -> print_endline "deadlock!"
+  | S.Time_limit -> ()

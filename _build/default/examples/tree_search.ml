@@ -1,0 +1,52 @@
+(* Forked promises in recursive data structures (§3.2): a binary search
+   tree whose nodes are promises. Construction proceeds in parallel
+   (one forked process per subtree) and searches can run WHILE the
+   tree is still being built — a search that reaches a node that
+   cannot be claimed yet simply waits for the promise.
+
+   Run with: dune exec examples/tree_search.exe *)
+
+module S = Sched.Scheduler
+module P = Core.Promise
+
+type tree = Node of ((int * tree * tree) option, Core.Sigs.nothing) P.t
+
+let node_cost = 0.2e-3
+
+(* Build the subtree for keys in [lo, hi] — each node in its own forked
+   process, consuming CPU time from the shared pool. *)
+let rec build sched cpu lo hi =
+  if lo > hi then Node (P.resolved sched (P.Normal None))
+  else
+    Node
+      (Core.Fork.fork sched (fun () ->
+           Workloads.Cpu.consume cpu node_cost;
+           let mid = (lo + hi) / 2 in
+           Ok (Some (mid, build sched cpu lo (mid - 1), build sched cpu (mid + 1) hi))))
+
+let rec search (Node p) key =
+  match P.claim p with
+  | P.Normal None -> false
+  | P.Normal (Some (k, l, r)) ->
+      if key = k then true else if key < k then search l key else search r key
+  | P.Signal _ | P.Unavailable _ | P.Failure _ -> false
+
+let () =
+  let sched = S.create () in
+  let cpu = Workloads.Cpu.create sched ~cores:8 in
+  let n = 127 in
+  ignore
+    (S.spawn sched (fun () ->
+         Printf.printf "building tree of %d promise nodes on %d CPUs...\n" n
+           (Workloads.Cpu.cores cpu);
+         let tree = build sched cpu 0 (n - 1) in
+         (* Searches fire immediately, racing construction. *)
+         let keys = [ 0; 1; 63; 100; 126; 500 ] in
+         Core.Coenter.coenter_foreach sched keys (fun key ->
+             let hit = search tree key in
+             Printf.printf "[%6.2f ms] search %3d -> %b\n" (S.now sched *. 1e3) key hit);
+         Printf.printf "[%6.2f ms] all searches answered\n" (S.now sched *. 1e3)));
+  match S.run sched with
+  | S.Completed -> print_endline "done."
+  | S.Deadlocked _ -> print_endline "deadlock!"
+  | S.Time_limit -> ()

@@ -1,0 +1,85 @@
+(* The window system of §2: a create_window port returns newly created
+   ports for interacting with the new window (putc/puts/change_color),
+   each window's ports in their own group — so streams to different
+   windows are sequenced independently.
+
+   Demonstrates ports as first-class transmissible values (port_ref)
+   and dynamically created port groups.
+
+   Run with: dune exec examples/window.exe *)
+
+module S = Sched.Scheduler
+module P = Core.Promise
+module R = Core.Remote
+module G = Argus.Guardian
+
+(* window = struct [ puts: port(string), change_color: port(string) ] *)
+let window_codec = Xdr.pair Core.Sigs.port_ref_codec Core.Sigs.port_ref_codec
+
+let create_window_sig = Core.Sigs.hsig0 "create_window" ~arg:Xdr.string ~res:window_codec
+
+let puts_sig = Core.Sigs.hsig0 "puts" ~arg:Xdr.string ~res:Xdr.unit
+
+let change_color_sig = Core.Sigs.hsig0 "change_color" ~arg:Xdr.string ~res:Xdr.unit
+
+let () =
+  let sched = S.create () in
+  let net = Net.create sched Net.default_config in
+  let app_node = Net.add_node net ~name:"app" in
+  let ws_node = Net.add_node net ~name:"window-system" in
+  let app_hub = Cstream.Chanhub.create_hub net app_node in
+  let ws_hub = Cstream.Chanhub.create_hub net ws_node in
+
+  let ws = G.create ws_hub ~name:"window-system" in
+  let next_window = ref 0 in
+  (* create_window dynamically registers a fresh port group per
+     window; its ports are returned as transmissible references. *)
+  G.register ws ~group:"control" create_window_sig (fun ctx title ->
+      let id = !next_window in
+      incr next_window;
+      let group = Printf.sprintf "window-%d" id in
+      let tag line = Printf.printf "  [%s] %s\n" title line in
+      G.register ctx.G.guardian ~group puts_sig (fun ctx line ->
+          S.sleep ctx.G.sched 0.2e-3;
+          tag line;
+          Ok ());
+      G.register ctx.G.guardian ~group change_color_sig (fun ctx color ->
+          S.sleep ctx.G.sched 0.2e-3;
+          tag ("<color set to " ^ color ^ ">");
+          Ok ());
+      Ok
+        ( G.port_ref ctx.G.guardian ~group ~port:"puts",
+          G.port_ref ctx.G.guardian ~group ~port:"change_color" ))
+
+  ;
+  ignore
+    (S.spawn sched (fun () ->
+         let agent = Core.Agent.create app_hub ~name:"app" () in
+         let create_window =
+           R.bind agent ~dst:(Net.address ws_node) ~gid:"control" create_window_sig
+         in
+         let open_window title =
+           match R.rpc create_window title with
+           | P.Normal (puts_ref, color_ref) ->
+               (R.bind_ref agent puts_ref puts_sig, R.bind_ref agent color_ref change_color_sig)
+           | P.Signal _ | P.Unavailable _ | P.Failure _ -> failwith "create_window failed"
+         in
+         print_endline "opening two windows...";
+         let log_puts, log_color = open_window "log" in
+         let chat_puts, _ = open_window "chat" in
+         (* Writes to the two windows go on different streams (different
+            groups), so they interleave; writes to ONE window stay in
+            order. *)
+         R.stream_call_ log_puts "booting";
+         R.stream_call_ chat_puts "hello from chat";
+         R.stream_call_ log_color "green";
+         R.stream_call_ log_puts "ready";
+         R.stream_call_ chat_puts "anyone here?";
+         Core.Agent.flush_all agent;
+         (* Wait for both windows to finish their work. *)
+         (match R.synch log_puts with Ok () -> () | Error _ -> failwith "log window");
+         match R.synch chat_puts with Ok () -> () | Error _ -> failwith "chat window"));
+  match S.run sched with
+  | S.Completed -> print_endline "done."
+  | S.Deadlocked _ -> print_endline "deadlock!"
+  | S.Time_limit -> ()

@@ -1,0 +1,1 @@
+lib/core/agent.ml: Cstream Hashtbl Net

@@ -1,0 +1,1 @@
+lib/core/agent.mli: Cstream Net Sched

@@ -1,0 +1,1 @@
+lib/core/coenter.ml: List Printf Sched

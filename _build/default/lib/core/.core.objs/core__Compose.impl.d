@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Coenter List Sched Sequencer

@@ -1,0 +1,1 @@
+lib/core/compose.mli: Sched Sequencer

@@ -1,0 +1,1 @@
+lib/core/fork.ml: Printexc Promise Sched

@@ -1,0 +1,1 @@
+lib/core/fork.mli: Promise Sched Sigs

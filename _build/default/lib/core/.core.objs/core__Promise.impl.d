@@ -1,0 +1,1 @@
+lib/core/promise.ml: Array List Sched

@@ -1,0 +1,1 @@
+lib/core/remote.ml: Agent Cstream Promise Sched Sigs Xdr

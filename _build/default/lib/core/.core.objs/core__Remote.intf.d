@@ -1,0 +1,1 @@
+lib/core/remote.mli: Agent Cstream Net Promise Sigs

@@ -1,0 +1,1 @@
+lib/core/sequencer.ml: List Sched

@@ -1,0 +1,1 @@
+lib/core/sigs.ml: Net Printf Xdr

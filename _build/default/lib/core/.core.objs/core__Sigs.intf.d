@@ -1,0 +1,1 @@
+lib/core/sigs.mli: Net Xdr

@@ -1,0 +1,27 @@
+module S = Sched.Scheduler
+
+let run_arms sched arms =
+  let group = S.Group.create sched in
+  let first_exn = ref None in
+  List.iteri
+    (fun i arm ->
+      ignore
+        (S.Group.add_spawn sched group
+           ~name:(Printf.sprintf "coenter-arm-%d" i)
+           ~on_exit:(fun result ->
+             match result with
+             | S.Finished | S.Killed -> ()
+             | S.Failed e ->
+                 (* First failure wins; terminate the siblings so none
+                    of them hangs (the arm itself has already exited). *)
+                 if !first_exn = None then first_exn := Some e;
+                 S.Group.terminate sched group)
+           arm
+          : S.fiber))
+    arms;
+  S.Group.wait sched group;
+  match !first_exn with None -> () | Some e -> raise e
+
+let coenter sched arms = run_arms sched arms
+
+let coenter_foreach sched items f = run_arms sched (List.map (fun x () -> f x) items)

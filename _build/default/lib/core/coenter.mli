@@ -1,0 +1,23 @@
+(** The coenter statement: structured concurrency with group
+    termination (§4.2).
+
+    [coenter sched arms] runs each arm as a process (in one group) and
+    parks the caller until all of them complete. If an arm terminates
+    by raising an exception, the remaining arms are terminated — each
+    dies at its next termination point, delayed while it is inside a
+    critical section ("wounding") — and, once the group is empty, the
+    first exception re-raises in the caller, where an enclosing
+    [except]-style handler can catch it.
+
+    This is the mechanism the paper recommends for stream composition:
+    unlike the fork version (Figure 4-1), a communication failure in
+    one arm cannot leave another arm hanging forever on an empty queue
+    (Figure 4-2 and experiment E6). *)
+
+val coenter : Sched.Scheduler.t -> (unit -> unit) list -> unit
+(** Run the arms; re-raise the first arm exception after every arm has
+    finished or been terminated. Must be called from fiber context. *)
+
+val coenter_foreach : Sched.Scheduler.t -> 'a list -> ('a -> unit) -> unit
+(** The dynamic extension sketched in §4.3: one arm per element of the
+    list (e.g. one process per data item in a cascade). *)

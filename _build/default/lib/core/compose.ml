@@ -1,0 +1,55 @@
+module S = Sched.Scheduler
+module Bq = Sched.Bqueue
+
+let drain queue consume =
+  let rec loop () =
+    match Bq.deq queue with
+    | v ->
+        consume v;
+        loop ()
+    | exception Bq.Closed -> ()
+  in
+  loop ()
+
+let producer_consumer sched ?capacity ~produce ~consume () =
+  let queue = Bq.create ?capacity sched in
+  Coenter.coenter sched
+    [
+      (fun () ->
+        (match produce (fun v -> Bq.enq queue v) with
+        | () -> ()
+        | exception e ->
+            (* Close so the consumer drains and ends even when coenter
+               termination is racing with it. *)
+            Bq.close queue;
+            raise e);
+        Bq.close queue);
+      (fun () -> drain queue consume);
+    ]
+
+let pipeline3 sched ?capacity ~stage1 ~stage2 ~stage3 () =
+  let q12 = Bq.create ?capacity sched in
+  let q23 = Bq.create ?capacity sched in
+  Coenter.coenter sched
+    [
+      (fun () ->
+        (match stage1 (fun v -> Bq.enq q12 v) with
+        | () -> ()
+        | exception e ->
+            Bq.close q12;
+            raise e);
+        Bq.close q12);
+      (fun () ->
+        (match drain q12 (fun v -> stage2 v (fun w -> Bq.enq q23 w)) with
+        | () -> ()
+        | exception e ->
+            Bq.close q23;
+            raise e);
+        Bq.close q23);
+      (fun () -> drain q23 stage3);
+    ]
+
+let per_item sched ~items ~stages ~nstages =
+  let seqs = Array.init nstages (fun _ -> Sequencer.create sched) in
+  let indexed = List.mapi (fun i item -> (i, item)) items in
+  Coenter.coenter_foreach sched indexed (fun (i, item) -> stages item i seqs)

@@ -1,0 +1,49 @@
+(** Stream-composition helpers (§4).
+
+    A cascade pipes the results of calls on one stream into calls on
+    the next, with arbitrary local {e filter} computation in between.
+    The paper's preferred structure is one process per stream connected
+    by queues of promises, run under a coenter so the whole composition
+    terminates as a group when any stage hits a problem.
+
+    These helpers build exactly that structure. All of them must be
+    called from fiber context and re-raise the first stage exception
+    after group termination (coenter semantics). *)
+
+val producer_consumer :
+  Sched.Scheduler.t ->
+  ?capacity:int ->
+  produce:(('a -> unit) -> unit) ->
+  consume:('a -> unit) ->
+  unit ->
+  unit
+(** Two-stage composition (the grades example, Figure 4-2): [produce]
+    is handed an [emit] function and runs as the first arm; each
+    emitted value is consumed, in order, by [consume] running in the
+    second arm. The connecting queue closes when the producer finishes,
+    ending the consumer after it drains. [capacity] bounds the queue
+    (back-pressure). *)
+
+val pipeline3 :
+  Sched.Scheduler.t ->
+  ?capacity:int ->
+  stage1:(('a -> unit) -> unit) ->
+  stage2:('a -> ('b -> unit) -> unit) ->
+  stage3:('b -> unit) ->
+  unit ->
+  unit
+(** Three-stage composition (the read/compute/write cascade of §4):
+    [stage2] receives each value from stage 1 together with an emit
+    function for stage 3. *)
+
+val per_item :
+  Sched.Scheduler.t ->
+  items:'a list ->
+  stages:('a -> int -> Sequencer.t array -> unit) ->
+  nstages:int ->
+  unit
+(** The process-per-item structure discussed (and discouraged on a
+    sequential machine) in §4.3: one process per item; the process for
+    item [i] must wrap its use of stage [s] in
+    [Sequencer.with_turn seqs.(s) i] so calls on each stream stay in
+    item order. Runs as a dynamic coenter. *)

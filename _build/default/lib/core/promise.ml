@@ -1,0 +1,110 @@
+module S = Sched.Scheduler
+
+type ('a, 'e) outcome =
+  | Normal of 'a
+  | Signal of 'e
+  | Unavailable of string
+  | Failure of string
+
+type ('a, 'e) state =
+  | Blocked of (('a, 'e) outcome -> unit) list  (* waiting callbacks, newest first *)
+  | Ready of ('a, 'e) outcome
+
+type ('a, 'e) t = { sched : S.t; mutable state : ('a, 'e) state }
+
+exception Unavailable_exn of string
+
+exception Failure_exn of string
+
+let create sched = { sched; state = Blocked [] }
+
+let resolved sched outcome = { sched; state = Ready outcome }
+
+let ready p = match p.state with Ready _ -> true | Blocked _ -> false
+
+let peek p = match p.state with Ready o -> Some o | Blocked _ -> None
+
+let resolve p outcome =
+  match p.state with
+  | Ready _ -> invalid_arg "Promise.resolve: already ready (a promise's value never changes)"
+  | Blocked hooks ->
+      p.state <- Ready outcome;
+      List.iter (fun hook -> hook outcome) (List.rev hooks)
+
+let on_ready p hook =
+  match p.state with
+  | Ready o -> hook o
+  | Blocked hooks -> p.state <- Blocked (hook :: hooks)
+
+let claim p =
+  match p.state with
+  | Ready o -> o
+  | Blocked _ ->
+      S.suspend p.sched (fun w -> on_ready p (fun o -> ignore (S.wake w o : bool)))
+
+let claim_normal p ~on_signal =
+  match claim p with
+  | Normal v -> v
+  | Signal e -> on_signal e
+  | Unavailable reason -> raise (Unavailable_exn reason)
+  | Failure reason -> raise (Failure_exn reason)
+
+let map sched f p =
+  let q = create sched in
+  on_ready p (fun o ->
+      resolve q
+        (match o with
+        | Normal v -> Normal (f v)
+        | Signal e -> Signal e
+        | Unavailable r -> Unavailable r
+        | Failure r -> Failure r));
+  q
+
+let both sched pa pb =
+  let q = create sched in
+  on_ready pa (fun oa ->
+      on_ready pb (fun ob ->
+          resolve q
+            (match (oa, ob) with
+            | Normal a, Normal b -> Normal (a, b)
+            | (Signal _ | Unavailable _ | Failure _), _ -> (
+                match oa with
+                | Signal e -> Signal e
+                | Unavailable r -> Unavailable r
+                | Failure r -> Failure r
+                | Normal _ -> assert false)
+            | Normal _, (Signal e) -> Signal e
+            | Normal _, Unavailable r -> Unavailable r
+            | Normal _, Failure r -> Failure r)));
+  q
+
+let all sched ps =
+  let q = create sched in
+  let n = List.length ps in
+  if n = 0 then resolve q (Normal [])
+  else begin
+    let remaining = ref n in
+    let failed = ref None in
+    let results = Array.make n None in
+    List.iteri
+      (fun i p ->
+        on_ready p (fun o ->
+            (match o with
+            | Normal v -> results.(i) <- Some v
+            | Signal _ | Unavailable _ | Failure _ ->
+                if !failed = None then failed := Some o);
+            decr remaining;
+            if !remaining = 0 then
+              match !failed with
+              | Some (Signal e) -> resolve q (Signal e)
+              | Some (Unavailable r) -> resolve q (Unavailable r)
+              | Some (Failure r) -> resolve q (Failure r)
+              | Some (Normal _) | None ->
+                  let values =
+                    Array.to_list results
+                    |> List.map (function Some v -> v | None -> assert false)
+                  in
+                  resolve q (Normal values)))
+      ps
+  end;
+  q

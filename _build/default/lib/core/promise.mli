@@ -1,0 +1,83 @@
+(** Promises: strongly typed placeholders for values that arrive later.
+
+    This is the paper's central data type (§3). A promise is created in
+    the {e blocked} state when an asynchronous call is made; when the
+    call completes the promise becomes {e ready} with an immutable
+    value describing the call's outcome — its normal result, one of the
+    declared exceptions, or one of the two universal exceptions
+    [unavailable] (transient: communication impossible right now) and
+    [failure] (permanent: the call is an error).
+
+    The promise type carries both the result type ['a] and the type
+    ['e] of the declared exceptions, so claiming is completely
+    type-safe — no runtime tag checks, which is the paper's key
+    advantage over MultiLisp futures (§3.3). ['e] is typically a user
+    variant with one constructor per [signals] clause.
+
+    A promise may be claimed any number of times, from any fiber; every
+    claim returns the same outcome. Once ready, a promise never changes
+    again. *)
+
+type ('a, 'e) outcome =
+  | Normal of 'a  (** the call terminated normally *)
+  | Signal of 'e  (** the call terminated with a declared exception *)
+  | Unavailable of string
+      (** the system could not complete the call now (broken stream,
+          unreachable node); retrying immediately is pointless *)
+  | Failure of string
+      (** the call is a permanent error (no such handler, encode or
+          decode failure, crashed forked procedure) *)
+
+type ('a, 'e) t
+(** A promise for an ['a], which may instead signal an ['e]. *)
+
+val create : Sched.Scheduler.t -> ('a, 'e) t
+(** A fresh blocked promise. Use {!resolve} to make it ready. *)
+
+val resolve : ('a, 'e) t -> ('a, 'e) outcome -> unit
+(** Make the promise ready. Raises [Invalid_argument] if it is already
+    ready — a promise's value never changes. *)
+
+val ready : ('a, 'e) t -> bool
+(** The paper's [ready] operation: [true] once the outcome is set. *)
+
+val claim : ('a, 'e) t -> ('a, 'e) outcome
+(** The paper's [claim] operation: park the calling fiber until the
+    promise is ready, then return its outcome. Must run in fiber
+    context when the promise is still blocked. *)
+
+val peek : ('a, 'e) t -> ('a, 'e) outcome option
+(** The outcome if ready, without blocking. *)
+
+exception Unavailable_exn of string
+
+exception Failure_exn of string
+
+val claim_normal : ('a, 'e) t -> on_signal:('e -> 'a) -> 'a
+(** Claim and return the normal result; declared exceptions are handled
+    by [on_signal]; [unavailable]/[failure] raise {!Unavailable_exn} /
+    {!Failure_exn}. This mirrors the paper's
+
+    {v y: real := pt$claim(x) except when foo: ... end v} *)
+
+(** {1 Combinators (extension)}
+
+    The paper stops at [claim]/[ready]; these conveniences are standard
+    in every descendant of promises and are used by the examples. *)
+
+val on_ready : ('a, 'e) t -> (('a, 'e) outcome -> unit) -> unit
+(** Run a callback (in scheduler context) when the promise becomes
+    ready; immediately if it already is. *)
+
+val map : Sched.Scheduler.t -> ('a -> 'b) -> ('a, 'e) t -> ('b, 'e) t
+(** Transform the normal result; other outcomes pass through. *)
+
+val both : Sched.Scheduler.t -> ('a, 'e) t -> ('b, 'e) t -> ('a * 'b, 'e) t
+(** Ready when both are; the first non-normal outcome (in argument
+    order) wins. *)
+
+val all : Sched.Scheduler.t -> ('a, 'e) t list -> ('a list, 'e) t
+(** Ready when all are, preserving order. *)
+
+val resolved : Sched.Scheduler.t -> ('a, 'e) outcome -> ('a, 'e) t
+(** An already-ready promise. *)

@@ -1,0 +1,68 @@
+module S = Sched.Scheduler
+module SE = Cstream.Stream_end
+module W = Cstream.Wire
+
+type ('a, 'r, 'e) h = {
+  h_sig : ('a, 'r, 'e) Sigs.hsig;
+  h_stream : SE.t;
+  h_sched : S.t;
+}
+
+let bind agent ~dst ~gid hs =
+  { h_sig = hs; h_stream = Agent.stream_to agent ~dst ~gid; h_sched = Agent.sched agent }
+
+let bind_ref agent pref hs =
+  let hs = { hs with Sigs.hname = pref.Sigs.pr_port } in
+  bind agent ~dst:pref.Sigs.pr_addr ~gid:pref.Sigs.pr_group hs
+
+let hsig h = h.h_sig
+
+let stream h = h.h_stream
+
+let decode_outcome (hs : ('a, 'r, 'e) Sigs.hsig) (w : W.routcome) : ('r, 'e) Promise.outcome =
+  match w with
+  | W.W_normal v -> (
+      match Xdr.decode hs.Sigs.res_c v with
+      | Ok r -> Promise.Normal r
+      | Error reason -> Promise.Failure ("could not decode: " ^ reason))
+  | W.W_signal (sig_name, payload) -> (
+      match hs.Sigs.sig_c.Sigs.dec_sig (sig_name, payload) with
+      | Ok e -> Promise.Signal e
+      | Error reason -> Promise.Failure ("could not decode signal: " ^ reason))
+  | W.W_unavailable reason -> Promise.Unavailable reason
+  | W.W_failure reason -> Promise.Failure reason
+
+(* Shared front half of every call form: wounded-fiber check, argument
+   encoding, stream-broken check. On success the call is on the stream
+   and [on_reply] will fire exactly once. *)
+let start_call h ~kind arg ~on_reply =
+  if S.wounded h.h_sched then
+    (* "It cannot make any remote calls at such a point" (§4.2). *)
+    raise S.Terminated;
+  match Xdr.encode h.h_sig.Sigs.arg_c arg with
+  | Error reason -> raise (Promise.Failure_exn ("encoding failed: " ^ reason))
+  | Ok args -> (
+      match SE.call h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply with
+      | Ok () -> ()
+      | Error reason -> raise (Promise.Unavailable_exn reason))
+
+let stream_call h arg =
+  let p = Promise.create h.h_sched in
+  start_call h ~kind:W.Call arg ~on_reply:(fun w -> Promise.resolve p (decode_outcome h.h_sig w));
+  p
+
+let stream_call_ h arg =
+  start_call h ~kind:W.Call arg ~on_reply:(fun w ->
+      (* Decoded and discarded, as §3 specifies for statement form. *)
+      ignore (decode_outcome h.h_sig w : _ Promise.outcome))
+
+let send h arg = start_call h ~kind:W.Send arg ~on_reply:(fun _ -> ())
+
+let flush h = SE.flush h.h_stream
+
+let rpc h arg =
+  let p = stream_call h arg in
+  flush h;
+  Promise.claim p
+
+let synch h = SE.synch h.h_stream

@@ -1,0 +1,64 @@
+(** Typed remote calls: the paper's three call forms, returning typed
+    promises.
+
+    A handle [('a, 'r, 'e) h] binds a typed signature to an agent's
+    stream. The three call forms are:
+
+    - {!stream_call} — [x: pt := stream h(3)]: buffered, asynchronous,
+      returns a blocked promise (§3);
+    - {!send} — fire-and-forget except for abnormal replies, no promise
+      (§2, §3: "sends do not show up explicitly in Argus; a stream call
+      to a handler with no normal results is made as a send" — here the
+      choice is explicit);
+    - {!rpc} — ordinary remote procedure call: transmitted immediately,
+      caller waits for the outcome.
+
+    Immediate failures follow the paper's semantics exactly: if
+    argument encoding fails or the stream is already broken, the call
+    raises ({!Promise.Failure_exn} / {!Promise.Unavailable_exn}) and
+    {e no promise is created}. A wounded fiber may not start remote
+    calls (§4.2): the call raises {!Sched.Scheduler.Terminated}. *)
+
+type ('a, 'r, 'e) h
+(** A handler of signature [('a, 'r, 'e)] reachable over one agent's
+    stream. *)
+
+val bind :
+  Agent.t -> dst:Net.address -> gid:string -> ('a, 'r, 'e) Sigs.hsig -> ('a, 'r, 'e) h
+(** Bind a signature to the agent's stream to group [gid] at [dst]. *)
+
+val bind_ref : Agent.t -> Sigs.port_ref -> ('a, 'r, 'e) Sigs.hsig -> ('a, 'r, 'e) h
+(** Bind to a transmitted port reference; the signature's own port name
+    is replaced by the reference's. *)
+
+val hsig : ('a, 'r, 'e) h -> ('a, 'r, 'e) Sigs.hsig
+
+val stream : ('a, 'r, 'e) h -> Cstream.Stream_end.t
+
+(** {1 Call forms} *)
+
+val stream_call : ('a, 'r, 'e) h -> 'a -> ('r, 'e) Promise.t
+(** Make a stream call; the promise becomes ready when the reply
+    arrives (or the stream breaks). Promises for earlier calls on the
+    same stream become ready first. *)
+
+val stream_call_ : ('a, 'r, 'e) h -> 'a -> unit
+(** Stream call as a statement — "the program need not create a
+    promise" (§3): the reply is still decoded and then discarded. *)
+
+val send : ('a, 'r, 'e) h -> 'a -> unit
+(** A send: the result value is discarded at the receiver; abnormal
+    termination is observable through {!synch}. *)
+
+val rpc : ('a, 'r, 'e) h -> 'a -> ('r, 'e) Promise.outcome
+(** Flush and wait for this call's outcome (fiber context only). *)
+
+(** {1 Stream control (per handle)} *)
+
+val flush : ('a, 'r, 'e) h -> unit
+(** §2's [flush h]: transmit buffered calls on [h]'s stream now. *)
+
+val synch : ('a, 'r, 'e) h -> (unit, [ `Exception_reply | `Broken of string ]) result
+(** §2's [synch h]: flush, wait for all earlier calls on the stream to
+    complete, and report whether any of them (since the last synch)
+    terminated with an exception. *)

@@ -1,0 +1,39 @@
+module S = Sched.Scheduler
+
+type t = {
+  sched : S.t;
+  mutable turn : int;
+  mutable waiters : (int * unit S.waker) list;
+}
+
+let create sched = { sched; turn = 0; waiters = [] }
+
+let current t = t.turn
+
+let admit t =
+  let ready, waiting = List.partition (fun (i, _) -> i = t.turn) t.waiters in
+  t.waiters <- waiting;
+  List.iter (fun (_, w) -> ignore (S.wake w () : bool)) ready
+
+let enter t i =
+  if i < t.turn then invalid_arg "Sequencer.enter: turn already passed";
+  while t.turn < i do
+    S.suspend t.sched (fun w -> t.waiters <- (i, w) :: t.waiters)
+  done
+
+let leave t i =
+  if i <> t.turn then invalid_arg "Sequencer.leave: not the current turn";
+  t.turn <- t.turn + 1;
+  admit t
+
+let with_turn t i f =
+  enter t i;
+  match f () with
+  | v ->
+      leave t i;
+      v
+  | exception e ->
+      (* Pass the turn on even on failure so the cascade does not jam;
+         the caller decides whether to abort the whole composition. *)
+      if t.turn = i then leave t i;
+      raise e

@@ -1,0 +1,25 @@
+(** Turn-taking for the process-per-item composition style (§4.3).
+
+    When each data item is moved through a cascade by its own process,
+    "synchronization is needed to ensure that the calls on each stream
+    were made in order". A sequencer hands out turns by item index:
+    process [i] may proceed through a stage only after process [i-1]
+    has passed it. *)
+
+type t
+
+val create : Sched.Scheduler.t -> t
+(** A sequencer whose next turn is index 0. *)
+
+val enter : t -> int -> unit
+(** [enter t i] parks the calling fiber until it is turn [i]. *)
+
+val leave : t -> int -> unit
+(** [leave t i] ends turn [i] and admits turn [i+1]. Must be called
+    with the current turn. *)
+
+val with_turn : t -> int -> (unit -> 'a) -> 'a
+(** [with_turn t i f] brackets [f] with {!enter}/{!leave}; [leave] runs
+    on any exit. *)
+
+val current : t -> int

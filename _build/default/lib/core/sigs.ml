@@ -1,0 +1,59 @@
+type 'e signal_codec = {
+  enc_sig : 'e -> (string * Xdr.value, string) result;
+  dec_sig : string * Xdr.value -> ('e, string) result;
+}
+
+type nothing = |
+
+let no_signals =
+  {
+    enc_sig = (fun (x : nothing) -> match x with _ -> .);
+    dec_sig = (fun (name, _) -> Error (Printf.sprintf "undeclared signal %S" name));
+  }
+
+let signals enc_sig dec_sig = { enc_sig; dec_sig }
+
+let empty_signals =
+  {
+    enc_sig = (fun _ -> Error "no signal case matches");
+    dec_sig = (fun (name, _) -> Error (Printf.sprintf "undeclared signal %S" name));
+  }
+
+let signal_case ~name payload_c ~inj ~proj base =
+  {
+    enc_sig =
+      (fun e ->
+        match proj e with
+        | Some p -> (
+            match Xdr.encode payload_c p with
+            | Ok v -> Ok (name, v)
+            | Error reason -> Error reason)
+        | None -> base.enc_sig e);
+    dec_sig =
+      (fun (got_name, payload) ->
+        if got_name = name then
+          match Xdr.decode payload_c payload with
+          | Ok p -> Ok (inj p)
+          | Error reason -> Error reason
+        else base.dec_sig (got_name, payload));
+  }
+
+type ('a, 'r, 'e) hsig = {
+  hname : string;
+  arg_c : 'a Xdr.codec;
+  res_c : 'r Xdr.codec;
+  sig_c : 'e signal_codec;
+}
+
+let hsig name ~arg ~res ?(signals_c = empty_signals) () =
+  { hname = name; arg_c = arg; res_c = res; sig_c = signals_c }
+
+let hsig0 name ~arg ~res = { hname = name; arg_c = arg; res_c = res; sig_c = no_signals }
+
+type port_ref = { pr_addr : Net.address; pr_group : string; pr_port : string }
+
+let port_ref_codec =
+  Xdr.conv "port_ref"
+    (fun p -> (p.pr_addr, p.pr_group, p.pr_port))
+    (fun (pr_addr, pr_group, pr_port) -> { pr_addr; pr_group; pr_port })
+    (Xdr.triple Xdr.int Xdr.string Xdr.string)

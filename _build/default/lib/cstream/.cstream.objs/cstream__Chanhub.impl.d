@@ -1,0 +1,1 @@
+lib/cstream/chanhub.ml: Hashtbl List Net Sched String Xdr

@@ -1,0 +1,1 @@
+lib/cstream/chanhub.mli: Net Sched Xdr

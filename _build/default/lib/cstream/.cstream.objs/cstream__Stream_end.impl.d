@@ -1,0 +1,1 @@
+lib/cstream/stream_end.ml: Chanhub Hashtbl List Net Printf Sched Wire

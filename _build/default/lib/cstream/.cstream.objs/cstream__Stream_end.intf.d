@@ -1,0 +1,1 @@
+lib/cstream/stream_end.mli: Chanhub Net Wire Xdr

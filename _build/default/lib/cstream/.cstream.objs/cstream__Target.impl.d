@@ -1,0 +1,1 @@
+lib/cstream/target.ml: Chanhub Hashtbl List Net Printf Sched Wire Xdr

@@ -1,0 +1,1 @@
+lib/cstream/target.mli: Chanhub Net Wire Xdr

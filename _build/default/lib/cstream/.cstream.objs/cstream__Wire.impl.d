@@ -1,0 +1,1 @@
+lib/cstream/wire.ml: Format Printf Xdr

@@ -1,0 +1,1 @@
+lib/cstream/wire.mli: Format Xdr

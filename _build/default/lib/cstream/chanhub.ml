@@ -1,0 +1,324 @@
+module S = Sched.Scheduler
+
+type key = { src : Net.address; label : string; idx : int; meta : string }
+
+type packet =
+  | Data of { key : key; first_seq : int; items : Xdr.value list }
+  | Ack of { key : key; upto : int }
+  | Reset of { key : key; reason : string }
+
+let key_bytes k = 16 + String.length k.label + String.length k.meta
+
+let packet_bytes = function
+  | Data { key; items; _ } ->
+      8 + key_bytes key
+      + List.fold_left (fun acc item -> acc + 8 + Xdr.wire_size item) 0 items
+  | Ack { key; _ } -> 8 + key_bytes key
+  | Reset { key; reason } -> 8 + key_bytes key + String.length reason
+
+type config = {
+  max_batch : int;
+  flush_interval : float;
+  retransmit_timeout : float;
+  max_retries : int;
+}
+
+let default_config =
+  { max_batch = 8; flush_interval = 2e-3; retransmit_timeout = 50e-3; max_retries = 10 }
+
+let rpc_config = { default_config with max_batch = 1; flush_interval = 0.0 }
+
+type out_chan = {
+  o_hub : hub;
+  o_key : key;
+  o_dst : Net.address;
+  o_cfg : config;
+  mutable o_next_seq : int;  (* seq of the next item accepted by [send] *)
+  mutable o_buf : Xdr.value list;  (* reversed: newest first *)
+  mutable o_buf_len : int;
+  mutable o_unacked : (int * Xdr.value) list;  (* oldest first *)
+  mutable o_acked_upto : int;
+  mutable o_retries : int;
+  mutable o_broken : string option;
+  mutable o_on_break : (string -> unit) list;
+  mutable o_flush_gen : int;
+  mutable o_retx_gen : int;
+  mutable o_retx_armed : bool;
+}
+
+and in_chan = {
+  i_hub : hub;
+  i_key : key;
+  mutable i_expected : int;
+  mutable i_deliver : (Xdr.value list -> unit) option;
+  mutable i_broken : string option;
+  mutable i_on_break : (string -> unit) list;
+}
+
+and hub = {
+  h_net : packet Net.t;
+  h_node : Net.node;
+  h_sched : S.t;
+  h_outs : (key, out_chan) Hashtbl.t;
+  h_ins : (key, in_chan) Hashtbl.t;
+  h_acceptors : (string, in_chan -> unit) Hashtbl.t;
+  h_dead : (key, string) Hashtbl.t;
+  mutable h_next_idx : int;
+}
+
+let hub_node h = h.h_node
+
+let hub_sched h = h.h_sched
+
+let out_key o = o.o_key
+
+let out_broken o = o.o_broken
+
+let on_out_break o f =
+  match o.o_broken with
+  | Some reason ->
+      (* Already broken: fire immediately so late registrants still learn. *)
+      f reason
+  | None -> o.o_on_break <- f :: o.o_on_break
+
+let unacked_count o = o.o_buf_len + List.length o.o_unacked
+
+let in_key i = i.i_key
+
+let in_src i = i.i_key.src
+
+let set_deliver i f = i.i_deliver <- Some f
+
+let in_broken i = i.i_broken
+
+let on_in_break i f =
+  match i.i_broken with Some reason -> f reason | None -> i.i_on_break <- f :: i.i_on_break
+
+let mark_in_broken i reason =
+  if i.i_broken = None then begin
+    i.i_broken <- Some reason;
+    let hooks = i.i_on_break in
+    i.i_on_break <- [];
+    List.iter (fun f -> f reason) hooks
+  end
+
+let transmit hub ~dst packet =
+  Net.send hub.h_net ~src:hub.h_node ~dst ~bytes_:(packet_bytes packet) packet
+
+let mark_broken o reason =
+  if o.o_broken = None then begin
+    o.o_broken <- Some reason;
+    o.o_buf <- [];
+    o.o_buf_len <- 0;
+    o.o_unacked <- [];
+    o.o_flush_gen <- o.o_flush_gen + 1;
+    o.o_retx_gen <- o.o_retx_gen + 1;
+    o.o_retx_armed <- false;
+    let hooks = o.o_on_break in
+    o.o_on_break <- [];
+    List.iter (fun f -> f reason) hooks
+  end
+
+let break_out o ~reason =
+  if o.o_broken = None then begin
+    (* Tell the receiver to discard its end before we forget the
+       channel; the Reset itself may be lost, in which case the
+       receiver end lingers harmlessly until a retransmit hits the
+       tombstone on our side. *)
+    transmit o.o_hub ~dst:o.o_dst (Reset { key = o.o_key; reason });
+    mark_broken o reason
+  end
+
+(* The timer is anchored to the oldest unacked item: further sends do
+   not push it back, so a dead peer is detected after at most
+   [retransmit_timeout * (max_retries + 1)] even under a continuous
+   call stream. *)
+let rec arm_retransmit o =
+  if o.o_broken = None && o.o_unacked <> [] && not o.o_retx_armed then begin
+    o.o_retx_armed <- true;
+    o.o_retx_gen <- o.o_retx_gen + 1;
+    let gen = o.o_retx_gen in
+    S.after o.o_hub.h_sched o.o_cfg.retransmit_timeout (fun () ->
+        if gen = o.o_retx_gen then begin
+          o.o_retx_armed <- false;
+          if o.o_broken = None && o.o_unacked <> [] then begin
+            o.o_retries <- o.o_retries + 1;
+            if o.o_retries > o.o_cfg.max_retries then
+              mark_broken o "retransmit limit exceeded: peer unreachable"
+            else begin
+              let first_seq = match o.o_unacked with (s, _) :: _ -> s | [] -> assert false in
+              let items = List.map snd o.o_unacked in
+              transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; items });
+              arm_retransmit o
+            end
+          end
+        end)
+  end
+
+let flush_out o =
+  if o.o_broken = None && o.o_buf <> [] then begin
+    let items = List.rev o.o_buf in
+    let first_seq = o.o_next_seq - o.o_buf_len in
+    o.o_buf <- [];
+    o.o_buf_len <- 0;
+    o.o_flush_gen <- o.o_flush_gen + 1;
+    o.o_unacked <- o.o_unacked @ List.mapi (fun i item -> (first_seq + i, item)) items;
+    transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; items });
+    arm_retransmit o
+  end
+
+let send o item =
+  (match o.o_broken with
+  | Some reason -> invalid_arg ("Chanhub.send: channel broken: " ^ reason)
+  | None -> ());
+  o.o_buf <- item :: o.o_buf;
+  o.o_buf_len <- o.o_buf_len + 1;
+  o.o_next_seq <- o.o_next_seq + 1;
+  if o.o_buf_len >= o.o_cfg.max_batch then flush_out o
+  else if o.o_buf_len = 1 && o.o_cfg.flush_interval < infinity then begin
+    if o.o_cfg.flush_interval <= 0.0 then flush_out o
+    else begin
+      o.o_flush_gen <- o.o_flush_gen + 1;
+      let gen = o.o_flush_gen in
+      S.after o.o_hub.h_sched o.o_cfg.flush_interval (fun () ->
+          if gen = o.o_flush_gen then flush_out o)
+    end
+  end
+
+let handle_ack o ~upto =
+  if o.o_broken = None && upto > o.o_acked_upto then begin
+    o.o_acked_upto <- upto;
+    o.o_unacked <- List.filter (fun (s, _) -> s > upto) o.o_unacked;
+    o.o_retries <- 0;
+    (* restart the timer for the (new) oldest unacked item *)
+    o.o_retx_gen <- o.o_retx_gen + 1;
+    o.o_retx_armed <- false;
+    if o.o_unacked <> [] then arm_retransmit o
+  end
+
+let break_in i ~reason =
+  let hub = i.i_hub in
+  if Hashtbl.mem hub.h_ins i.i_key then begin
+    Hashtbl.remove hub.h_ins i.i_key;
+    Hashtbl.replace hub.h_dead i.i_key reason;
+    transmit hub ~dst:i.i_key.src (Reset { key = i.i_key; reason })
+  end;
+  mark_in_broken i reason
+
+let handle_data hub ~key ~first_seq ~items =
+  match Hashtbl.find_opt hub.h_dead key with
+  | Some reason ->
+      (* The channel was broken here earlier; keep telling the sender. *)
+      transmit hub ~dst:key.src (Reset { key; reason })
+  | None ->
+      let chan =
+        match Hashtbl.find_opt hub.h_ins key with
+        | Some i -> Some i
+        | None -> (
+            match Hashtbl.find_opt hub.h_acceptors key.label with
+            | None ->
+                transmit hub ~dst:key.src (Reset { key; reason = "no such port group" });
+                None
+            | Some acceptor ->
+                let i =
+                  {
+                    i_hub = hub;
+                    i_key = key;
+                    i_expected = 0;
+                    i_deliver = None;
+                    i_broken = None;
+                    i_on_break = [];
+                  }
+                in
+                Hashtbl.replace hub.h_ins key i;
+                acceptor i;
+                Some i)
+      in
+      match chan with
+      | None -> ()
+      | Some i ->
+          let count = List.length items in
+          if first_seq > i.i_expected then
+            (* Gap: go-back-n — drop and re-ack what we have. *)
+            transmit hub ~dst:key.src (Ack { key; upto = i.i_expected - 1 })
+          else begin
+            let skip = i.i_expected - first_seq in
+            let fresh = if skip >= count then [] else List.filteri (fun idx _ -> idx >= skip) items in
+            if fresh <> [] then begin
+              i.i_expected <- i.i_expected + List.length fresh;
+              match i.i_deliver with
+              | Some f -> f fresh
+              | None -> ()
+            end;
+            transmit hub ~dst:key.src (Ack { key; upto = i.i_expected - 1 })
+          end
+
+let handle_reset hub ~key ~reason =
+  (match Hashtbl.find_opt hub.h_outs key with
+  | Some o ->
+      Hashtbl.remove hub.h_outs key;
+      mark_broken o reason
+  | None -> ());
+  match Hashtbl.find_opt hub.h_ins key with
+  | Some i ->
+      Hashtbl.remove hub.h_ins key;
+      Hashtbl.replace hub.h_dead key reason;
+      mark_in_broken i reason
+  | None -> ()
+
+let receive hub ~src:_ packet =
+  match packet with
+  | Data { key; first_seq; items } -> handle_data hub ~key ~first_seq ~items
+  | Ack { key; upto } -> (
+      match Hashtbl.find_opt hub.h_outs key with
+      | Some o -> handle_ack o ~upto
+      | None -> ())
+  | Reset { key; reason } -> handle_reset hub ~key ~reason
+
+let create_hub net node =
+  let hub =
+    {
+      h_net = net;
+      h_node = node;
+      h_sched = Net.sched net;
+      h_outs = Hashtbl.create 16;
+      h_ins = Hashtbl.create 16;
+      h_acceptors = Hashtbl.create 16;
+      h_dead = Hashtbl.create 16;
+      h_next_idx = 0;
+    }
+  in
+  Net.set_receiver net node (fun ~src packet -> receive hub ~src packet);
+  hub
+
+let on_connect hub ~label acceptor = Hashtbl.replace hub.h_acceptors label acceptor
+
+let remove_acceptor hub ~label = Hashtbl.remove hub.h_acceptors label
+
+let connect hub ~dst ~label ~meta cfg =
+  if cfg.max_batch <= 0 then invalid_arg "Chanhub.connect: max_batch must be positive";
+  let key = { src = Net.address hub.h_node; label; idx = hub.h_next_idx; meta } in
+  hub.h_next_idx <- hub.h_next_idx + 1;
+  let o =
+    {
+      o_hub = hub;
+      o_key = key;
+      o_dst = dst;
+      o_cfg = cfg;
+      o_next_seq = 0;
+      o_buf = [];
+      o_buf_len = 0;
+      o_unacked = [];
+      o_acked_upto = -1;
+      o_retries = 0;
+      o_broken = None;
+      o_on_break = [];
+      o_flush_gen = 0;
+      o_retx_gen = 0;
+      o_retx_armed = false;
+    }
+  in
+  Hashtbl.replace hub.h_outs key o;
+  o
+
+let hub_net_config h = Net.config h.h_net

@@ -1,0 +1,134 @@
+(** Reliable, ordered, batching message channels over the lossy {!Net}.
+
+    Call-streams promise "exactly-once, ordered delivery" (§2 of the
+    paper) on top of a network that can lose, duplicate and delay
+    messages. This module supplies that guarantee as unidirectional
+    {e channels}: sequence numbers, cumulative acknowledgements,
+    go-back-n retransmission and duplicate suppression. The stream
+    layer composes two channels (calls one way, replies the other) into
+    one call-stream.
+
+    Buffering also lives here: a channel accumulates items and sends
+    them as one network message when any of (a) [max_batch] items are
+    waiting, (b) [flush_interval] has elapsed since the first waiting
+    item, or (c) the user flushes explicitly — "stream calls and their
+    replies are buffered and sent when convenient".
+
+    Each node owns a {e hub} that multiplexes all channel endpoints on
+    that node. Channels are identified by (source address, label,
+    index); the label doubles as the rendezvous name — a hub registers
+    a factory per label and inbound channels with that label are
+    accepted by it. The [meta] string rides along for the stream layer
+    (it carries the reply-channel label). *)
+
+type hub
+(** Per-node endpoint multiplexer. *)
+
+type out_chan
+(** Sending end of a channel (lives on the source node). *)
+
+type in_chan
+(** Receiving end of a channel (lives on the destination node). *)
+
+type key = { src : Net.address; label : string; idx : int; meta : string }
+
+type packet =
+  | Data of { key : key; first_seq : int; items : Xdr.value list }
+  | Ack of { key : key; upto : int }
+  | Reset of { key : key; reason : string }
+
+val packet_bytes : packet -> int
+(** Wire size of a packet under the {!Xdr.wire_size} model. *)
+
+type config = {
+  max_batch : int;  (** flush after this many buffered items *)
+  flush_interval : float;
+      (** flush this long after the first buffered item (seconds);
+          [infinity] disables timed flushing *)
+  retransmit_timeout : float;
+  max_retries : int;  (** consecutive unanswered retransmits before break *)
+}
+
+val default_config : config
+(** [max_batch = 8], [flush_interval = 2 ms], [retransmit_timeout =
+    50 ms], [max_retries = 10]. *)
+
+val rpc_config : config
+(** No buffering: every item is sent immediately ([max_batch = 1]) —
+    "RPCs and their replies are sent over the network immediately". *)
+
+(** {1 Hubs} *)
+
+val create_hub : packet Net.t -> Net.node -> hub
+(** Create the hub for [node] and install it as the node's receiver. *)
+
+val hub_node : hub -> Net.node
+
+val hub_sched : hub -> Sched.Scheduler.t
+
+val on_connect : hub -> label:string -> (in_chan -> unit) -> unit
+(** Register the acceptor for inbound channels labelled [label]. The
+    acceptor must call {!set_deliver} before returning; items from the
+    first packet are delivered right after it returns. Inbound data for
+    an unregistered label is answered with a [Reset]. *)
+
+val remove_acceptor : hub -> label:string -> unit
+
+(** {1 Sending end} *)
+
+val connect : hub -> dst:Net.address -> label:string -> meta:string -> config -> out_chan
+(** Open a channel to the hub at [dst]. No handshake message is sent;
+    the first data packet establishes the channel at the receiver. *)
+
+val send : out_chan -> Xdr.value -> unit
+(** Buffer one item for ordered delivery. Raises [Invalid_argument] on
+    a broken channel (callers are expected to check {!out_broken}). *)
+
+val flush_out : out_chan -> unit
+(** Transmit everything buffered now. *)
+
+val out_key : out_chan -> key
+
+val out_broken : out_chan -> string option
+(** Reason the channel broke, if it did. *)
+
+val on_out_break : out_chan -> (string -> unit) -> unit
+(** Register a break callback (fires at most once, in scheduler
+    context). Several callbacks may be registered. *)
+
+val break_out : out_chan -> reason:string -> unit
+(** Break locally (e.g. stream restart): pending items are dropped and
+    a [Reset] is pushed to the receiver so it discards state. *)
+
+val unacked_count : out_chan -> int
+(** Items sent but not yet acknowledged plus items still buffered. *)
+
+(** {1 Receiving end} *)
+
+val set_deliver : in_chan -> (Xdr.value list -> unit) -> unit
+(** Install the in-order delivery callback. Each invocation passes the
+    items of one arriving network message (so the receiver can charge
+    per-message costs); concatenated across calls the items appear
+    exactly once, in send order. *)
+
+val in_key : in_chan -> key
+
+val in_src : in_chan -> Net.address
+
+val break_in : in_chan -> reason:string -> unit
+(** Receiver-initiated break: discard further data and tell the sender
+    (it observes the reason via {!on_out_break}). *)
+
+val in_broken : in_chan -> string option
+
+val on_in_break : in_chan -> (string -> unit) -> unit
+(** Register a callback fired when this receiving end is broken — by
+    {!break_in} locally or by a [Reset] from the sender (e.g. a stream
+    restart). Fires immediately if already broken. *)
+
+(** {1 Network access} *)
+
+val hub_net_config : hub -> Net.config
+(** The cost model of the network this hub sends on — the receiver
+    layer uses it to charge per-message kernel overhead as processing
+    time. *)

@@ -1,0 +1,167 @@
+module S = Sched.Scheduler
+
+type pending = { p_on_reply : Wire.routcome -> unit }
+
+type t = {
+  hub : Chanhub.hub;
+  sched : S.t;
+  s_agent : string;
+  s_dst : Net.address;
+  s_gid : string;
+  s_cfg : Chanhub.config;
+  mutable chan : Chanhub.out_chan;
+  mutable incarnation : int;
+  mutable s_broken : string option;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_seq : int;
+  mutable completed_upto : int;
+  mutable exn_since_synch : bool;
+  mutable synch_waiters : (int * unit S.waker) list;
+  mutable break_hooks : (string -> unit) list;
+}
+
+let agent t = t.s_agent
+
+let gid t = t.s_gid
+
+let broken t = t.s_broken
+
+let outstanding t = Hashtbl.length t.pending
+
+let reply_label_for ~agent ~gid ~dst ~incarnation =
+  Printf.sprintf "~r/%s/%s/%d/%d" agent gid dst incarnation
+
+let reply_label t =
+  reply_label_for ~agent:t.s_agent ~gid:t.s_gid ~dst:t.s_dst ~incarnation:t.incarnation
+
+let wake_satisfied_synchers t =
+  let ready, waiting =
+    List.partition (fun (target, _) -> t.completed_upto >= target) t.synch_waiters
+  in
+  t.synch_waiters <- waiting;
+  List.iter (fun (_, w) -> ignore (S.wake w () : bool)) ready
+
+let complete t seq outcome =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> () (* stale reply after a break resolved everything *)
+  | Some p ->
+      Hashtbl.remove t.pending seq;
+      if seq > t.completed_upto then t.completed_upto <- seq;
+      (match outcome with
+      | Wire.W_normal _ -> ()
+      | Wire.W_signal _ | Wire.W_unavailable _ | Wire.W_failure _ ->
+          t.exn_since_synch <- true);
+      p.p_on_reply outcome;
+      wake_satisfied_synchers t
+
+let handle_break t reason =
+  if t.s_broken = None then begin
+    t.s_broken <- Some reason;
+    (* Outstanding calls will never get replies: complete them (in call
+       order) with [unavailable] — "we rely on the language to cause
+       the calls to terminate with an exception" (§2). *)
+    let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.pending [] in
+    let seqs = List.sort compare seqs in
+    List.iter
+      (fun seq -> complete t seq (Wire.W_unavailable ("stream broken: " ^ reason)))
+      seqs;
+    t.completed_upto <- t.next_seq - 1;
+    wake_satisfied_synchers t;
+    let hooks = t.break_hooks in
+    t.break_hooks <- [];
+    List.iter (fun f -> f reason) hooks
+  end
+
+let deliver_replies t items =
+  List.iter
+    (fun item ->
+      match Wire.parse_reply item with
+      | Ok (seq, outcome) -> complete t seq outcome
+      | Error _ ->
+          (* A malformed reply means our peer is garbage; break. *)
+          handle_break t "malformed reply from receiver")
+    items
+
+(* Wire an incarnation's channel and reply acceptor to [t]. The channel
+   itself is created by the caller (it does not need [t]). *)
+let attach t chan =
+  let label = reply_label t in
+  Chanhub.on_connect t.hub ~label (fun in_chan ->
+      Chanhub.set_deliver in_chan (fun items -> deliver_replies t items));
+  Chanhub.on_out_break chan (fun reason -> handle_break t reason);
+  t.chan <- chan
+
+let create hub ~agent ~dst ~gid ?(config = Chanhub.default_config) () =
+  let label = reply_label_for ~agent ~gid ~dst ~incarnation:0 in
+  let chan = Chanhub.connect hub ~dst ~label:gid ~meta:label config in
+  let t =
+    {
+      hub;
+      sched = Chanhub.hub_sched hub;
+      s_agent = agent;
+      s_dst = dst;
+      s_gid = gid;
+      s_cfg = config;
+      chan;
+      incarnation = 0;
+      s_broken = None;
+      pending = Hashtbl.create 32;
+      next_seq = 0;
+      completed_upto = -1;
+      exn_since_synch = false;
+      synch_waiters = [];
+      break_hooks = [];
+    }
+  in
+  attach t chan;
+  t
+
+let call t ~port ~kind ~args ~on_reply =
+  match t.s_broken with
+  | Some reason -> Error reason
+  | None ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Hashtbl.replace t.pending seq { p_on_reply = on_reply };
+      Chanhub.send t.chan (Wire.call_item ~seq ~port ~kind ~args);
+      Ok ()
+
+let flush t = if t.s_broken = None then Chanhub.flush_out t.chan
+
+let synch t =
+  match t.s_broken with
+  | Some reason -> Error (`Broken reason)
+  | None ->
+      flush t;
+      let target = t.next_seq - 1 in
+      if t.completed_upto < target then
+        S.suspend t.sched (fun w -> t.synch_waiters <- (target, w) :: t.synch_waiters);
+      (match t.s_broken with
+      | Some reason -> Error (`Broken reason)
+      | None ->
+          if t.exn_since_synch then begin
+            t.exn_since_synch <- false;
+            Error `Exception_reply
+          end
+          else Ok ())
+
+let on_break t f =
+  match t.s_broken with Some reason -> f reason | None -> t.break_hooks <- f :: t.break_hooks
+
+let restart t =
+  (match t.s_broken with
+  | None ->
+      (* A restart of a live stream is "a break done by the system at
+         the sender at that moment" (§2). *)
+      Chanhub.break_out t.chan ~reason:"restarted by sender";
+      handle_break t "restarted by sender"
+  | Some _ -> ());
+  Chanhub.remove_acceptor t.hub ~label:(reply_label t);
+  t.incarnation <- t.incarnation + 1;
+  t.s_broken <- None;
+  t.next_seq <- 0;
+  t.completed_upto <- -1;
+  t.exn_since_synch <- false;
+  let label = reply_label t in
+  let chan = Chanhub.connect t.hub ~dst:t.s_dst ~label:t.s_gid ~meta:label t.s_cfg in
+  attach t chan

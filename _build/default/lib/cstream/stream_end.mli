@@ -1,0 +1,67 @@
+(** The sending end of a call-stream.
+
+    A stream connects one agent (a sending activity) to one port group
+    (§2): calls made on it are delivered to the receiver exactly once,
+    in order, and their replies come back in call order. The stream
+    buffers calls per its channel {!Chanhub.config} ("sent when
+    convenient"); {!flush} forces transmission; {!synch} additionally
+    waits for all earlier calls to complete and reports whether any of
+    them terminated exceptionally.
+
+    Breaking and reincarnation follow §2: when the system gives up on
+    delivery (retransmit exhaustion, receiver crash, receiver-initiated
+    break), every outstanding call completes with
+    [W_unavailable]/[W_failure] and further calls fail immediately
+    until {!restart}. *)
+
+type t
+
+val create :
+  Chanhub.hub ->
+  agent:string ->
+  dst:Net.address ->
+  gid:string ->
+  ?config:Chanhub.config ->
+  unit ->
+  t
+(** Open a stream from this node's [agent] to the port group named
+    [gid] on node [dst]. The [agent] name must be unique within the
+    hub per (dst, gid) — it names the reply rendezvous. *)
+
+val agent : t -> string
+
+val gid : t -> string
+
+val broken : t -> string option
+(** Why the stream is broken, or [None] while it is usable. *)
+
+val call :
+  t -> port:string -> kind:Wire.kind -> args:Xdr.value ->
+  on_reply:(Wire.routcome -> unit) -> (unit, string) result
+(** Issue a call. [Error reason] means the stream is already broken —
+    the paper's "call fails and signals immediately, and no promise is
+    created". Otherwise [on_reply] fires exactly once, later, in
+    scheduler context; replies fire in call order. *)
+
+val flush : t -> unit
+(** Transmit buffered call requests now (§2's [flush]). *)
+
+val synch : t -> (unit, [ `Exception_reply | `Broken of string ]) result
+(** Flush, then park the calling fiber until every call made before
+    this point has completed (§2's [synch]). [Ok] means they all
+    terminated normally; [`Exception_reply] that at least one
+    terminated with an exception since the last synch (matching the
+    paper, it does not say which); [`Broken] that the stream broke
+    while (or before) waiting. Must run in fiber context. *)
+
+val outstanding : t -> int
+(** Calls issued whose replies have not yet arrived. *)
+
+val restart : t -> unit
+(** Break (if not already broken) and reincarnate: outstanding calls
+    complete with [W_unavailable]; subsequent calls use a fresh
+    incarnation of the stream. *)
+
+val on_break : t -> (string -> unit) -> unit
+(** Register a callback fired when the current incarnation breaks (at
+    most once per incarnation; fires immediately if already broken). *)

@@ -1,0 +1,214 @@
+module S = Sched.Scheduler
+
+type work =
+  | Overhead  (** one arriving network message: charge kernel overhead *)
+  | Exec of { seq : int; port : string; kind : Wire.kind; args : Xdr.value }
+
+type t = {
+  hub : Chanhub.hub;
+  sched : S.t;
+  t_gid : string;
+  reply_config : Chanhub.config;
+  t_ordered : bool;
+  dispatch : dispatch;
+  conns : (Chanhub.key, conn) Hashtbl.t;
+  mutable closed : bool;
+}
+
+and conn = {
+  c_target : t;
+  c_in : Chanhub.in_chan;
+  c_reply : Chanhub.out_chan;
+  c_work : work Sched.Bqueue.t;
+  mutable c_driver : S.fiber option;
+  mutable c_broken : bool;
+  mutable c_inflight : bool;  (* a call is being executed right now *)
+  mutable c_breaking : string option;  (* break requested mid-call *)
+  mutable c_on_close : (unit -> unit) list;
+  (* unordered mode: outcomes parked until all earlier replies went out *)
+  c_done : (int, Wire.kind * Wire.routcome) Hashtbl.t;
+  mutable c_next_reply : int;
+}
+
+and dispatch =
+  conn ->
+  seq:int ->
+  port:string ->
+  kind:Wire.kind ->
+  args:Xdr.value ->
+  reply:(Wire.routcome -> unit) ->
+  unit
+
+let gid t = t.t_gid
+
+let conn_src c = Chanhub.in_src c.c_in
+
+let conn_count t = Hashtbl.length t.conns
+
+let flush_replies c = if Chanhub.out_broken c.c_reply = None then Chanhub.flush_out c.c_reply
+
+(* Tear down the connection without notifying the sender — used when
+   the sender side is already gone (its reply channel broke). *)
+let remove_conn c =
+  if not c.c_broken then begin
+    c.c_broken <- true;
+    Hashtbl.remove c.c_target.conns (Chanhub.in_key c.c_in);
+    (match c.c_driver with
+    | Some fiber -> S.kill c.c_target.sched fiber
+    | None -> ());
+    Sched.Bqueue.close c.c_work;
+    let hooks = c.c_on_close in
+    c.c_on_close <- [];
+    List.iter (fun f -> f ()) hooks
+  end
+
+let on_conn_close c f = if c.c_broken then f () else c.c_on_close <- f :: c.c_on_close
+
+(* Receiver-initiated break proper: flush replies already produced
+   (calls answered before the break are unaffected — the paper's
+   synchronous break), then Reset the sender. *)
+let do_break c reason =
+  if not c.c_broken then begin
+    flush_replies c;
+    Chanhub.break_in c.c_in ~reason;
+    remove_conn c
+  end
+
+let break_conn c ~reason =
+  if c.c_inflight then begin
+    (* A call is mid-execution (typically the one whose handler is
+       requesting the break): wait for its reply to be emitted first. *)
+    if c.c_breaking = None then c.c_breaking <- Some reason
+  end
+  else do_break c reason
+
+let emit_reply c ~seq ~kind outcome =
+  if not c.c_broken then begin
+    let item =
+      match (kind, outcome) with
+      | Wire.Send, Wire.W_normal _ -> Wire.send_ok_item ~seq
+      | (Wire.Call | Wire.Send), _ -> Wire.reply_item ~seq outcome
+    in
+    Chanhub.send c.c_reply item
+  end
+
+(* Unordered mode keeps the stream's reply-order guarantee: outcomes
+   are released strictly by call sequence even though execution
+   overlaps. *)
+let release_in_order c =
+  let rec go () =
+    match Hashtbl.find_opt c.c_done c.c_next_reply with
+    | Some (kind, outcome) ->
+        Hashtbl.remove c.c_done c.c_next_reply;
+        emit_reply c ~seq:c.c_next_reply ~kind outcome;
+        c.c_next_reply <- c.c_next_reply + 1;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* Sequential execution of one stream's calls: the driver parks until
+   the handler replies before taking the next piece of work. With
+   [t_ordered = false] (the override hinted at in §2.1), calls are
+   dispatched as they arrive and run concurrently; only the replies
+   are sequenced. *)
+let driver_loop c =
+  let t = c.c_target in
+  let overhead = (Chanhub.hub_net_config t.hub).Net.kernel_overhead in
+  let rec loop () =
+    match Sched.Bqueue.deq c.c_work with
+    | Overhead ->
+        if overhead > 0.0 then S.sleep t.sched overhead;
+        loop ()
+    | Exec { seq; port; kind; args } when not t.t_ordered ->
+        t.dispatch c ~seq ~port ~kind ~args ~reply:(fun o ->
+            if not c.c_broken then begin
+              Hashtbl.replace c.c_done seq (kind, o);
+              release_in_order c
+            end);
+        loop ()
+    | Exec { seq; port; kind; args } -> (
+        c.c_inflight <- true;
+        let outcome =
+          S.suspend t.sched (fun w ->
+              t.dispatch c ~seq ~port ~kind ~args ~reply:(fun o ->
+                  ignore (S.wake w o : bool)))
+        in
+        c.c_inflight <- false;
+        emit_reply c ~seq ~kind outcome;
+        match c.c_breaking with
+        | Some reason ->
+            c.c_breaking <- None;
+            do_break c reason
+        | None -> loop ())
+    | exception Sched.Bqueue.Closed -> ()
+  in
+  loop ()
+
+let accept t in_chan =
+  let key = Chanhub.in_key in_chan in
+  let reply =
+    Chanhub.connect t.hub ~dst:key.Chanhub.src ~label:key.Chanhub.meta ~meta:"" t.reply_config
+  in
+  let c =
+    {
+      c_target = t;
+      c_in = in_chan;
+      c_reply = reply;
+      c_work = Sched.Bqueue.create t.sched;
+      c_driver = None;
+      c_broken = false;
+      c_inflight = false;
+      c_breaking = None;
+      c_on_close = [];
+      c_done = Hashtbl.create 8;
+      c_next_reply = 0;
+    }
+  in
+  Hashtbl.replace t.conns key c;
+  (* If either direction dies — the sender Reset the call channel (a
+     restart) or the reply path broke — drop the connection; the
+     sender side has already broken or forgotten the stream. *)
+  Chanhub.on_in_break in_chan (fun _reason -> remove_conn c);
+  Chanhub.on_out_break reply (fun _reason -> remove_conn c);
+  Chanhub.set_deliver in_chan (fun items ->
+      if not c.c_broken then begin
+        Sched.Bqueue.enq c.c_work Overhead;
+        List.iter
+          (fun item ->
+            match Wire.parse_call item with
+            | Ok (seq, port, kind, args) ->
+                Sched.Bqueue.enq c.c_work (Exec { seq; port; kind; args })
+            | Error reason -> break_conn c ~reason)
+          items
+      end);
+  let fiber =
+    S.spawn t.sched ~daemon:true
+      ~name:(Printf.sprintf "target:%s<-%d" t.t_gid key.Chanhub.src)
+      (fun () -> driver_loop c)
+  in
+  c.c_driver <- Some fiber
+
+let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) dispatch =
+  let t =
+    {
+      hub;
+      sched = Chanhub.hub_sched hub;
+      t_gid = gid;
+      reply_config;
+      t_ordered = ordered;
+      dispatch;
+      conns = Hashtbl.create 8;
+      closed = false;
+    }
+  in
+  Chanhub.on_connect hub ~label:gid (fun in_chan -> accept t in_chan);
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Chanhub.remove_acceptor t.hub ~label:t.t_gid;
+    let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    List.iter (fun c -> break_conn c ~reason:"port group closed") live
+  end

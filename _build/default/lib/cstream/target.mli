@@ -1,0 +1,72 @@
+(** The receiving end of call-streams: a port group.
+
+    A target accepts every stream addressed to its group name and, per
+    stream, executes arriving calls strictly in call order — "the Argus
+    system will delay its execution until all earlier calls on its
+    stream have completed" (§2.1). Calls on {e different} streams run
+    concurrently (each connection has its own driver fiber).
+
+    The per-message kernel overhead of the cost model is charged here
+    as processing time: the driver sleeps [kernel_overhead] once per
+    arriving network message before executing its calls, which is what
+    makes batching amortise overhead in the experiments.
+
+    Replies are sent back on a dedicated reply channel per stream,
+    buffered according to [reply_config]. Normal replies to [Send]
+    calls carry no result value. *)
+
+type t
+
+type conn
+(** One incoming stream (one sender agent). *)
+
+type dispatch =
+  conn ->
+  seq:int ->
+  port:string ->
+  kind:Wire.kind ->
+  args:Xdr.value ->
+  reply:(Wire.routcome -> unit) ->
+  unit
+(** Invoked in scheduler context for each call, once the previous call
+    on the same stream has replied. The implementation must not block;
+    it should start the real work (typically spawning a fiber) and
+    arrange for [reply] to be called exactly once. The next call on the
+    stream is dispatched only after [reply] fires. *)
+
+val create :
+  Chanhub.hub -> gid:string -> ?reply_config:Chanhub.config -> ?ordered:bool -> dispatch -> t
+(** Register the port group [gid] on this hub. [ordered] (default
+    [true]) is the paper's semantics: the next call on a stream starts
+    only when the previous one has replied. [ordered:false] is the
+    "explicit override" hinted at in §2.1: calls on one stream execute
+    concurrently, while replies are still released in call order so the
+    stream's reply-ordering guarantee (and promise-readiness order)
+    is preserved. Used by the receiver-ordering ablation. *)
+
+val gid : t -> string
+
+val conn_src : conn -> Net.address
+(** Node address of the sending agent. *)
+
+val conn_count : t -> int
+(** Live incoming streams. *)
+
+val break_conn : conn -> reason:string -> unit
+(** Receiver-initiated stream break (§2): pending replies are flushed
+    first (so a reply already produced — e.g. the [failure] reply for a
+    call whose arguments would not decode — still reaches the sender),
+    then the sender is told the stream is broken and further calls are
+    discarded. This is the paper's {e synchronous} break: calls already
+    replied to are unaffected. *)
+
+val flush_replies : conn -> unit
+
+val on_conn_close : conn -> (unit -> unit) -> unit
+(** Run a hook when this connection goes away for any reason (break
+    from either side, group close). The guardian layer uses this to
+    destroy orphaned handler executions. Fires immediately if the
+    connection is already gone. *)
+
+val close : t -> unit
+(** Unregister the group and break every live connection. *)

@@ -1,0 +1,54 @@
+type kind = Call | Send
+
+type routcome =
+  | W_normal of Xdr.value
+  | W_signal of string * Xdr.value
+  | W_unavailable of string
+  | W_failure of string
+
+let pp_routcome ppf = function
+  | W_normal v -> Format.fprintf ppf "normal(%a)" Xdr.pp_value v
+  | W_signal (name, v) -> Format.fprintf ppf "signal %s(%a)" name Xdr.pp_value v
+  | W_unavailable reason -> Format.fprintf ppf "unavailable(%s)" reason
+  | W_failure reason -> Format.fprintf ppf "failure(%s)" reason
+
+let kind_tag = function Call -> "c" | Send -> "s"
+
+let kind_of_tag = function
+  | "c" -> Ok Call
+  | "s" -> Ok Send
+  | other -> Error (Printf.sprintf "unknown call kind %S" other)
+
+let call_item ~seq ~port ~kind ~args =
+  Xdr.Record
+    [ ("q", Xdr.Int seq); ("p", Xdr.Str port); ("k", Xdr.Str (kind_tag kind)); ("a", args) ]
+
+let parse_call = function
+  | Xdr.Record [ ("q", Xdr.Int seq); ("p", Xdr.Str port); ("k", Xdr.Str k); ("a", args) ] -> (
+      match kind_of_tag k with
+      | Ok kind -> Ok (seq, port, kind, args)
+      | Error e -> Error e)
+  | v -> Error (Format.asprintf "malformed call item: %a" Xdr.pp_value v)
+
+let outcome_value = function
+  | W_normal v -> Xdr.Tagged ("n", v)
+  | W_signal (name, v) -> Xdr.Tagged ("g", Xdr.Pair (Xdr.Str name, v))
+  | W_unavailable reason -> Xdr.Tagged ("u", Xdr.Str reason)
+  | W_failure reason -> Xdr.Tagged ("f", Xdr.Str reason)
+
+let outcome_of_value = function
+  | Xdr.Tagged ("n", v) -> Ok (W_normal v)
+  | Xdr.Tagged ("g", Xdr.Pair (Xdr.Str name, v)) -> Ok (W_signal (name, v))
+  | Xdr.Tagged ("u", Xdr.Str reason) -> Ok (W_unavailable reason)
+  | Xdr.Tagged ("f", Xdr.Str reason) -> Ok (W_failure reason)
+  | Xdr.Tagged ("o", Xdr.Unit) -> Ok (W_normal Xdr.Unit)
+  | v -> Error (Format.asprintf "malformed outcome: %a" Xdr.pp_value v)
+
+let reply_item ~seq outcome = Xdr.Pair (Xdr.Int seq, outcome_value outcome)
+
+let send_ok_item ~seq = Xdr.Pair (Xdr.Int seq, Xdr.Tagged ("o", Xdr.Unit))
+
+let parse_reply = function
+  | Xdr.Pair (Xdr.Int seq, ov) -> (
+      match outcome_of_value ov with Ok o -> Ok (seq, o) | Error e -> Error e)
+  | v -> Error (Format.asprintf "malformed reply item: %a" Xdr.pp_value v)

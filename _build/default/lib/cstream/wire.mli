@@ -1,0 +1,43 @@
+(** Wire encoding of call and reply items carried on channels.
+
+    A call-stream moves two kinds of items: call requests (sender to
+    receiver) and replies (receiver back to sender). Both are encoded
+    as {!Xdr.value}s so the channel layer stays payload-agnostic —
+    mirroring the paper's split between the language-independent
+    call-stream system and the typed language layer above it. *)
+
+(** How a call wants its reply treated. [Send]s are the paper's third
+    call kind: the caller only cares about abnormal termination, so a
+    normal reply carries no result value (only a fixed-size completion
+    marker, preserving reply ordering and [synch] while saving the
+    result's bytes). *)
+type kind = Call | Send
+
+(** Outcome of a remote call as it travels on the wire. Signals carry
+    the exception name and its (already encoded) arguments. *)
+type routcome =
+  | W_normal of Xdr.value
+  | W_signal of string * Xdr.value
+  | W_unavailable of string
+  | W_failure of string
+
+val pp_routcome : Format.formatter -> routcome -> unit
+
+(** {1 Call items} *)
+
+val call_item : seq:int -> port:string -> kind:kind -> args:Xdr.value -> Xdr.value
+
+val parse_call : Xdr.value -> (int * string * kind * Xdr.value, string) result
+(** Inverse of {!call_item}: [(seq, port, kind, args)]. *)
+
+(** {1 Reply items} *)
+
+val reply_item : seq:int -> routcome -> Xdr.value
+(** Encodes the outcome; a [W_normal] reply to a [Send] should be
+    constructed with {!send_ok_item} instead. *)
+
+val send_ok_item : seq:int -> Xdr.value
+(** Minimal "completed normally" reply for a [Send]. *)
+
+val parse_reply : Xdr.value -> (int * routcome, string) result
+(** [send_ok_item] parses as [W_normal Unit]. *)

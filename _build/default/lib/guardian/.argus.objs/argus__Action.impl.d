@@ -1,0 +1,1 @@
+lib/guardian/action.ml: List Sched

@@ -1,0 +1,1 @@
+lib/guardian/guardian.ml: Core Cstream Hashtbl List Net Printexc Printf Sched Xdr

@@ -1,0 +1,1 @@
+lib/guardian/guardian.mli: Core Cstream Net Sched

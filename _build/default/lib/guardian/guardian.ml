@@ -1,0 +1,112 @@
+module S = Sched.Scheduler
+module CH = Cstream.Chanhub
+module T = Cstream.Target
+module W = Cstream.Wire
+
+type t = {
+  g_hub : CH.hub;
+  g_name : string;
+  g_sched : S.t;
+  groups : (string, group_state) Hashtbl.t;
+  mutable destroyed : bool;
+}
+
+and group_state = { target : T.t; ports : (string, reg) Hashtbl.t }
+
+and reg = Reg : ('a, 'r, 'e) Core.Sigs.hsig * (ctx -> 'a -> ('r, 'e) result) -> reg
+
+and ctx = { caller : Net.address; sched : S.t; guardian : t }
+
+let name t = t.g_name
+
+let address t = Net.address (CH.hub_node t.g_hub)
+
+let sched t = t.g_sched
+
+let hub t = t.g_hub
+
+let group_names t = Hashtbl.fold (fun g _ acc -> g :: acc) t.groups [] |> List.sort compare
+
+let port_ref t ~group ~port =
+  { Core.Sigs.pr_addr = address t; pr_group = group; pr_port = port }
+
+(* Run one handler call in its own fiber; [reply] fires exactly once
+   unless the execution is orphaned (its stream died, taking the reply
+   path with it). *)
+let run_handler t conn ~reply (Reg (hs, impl)) ~args ~caller =
+  match Xdr.decode hs.Core.Sigs.arg_c args with
+  | Error reason ->
+      (* §3: decode failure => failure reply, then the stream breaks. *)
+      reply (W.W_failure ("could not decode: " ^ reason));
+      T.break_conn conn ~reason:"argument decode failure at receiver"
+  | Ok arg ->
+      let fiber =
+        S.spawn t.g_sched
+          ~name:(Printf.sprintf "%s#%s" t.g_name hs.Core.Sigs.hname)
+          ~daemon:true
+          (fun () ->
+            let ctx = { caller; sched = t.g_sched; guardian = t } in
+            match impl ctx arg with
+            | Ok r -> (
+                match Xdr.encode hs.Core.Sigs.res_c r with
+                | Ok v -> reply (W.W_normal v)
+                | Error reason ->
+                    reply (W.W_failure ("could not encode result: " ^ reason));
+                    T.break_conn conn ~reason:"result encode failure at receiver")
+            | Error e -> (
+                match hs.Core.Sigs.sig_c.Core.Sigs.enc_sig e with
+                | Ok (sig_name, payload) -> reply (W.W_signal (sig_name, payload))
+                | Error reason ->
+                    reply (W.W_failure ("could not encode signal: " ^ reason));
+                    T.break_conn conn ~reason:"signal encode failure at receiver")
+            | exception S.Terminated -> raise S.Terminated
+            | exception e ->
+                (* A crashed handler body is the call's error, not the
+                   stream's: reply failure and keep the stream alive. *)
+                reply (W.W_failure ("handler crashed: " ^ Printexc.to_string e)))
+      in
+      (* Orphan destruction: if the stream goes away while the handler
+         is still running, destroy the execution. *)
+      T.on_conn_close conn (fun () -> if S.alive fiber then S.kill t.g_sched fiber)
+
+let dispatch t ports conn ~seq:_ ~port ~kind:_ ~args ~reply =
+  match Hashtbl.find_opt ports port with
+  | None -> reply (W.W_failure "handler does not exist")
+  | Some reg -> run_handler t conn ~reply reg ~args ~caller:(T.conn_src conn)
+
+let get_group t ~group ?reply_config ?ordered () =
+  match Hashtbl.find_opt t.groups group with
+  | Some state -> state
+  | None ->
+      let ports = Hashtbl.create 8 in
+      let target =
+        T.create t.g_hub ~gid:group ?reply_config ?ordered
+          (fun conn ~seq ~port ~kind ~args ~reply ->
+            dispatch t ports conn ~seq ~port ~kind ~args ~reply)
+      in
+      let state = { target; ports } in
+      Hashtbl.replace t.groups group state;
+      state
+
+let register_group t ~group ?reply_config ?ordered () =
+  ignore (get_group t ~group ?reply_config ?ordered () : group_state)
+
+let register t ~group hs impl =
+  let state = get_group t ~group () in
+  Hashtbl.replace state.ports hs.Core.Sigs.hname (Reg (hs, impl))
+
+let create hub ~name =
+  {
+    g_hub = hub;
+    g_name = name;
+    g_sched = CH.hub_sched hub;
+    groups = Hashtbl.create 8;
+    destroyed = false;
+  }
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    Hashtbl.iter (fun _ state -> T.close state.target) t.groups;
+    Hashtbl.reset t.groups
+  end

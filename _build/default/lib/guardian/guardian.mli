@@ -1,0 +1,69 @@
+(** Guardians: the receiving entities of Argus (§2.1).
+
+    A guardian lives on one node and provides {e handlers}, each
+    reachable through a typed port. Ports are grouped; calls arriving
+    on one stream (one sending agent, one group) run strictly in call
+    order — the next call starts only when the previous one has
+    completed — while calls on different streams run concurrently, each
+    in its own process.
+
+    Failure semantics follow §3 of the paper:
+    - arguments that fail to decode terminate the call with
+      [failure "could not decode: …"] {e and break the stream};
+    - results or signals that fail to encode do the same;
+    - a call to an unknown port terminates with
+      [failure "handler does not exist"];
+    - an OCaml exception escaping a handler body terminates the call
+      with [failure].
+
+    When a stream goes away while a handler call is still running, the
+    orphaned execution is destroyed (killed at its next termination
+    point) — the Argus orphan-destruction guarantee in miniature. *)
+
+type t
+
+(** Per-call context passed to handler implementations. *)
+type ctx = {
+  caller : Net.address;  (** node the calling agent lives on *)
+  sched : Sched.Scheduler.t;
+  guardian : t;
+}
+
+val create : Cstream.Chanhub.hub -> name:string -> t
+(** Create a guardian on the node owning [hub]. Several guardians can
+    share one node (and hub) as long as their group names differ. *)
+
+val name : t -> string
+
+val address : t -> Net.address
+
+val sched : t -> Sched.Scheduler.t
+
+val hub : t -> Cstream.Chanhub.hub
+
+val register :
+  t ->
+  group:string ->
+  ('a, 'r, 'e) Core.Sigs.hsig ->
+  (ctx -> 'a -> ('r, 'e) result) ->
+  unit
+(** Install a handler. The group's receiving machinery is created on
+    first registration of that group name. The implementation runs in
+    its own fiber per call; it may sleep, make remote calls, and so on.
+    Registering the same port name in the same group twice replaces the
+    handler (used by tests; real guardians create ports once). *)
+
+val register_group :
+  t -> group:string -> ?reply_config:Cstream.Chanhub.config -> ?ordered:bool -> unit -> unit
+(** Pre-create a group, fixing its reply-channel buffering config and
+    execution discipline ([ordered:false] is the §2.1 override: calls
+    on one stream run concurrently; replies stay in call order). *)
+
+val port_ref : t -> group:string -> port:string -> Core.Sigs.port_ref
+(** The transmissible reference to one of this guardian's ports. *)
+
+val group_names : t -> string list
+
+val destroy : t -> unit
+(** Take the guardian down: every group closes and live streams to it
+    break ("the handler's guardian does not exist"). *)

@@ -1,0 +1,1 @@
+lib/miniargus/ast.ml:

@@ -1,0 +1,1 @@
+lib/miniargus/interp.ml: Argus Ast Core Cstream Float Format Hashtbl List Net Printexc Printf Sched String Tast Types Value

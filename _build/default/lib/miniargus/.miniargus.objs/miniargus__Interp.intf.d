@@ -1,0 +1,1 @@
+lib/miniargus/interp.mli: Cstream Net Tast Value

@@ -1,0 +1,1 @@
+lib/miniargus/lexer.ml: Buffer Hashtbl Lexing List Printf Token

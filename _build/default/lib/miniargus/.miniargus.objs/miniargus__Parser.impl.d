@@ -1,0 +1,1 @@
+lib/miniargus/parser.ml: Array Ast Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/miniargus/parser.mli: Ast

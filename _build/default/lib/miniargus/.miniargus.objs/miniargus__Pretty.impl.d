@@ -1,0 +1,1 @@
+lib/miniargus/pretty.ml: Ast Buffer List Printf String

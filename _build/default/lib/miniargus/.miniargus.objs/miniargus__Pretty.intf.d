@@ -1,0 +1,1 @@
+lib/miniargus/pretty.mli: Ast

@@ -1,0 +1,1 @@
+lib/miniargus/run.ml: Ast Format Interp Lexer Parser Tast Typecheck

@@ -1,0 +1,1 @@
+lib/miniargus/run.mli: Ast Cstream Format Interp Net Tast

@@ -1,0 +1,1 @@
+lib/miniargus/tast.ml: Ast Types

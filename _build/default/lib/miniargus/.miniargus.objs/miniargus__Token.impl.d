@@ -1,0 +1,1 @@
+lib/miniargus/token.ml: Printf

@@ -1,0 +1,1 @@
+lib/miniargus/typecheck.ml: Ast Format Hashtbl List Printf Sigset String Tast Types

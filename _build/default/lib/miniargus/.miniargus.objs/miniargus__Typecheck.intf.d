@@ -1,0 +1,1 @@
+lib/miniargus/typecheck.mli: Ast Tast

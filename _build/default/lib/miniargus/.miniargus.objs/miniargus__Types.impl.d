@@ -1,0 +1,1 @@
+lib/miniargus/types.ml: Format List String

@@ -1,0 +1,1 @@
+lib/miniargus/value.ml: Array Core Format List Printf Result Sched Types Xdr

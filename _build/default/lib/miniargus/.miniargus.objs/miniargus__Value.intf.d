@@ -1,0 +1,1 @@
+lib/miniargus/value.mli: Core Format Sched Types Xdr

@@ -1,0 +1,123 @@
+(* Abstract syntax of Mini-Argus (untyped, as parsed).
+
+   The language is a small Argus: guardians with grouped, typed
+   handlers; client processes; stream calls, sends, RPCs; promises
+   with claim/ready; local procs with fork; coenter; CLU-style
+   termination-model exception handling with except/when. *)
+
+type pos = int (* source line *)
+
+type ty_expr =
+  | Tname of string  (* int, real, bool, string, null, or a typedef *)
+  | Tarray of ty_expr
+  | Tqueue of ty_expr
+  | Trecord of (string * ty_expr) list
+  | Tpromise of ty_expr option * sig_decl list
+      (* promise returns (T) signals (...) — [None] returns nothing *)
+  | Tport of ty_expr list * ty_expr option * sig_decl list
+      (* port (T1, T2) returns (R) signals (...) — a first-class,
+         transmissible reference to a handler (§2) *)
+
+and sig_decl = { sd_name : string; sd_types : ty_expr list }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Concat
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr = { e : expr_node; epos : pos }
+
+and expr_node =
+  | Eint of int
+  | Ereal of float
+  | Estr of string
+  | Ebool of bool
+  | Evar of string
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Earray of expr list  (* [e1, e2, ...] *)
+  | Erecord of (string * expr) list  (* {f = e, ...} *)
+  | Eindex of expr * expr  (* a[i] *)
+  | Efield of expr * string  (* r.f — also guardian.handler before checking *)
+  | Eapply of expr * expr list  (* f(args) / g.h(args) / builtins *)
+  | Estream of expr  (* stream g.h(args) or stream p(args) on a port value *)
+  | Efork of expr  (* fork p(args) *)
+  | Eportof of expr  (* port g.h — the transmissible reference to a handler *)
+
+type lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+  | Lfield of expr * string
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Svar of string * ty_expr option * expr
+  | Sassign of lvalue * expr
+  | Sexpr of expr
+  | Sif of (expr * stmt list) list * stmt list option
+  | Swhile of expr * stmt list
+  | Sfor_range of string * expr * expr * stmt list  (* for i in a .. b do *)
+  | Sfor_each of string * expr * stmt list  (* for x in arr do *)
+  | Sreturn of expr option
+  | Ssignal of string * expr list
+  | Ssend of expr  (* send g.h(args) *)
+  | Sflush of expr  (* flush g.h *)
+  | Ssynch of expr  (* synch g.h *)
+  | Srestart of expr  (* restart g.h — reincarnate the stream (§2) *)
+  | Scoenter of stmt list list  (* coenter action ... action ... end *)
+  | Sbegin of stmt list
+  | Sexcept of stmt * arm list  (* <stmt> except when ... end *)
+
+and arm = { a_pat : arm_pat; a_params : (string * ty_expr) list; a_body : stmt list }
+
+and arm_pat = Aname of string | Aothers
+
+type handler_decl = {
+  hd_name : string;
+  hd_params : (string * ty_expr) list;
+  hd_ret : ty_expr option;
+  hd_sigs : sig_decl list;
+  hd_body : stmt list;
+  hd_pos : pos;
+}
+
+type group_decl = { grp_name : string; grp_handlers : handler_decl list }
+
+type guardian_decl = {
+  gd_name : string;
+  gd_vars : (string * ty_expr option * expr) list;
+  gd_groups : group_decl list;
+  gd_pos : pos;
+}
+
+type proc_decl = {
+  pd_name : string;
+  pd_params : (string * ty_expr) list;
+  pd_ret : ty_expr option;
+  pd_sigs : sig_decl list;
+  pd_body : stmt list;
+  pd_pos : pos;
+}
+
+type process_decl = { prc_name : string; prc_body : stmt list; prc_pos : pos }
+
+type item =
+  | Itype of string * ty_expr
+  | Iguardian of guardian_decl
+  | Iproc of proc_decl
+  | Iprocess of process_decl
+
+type program = item list

@@ -1,0 +1,579 @@
+module S = Sched.Scheduler
+module CH = Cstream.Chanhub
+module P = Core.Promise
+module R = Core.Remote
+module G = Argus.Guardian
+open Tast
+open Value
+
+exception Sig_exn of string * Value.t list
+
+exception Return_exn of Value.t
+
+let runtime_failure fmt =
+  Format.kasprintf (fun msg -> raise (Sig_exn ("failure", [ Vstr msg ]))) fmt
+
+type process_result = Pok | Pfailed of string
+
+type outcome = {
+  output : string list;
+  processes : (string * process_result) list;
+  finished_at : float;
+  deadlocked : string list option;
+}
+
+(* One running program. *)
+type world = {
+  sched : S.t;
+  w_echo : bool;
+  mutable out : string list;  (* newest first *)
+  guardian_addr : (string, Net.address) Hashtbl.t;
+  procs : (string, tproc) Hashtbl.t;
+}
+
+(* Execution context: which agent performs remote calls (one per
+   process; guardians get one for nested calls from handlers). *)
+type ictx = {
+  world : world;
+  agent : Core.Agent.t;
+  handles : (string * string, (Value.t list, Value.t, string * Value.t list) R.h) Hashtbl.t;
+}
+
+type env = (string * Value.t ref) list
+
+let bind (env : env) name v : env = (name, ref v) :: env
+
+let lookup env name pos =
+  match List.assoc_opt name env with
+  | Some r -> r
+  | None -> runtime_failure "line %d: unbound variable %s (interpreter bug)" pos name
+
+let hsig_of rc : (Value.t list, Value.t, string * Value.t list) Core.Sigs.hsig =
+  {
+    Core.Sigs.hname = rc.rc_handler;
+    arg_c = Value.args_codec rc.rc_sig.hs_params;
+    res_c = Value.codec_of_ty rc.rc_sig.hs_ret;
+    sig_c = Value.signal_codec rc.rc_sig.hs_sigs;
+  }
+
+let handle_for ictx rc =
+  match Hashtbl.find_opt ictx.handles (rc.rc_guardian, rc.rc_handler) with
+  | Some h -> h
+  | None ->
+      let dst =
+        match Hashtbl.find_opt ictx.world.guardian_addr rc.rc_guardian with
+        | Some a -> a
+        | None -> runtime_failure "no such guardian %s" rc.rc_guardian
+      in
+      let h = R.bind ictx.agent ~dst ~gid:rc.rc_group (hsig_of rc) in
+      Hashtbl.replace ictx.handles (rc.rc_guardian, rc.rc_handler) h;
+      h
+
+(* A handle for a call through a first-class port value: the
+   destination comes from the value, the types from the checker. *)
+let handle_for_port ictx (p : Value.port_ref) (hs : hsig_t) =
+  let key = (Printf.sprintf "@%d/%s" p.Value.vp_addr p.Value.vp_group, p.Value.vp_port) in
+  match Hashtbl.find_opt ictx.handles key with
+  | Some h -> h
+  | None ->
+      let hsig : (Value.t list, Value.t, string * Value.t list) Core.Sigs.hsig =
+        {
+          Core.Sigs.hname = p.Value.vp_port;
+          arg_c = Value.args_codec hs.hs_params;
+          res_c = Value.codec_of_ty hs.hs_ret;
+          sig_c = Value.signal_codec hs.hs_sigs;
+        }
+      in
+      let h = R.bind ictx.agent ~dst:p.Value.vp_addr ~gid:p.Value.vp_group hsig in
+      Hashtbl.replace ictx.handles key h;
+      h
+
+let port_of_value v =
+  match v with
+  | Vport p -> p
+  | v -> runtime_failure "not a port value: %s" (Value.to_string v)
+
+let outcome_value = function
+  | P.Normal v -> v
+  | P.Signal (name, payload) -> raise (Sig_exn (name, payload))
+  | P.Unavailable reason -> raise (Sig_exn ("unavailable", [ Vstr reason ]))
+  | P.Failure reason -> raise (Sig_exn ("failure", [ Vstr reason ]))
+
+(* Immediate failures of the call forms (§3 step 1). *)
+let guard_immediate f =
+  try f () with
+  | P.Unavailable_exn reason -> raise (Sig_exn ("unavailable", [ Vstr reason ]))
+  | P.Failure_exn reason -> raise (Sig_exn ("failure", [ Vstr reason ]))
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation *)
+
+let rec eval ictx (env : env) (e : texpr) : Value.t =
+  let sched = ictx.world.sched in
+  match e.tx with
+  | Xint i -> Vint i
+  | Xreal r -> Vreal r
+  | Xstr s -> Vstr s
+  | Xbool b -> Vbool b
+  | Xvar name -> !(lookup env name e.txpos)
+  | Xbinop (op, a, b) -> eval_binop ictx env op a b
+  | Xunop (Ast.Neg, a) -> (
+      match eval ictx env a with
+      | Vint i -> Vint (-i)
+      | Vreal r -> Vreal (-.r)
+      | v -> runtime_failure "cannot negate %s" (Value.to_string v))
+  | Xunop (Ast.Not, a) -> (
+      match eval ictx env a with
+      | Vbool b -> Vbool (not b)
+      | v -> runtime_failure "not on %s" (Value.to_string v))
+  | Xarray items -> Varr (Value.vec_of_list (List.map (eval ictx env) items))
+  | Xrecord fields -> Vrec (List.map (fun (f, fe) -> (f, ref (eval ictx env fe))) fields)
+  | Xindex (a, i) -> (
+      match (eval ictx env a, eval ictx env i) with
+      | Varr v, Vint idx -> (
+          match Value.vec_get v idx with
+          | Some x -> x
+          | None -> runtime_failure "index %d out of bounds (array of %d)" idx v.len)
+      | _ -> runtime_failure "bad index operation")
+  | Xfield (r, f) -> (
+      match eval ictx env r with
+      | Vrec fields -> (
+          match List.assoc_opt f fields with
+          | Some v -> !v
+          | None -> runtime_failure "no field %s" f)
+      | v -> runtime_failure "field access on %s" (Value.to_string v))
+  | Xbuiltin (name, args) -> eval_builtin ictx env e name args
+  | Xcallproc (name, args) ->
+      let argv = List.map (eval ictx env) args in
+      call_proc ictx name argv
+  | Xclaim pe -> (
+      match eval ictx env pe with
+      | Vpromise p -> outcome_value (P.claim p)
+      | v -> runtime_failure "claim on %s" (Value.to_string v))
+  | Xready pe -> (
+      match eval ictx env pe with
+      | Vpromise p -> Vbool (P.ready p)
+      | v -> runtime_failure "ready on %s" (Value.to_string v))
+  | Xrpc rc ->
+      let h = handle_for ictx rc in
+      let argv = List.map (eval ictx env) rc.rc_args in
+      outcome_value (guard_immediate (fun () -> R.rpc h argv))
+  | Xstream rc ->
+      let h = handle_for ictx rc in
+      let argv = List.map (eval ictx env) rc.rc_args in
+      Vpromise (guard_immediate (fun () -> R.stream_call h argv))
+  | Xportof rc ->
+      let addr =
+        match Hashtbl.find_opt ictx.world.guardian_addr rc.rc_guardian with
+        | Some a -> a
+        | None -> runtime_failure "no such guardian %s" rc.rc_guardian
+      in
+      Vport { Value.vp_addr = addr; vp_group = rc.rc_group; vp_port = rc.rc_handler }
+  | Xrpc_dyn (pe, hs, args) ->
+      let p = port_of_value (eval ictx env pe) in
+      let h = handle_for_port ictx p hs in
+      let argv = List.map (eval ictx env) args in
+      outcome_value (guard_immediate (fun () -> R.rpc h argv))
+  | Xstream_dyn (pe, hs, args) ->
+      let p = port_of_value (eval ictx env pe) in
+      let h = handle_for_port ictx p hs in
+      let argv = List.map (eval ictx env) args in
+      Vpromise (guard_immediate (fun () -> R.stream_call h argv))
+  | Xfork (name, args) ->
+      let argv = List.map (eval ictx env) args in
+      let proc =
+        match Hashtbl.find_opt ictx.world.procs name with
+        | Some p -> p
+        | None -> runtime_failure "no such proc %s" name
+      in
+      let declared = proc.tp_sigs in
+      Vpromise
+        (Core.Fork.fork sched ~name:("proc " ^ name) (fun () ->
+             match call_proc ictx name argv with
+             | v -> Ok v
+             | exception Sig_exn (n, payload)
+               when List.exists (fun s -> s.Types.sg_name = n) declared ->
+                 Error (n, payload)))
+
+and eval_binop ictx env op a b =
+  match op with
+  | Ast.And -> (
+      match eval ictx env a with
+      | Vbool false -> Vbool false
+      | Vbool true -> eval ictx env b
+      | v -> runtime_failure "and on %s" (Value.to_string v))
+  | Ast.Or -> (
+      match eval ictx env a with
+      | Vbool true -> Vbool true
+      | Vbool false -> eval ictx env b
+      | v -> runtime_failure "or on %s" (Value.to_string v))
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Concat | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le
+  | Ast.Gt | Ast.Ge -> (
+      let va = eval ictx env a in
+      let vb = eval ictx env b in
+      match (op, va, vb) with
+      | Ast.Add, Vint x, Vint y -> Vint (x + y)
+      | Ast.Sub, Vint x, Vint y -> Vint (x - y)
+      | Ast.Mul, Vint x, Vint y -> Vint (x * y)
+      | Ast.Div, Vint _, Vint 0 -> runtime_failure "division by zero"
+      | Ast.Div, Vint x, Vint y -> Vint (x / y)
+      | Ast.Add, Vreal x, Vreal y -> Vreal (x +. y)
+      | Ast.Sub, Vreal x, Vreal y -> Vreal (x -. y)
+      | Ast.Mul, Vreal x, Vreal y -> Vreal (x *. y)
+      | Ast.Div, Vreal x, Vreal y -> Vreal (x /. y)
+      | Ast.Concat, Vstr x, Vstr y -> Vstr (x ^ y)
+      | Ast.Eq, x, y -> Vbool (Value.equal x y)
+      | Ast.Neq, x, y -> Vbool (not (Value.equal x y))
+      | Ast.Lt, Vint x, Vint y -> Vbool (x < y)
+      | Ast.Le, Vint x, Vint y -> Vbool (x <= y)
+      | Ast.Gt, Vint x, Vint y -> Vbool (x > y)
+      | Ast.Ge, Vint x, Vint y -> Vbool (x >= y)
+      | Ast.Lt, Vreal x, Vreal y -> Vbool (x < y)
+      | Ast.Le, Vreal x, Vreal y -> Vbool (x <= y)
+      | Ast.Gt, Vreal x, Vreal y -> Vbool (x > y)
+      | Ast.Ge, Vreal x, Vreal y -> Vbool (x >= y)
+      | Ast.Lt, Vstr x, Vstr y -> Vbool (x < y)
+      | Ast.Le, Vstr x, Vstr y -> Vbool (x <= y)
+      | Ast.Gt, Vstr x, Vstr y -> Vbool (x > y)
+      | Ast.Ge, Vstr x, Vstr y -> Vbool (x >= y)
+      | _, x, _ -> runtime_failure "bad operands (%s)" (Value.to_string x))
+
+and eval_builtin ictx env e name args =
+  let sched = ictx.world.sched in
+  let argv () = List.map (eval ictx env) args in
+  match (name, argv ()) with
+  | "len", [ Varr v ] -> Vint v.len
+  | "len", [ Vstr s ] -> Vint (String.length s)
+  | "addh", [ Varr v; x ] ->
+      Value.vec_addh v x;
+      Vunit
+  | "put_line", [ Vstr s ] ->
+      ictx.world.out <- s :: ictx.world.out;
+      if ictx.world.w_echo then print_endline s;
+      Vunit
+  | "int_to_string", [ Vint i ] -> Vstr (string_of_int i)
+  | "real_to_string", [ Vreal r ] -> Vstr (Printf.sprintf "%.1f" r)
+  | "real", [ Vint i ] -> Vreal (float_of_int i)
+  | "floor", [ Vreal r ] -> Vint (int_of_float (Float.floor r))
+  | "sleep", [ Vreal r ] ->
+      if r > 0.0 then S.sleep sched r;
+      Vunit
+  | "now", [] -> Vreal (S.now sched)
+  | "queue", [] -> Vqueue (Sched.Bqueue.create sched)
+  | "enq", [ Vqueue q; x ] ->
+      Sched.Bqueue.enq q x;
+      Vunit
+  | "deq", [ Vqueue q ] -> Sched.Bqueue.deq q
+  | _, vs ->
+      runtime_failure "line %d: bad builtin %s/%d" e.txpos name (List.length vs)
+
+and call_proc ictx name argv =
+  let proc =
+    match Hashtbl.find_opt ictx.world.procs name with
+    | Some p -> p
+    | None -> runtime_failure "no such proc %s" name
+  in
+  let env = List.fold_left2 (fun env (p, _) v -> bind env p v) [] proc.tp_params argv in
+  match exec_stmts ictx env proc.tp_body with
+  | (_ : env) -> Vunit (* fell off the end: unit-returning proc *)
+  | exception Return_exn v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution. Returns the extended environment so later
+   statements in the same block see new variables. *)
+
+and exec_stmts ictx env stmts : env =
+  List.fold_left (fun env stmt -> exec_stmt ictx env stmt) env stmts
+
+and exec_block ictx env stmts : unit = ignore (exec_stmts ictx env stmts : env)
+
+and exec_stmt ictx (env : env) (stmt : tstmt) : env =
+  let sched = ictx.world.sched in
+  match stmt.ts with
+  | TSvar (name, init) -> bind env name (eval ictx env init)
+  | TSassign (lv, rhs) ->
+      let v = eval ictx env rhs in
+      (match lv with
+      | TLvar name -> lookup env name stmt.tspos := v
+      | TLindex (arr, idx) -> (
+          match (eval ictx env arr, eval ictx env idx) with
+          | Varr vec, Vint i ->
+              if not (Value.vec_set vec i v) then
+                runtime_failure "index %d out of bounds (array of %d)" i vec.len
+          | _ -> runtime_failure "bad indexed assignment")
+      | TLfield (r, f) -> (
+          match eval ictx env r with
+          | Vrec fields -> (
+              match List.assoc_opt f fields with
+              | Some cell -> cell := v
+              | None -> runtime_failure "no field %s" f)
+          | v -> runtime_failure "field assignment on %s" (Value.to_string v)));
+      env
+  | TSexpr e ->
+      ignore (eval ictx env e : Value.t);
+      env
+  | TSif (branches, else_body) ->
+      let rec go = function
+        | [] -> ( match else_body with Some body -> exec_block ictx env body | None -> ())
+        | (cond, body) :: rest -> (
+            match eval ictx env cond with
+            | Vbool true -> exec_block ictx env body
+            | Vbool false -> go rest
+            | v -> runtime_failure "if condition %s" (Value.to_string v))
+      in
+      go branches;
+      env
+  | TSwhile (cond, body) ->
+      let rec loop () =
+        match eval ictx env cond with
+        | Vbool true ->
+            exec_block ictx env body;
+            loop ()
+        | Vbool false -> ()
+        | v -> runtime_failure "while condition %s" (Value.to_string v)
+      in
+      loop ();
+      env
+  | TSfor_range (name, first, last, body) ->
+      (match (eval ictx env first, eval ictx env last) with
+      | Vint lo, Vint hi ->
+          for i = lo to hi do
+            exec_block ictx (bind env name (Vint i)) body
+          done
+      | _ -> runtime_failure "bad for-range bounds");
+      env
+  | TSfor_each (name, arr, body) ->
+      (match eval ictx env arr with
+      | Varr vec ->
+          (* iterate the elements present at loop start, as CLU's
+             elements iterator does for a fixed array *)
+          let n = vec.len in
+          for i = 0 to n - 1 do
+            match Value.vec_get vec i with
+            | Some x -> exec_block ictx (bind env name x) body
+            | None -> ()
+          done
+      | v -> runtime_failure "for-each over %s" (Value.to_string v));
+      env
+  | TSreturn None -> raise (Return_exn Vunit)
+  | TSreturn (Some e) -> raise (Return_exn (eval ictx env e))
+  | TSsignal (name, args) -> raise (Sig_exn (name, List.map (eval ictx env) args))
+  | TSsend rc ->
+      let h = handle_for ictx rc in
+      let argv = List.map (eval ictx env) rc.rc_args in
+      guard_immediate (fun () -> R.send h argv);
+      env
+  | TSsend_dyn (pe, hs, args) ->
+      let p = port_of_value (eval ictx env pe) in
+      let h = handle_for_port ictx p hs in
+      let argv = List.map (eval ictx env) args in
+      guard_immediate (fun () -> R.send h argv);
+      env
+  | TSflush (g, group, handler) ->
+      let h = handle_for ictx { rc_guardian = g; rc_group = group; rc_handler = handler;
+                                rc_sig = { hs_params = []; hs_ret = Types.Tunit; hs_sigs = [] };
+                                rc_args = [] } in
+      R.flush h;
+      env
+  | TSsynch (g, group, handler) ->
+      let h = handle_for ictx { rc_guardian = g; rc_group = group; rc_handler = handler;
+                                rc_sig = { hs_params = []; hs_ret = Types.Tunit; hs_sigs = [] };
+                                rc_args = [] } in
+      (match R.synch h with
+      | Ok () -> ()
+      | Error `Exception_reply -> raise (Sig_exn ("exception_reply", []))
+      | Error (`Broken reason) -> raise (Sig_exn ("unavailable", [ Vstr reason ])));
+      env
+  | TSrestart (g, group, handler) ->
+      let h = handle_for ictx { rc_guardian = g; rc_group = group; rc_handler = handler;
+                                rc_sig = { hs_params = []; hs_ret = Types.Tunit; hs_sigs = [] };
+                                rc_args = [] } in
+      Cstream.Stream_end.restart (R.stream h);
+      env
+  | TScoenter arms ->
+      Core.Coenter.coenter sched (List.map (fun arm () -> exec_block ictx env arm) arms);
+      env
+  | TSbegin body ->
+      exec_block ictx env body;
+      env
+  | TSexcept (inner, arms) ->
+      (try ignore (exec_stmt ictx env inner : env)
+       with Sig_exn (name, payload) ->
+         let rec dispatch = function
+           | [] -> raise (Sig_exn (name, payload))
+           | arm :: rest -> (
+               match arm.ta_pat with
+               | Ast.Aname n when n = name ->
+                   let arm_env =
+                     List.fold_left2
+                       (fun env (p, _) v -> bind env p v)
+                       env arm.ta_params payload
+                   in
+                   exec_block ictx arm_env arm.ta_body
+               | Ast.Aname _ -> dispatch rest
+               | Ast.Aothers ->
+                   let description =
+                     match payload with
+                     | [ Vstr reason ] -> Printf.sprintf "%s: %s" name reason
+                     | _ -> name
+                   in
+                   let arm_env =
+                     match arm.ta_params with
+                     | [ (p, _) ] -> bind env p (Vstr description)
+                     | _ -> env
+                   in
+                   exec_block ictx arm_env arm.ta_body)
+         in
+         dispatch arms);
+      env
+
+(* Caveat: handle_for is called with a synthetic rcall for flush/synch;
+   it only uses guardian/group/handler when the handle is cached, which
+   it is after any real call. If flush precedes any call we still bind
+   correctly because the handler name and group are accurate; only the
+   codecs are dummies, and flush/synch never encode. *)
+
+(* ------------------------------------------------------------------ *)
+(* Program instantiation *)
+
+let run_program ?(config = Net.default_config) ?chan_config ?(seed = 42) ?(echo = false)
+    ?(until = 300.0) ?(crashes = []) ?(recoveries = []) (prog : tprogram) : outcome =
+  let sched = S.create ~seed () in
+  let net : CH.packet Net.t = Net.create sched config in
+  let world =
+    {
+      sched;
+      w_echo = echo;
+      out = [];
+      guardian_addr = Hashtbl.create 8;
+      procs = Hashtbl.create 8;
+    }
+  in
+  List.iter (fun p -> Hashtbl.replace world.procs p.tp_name p) prog.prog_procs;
+  (* Create nodes and hubs. *)
+  let guardian_hubs =
+    List.map
+      (fun tg ->
+        let node = Net.add_node net ~name:tg.tg_name in
+        Hashtbl.replace world.guardian_addr tg.tg_name (Net.address node);
+        (tg, CH.create_hub net node))
+      prog.prog_guardians
+  in
+  let process_hubs =
+    List.map
+      (fun tpr ->
+        let node = Net.add_node net ~name:tpr.tpr_name in
+        (tpr, CH.create_hub net node))
+      prog.prog_processes
+  in
+  (* Fault injection: crash / recover guardian nodes at given times. *)
+  let with_guardian_node gname f =
+    match Hashtbl.find_opt world.guardian_addr gname with
+    | Some addr -> (
+        match Net.find_node net addr with Some node -> f node | None -> ())
+    | None -> ()
+  in
+  List.iter
+    (fun (gname, at_time) ->
+      S.at sched at_time (fun () -> with_guardian_node gname (Net.crash net)))
+    crashes;
+  List.iter
+    (fun (gname, at_time) ->
+      S.at sched at_time (fun () -> with_guardian_node gname (Net.recover net)))
+    recoveries;
+  let results : (string * process_result) list ref = ref [] in
+  let finished_at = ref 0.0 in
+  (* Boot fiber: instantiate guardians, then start processes. *)
+  ignore
+    (S.spawn sched ~name:"boot" (fun () ->
+         List.iter
+           (fun (tg, hub) ->
+             let g = G.create hub ~name:tg.tg_name in
+             let gagent =
+               Core.Agent.create hub ~name:(tg.tg_name ^ "-agent") ?config:chan_config ()
+             in
+             let gictx = { world; agent = gagent; handles = Hashtbl.create 8 } in
+             (* guardian variables: shared mutable state of its handlers *)
+             let genv =
+               List.fold_left
+                 (fun env (name, _, init) -> bind env name (eval gictx env init))
+                 [] tg.tg_vars
+             in
+             List.iter
+               (fun (group, handlers) ->
+                 List.iter
+                   (fun th ->
+                     let hs : (Value.t list, Value.t, string * Value.t list) Core.Sigs.hsig =
+                       {
+                         Core.Sigs.hname = th.th_name;
+                         arg_c = Value.args_codec (List.map snd th.th_params);
+                         res_c = Value.codec_of_ty th.th_ret;
+                         sig_c = Value.signal_codec th.th_sigs;
+                       }
+                     in
+                     G.register g ~group hs (fun _ctx argv ->
+                         let env =
+                           List.fold_left2
+                             (fun env (p, _) v -> bind env p v)
+                             genv th.th_params argv
+                         in
+                         match exec_stmts gictx env th.th_body with
+                         | (_ : env) -> Ok Vunit
+                         | exception Return_exn v -> Ok v
+                         | exception Sig_exn (n, payload)
+                           when List.exists (fun s -> s.Types.sg_name = n) th.th_sigs ->
+                             Error (n, payload)
+                         | exception Sig_exn (n, payload) ->
+                             (* universal or undeclared: becomes failure
+                                at the guardian boundary *)
+                             let reason =
+                               match payload with
+                               | [ Vstr r ] -> Printf.sprintf "%s: %s" n r
+                               | _ -> n
+                             in
+                             raise (Failure reason)))
+                   handlers)
+               tg.tg_groups)
+           guardian_hubs;
+         (* Processes start only after every guardian is up. *)
+         List.iter
+           (fun (tpr, hub) ->
+             let agent =
+               Core.Agent.create hub ~name:(tpr.tpr_name ^ "-agent") ?config:chan_config ()
+             in
+             let ictx = { world; agent; handles = Hashtbl.create 8 } in
+             ignore
+               (S.spawn sched ~name:tpr.tpr_name (fun () ->
+                    let result =
+                      match exec_block ictx [] tpr.tpr_body with
+                      | () -> Pok
+                      | exception Return_exn _ -> Pok
+                      | exception Sig_exn (n, payload) ->
+                          let detail =
+                            match payload with
+                            | [ Vstr r ] -> Printf.sprintf "%s(%s)" n r
+                            | [] -> n
+                            | vs ->
+                                Printf.sprintf "%s(%s)" n
+                                  (String.concat ", " (List.map Value.to_string vs))
+                          in
+                          Pfailed ("uncaught signal " ^ detail)
+                      | exception S.Terminated -> Pfailed "terminated"
+                      | exception e -> Pfailed ("internal error: " ^ Printexc.to_string e)
+                    in
+                    results := (tpr.tpr_name, result) :: !results;
+                    if S.now sched > !finished_at then finished_at := S.now sched)
+                 : S.fiber))
+           process_hubs));
+  let deadlocked =
+    match S.run ~until sched with
+    | S.Completed -> None
+    | S.Deadlocked fibers -> Some (List.sort compare (List.map S.fiber_name fibers))
+    | S.Time_limit -> Some [ "<time limit reached>" ]
+  in
+  {
+    output = List.rev world.out;
+    processes = List.rev !results;
+    finished_at = !finished_at;
+    deadlocked;
+  }

@@ -1,0 +1,40 @@
+(** The Mini-Argus interpreter.
+
+    A checked program is instantiated onto a simulated network: one
+    node per guardian and one per process. Guardians register their
+    handlers (typed via codecs derived from the checked signatures);
+    each process runs as a fiber with its own agent, so all of one
+    process's calls to one port group share a stream, exactly as in
+    §2. The whole run is deterministic. *)
+
+exception Sig_exn of string * Value.t list
+(** A Mini-Argus exception in flight (signal name and payload). *)
+
+type process_result =
+  | Pok
+  | Pfailed of string  (** uncaught signal or runtime error description *)
+
+type outcome = {
+  output : string list;  (** [put_line] lines, in order *)
+  processes : (string * process_result) list;
+  finished_at : float;  (** virtual time when the last process ended *)
+  deadlocked : string list option;
+      (** names of fibers parked forever, when the program hangs (e.g.
+          the Figure 4-1 termination problem) *)
+}
+
+val run_program :
+  ?config:Net.config ->
+  ?chan_config:Cstream.Chanhub.config ->
+  ?seed:int ->
+  ?echo:bool ->
+  ?until:float ->
+  ?crashes:(string * float) list ->
+  ?recoveries:(string * float) list ->
+  Tast.tprogram ->
+  outcome
+(** Execute the program. [echo] prints [put_line] output as it
+    happens; [until] bounds virtual time (default 300 s); [crashes]
+    injects node failures — [("db", 0.008)] crashes guardian [db]'s
+    node at 8 ms, breaking the streams to it — and [recoveries] bring
+    crashed nodes back (guardians survive crashes, §2.1 fn. 1). *)

@@ -1,0 +1,78 @@
+{
+(* Lexer for Mini-Argus. Comments run from '%' to end of line, as in
+   the paper's program listings. *)
+
+open Token
+
+exception Error of string * int (* message, line *)
+
+let keywords = Hashtbl.create 64
+
+let () = List.iter (fun (k, v) -> Hashtbl.replace keywords k v) Token.keyword_table
+
+let line_of lexbuf = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+}
+
+let digit = ['0'-'9']
+let alpha = ['a'-'z' 'A'-'Z' '_']
+let ident = alpha (alpha | digit)*
+let real = digit+ '.' digit+ (['e' 'E'] ['+' '-']? digit+)? | digit+ ['e' 'E'] ['+' '-']? digit+
+
+rule token = parse
+  | [' ' '\t' '\r']+      { token lexbuf }
+  | '\n'                  { Lexing.new_line lexbuf; token lexbuf }
+  | '%' [^ '\n']*         { token lexbuf }
+  | real as r             { REAL (float_of_string r) }
+  | digit+ as i           { INT (int_of_string i) }
+  | '"'                   { string_literal (Buffer.create 16) lexbuf }
+  | ident as id           { match Hashtbl.find_opt keywords id with
+                            | Some kw -> kw
+                            | None -> IDENT id }
+  | ":="                  { ASSIGN }
+  | "~="                  { NEQ }
+  | "<="                  { LE }
+  | ">="                  { GE }
+  | ".."                  { DOTDOT }
+  | '='                   { EQ }
+  | '<'                   { LT }
+  | '>'                   { GT }
+  | '+'                   { PLUS }
+  | '-'                   { MINUS }
+  | '*'                   { STAR }
+  | '/'                   { SLASH }
+  | '^'                   { CARET }
+  | '('                   { LPAREN }
+  | ')'                   { RPAREN }
+  | '['                   { LBRACKET }
+  | ']'                   { RBRACKET }
+  | '{'                   { LBRACE }
+  | '}'                   { RBRACE }
+  | ','                   { COMMA }
+  | ':'                   { COLON }
+  | '.'                   { DOT }
+  | eof                   { EOF }
+  | _ as c                { raise (Error (Printf.sprintf "unexpected character %C" c,
+                                          line_of lexbuf)) }
+
+and string_literal buf = parse
+  | '"'                   { STRING (Buffer.contents buf) }
+  | "\\n"                 { Buffer.add_char buf '\n'; string_literal buf lexbuf }
+  | "\\t"                 { Buffer.add_char buf '\t'; string_literal buf lexbuf }
+  | "\\\""                { Buffer.add_char buf '"'; string_literal buf lexbuf }
+  | "\\\\"                { Buffer.add_char buf '\\'; string_literal buf lexbuf }
+  | '\n'                  { raise (Error ("newline in string literal", line_of lexbuf)) }
+  | eof                   { raise (Error ("unterminated string literal", line_of lexbuf)) }
+  | _ as c                { Buffer.add_char buf c; string_literal buf lexbuf }
+
+{
+(* Tokenize a whole string into (token, line) pairs. *)
+let tokens_of_string src =
+  let lexbuf = Lexing.from_string src in
+  let rec go acc =
+    let line = line_of lexbuf in
+    match token lexbuf with
+    | EOF -> List.rev ((EOF, line) :: acc)
+    | t -> go ((t, line) :: acc)
+  in
+  go []
+}

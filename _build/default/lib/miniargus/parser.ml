@@ -1,0 +1,711 @@
+open Ast
+module T = Token
+
+exception Error of string * int
+
+(* Parser state: token array with a cursor. *)
+type state = { toks : (T.t * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+
+
+let line st = snd st.toks.(st.pos)
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected %s, found %s" (T.to_string tok) (T.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | T.IDENT name ->
+      advance st;
+      name
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (T.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let rec parse_ty st =
+  match peek st with
+  | T.IDENT name ->
+      advance st;
+      Tname name
+  | T.KW_ARRAY ->
+      advance st;
+      expect st T.LBRACKET;
+      let t = parse_ty st in
+      expect st T.RBRACKET;
+      Tarray t
+  | T.KW_QUEUE ->
+      advance st;
+      expect st T.LBRACKET;
+      let t = parse_ty st in
+      expect st T.RBRACKET;
+      Tqueue t
+  | T.KW_RECORD ->
+      advance st;
+      expect st T.LBRACKET;
+      let rec fields acc =
+        let f = expect_ident st in
+        expect st T.COLON;
+        let t = parse_ty st in
+        if peek st = T.COMMA then begin
+          advance st;
+          fields ((f, t) :: acc)
+        end
+        else List.rev ((f, t) :: acc)
+      in
+      let fs = fields [] in
+      expect st T.RBRACKET;
+      Trecord fs
+  | T.KW_PROMISE ->
+      advance st;
+      let ret =
+        if peek st = T.KW_RETURNS then begin
+          advance st;
+          expect st T.LPAREN;
+          let t = parse_ty st in
+          expect st T.RPAREN;
+          Some t
+        end
+        else None
+      in
+      let sigs = parse_signals_opt st in
+      Tpromise (ret, sigs)
+  | T.KW_PORT ->
+      advance st;
+      expect st T.LPAREN;
+      let params =
+        if peek st = T.RPAREN then []
+        else begin
+          let rec tys acc =
+            let t = parse_ty st in
+            if peek st = T.COMMA then begin
+              advance st;
+              tys (t :: acc)
+            end
+            else List.rev (t :: acc)
+          in
+          tys []
+        end
+      in
+      expect st T.RPAREN;
+      let ret =
+        if peek st = T.KW_RETURNS then begin
+          advance st;
+          expect st T.LPAREN;
+          let t = parse_ty st in
+          expect st T.RPAREN;
+          Some t
+        end
+        else None
+      in
+      let sigs = parse_signals_opt st in
+      Tport (params, ret, sigs)
+  | t -> fail st (Printf.sprintf "expected a type, found %s" (T.to_string t))
+
+and parse_signals_opt st =
+  if peek st = T.KW_SIGNALS then begin
+    advance st;
+    expect st T.LPAREN;
+    let rec sigs acc =
+      let name = expect_ident st in
+      let types =
+        if peek st = T.LPAREN then begin
+          advance st;
+          let rec tys acc =
+            let t = parse_ty st in
+            if peek st = T.COMMA then begin
+              advance st;
+              tys (t :: acc)
+            end
+            else List.rev (t :: acc)
+          in
+          let ts = tys [] in
+          expect st T.RPAREN;
+          ts
+        end
+        else []
+      in
+      let entry = { sd_name = name; sd_types = types } in
+      if peek st = T.COMMA then begin
+        advance st;
+        sigs (entry :: acc)
+      end
+      else List.rev (entry :: acc)
+    in
+    let result = sigs [] in
+    expect st T.RPAREN;
+    result
+  end
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let mk st node = { e = node; epos = line st }
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = T.KW_OR then begin
+    let l = line st in
+    advance st;
+    let rhs = parse_or st in
+    { e = Ebinop (Or, lhs, rhs); epos = l }
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = T.KW_AND then begin
+    let l = line st in
+    advance st;
+    let rhs = parse_and st in
+    { e = Ebinop (And, lhs, rhs); epos = l }
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | T.EQ -> Some Eq
+    | T.NEQ -> Some Neq
+    | T.LT -> Some Lt
+    | T.LE -> Some Le
+    | T.GT -> Some Gt
+    | T.GE -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let l = line st in
+      advance st;
+      let rhs = parse_additive st in
+      { e = Ebinop (op, lhs, rhs); epos = l }
+
+and parse_additive st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | T.PLUS -> Some Add
+      | T.MINUS -> Some Sub
+      | T.CARET -> Some Concat
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        let l = line st in
+        advance st;
+        let rhs = parse_multiplicative st in
+        loop { e = Ebinop (op, lhs, rhs); epos = l }
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    let op = match peek st with T.STAR -> Some Mul | T.SLASH -> Some Div | _ -> None in
+    match op with
+    | None -> lhs
+    | Some op ->
+        let l = line st in
+        advance st;
+        let rhs = parse_unary st in
+        loop { e = Ebinop (op, lhs, rhs); epos = l }
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | T.MINUS ->
+      let l = line st in
+      advance st;
+      { e = Eunop (Neg, parse_unary st); epos = l }
+  | T.KW_NOT ->
+      let l = line st in
+      advance st;
+      { e = Eunop (Not, parse_unary st); epos = l }
+  | T.KW_STREAM ->
+      let l = line st in
+      advance st;
+      { e = Estream (parse_postfix st); epos = l }
+  | T.KW_FORK ->
+      let l = line st in
+      advance st;
+      { e = Efork (parse_postfix st); epos = l }
+  | T.KW_PORT ->
+      let l = line st in
+      advance st;
+      { e = Eportof (parse_postfix st); epos = l }
+  | T.INT _ | T.REAL _ | T.STRING _ | T.IDENT _ | T.KW_TRUE | T.KW_FALSE | T.KW_QUEUE
+  | T.LPAREN | T.LBRACKET | T.LBRACE ->
+      parse_postfix st
+  | t -> fail st (Printf.sprintf "expected an expression, found %s" (T.to_string t))
+
+and parse_postfix st =
+  let rec suffixes base =
+    match peek st with
+    | T.DOT ->
+        let l = line st in
+        advance st;
+        let field = expect_ident st in
+        suffixes { e = Efield (base, field); epos = l }
+    | T.LBRACKET ->
+        let l = line st in
+        advance st;
+        let idx = parse_expr st in
+        expect st T.RBRACKET;
+        suffixes { e = Eindex (base, idx); epos = l }
+    | T.LPAREN ->
+        let l = line st in
+        advance st;
+        let args = parse_args st in
+        expect st T.RPAREN;
+        suffixes { e = Eapply (base, args); epos = l }
+    | _ -> base
+  in
+  suffixes (parse_primary st)
+
+and parse_args st =
+  if peek st = T.RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      if peek st = T.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+  end
+
+and parse_primary st =
+  match peek st with
+  | T.INT i ->
+      let e = mk st (Eint i) in
+      advance st;
+      e
+  | T.REAL r ->
+      let e = mk st (Ereal r) in
+      advance st;
+      e
+  | T.STRING s ->
+      let e = mk st (Estr s) in
+      advance st;
+      e
+  | T.KW_TRUE ->
+      let e = mk st (Ebool true) in
+      advance st;
+      e
+  | T.KW_FALSE ->
+      let e = mk st (Ebool false) in
+      advance st;
+      e
+  | T.IDENT name ->
+      let e = mk st (Evar name) in
+      advance st;
+      e
+  | T.KW_QUEUE ->
+      (* queue is a keyword in types, but queue() is the constructor *)
+      let e = mk st (Evar "queue") in
+      advance st;
+      e
+  | T.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st T.RPAREN;
+      e
+  | T.LBRACKET ->
+      (* array literal *)
+      let l = line st in
+      advance st;
+      if peek st = T.RBRACKET then begin
+        advance st;
+        { e = Earray []; epos = l }
+      end
+      else begin
+        let rec loop acc =
+          let e = parse_expr st in
+          if peek st = T.COMMA then begin
+            advance st;
+            loop (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        let items = loop [] in
+        expect st T.RBRACKET;
+        { e = Earray items; epos = l }
+      end
+  | T.LBRACE ->
+      (* record literal: {f = e, ...} *)
+      let l = line st in
+      advance st;
+      let rec loop acc =
+        let f = expect_ident st in
+        expect st T.EQ;
+        let e = parse_expr st in
+        if peek st = T.COMMA then begin
+          advance st;
+          loop ((f, e) :: acc)
+        end
+        else List.rev ((f, e) :: acc)
+      in
+      let fields = loop [] in
+      expect st T.RBRACE;
+      { e = Erecord fields; epos = l }
+  | t -> fail st (Printf.sprintf "expected an expression, found %s" (T.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let to_lvalue st expr =
+  match expr.e with
+  | Evar name -> Lvar name
+  | Eindex (a, i) -> Lindex (a, i)
+  | Efield (r, f) -> Lfield (r, f)
+  | Eint _ | Ereal _ | Estr _ | Ebool _ | Ebinop _ | Eunop _ | Earray _ | Erecord _
+  | Eapply _ | Estream _ | Efork _ | Eportof _ ->
+      fail st "this expression cannot be assigned to"
+
+let stmt_terminator = function
+  | T.KW_END | T.KW_ELSE | T.KW_ELSEIF | T.KW_WHEN | T.KW_ACTION | T.EOF -> true
+  | T.KW_TYPE | T.KW_GUARDIAN | T.KW_PROC | T.KW_PROCESS -> false
+  | _ -> false
+
+let rec parse_stmts st =
+  let rec loop acc =
+    if stmt_terminator (peek st) then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let stmt = parse_simple_stmt st in
+  (* An except clause attaches to the statement it follows. *)
+  if peek st = T.KW_EXCEPT then begin
+    let l = line st in
+    advance st;
+    let arms = parse_arms st in
+    expect st T.KW_END;
+    { s = Sexcept (stmt, arms); spos = l }
+  end
+  else stmt
+
+and parse_arms st =
+  let rec loop acc =
+    if peek st = T.KW_WHEN then begin
+      advance st;
+      let pat, params =
+        match peek st with
+        | T.KW_OTHERS ->
+            advance st;
+            let params =
+              if peek st = T.LPAREN then parse_arm_params st else []
+            in
+            (Aothers, params)
+        | T.IDENT _ ->
+            let name = expect_ident st in
+            let params = if peek st = T.LPAREN then parse_arm_params st else [] in
+            (Aname name, params)
+        | t -> fail st (Printf.sprintf "expected signal name or others, found %s" (T.to_string t))
+      in
+      expect st T.COLON;
+      let body = parse_stmts st in
+      loop ({ a_pat = pat; a_params = params; a_body = body } :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+and parse_arm_params st =
+  expect st T.LPAREN;
+  let rec loop acc =
+    let name = expect_ident st in
+    expect st T.COLON;
+    let t = parse_ty st in
+    if peek st = T.COMMA then begin
+      advance st;
+      loop ((name, t) :: acc)
+    end
+    else List.rev ((name, t) :: acc)
+  in
+  let params = loop [] in
+  expect st T.RPAREN;
+  params
+
+and parse_simple_stmt st =
+  let l = line st in
+  match peek st with
+  | T.KW_VAR ->
+      advance st;
+      let name = expect_ident st in
+      let ty =
+        if peek st = T.COLON then begin
+          advance st;
+          Some (parse_ty st)
+        end
+        else None
+      in
+      expect st T.ASSIGN;
+      let init = parse_expr st in
+      { s = Svar (name, ty, init); spos = l }
+  | T.KW_IF ->
+      advance st;
+      let rec branches acc =
+        let cond = parse_expr st in
+        expect st T.KW_THEN;
+        let body = parse_stmts st in
+        let acc = (cond, body) :: acc in
+        match peek st with
+        | T.KW_ELSEIF ->
+            advance st;
+            branches acc
+        | T.KW_ELSE ->
+            advance st;
+            let else_body = parse_stmts st in
+            expect st T.KW_END;
+            (List.rev acc, Some else_body)
+        | T.KW_END ->
+            advance st;
+            (List.rev acc, None)
+        | t -> fail st (Printf.sprintf "expected elseif/else/end, found %s" (T.to_string t))
+      in
+      let bs, else_b = branches [] in
+      { s = Sif (bs, else_b); spos = l }
+  | T.KW_WHILE ->
+      advance st;
+      let cond = parse_expr st in
+      expect st T.KW_DO;
+      let body = parse_stmts st in
+      expect st T.KW_END;
+      { s = Swhile (cond, body); spos = l }
+  | T.KW_FOR ->
+      advance st;
+      let name = expect_ident st in
+      expect st T.KW_IN;
+      let first = parse_expr st in
+      if peek st = T.DOTDOT then begin
+        advance st;
+        let last = parse_expr st in
+        expect st T.KW_DO;
+        let body = parse_stmts st in
+        expect st T.KW_END;
+        { s = Sfor_range (name, first, last, body); spos = l }
+      end
+      else begin
+        expect st T.KW_DO;
+        let body = parse_stmts st in
+        expect st T.KW_END;
+        { s = Sfor_each (name, first, body); spos = l }
+      end
+  | T.KW_RETURN ->
+      advance st;
+      (* return takes an expression unless the next token clearly
+         starts another statement or ends the block *)
+      let has_value =
+        match peek st with
+        | T.KW_END | T.KW_ELSE | T.KW_ELSEIF | T.KW_WHEN | T.KW_ACTION | T.EOF | T.KW_VAR
+        | T.KW_IF | T.KW_WHILE | T.KW_FOR | T.KW_RETURN | T.KW_SIGNAL | T.KW_SEND
+        | T.KW_FLUSH | T.KW_SYNCH | T.KW_COENTER | T.KW_BEGIN | T.KW_EXCEPT ->
+            false
+        | _ -> true
+      in
+      if has_value then { s = Sreturn (Some (parse_expr st)); spos = l }
+      else { s = Sreturn None; spos = l }
+  | T.KW_SIGNAL ->
+      advance st;
+      let name = expect_ident st in
+      let args =
+        if peek st = T.LPAREN then begin
+          advance st;
+          let args = parse_args st in
+          expect st T.RPAREN;
+          args
+        end
+        else []
+      in
+      { s = Ssignal (name, args); spos = l }
+  | T.KW_SEND ->
+      advance st;
+      { s = Ssend (parse_postfix st); spos = l }
+  | T.KW_FLUSH ->
+      advance st;
+      { s = Sflush (parse_postfix st); spos = l }
+  | T.KW_SYNCH ->
+      advance st;
+      { s = Ssynch (parse_postfix st); spos = l }
+  | T.KW_RESTART ->
+      advance st;
+      { s = Srestart (parse_postfix st); spos = l }
+  | T.KW_COENTER ->
+      advance st;
+      let rec arms acc =
+        if peek st = T.KW_ACTION then begin
+          advance st;
+          let body = parse_stmts st in
+          arms (body :: acc)
+        end
+        else begin
+          expect st T.KW_END;
+          List.rev acc
+        end
+      in
+      { s = Scoenter (arms []); spos = l }
+  | T.KW_BEGIN ->
+      advance st;
+      let body = parse_stmts st in
+      expect st T.KW_END;
+      { s = Sbegin body; spos = l }
+  | T.KW_STREAM ->
+      (* statement form: stream g.h(args) — promise discarded *)
+      { s = Sexpr (parse_unary st); spos = l }
+  | _ ->
+      (* assignment or expression statement *)
+      let e = parse_postfix st in
+      if peek st = T.ASSIGN then begin
+        advance st;
+        let rhs = parse_expr st in
+        { s = Sassign (to_lvalue st e, rhs); spos = l }
+      end
+      else { s = Sexpr e; spos = l }
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let parse_params st =
+  expect st T.LPAREN;
+  if peek st = T.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let name = expect_ident st in
+      expect st T.COLON;
+      let t = parse_ty st in
+      if peek st = T.COMMA then begin
+        advance st;
+        loop ((name, t) :: acc)
+      end
+      else List.rev ((name, t) :: acc)
+    in
+    let params = loop [] in
+    expect st T.RPAREN;
+    params
+  end
+
+let parse_returns_opt st =
+  if peek st = T.KW_RETURNS then begin
+    advance st;
+    expect st T.LPAREN;
+    let t = parse_ty st in
+    expect st T.RPAREN;
+    Some t
+  end
+  else None
+
+let parse_handler st =
+  let l = line st in
+  expect st T.KW_HANDLER;
+  let name = expect_ident st in
+  let params = parse_params st in
+  let ret = parse_returns_opt st in
+  let sigs = parse_signals_opt st in
+  let body = parse_stmts st in
+  expect st T.KW_END;
+  { hd_name = name; hd_params = params; hd_ret = ret; hd_sigs = sigs; hd_body = body; hd_pos = l }
+
+let parse_group st =
+  expect st T.KW_GROUP;
+  let name = expect_ident st in
+  let rec handlers acc =
+    if peek st = T.KW_HANDLER then handlers (parse_handler st :: acc)
+    else begin
+      expect st T.KW_END;
+      List.rev acc
+    end
+  in
+  { grp_name = name; grp_handlers = handlers [] }
+
+let parse_guardian st =
+  let l = line st in
+  expect st T.KW_GUARDIAN;
+  let name = expect_ident st in
+  let rec items vars groups =
+    match peek st with
+    | T.KW_VAR ->
+        advance st;
+        let vname = expect_ident st in
+        let ty =
+          if peek st = T.COLON then begin
+            advance st;
+            Some (parse_ty st)
+          end
+          else None
+        in
+        expect st T.ASSIGN;
+        let init = parse_expr st in
+        items ((vname, ty, init) :: vars) groups
+    | T.KW_GROUP -> items vars (parse_group st :: groups)
+    | T.KW_END ->
+        advance st;
+        (List.rev vars, List.rev groups)
+    | t -> fail st (Printf.sprintf "expected var/group/end in guardian, found %s" (T.to_string t))
+  in
+  let vars, groups = items [] [] in
+  { gd_name = name; gd_vars = vars; gd_groups = groups; gd_pos = l }
+
+let parse_proc st =
+  let l = line st in
+  expect st T.KW_PROC;
+  let name = expect_ident st in
+  let params = parse_params st in
+  let ret = parse_returns_opt st in
+  let sigs = parse_signals_opt st in
+  let body = parse_stmts st in
+  expect st T.KW_END;
+  { pd_name = name; pd_params = params; pd_ret = ret; pd_sigs = sigs; pd_body = body; pd_pos = l }
+
+let parse_process st =
+  let l = line st in
+  expect st T.KW_PROCESS;
+  let name = expect_ident st in
+  let body = parse_stmts st in
+  expect st T.KW_END;
+  { prc_name = name; prc_body = body; prc_pos = l }
+
+let parse_item st =
+  match peek st with
+  | T.KW_TYPE ->
+      advance st;
+      let name = expect_ident st in
+      expect st T.EQ;
+      let t = parse_ty st in
+      Itype (name, t)
+  | T.KW_GUARDIAN -> Iguardian (parse_guardian st)
+  | T.KW_PROC -> Iproc (parse_proc st)
+  | T.KW_PROCESS -> Iprocess (parse_process st)
+  | t -> fail st (Printf.sprintf "expected type/guardian/proc/process, found %s" (T.to_string t))
+
+let state_of_string src =
+  let toks = Array.of_list (Lexer.tokens_of_string src) in
+  { toks; pos = 0 }
+
+let parse_program src =
+  let st = state_of_string src in
+  let rec loop acc = if peek st = T.EOF then List.rev acc else loop (parse_item st :: acc) in
+  loop []
+
+let parse_expr_string src =
+  let st = state_of_string src in
+  let e = parse_expr st in
+  expect st T.EOF;
+  e

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for Mini-Argus.
+
+    Menhir is not part of the sealed toolchain, and a hand-written
+    parser gives better error messages for a language this size. The
+    grammar is LL(2) except for the assignment/expression-statement
+    split, which is resolved by parsing a postfix expression first and
+    converting it to an lvalue when [:=] follows. *)
+
+exception Error of string * int
+(** Parse error: message and source line. *)
+
+val parse_program : string -> Ast.program
+(** Parse a whole compilation unit from source text. Raises {!Error}
+    or [Lexer.Error]. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (for tests). *)

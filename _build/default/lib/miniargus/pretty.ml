@@ -1,0 +1,363 @@
+(* Pretty-printer from the untyped AST back to Mini-Argus source.
+   Used by the test suite to establish parse/print round-tripping. *)
+
+open Ast
+
+let buf_add = Buffer.add_string
+
+let rec pp_ty buf = function
+  | Tname n -> buf_add buf n
+  | Tarray t ->
+      buf_add buf "array[";
+      pp_ty buf t;
+      buf_add buf "]"
+  | Tqueue t ->
+      buf_add buf "queue[";
+      pp_ty buf t;
+      buf_add buf "]"
+  | Trecord fields ->
+      buf_add buf "record[";
+      List.iteri
+        (fun i (f, t) ->
+          if i > 0 then buf_add buf ", ";
+          buf_add buf f;
+          buf_add buf ": ";
+          pp_ty buf t)
+        fields;
+      buf_add buf "]"
+  | Tpromise (ret, sigs) ->
+      buf_add buf "promise";
+      (match ret with
+      | Some t ->
+          buf_add buf " returns (";
+          pp_ty buf t;
+          buf_add buf ")"
+      | None -> ());
+      pp_signals buf sigs
+  | Tport (params, ret, sigs) ->
+      buf_add buf "port (";
+      List.iteri
+        (fun i t ->
+          if i > 0 then buf_add buf ", ";
+          pp_ty buf t)
+        params;
+      buf_add buf ")";
+      (match ret with
+      | Some t ->
+          buf_add buf " returns (";
+          pp_ty buf t;
+          buf_add buf ")"
+      | None -> ());
+      pp_signals buf sigs
+
+and pp_signals buf sigs =
+  if sigs <> [] then begin
+    buf_add buf " signals (";
+    List.iteri
+      (fun i s ->
+        if i > 0 then buf_add buf ", ";
+        buf_add buf s.sd_name;
+        if s.sd_types <> [] then begin
+          buf_add buf "(";
+          List.iteri
+            (fun j t ->
+              if j > 0 then buf_add buf ", ";
+              pp_ty buf t)
+            s.sd_types;
+          buf_add buf ")"
+        end)
+      sigs;
+    buf_add buf ")"
+  end
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Concat -> "^"
+  | Eq -> "="
+  | Neq -> "~="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let rec pp_expr buf e =
+  match e.e with
+  | Eint i -> buf_add buf (string_of_int i)
+  | Ereal r ->
+      let s = Printf.sprintf "%.17g" r in
+      let s = if String.contains s '.' || String.contains s 'e' then s else s ^ ".0" in
+      buf_add buf s
+  | Estr s -> buf_add buf (Printf.sprintf "%S" s)
+  | Ebool true -> buf_add buf "true"
+  | Ebool false -> buf_add buf "false"
+  | Evar n -> buf_add buf n
+  | Ebinop (op, a, b) ->
+      buf_add buf "(";
+      pp_expr buf a;
+      buf_add buf (" " ^ binop_str op ^ " ");
+      pp_expr buf b;
+      buf_add buf ")"
+  | Eunop (Neg, a) ->
+      buf_add buf "(-";
+      pp_expr buf a;
+      buf_add buf ")"
+  | Eunop (Not, a) ->
+      buf_add buf "(not ";
+      pp_expr buf a;
+      buf_add buf ")"
+  | Earray items ->
+      buf_add buf "[";
+      List.iteri
+        (fun i x ->
+          if i > 0 then buf_add buf ", ";
+          pp_expr buf x)
+        items;
+      buf_add buf "]"
+  | Erecord fields ->
+      buf_add buf "{";
+      List.iteri
+        (fun i (f, x) ->
+          if i > 0 then buf_add buf ", ";
+          buf_add buf (f ^ " = ");
+          pp_expr buf x)
+        fields;
+      buf_add buf "}"
+  | Eindex (a, i) ->
+      pp_expr buf a;
+      buf_add buf "[";
+      pp_expr buf i;
+      buf_add buf "]"
+  | Efield (r, f) ->
+      pp_expr buf r;
+      buf_add buf ("." ^ f)
+  | Eapply (callee, args) ->
+      pp_expr buf callee;
+      buf_add buf "(";
+      List.iteri
+        (fun i a ->
+          if i > 0 then buf_add buf ", ";
+          pp_expr buf a)
+        args;
+      buf_add buf ")"
+  | Estream inner ->
+      buf_add buf "stream ";
+      pp_expr buf inner
+  | Efork inner ->
+      buf_add buf "fork ";
+      pp_expr buf inner
+  | Eportof inner ->
+      buf_add buf "port ";
+      pp_expr buf inner
+
+let rec pp_stmts buf indent stmts = List.iter (pp_stmt buf indent) stmts
+
+and pp_stmt buf indent stmt =
+  let pad = String.make (2 * indent) ' ' in
+  let line s = buf_add buf (pad ^ s ^ "\n") in
+  match stmt.s with
+  | Svar (name, ty, init) ->
+      buf_add buf (pad ^ "var " ^ name);
+      (match ty with
+      | Some t ->
+          buf_add buf ": ";
+          pp_ty buf t
+      | None -> ());
+      buf_add buf " := ";
+      pp_expr buf init;
+      buf_add buf "\n"
+  | Sassign (lv, rhs) ->
+      buf_add buf pad;
+      (match lv with
+      | Lvar n -> buf_add buf n
+      | Lindex (a, i) ->
+          pp_expr buf a;
+          buf_add buf "[";
+          pp_expr buf i;
+          buf_add buf "]"
+      | Lfield (r, f) ->
+          pp_expr buf r;
+          buf_add buf ("." ^ f));
+      buf_add buf " := ";
+      pp_expr buf rhs;
+      buf_add buf "\n"
+  | Sexpr e ->
+      buf_add buf pad;
+      pp_expr buf e;
+      buf_add buf "\n"
+  | Sif (branches, else_body) ->
+      List.iteri
+        (fun i (cond, body) ->
+          buf_add buf (pad ^ (if i = 0 then "if " else "elseif "));
+          pp_expr buf cond;
+          buf_add buf " then\n";
+          pp_stmts buf (indent + 1) body)
+        branches;
+      (match else_body with
+      | Some body ->
+          line "else";
+          pp_stmts buf (indent + 1) body
+      | None -> ());
+      line "end"
+  | Swhile (cond, body) ->
+      buf_add buf (pad ^ "while ");
+      pp_expr buf cond;
+      buf_add buf " do\n";
+      pp_stmts buf (indent + 1) body;
+      line "end"
+  | Sfor_range (name, first, last, body) ->
+      buf_add buf (pad ^ "for " ^ name ^ " in ");
+      pp_expr buf first;
+      buf_add buf " .. ";
+      pp_expr buf last;
+      buf_add buf " do\n";
+      pp_stmts buf (indent + 1) body;
+      line "end"
+  | Sfor_each (name, arr, body) ->
+      buf_add buf (pad ^ "for " ^ name ^ " in ");
+      pp_expr buf arr;
+      buf_add buf " do\n";
+      pp_stmts buf (indent + 1) body;
+      line "end"
+  | Sreturn None -> line "return"
+  | Sreturn (Some e) ->
+      buf_add buf (pad ^ "return ");
+      pp_expr buf e;
+      buf_add buf "\n"
+  | Ssignal (name, args) ->
+      buf_add buf (pad ^ "signal " ^ name);
+      if args <> [] then begin
+        buf_add buf "(";
+        List.iteri
+          (fun i a ->
+            if i > 0 then buf_add buf ", ";
+            pp_expr buf a)
+          args;
+        buf_add buf ")"
+      end;
+      buf_add buf "\n"
+  | Ssend e ->
+      buf_add buf (pad ^ "send ");
+      pp_expr buf e;
+      buf_add buf "\n"
+  | Sflush e ->
+      buf_add buf (pad ^ "flush ");
+      pp_expr buf e;
+      buf_add buf "\n"
+  | Ssynch e ->
+      buf_add buf (pad ^ "synch ");
+      pp_expr buf e;
+      buf_add buf "\n"
+  | Srestart e ->
+      buf_add buf (pad ^ "restart ");
+      pp_expr buf e;
+      buf_add buf "\n"
+  | Scoenter arms ->
+      line "coenter";
+      List.iter
+        (fun arm ->
+          line "action";
+          pp_stmts buf (indent + 1) arm)
+        arms;
+      line "end"
+  | Sbegin body ->
+      line "begin";
+      pp_stmts buf (indent + 1) body;
+      line "end"
+  | Sexcept (inner, arms) ->
+      pp_stmt buf indent inner;
+      line "except";
+      List.iter
+        (fun arm ->
+          buf_add buf (pad ^ "when ");
+          (match arm.a_pat with
+          | Aname n -> buf_add buf n
+          | Aothers -> buf_add buf "others");
+          if arm.a_params <> [] then begin
+            buf_add buf "(";
+            List.iteri
+              (fun i (p, t) ->
+                if i > 0 then buf_add buf ", ";
+                buf_add buf (p ^ ": ");
+                pp_ty buf t)
+              arm.a_params;
+            buf_add buf ")"
+          end;
+          buf_add buf ":\n";
+          pp_stmts buf (indent + 1) arm.a_body)
+        arms;
+      line "end"
+
+let pp_params buf params =
+  buf_add buf "(";
+  List.iteri
+    (fun i (p, t) ->
+      if i > 0 then buf_add buf ", ";
+      buf_add buf (p ^ ": ");
+      pp_ty buf t)
+    params;
+  buf_add buf ")"
+
+let pp_returns buf = function
+  | None -> ()
+  | Some t ->
+      buf_add buf " returns (";
+      pp_ty buf t;
+      buf_add buf ")"
+
+let pp_item buf = function
+  | Itype (name, t) ->
+      buf_add buf ("type " ^ name ^ " = ");
+      pp_ty buf t;
+      buf_add buf "\n\n"
+  | Iguardian gd ->
+      buf_add buf ("guardian " ^ gd.gd_name ^ "\n");
+      List.iter
+        (fun (name, ty, init) ->
+          buf_add buf ("  var " ^ name);
+          (match ty with
+          | Some t ->
+              buf_add buf ": ";
+              pp_ty buf t
+          | None -> ());
+          buf_add buf " := ";
+          pp_expr buf init;
+          buf_add buf "\n")
+        gd.gd_vars;
+      List.iter
+        (fun grp ->
+          buf_add buf ("  group " ^ grp.grp_name ^ "\n");
+          List.iter
+            (fun hd ->
+              buf_add buf ("    handler " ^ hd.hd_name);
+              pp_params buf hd.hd_params;
+              pp_returns buf hd.hd_ret;
+              pp_signals buf hd.hd_sigs;
+              buf_add buf "\n";
+              pp_stmts buf 3 hd.hd_body;
+              buf_add buf "    end\n")
+            grp.grp_handlers;
+          buf_add buf "  end\n")
+        gd.gd_groups;
+      buf_add buf "end\n\n"
+  | Iproc pd ->
+      buf_add buf ("proc " ^ pd.pd_name);
+      pp_params buf pd.pd_params;
+      pp_returns buf pd.pd_ret;
+      pp_signals buf pd.pd_sigs;
+      buf_add buf "\n";
+      pp_stmts buf 1 pd.pd_body;
+      buf_add buf "end\n\n"
+  | Iprocess prc ->
+      buf_add buf ("process " ^ prc.prc_name ^ "\n");
+      pp_stmts buf 1 prc.prc_body;
+      buf_add buf "end\n\n"
+
+let program_to_string prog =
+  let buf = Buffer.create 1024 in
+  List.iter (pp_item buf) prog;
+  Buffer.contents buf

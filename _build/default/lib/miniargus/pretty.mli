@@ -1,0 +1,6 @@
+(** Pretty-printer from the untyped AST back to Mini-Argus source.
+
+    The printer is a fixpoint under re-parsing (checked by a property
+    test): [print (parse (print (parse s))) = print (parse s)]. *)
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,40 @@
+(* Front-door of the Mini-Argus implementation: parse, check, run. *)
+
+type error = { phase : [ `Lex | `Parse | `Type ]; message : string; line : int }
+
+let pp_error ppf e =
+  let phase = match e.phase with `Lex -> "lexical" | `Parse -> "syntax" | `Type -> "type" in
+  Format.fprintf ppf "%s error, line %d: %s" phase e.line e.message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let parse src : (Ast.program, error) result =
+  match Parser.parse_program src with
+  | prog -> Ok prog
+  | exception Lexer.Error (message, line) -> Error { phase = `Lex; message; line }
+  | exception Parser.Error (message, line) -> Error { phase = `Parse; message; line }
+
+let check src : (Tast.tprogram, error) result =
+  match parse src with
+  | Error e -> Error e
+  | Ok prog -> (
+      match Typecheck.check_program prog with
+      | tprog -> Ok tprog
+      | exception Typecheck.Error (message, line) -> Error { phase = `Type; message; line })
+
+let run ?config ?chan_config ?seed ?echo ?until ?crashes ?recoveries src :
+    (Interp.outcome, error) result =
+  match check src with
+  | Error e -> Error e
+  | Ok tprog ->
+      Ok
+        (Interp.run_program ?config ?chan_config ?seed ?echo ?until ?crashes ?recoveries
+           tprog)
+
+let run_file ?config ?chan_config ?seed ?echo ?until ?crashes ?recoveries path :
+    (Interp.outcome, error) result =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  run ?config ?chan_config ?seed ?echo ?until ?crashes ?recoveries src

@@ -1,0 +1,95 @@
+(* Typed abstract syntax, produced by the checker and consumed by the
+   interpreter. Remote calls are fully resolved: guardian, group,
+   handler and the handler's checked signature. *)
+
+open Types
+
+type hsig_t = { hs_params : ty list; hs_ret : ty; hs_sigs : signal list }
+
+type rcall = {
+  rc_guardian : string;
+  rc_group : string;
+  rc_handler : string;
+  rc_sig : hsig_t;
+  rc_args : texpr list;
+}
+
+and texpr = { tx : tnode; tty : ty; txpos : int }
+
+and tnode =
+  | Xint of int
+  | Xreal of float
+  | Xstr of string
+  | Xbool of bool
+  | Xvar of string
+  | Xbinop of Ast.binop * texpr * texpr
+  | Xunop of Ast.unop * texpr
+  | Xarray of texpr list
+  | Xrecord of (string * texpr) list  (* sorted by field *)
+  | Xindex of texpr * texpr
+  | Xfield of texpr * string
+  | Xbuiltin of string * texpr list
+  | Xcallproc of string * texpr list
+  | Xclaim of texpr
+  | Xready of texpr
+  | Xrpc of rcall
+  | Xstream of rcall
+  | Xfork of string * texpr list  (* proc name, args *)
+  | Xportof of rcall  (* port g.h — rc_args is empty *)
+  | Xrpc_dyn of texpr * hsig_t * texpr list  (* call through a port value *)
+  | Xstream_dyn of texpr * hsig_t * texpr list
+
+type tlvalue = TLvar of string | TLindex of texpr * texpr | TLfield of texpr * string
+
+type tstmt = { ts : tsnode; tspos : int }
+
+and tsnode =
+  | TSvar of string * texpr
+  | TSassign of tlvalue * texpr
+  | TSexpr of texpr
+  | TSif of (texpr * tstmt list) list * tstmt list option
+  | TSwhile of texpr * tstmt list
+  | TSfor_range of string * texpr * texpr * tstmt list
+  | TSfor_each of string * texpr * tstmt list
+  | TSreturn of texpr option
+  | TSsignal of string * texpr list
+  | TSsend of rcall
+  | TSsend_dyn of texpr * hsig_t * texpr list
+  | TSflush of string * string * string  (* guardian, group, handler *)
+  | TSsynch of string * string * string
+  | TSrestart of string * string * string
+  | TScoenter of tstmt list list
+  | TSbegin of tstmt list
+  | TSexcept of tstmt * tarm list
+
+and tarm = { ta_pat : Ast.arm_pat; ta_params : (string * ty) list; ta_body : tstmt list }
+
+type thandler = {
+  th_name : string;
+  th_params : (string * ty) list;
+  th_ret : ty;
+  th_sigs : signal list;
+  th_body : tstmt list;
+}
+
+type tguardian = {
+  tg_name : string;
+  tg_vars : (string * ty * texpr) list;
+  tg_groups : (string * thandler list) list;
+}
+
+type tproc = {
+  tp_name : string;
+  tp_params : (string * ty) list;
+  tp_ret : ty;
+  tp_sigs : signal list;
+  tp_body : tstmt list;
+}
+
+type tprocess = { tpr_name : string; tpr_body : tstmt list }
+
+type tprogram = {
+  prog_guardians : tguardian list;
+  prog_procs : tproc list;
+  prog_processes : tprocess list;
+}

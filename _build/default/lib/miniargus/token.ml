@@ -1,0 +1,193 @@
+(* Tokens of Mini-Argus. The surface syntax is CLU/Argus-flavoured:
+   `%` comments, `:=` assignment, `end`-delimited blocks. *)
+
+type t =
+  (* literals *)
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_TYPE
+  | KW_GUARDIAN
+  | KW_GROUP
+  | KW_HANDLER
+  | KW_PROCESS
+  | KW_PROC
+  | KW_VAR
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_ELSEIF
+  | KW_END
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_IN
+  | KW_RETURN
+  | KW_SIGNAL
+  | KW_STREAM
+  | KW_SEND
+  | KW_FLUSH
+  | KW_SYNCH
+  | KW_RESTART
+  | KW_FORK
+  | KW_COENTER
+  | KW_ACTION
+  | KW_BEGIN
+  | KW_EXCEPT
+  | KW_WHEN
+  | KW_OTHERS
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_RETURNS
+  | KW_SIGNALS
+  | KW_RECORD
+  | KW_ARRAY
+  | KW_PROMISE
+  | KW_QUEUE
+  | KW_PORT
+  (* punctuation and operators *)
+  | ASSIGN  (* := *)
+  | EQ  (* = *)
+  | NEQ  (* ~= *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET  (* ^ string concatenation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | DOT
+  | DOTDOT
+  | EOF
+
+let to_string = function
+  | INT i -> string_of_int i
+  | REAL r -> string_of_float r
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_TYPE -> "type"
+  | KW_GUARDIAN -> "guardian"
+  | KW_GROUP -> "group"
+  | KW_HANDLER -> "handler"
+  | KW_PROCESS -> "process"
+  | KW_PROC -> "proc"
+  | KW_VAR -> "var"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_ELSEIF -> "elseif"
+  | KW_END -> "end"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_IN -> "in"
+  | KW_RETURN -> "return"
+  | KW_SIGNAL -> "signal"
+  | KW_STREAM -> "stream"
+  | KW_SEND -> "send"
+  | KW_FLUSH -> "flush"
+  | KW_SYNCH -> "synch"
+  | KW_RESTART -> "restart"
+  | KW_FORK -> "fork"
+  | KW_COENTER -> "coenter"
+  | KW_ACTION -> "action"
+  | KW_BEGIN -> "begin"
+  | KW_EXCEPT -> "except"
+  | KW_WHEN -> "when"
+  | KW_OTHERS -> "others"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_RETURNS -> "returns"
+  | KW_SIGNALS -> "signals"
+  | KW_RECORD -> "record"
+  | KW_ARRAY -> "array"
+  | KW_PROMISE -> "promise"
+  | KW_QUEUE -> "queue"
+  | KW_PORT -> "port"
+  | ASSIGN -> ":="
+  | EQ -> "="
+  | NEQ -> "~="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CARET -> "^"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | COLON -> ":"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | EOF -> "<eof>"
+
+let keyword_table =
+  [
+    ("type", KW_TYPE);
+    ("guardian", KW_GUARDIAN);
+    ("group", KW_GROUP);
+    ("handler", KW_HANDLER);
+    ("process", KW_PROCESS);
+    ("proc", KW_PROC);
+    ("var", KW_VAR);
+    ("if", KW_IF);
+    ("then", KW_THEN);
+    ("else", KW_ELSE);
+    ("elseif", KW_ELSEIF);
+    ("end", KW_END);
+    ("while", KW_WHILE);
+    ("do", KW_DO);
+    ("for", KW_FOR);
+    ("in", KW_IN);
+    ("return", KW_RETURN);
+    ("signal", KW_SIGNAL);
+    ("stream", KW_STREAM);
+    ("send", KW_SEND);
+    ("flush", KW_FLUSH);
+    ("synch", KW_SYNCH);
+    ("restart", KW_RESTART);
+    ("fork", KW_FORK);
+    ("coenter", KW_COENTER);
+    ("action", KW_ACTION);
+    ("begin", KW_BEGIN);
+    ("except", KW_EXCEPT);
+    ("when", KW_WHEN);
+    ("others", KW_OTHERS);
+    ("and", KW_AND);
+    ("or", KW_OR);
+    ("not", KW_NOT);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("returns", KW_RETURNS);
+    ("signals", KW_SIGNALS);
+    ("record", KW_RECORD);
+    ("array", KW_ARRAY);
+    ("promise", KW_PROMISE);
+    ("queue", KW_QUEUE);
+    ("port", KW_PORT);
+  ]

@@ -1,0 +1,889 @@
+open Types
+open Tast
+
+exception Error of string * int
+
+let err pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Global environment *)
+
+type handler_info = { hi_group : string; hi_sig : hsig_t }
+
+type genv = {
+  typedefs : (string, ty) Hashtbl.t;
+  (* guardian -> handler name -> info; handler names are unique within
+     a guardian across all its groups *)
+  guardians : (string, (string, handler_info) Hashtbl.t) Hashtbl.t;
+  procs : (string, hsig_t * (string * ty) list) Hashtbl.t;
+}
+
+(* Local variable environment: lexically scoped. *)
+type env = { vars : (string * ty) list; genv : genv }
+
+let lookup_var env name = List.assoc_opt name env.vars
+
+let bind env name ty = { env with vars = (name, ty) :: env.vars }
+
+let is_guardian env name = Hashtbl.mem env.genv.guardians name
+
+(* ------------------------------------------------------------------ *)
+(* Resolving type expressions *)
+
+let rec resolve_ty genv pos (t : Ast.ty_expr) : ty =
+  match t with
+  | Ast.Tname "int" -> Tint
+  | Ast.Tname "real" -> Treal
+  | Ast.Tname "bool" -> Tbool
+  | Ast.Tname "string" -> Tstr
+  | Ast.Tname "null" -> Tunit
+  | Ast.Tname other -> (
+      match Hashtbl.find_opt genv.typedefs other with
+      | Some ty -> ty
+      | None -> err pos "unknown type name %s" other)
+  | Ast.Tarray t -> Tarr (resolve_ty genv pos t)
+  | Ast.Tqueue t -> Tqueue (resolve_ty genv pos t)
+  | Ast.Trecord fields ->
+      let fields = List.map (fun (f, t) -> (f, resolve_ty genv pos t)) fields in
+      let sorted = sort_fields fields in
+      let rec dup = function
+        | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+        | [ _ ] | [] -> None
+      in
+      (match dup sorted with
+      | Some f -> err pos "duplicate record field %s" f
+      | None -> ());
+      Trec sorted
+  | Ast.Tpromise (ret, sigs) ->
+      let ret = match ret with None -> Tunit | Some t -> resolve_ty genv pos t in
+      Tpromise (ret, resolve_signals genv pos sigs)
+  | Ast.Tport (params, ret, sigs) ->
+      let params = List.map (resolve_ty genv pos) params in
+      let ret = match ret with None -> Tunit | Some t -> resolve_ty genv pos t in
+      Tportv (params, ret, resolve_signals genv pos sigs)
+
+and resolve_signals genv pos sigs =
+  let resolved =
+    List.map
+      (fun (s : Ast.sig_decl) ->
+        if universal s.Ast.sd_name then
+          err pos "%s need not be declared: every call can signal it" s.Ast.sd_name;
+        { sg_name = s.Ast.sd_name; sg_payload = List.map (resolve_ty genv pos) s.Ast.sd_types })
+      sigs
+  in
+  let sorted = sort_signals resolved in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a.sg_name = b.sg_name then Some a.sg_name else dup rest
+    | [ _ ] | [] -> None
+  in
+  (match dup sorted with
+  | Some name -> err pos "duplicate signal %s" name
+  | None -> ());
+  sorted
+
+(* ------------------------------------------------------------------ *)
+(* Builtins *)
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking.
+
+   [expected] enables the bidirectional cases (empty array literals,
+   queue()). Returns the typed expression and the signals it can
+   raise. *)
+
+let remote_effects = Sigset.of_list [ unavailable; failure ]
+
+let rec check_expr env (e : Ast.expr) (expected : ty option) : texpr * Sigset.t =
+  let pos = e.Ast.epos in
+  let ret node ty effects = ({ tx = node; tty = ty; txpos = pos }, effects) in
+  match e.Ast.e with
+  | Ast.Eint i -> ret (Xint i) Tint Sigset.empty
+  | Ast.Ereal r -> ret (Xreal r) Treal Sigset.empty
+  | Ast.Estr s -> ret (Xstr s) Tstr Sigset.empty
+  | Ast.Ebool b -> ret (Xbool b) Tbool Sigset.empty
+  | Ast.Evar name -> (
+      match lookup_var env name with
+      | Some ty -> ret (Xvar name) ty Sigset.empty
+      | None ->
+          if is_guardian env name then err pos "guardian %s used as a value" name
+          else if Hashtbl.mem env.genv.procs name then
+            err pos "proc %s used as a value (call it, or use fork)" name
+          else err pos "unknown variable %s" name)
+  | Ast.Ebinop (op, a, b) -> check_binop env pos op a b
+  | Ast.Eunop (op, a) -> (
+      let ta, ea = check_expr env a None in
+      match op with
+      | Ast.Neg ->
+          if not (equal ta.tty Tint || equal ta.tty Treal) then
+            err pos "unary - expects int or real, got %s" (to_string ta.tty);
+          ret (Xunop (op, ta)) ta.tty ea
+      | Ast.Not ->
+          if not (equal ta.tty Tbool) then
+            err pos "not expects bool, got %s" (to_string ta.tty);
+          ret (Xunop (op, ta)) Tbool ea)
+  | Ast.Earray items -> (
+      let elem_expected =
+        match expected with Some (Tarr t) -> Some t | Some _ | None -> None
+      in
+      match (items, elem_expected) with
+      | [], None -> err pos "cannot infer the element type of []; annotate the variable"
+      | [], Some t -> ret (Xarray []) (Tarr t) Sigset.empty
+      | first :: rest, _ ->
+          let tfirst, efirst = check_expr env first elem_expected in
+          let elem_ty =
+            match elem_expected with
+            | Some t ->
+                if not (equal tfirst.tty t) then
+                  err pos "array element has type %s, expected %s" (to_string tfirst.tty)
+                    (to_string t);
+                t
+            | None -> tfirst.tty
+          in
+          let trest, erest =
+            List.fold_left
+              (fun (acc, eff) item ->
+                let ti, ei = check_expr env item (Some elem_ty) in
+                if not (equal ti.tty elem_ty) then
+                  err item.Ast.epos "array element has type %s, expected %s"
+                    (to_string ti.tty) (to_string elem_ty);
+                (ti :: acc, Sigset.union eff ei))
+              ([], efirst) rest
+          in
+          ret (Xarray (tfirst :: List.rev trest)) (Tarr elem_ty) erest)
+  | Ast.Erecord fields -> (
+      let expected_fields =
+        match expected with Some (Trec fs) -> Some fs | Some _ | None -> None
+      in
+      let checked, effects =
+        List.fold_left
+          (fun (acc, eff) (f, fe) ->
+            let fexpected =
+              match expected_fields with Some fs -> List.assoc_opt f fs | None -> None
+            in
+            let tf, ef = check_expr env fe fexpected in
+            ((f, tf) :: acc, Sigset.union eff ef))
+          ([], Sigset.empty) fields
+      in
+      let checked = List.rev checked in
+      let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) checked in
+      let rec dup = function
+        | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+        | [ _ ] | [] -> None
+      in
+      match dup sorted with
+      | Some f -> err pos "duplicate record field %s" f
+      | None ->
+          let ty = Trec (List.map (fun (f, t) -> (f, t.tty)) sorted) in
+          (match expected with
+          | Some (Trec _ as exp) when not (equal ty exp) ->
+              err pos "record has type %s, expected %s" (to_string ty) (to_string exp)
+          | Some _ | None -> ());
+          ret (Xrecord sorted) ty effects)
+  | Ast.Eindex (a, i) ->
+      let ta, ea = check_expr env a None in
+      let ti, ei = check_expr env i (Some Tint) in
+      if not (equal ti.tty Tint) then err pos "array index must be int";
+      let elem =
+        match ta.tty with
+        | Tarr t -> t
+        | other -> err pos "indexing a non-array value of type %s" (to_string other)
+      in
+      ret (Xindex (ta, ti)) elem (Sigset.union ea ei)
+  | Ast.Efield (base, field) -> (
+      match base.Ast.e with
+      | Ast.Evar g when is_guardian env g && lookup_var env g = None ->
+          err pos "handler reference %s.%s used as a value (call it, stream it, or send it)" g
+            field
+      | _ ->
+          let tb, eb = check_expr env base None in
+          let field_ty =
+            match tb.tty with
+            | Trec fields -> (
+                match List.assoc_opt field fields with
+                | Some t -> t
+                | None -> err pos "record %s has no field %s" (to_string tb.tty) field)
+            | other -> err pos "field access on non-record type %s" (to_string other)
+          in
+          ret (Xfield (tb, field)) field_ty eb)
+  | Ast.Eapply (callee, args) -> check_apply env pos callee args expected
+  | Ast.Estream inner -> (
+      match inner.Ast.e with
+      | Ast.Eapply (callee, args) -> (
+          match remote_callee env pos callee with
+          | Some (g, h) ->
+              let rc, eff = check_rcall env pos g h args in
+              ret (Xstream rc) (Tpromise (rc.rc_sig.hs_ret, rc.rc_sig.hs_sigs))
+                (Sigset.union eff remote_effects)
+          | None -> (
+              match port_callee env callee with
+              | Some (tcallee, (params, ret_ty, sigs), ecallee) ->
+                  let hs = { hs_params = params; hs_ret = ret_ty; hs_sigs = sigs } in
+                  let targs, eff = check_args env pos "port call" params args in
+                  ret
+                    (Xstream_dyn (tcallee, hs, targs))
+                    (Tpromise (ret_ty, sigs))
+                    (Sigset.union ecallee (Sigset.union eff remote_effects))
+              | None ->
+                  err pos "stream expects a handler call: stream guardian.handler(...)"))
+      | _ -> err pos "stream expects a handler call: stream guardian.handler(...)")
+  | Ast.Efork inner -> (
+      match inner.Ast.e with
+      | Ast.Eapply ({ Ast.e = Ast.Evar p; _ }, args) -> (
+          match Hashtbl.find_opt env.genv.procs p with
+          | Some (psig, _) ->
+              let targs, eff = check_args env pos ("proc " ^ p) psig.hs_params args in
+              ret (Xfork (p, targs)) (Tpromise (psig.hs_ret, psig.hs_sigs)) eff
+          | None -> err pos "fork expects a declared proc, %s is not one" p)
+      | _ -> err pos "fork expects a proc call: fork procname(...)")
+  | Ast.Eportof inner -> (
+      match remote_callee env pos inner with
+      | Some (g, h) ->
+          let rc, _ = check_rcall env pos ~skip_args:true g h [] in
+          ret (Xportof rc)
+            (Tportv (rc.rc_sig.hs_params, rc.rc_sig.hs_ret, rc.rc_sig.hs_sigs))
+            Sigset.empty
+      | None -> err pos "port expects a handler reference: port guardian.handler")
+
+and check_binop env pos op a b =
+  let ta, ea = check_expr env a None in
+  let tb, eb = check_expr env b None in
+  let effects = Sigset.union ea eb in
+  let both ty = equal ta.tty ty && equal tb.tty ty in
+  let result_ty =
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+        if both Tint then Tint
+        else if both Treal then Treal
+        else
+          err pos "arithmetic expects two ints or two reals, got %s and %s"
+            (to_string ta.tty) (to_string tb.tty)
+    | Ast.Concat ->
+        if both Tstr then Tstr
+        else err pos "^ expects two strings, got %s and %s" (to_string ta.tty)
+               (to_string tb.tty)
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+        if both Tint || both Treal || both Tstr then Tbool
+        else
+          err pos "comparison expects two ints, reals or strings, got %s and %s"
+            (to_string ta.tty) (to_string tb.tty)
+    | Ast.Eq | Ast.Neq ->
+        if not (equal ta.tty tb.tty) then
+          err pos "= compares values of the same type, got %s and %s" (to_string ta.tty)
+            (to_string tb.tty);
+        if not (transmissible ta.tty) then
+          err pos "values of type %s cannot be compared" (to_string ta.tty);
+        Tbool
+    | Ast.And | Ast.Or ->
+        if both Tbool then Tbool
+        else err pos "and/or expect bools, got %s and %s" (to_string ta.tty) (to_string tb.tty)
+  in
+  ({ tx = Xbinop (op, ta, tb); tty = result_ty; txpos = pos }, effects)
+
+and remote_callee env _pos callee =
+  match callee.Ast.e with
+  | Ast.Efield ({ Ast.e = Ast.Evar g; _ }, h)
+    when is_guardian env g && lookup_var env g = None ->
+      Some (g, h)
+  | _ -> None
+
+and check_rcall env pos ?(skip_args = false) g h args =
+  let handlers = Hashtbl.find env.genv.guardians g in
+  match Hashtbl.find_opt handlers h with
+  | None -> err pos "guardian %s has no handler %s" g h
+  | Some info ->
+      let targs, eff =
+        if skip_args then ([], Sigset.empty)
+        else check_args env pos (g ^ "." ^ h) info.hi_sig.hs_params args
+      in
+      ( { rc_guardian = g; rc_group = info.hi_group; rc_handler = h; rc_sig = info.hi_sig;
+          rc_args = targs },
+        eff )
+
+and check_args env pos what param_tys args =
+  if List.length param_tys <> List.length args then
+    err pos "%s expects %d argument(s), got %d" what (List.length param_tys)
+      (List.length args);
+  List.fold_left2
+    (fun (acc, eff) pty arg ->
+      let targ, earg = check_expr env arg (Some pty) in
+      if not (equal targ.tty pty) then
+        err arg.Ast.epos "%s: argument has type %s, expected %s" what (to_string targ.tty)
+          (to_string pty);
+      (targ :: acc, Sigset.union eff earg))
+    ([], Sigset.empty) param_tys args
+  |> fun (acc, eff) -> (List.rev acc, eff)
+
+and port_callee env callee =
+  (* An expression of port type used as a callee (unless it is a
+     builtin/proc/guardian name, which the callers try first). *)
+  match callee.Ast.e with
+  | Ast.Evar name
+    when lookup_var env name = None -> None (* builtin/proc/guardian names *)
+  | _ -> (
+      match check_expr env callee None with
+      | tc, eff -> (
+          match tc.tty with Tportv (p, r, s) -> Some (tc, (p, r, s), eff) | _ -> None)
+      | exception Error _ -> None)
+
+and check_apply env pos callee args expected =
+  match remote_callee env pos callee with
+  | Some (g, h) ->
+      (* RPC: caller waits; the handler's signals (and the universal
+         exceptions) can arise here. *)
+      let rc, eff = check_rcall env pos g h args in
+      ( { tx = Xrpc rc; tty = rc.rc_sig.hs_ret; txpos = pos },
+        Sigset.union (Sigset.union eff (Sigset.of_list rc.rc_sig.hs_sigs)) remote_effects )
+  | None -> (
+      match callee.Ast.e with
+      | Ast.Evar name when lookup_var env name = None ->
+          check_named_apply env pos name args expected
+      | _ -> (
+          match port_callee env callee with
+          | Some (tcallee, (params, ret_ty, sigs), ecallee) ->
+              let hs = { hs_params = params; hs_ret = ret_ty; hs_sigs = sigs } in
+              let targs, eff = check_args env pos "port call" params args in
+              ( { tx = Xrpc_dyn (tcallee, hs, targs); tty = ret_ty; txpos = pos },
+                Sigset.union ecallee
+                  (Sigset.union (Sigset.union eff (Sigset.of_list sigs)) remote_effects) )
+          | None -> err pos "only procs, builtins, handlers and port values can be called"))
+
+and check_named_apply env pos name args expected =
+  let ret node ty effects = ({ tx = node; tty = ty; txpos = pos }, effects) in
+  let one () =
+    match args with
+    | [ a ] -> check_expr env a None
+    | _ -> err pos "%s expects exactly one argument" name
+  in
+  match name with
+  | "claim" -> (
+      let ta, ea = one () in
+      match ta.tty with
+      | Tpromise (r, sigs) ->
+          ret (Xclaim ta) r
+            (Sigset.union ea (Sigset.union (Sigset.of_list sigs) remote_effects))
+      | other -> err pos "claim expects a promise, got %s" (to_string other))
+  | "ready" -> (
+      let ta, ea = one () in
+      match ta.tty with
+      | Tpromise _ -> ret (Xready ta) Tbool ea
+      | other -> err pos "ready expects a promise, got %s" (to_string other))
+  | "len" -> (
+      let ta, ea = one () in
+      match ta.tty with
+      | Tarr _ | Tstr -> ret (Xbuiltin ("len", [ ta ])) Tint ea
+      | other -> err pos "len expects an array or string, got %s" (to_string other))
+  | "addh" -> (
+      match args with
+      | [ arr; item ] -> (
+          let tarr, earr = check_expr env arr None in
+          match tarr.tty with
+          | Tarr elem ->
+              let titem, eitem = check_expr env item (Some elem) in
+              if not (equal titem.tty elem) then
+                err pos "addh: element has type %s, array holds %s" (to_string titem.tty)
+                  (to_string elem);
+              ret (Xbuiltin ("addh", [ tarr; titem ])) Tunit (Sigset.union earr eitem)
+          | other -> err pos "addh expects an array, got %s" (to_string other))
+      | _ -> err pos "addh expects (array, element)")
+  | "put_line" ->
+      let ta, ea = one () in
+      if not (equal ta.tty Tstr) then err pos "put_line expects a string";
+      ret (Xbuiltin ("put_line", [ ta ])) Tunit ea
+  | "int_to_string" ->
+      let ta, ea = one () in
+      if not (equal ta.tty Tint) then err pos "int_to_string expects an int";
+      ret (Xbuiltin ("int_to_string", [ ta ])) Tstr ea
+  | "real_to_string" ->
+      let ta, ea = one () in
+      if not (equal ta.tty Treal) then err pos "real_to_string expects a real";
+      ret (Xbuiltin ("real_to_string", [ ta ])) Tstr ea
+  | "real" ->
+      let ta, ea = one () in
+      if not (equal ta.tty Tint) then err pos "real expects an int";
+      ret (Xbuiltin ("real", [ ta ])) Treal ea
+  | "floor" ->
+      let ta, ea = one () in
+      if not (equal ta.tty Treal) then err pos "floor expects a real";
+      ret (Xbuiltin ("floor", [ ta ])) Tint ea
+  | "sleep" ->
+      let ta, ea = one () in
+      if not (equal ta.tty Treal) then err pos "sleep expects a real (seconds)";
+      ret (Xbuiltin ("sleep", [ ta ])) Tunit ea
+  | "now" ->
+      if args <> [] then err pos "now expects no arguments";
+      ret (Xbuiltin ("now", [])) Treal Sigset.empty
+  | "queue" -> (
+      if args <> [] then err pos "queue expects no arguments";
+      match expected with
+      | Some (Tqueue t) -> ret (Xbuiltin ("queue", [])) (Tqueue t) Sigset.empty
+      | Some other ->
+          err pos "queue() used where a %s is expected; annotate the variable"
+            (to_string other)
+      | None -> err pos "cannot infer the element type of queue(); annotate the variable")
+  | "enq" -> (
+      match args with
+      | [ q; item ] -> (
+          let tq, eq = check_expr env q None in
+          match tq.tty with
+          | Tqueue elem ->
+              let titem, eitem = check_expr env item (Some elem) in
+              if not (equal titem.tty elem) then
+                err pos "enq: element has type %s, queue holds %s" (to_string titem.tty)
+                  (to_string elem);
+              ret (Xbuiltin ("enq", [ tq; titem ])) Tunit (Sigset.union eq eitem)
+          | other -> err pos "enq expects a queue, got %s" (to_string other))
+      | _ -> err pos "enq expects (queue, element)")
+  | "deq" -> (
+      let ta, ea = one () in
+      match ta.tty with
+      | Tqueue elem -> ret (Xbuiltin ("deq", [ ta ])) elem ea
+      | other -> err pos "deq expects a queue, got %s" (to_string other))
+  | _ -> (
+      match Hashtbl.find_opt env.genv.procs name with
+      | Some (psig, _) ->
+          let targs, eff = check_args env pos ("proc " ^ name) psig.hs_params args in
+          ( { tx = Xcallproc (name, targs); tty = psig.hs_ret; txpos = pos },
+            Sigset.union eff (Sigset.of_list psig.hs_sigs) )
+      | None -> err pos "unknown function %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Statement checking *)
+
+type ctx = {
+  ret_ty : ty;  (* Tunit in processes *)
+  declared : signal list;  (* signals the enclosing handler/proc declares *)
+  where : string;  (* for error messages *)
+}
+
+let rec check_stmts env ctx stmts : tstmt list * Sigset.t =
+  (* Variable declarations extend the environment for the remainder of
+     the block. *)
+  match stmts with
+  | [] -> ([], Sigset.empty)
+  | stmt :: rest ->
+      let tstmt, effects, env' = check_stmt env ctx stmt in
+      let trest, erest = check_stmts env' ctx rest in
+      (tstmt :: trest, Sigset.union effects erest)
+
+and check_block env ctx stmts =
+  let tstmts, effects = check_stmts env ctx stmts in
+  (tstmts, effects)
+
+and check_stmt env ctx (stmt : Ast.stmt) : tstmt * Sigset.t * env =
+  let pos = stmt.Ast.spos in
+  let mk node = { ts = node; tspos = pos } in
+  match stmt.Ast.s with
+  | Ast.Svar (name, ty_opt, init) ->
+      let expected =
+        match ty_opt with Some t -> Some (resolve_ty env.genv pos t) | None -> None
+      in
+      let tinit, einit = check_expr env init expected in
+      let var_ty =
+        match expected with
+        | Some t ->
+            if not (equal tinit.tty t) then
+              err pos "variable %s declared %s but initialised with %s" name (to_string t)
+                (to_string tinit.tty);
+            t
+        | None ->
+            if equal tinit.tty Tunit then
+              err pos "variable %s cannot have type null" name;
+            tinit.tty
+      in
+      (mk (TSvar (name, tinit)), einit, bind env name var_ty)
+  | Ast.Sassign (lv, rhs) ->
+      let tlv, lv_ty, elv = check_lvalue env pos lv in
+      let trhs, erhs = check_expr env rhs (Some lv_ty) in
+      if not (equal trhs.tty lv_ty) then
+        err pos "assignment of %s to a location of type %s" (to_string trhs.tty)
+          (to_string lv_ty);
+      (mk (TSassign (tlv, trhs)), Sigset.union elv erhs, env)
+  | Ast.Sexpr e ->
+      let te, ee = check_expr env e None in
+      (mk (TSexpr te), ee, env)
+  | Ast.Sif (branches, else_body) ->
+      let tbranches, eff =
+        List.fold_left
+          (fun (acc, eff) (cond, body) ->
+            let tcond, econd = check_expr env cond (Some Tbool) in
+            if not (equal tcond.tty Tbool) then
+              err cond.Ast.epos "if condition must be bool, got %s" (to_string tcond.tty);
+            let tbody, ebody = check_block env ctx body in
+            ((tcond, tbody) :: acc, Sigset.union eff (Sigset.union econd ebody)))
+          ([], Sigset.empty) branches
+      in
+      let telse, eelse =
+        match else_body with
+        | None -> (None, Sigset.empty)
+        | Some body ->
+            let tbody, ebody = check_block env ctx body in
+            (Some tbody, ebody)
+      in
+      (mk (TSif (List.rev tbranches, telse)), Sigset.union eff eelse, env)
+  | Ast.Swhile (cond, body) ->
+      let tcond, econd = check_expr env cond (Some Tbool) in
+      if not (equal tcond.tty Tbool) then err pos "while condition must be bool";
+      let tbody, ebody = check_block env ctx body in
+      (mk (TSwhile (tcond, tbody)), Sigset.union econd ebody, env)
+  | Ast.Sfor_range (name, first, last, body) ->
+      let tfirst, efirst = check_expr env first (Some Tint) in
+      let tlast, elast = check_expr env last (Some Tint) in
+      if not (equal tfirst.tty Tint && equal tlast.tty Tint) then
+        err pos "for-range bounds must be ints";
+      let tbody, ebody = check_block (bind env name Tint) ctx body in
+      ( mk (TSfor_range (name, tfirst, tlast, tbody)),
+        Sigset.union efirst (Sigset.union elast ebody),
+        env )
+  | Ast.Sfor_each (name, arr, body) -> (
+      let tarr, earr = check_expr env arr None in
+      match tarr.tty with
+      | Tarr elem ->
+          let tbody, ebody = check_block (bind env name elem) ctx body in
+          (mk (TSfor_each (name, tarr, tbody)), Sigset.union earr ebody, env)
+      | other -> err pos "for-each expects an array, got %s" (to_string other))
+  | Ast.Sreturn e_opt -> (
+      match (e_opt, ctx.ret_ty) with
+      | None, ret when equal ret Tunit -> (mk (TSreturn None), Sigset.empty, env)
+      | None, ret -> err pos "%s must return a value of type %s" ctx.where (to_string ret)
+      | Some _, ret when equal ret Tunit && ctx.where <> "" && String.length ctx.where > 6
+                         && String.sub ctx.where 0 7 = "process" ->
+          err pos "a process does not return a value"
+      | Some e, ret ->
+          let te, ee = check_expr env e (Some ret) in
+          if not (equal te.tty ret) then
+            err pos "%s returns %s but this returns %s" ctx.where (to_string ret)
+              (to_string te.tty);
+          (mk (TSreturn (Some te)), ee, env))
+  | Ast.Ssignal (name, args) ->
+      let targs, eff =
+        List.fold_left
+          (fun (acc, eff) a ->
+            let ta, ea = check_expr env a None in
+            (ta :: acc, Sigset.union eff ea))
+          ([], Sigset.empty) args
+      in
+      let targs = List.rev targs in
+      let payload = List.map (fun t -> t.tty) targs in
+      if universal name then begin
+        match payload with
+        | [ Tstr ] -> ()
+        | _ -> err pos "signal %s carries exactly one string (the reason)" name
+      end;
+      let this_sig = { sg_name = name; sg_payload = payload } in
+      (* If the enclosing handler/proc declares this signal, the
+         payload types must agree with the declaration. *)
+      (match Sigset.find_name name ctx.declared with
+      | Some declared ->
+          if not (equal_signals [ declared ] [ this_sig ]) then
+            err pos "signal %s is declared with payload (%s) but raised with (%s)" name
+              (String.concat ", " (List.map to_string declared.sg_payload))
+              (String.concat ", " (List.map to_string payload))
+      | None -> ());
+      (mk (TSsignal (name, targs)), Sigset.add this_sig eff, env)
+  | Ast.Ssend e -> (
+      match e.Ast.e with
+      | Ast.Eapply (callee, args) -> (
+          match remote_callee env pos callee with
+          | Some (g, h) ->
+              let rc, eff = check_rcall env pos g h args in
+              (mk (TSsend rc), Sigset.union eff remote_effects, env)
+          | None -> (
+              match port_callee env callee with
+              | Some (tcallee, (params, ret_ty, sigs), ecallee) ->
+                  let hs = { hs_params = params; hs_ret = ret_ty; hs_sigs = sigs } in
+                  let targs, eff = check_args env pos "port call" params args in
+                  ( mk (TSsend_dyn (tcallee, hs, targs)),
+                    Sigset.union ecallee (Sigset.union eff remote_effects),
+                    env )
+              | None -> err pos "send expects a handler call: send guardian.handler(...)"))
+      | _ -> err pos "send expects a handler call: send guardian.handler(...)")
+  | Ast.Sflush e ->
+      let g, grp, h = flush_target env pos e in
+      (mk (TSflush (g, grp, h)), Sigset.empty, env)
+  | Ast.Ssynch e ->
+      let g, grp, h = flush_target env pos e in
+      (* synch can report exception_reply and break-related failures *)
+      ( mk (TSsynch (g, grp, h)),
+        Sigset.add exception_reply remote_effects,
+        env )
+  | Ast.Srestart e ->
+      let g, grp, h = flush_target env pos e in
+      (mk (TSrestart (g, grp, h)), Sigset.empty, env)
+  | Ast.Scoenter arms ->
+      let tarms, eff =
+        List.fold_left
+          (fun (acc, eff) arm ->
+            let tarm, earm = check_block env ctx arm in
+            (tarm :: acc, Sigset.union eff earm))
+          ([], Sigset.empty) arms
+      in
+      (mk (TScoenter (List.rev tarms)), eff, env)
+  | Ast.Sbegin body ->
+      let tbody, ebody = check_block env ctx body in
+      (mk (TSbegin tbody), ebody, env)
+  | Ast.Sexcept (inner, arms) ->
+      let tinner, einner, _ = check_stmt env ctx inner in
+      let remaining = ref einner in
+      let tarms, arm_eff =
+        List.fold_left
+          (fun (acc, eff) (arm : Ast.arm) ->
+            match arm.Ast.a_pat with
+            | Ast.Aothers ->
+                let arm_env =
+                  match arm.Ast.a_params with
+                  | [] -> env
+                  | [ (p, Ast.Tname "string") ] -> bind env p Tstr
+                  | _ -> err pos "when others binds nothing or one string parameter"
+                in
+                let tparams =
+                  match arm.Ast.a_params with [] -> [] | [ (p, _) ] -> [ (p, Tstr) ] | _ -> []
+                in
+                let tbody, ebody = check_block arm_env ctx arm.Ast.a_body in
+                remaining := Sigset.empty;
+                ( { ta_pat = Ast.Aothers; ta_params = tparams; ta_body = tbody } :: acc,
+                  Sigset.union eff ebody )
+            | Ast.Aname name ->
+                let sig_info =
+                  match Sigset.find_name name !remaining with
+                  | Some s -> s
+                  | None ->
+                      if universal name then { sg_name = name; sg_payload = [ Tstr ] }
+                      else
+                        err pos
+                          "except arm catches %s, but the statement cannot signal it" name
+                in
+                let params =
+                  List.map
+                    (fun (p, t) -> (p, resolve_ty env.genv pos t))
+                    arm.Ast.a_params
+                in
+                let param_tys = List.map snd params in
+                if List.length param_tys <> List.length sig_info.sg_payload
+                   || not (List.for_all2 equal param_tys sig_info.sg_payload)
+                then
+                  err pos "arm for %s binds (%s) but the signal carries (%s)" name
+                    (String.concat ", " (List.map to_string param_tys))
+                    (String.concat ", " (List.map to_string sig_info.sg_payload));
+                let arm_env =
+                  List.fold_left (fun e (p, t) -> bind e p t) env params
+                in
+                let tbody, ebody = check_block arm_env ctx arm.Ast.a_body in
+                remaining := Sigset.remove_name name !remaining;
+                ( { ta_pat = Ast.Aname name; ta_params = params; ta_body = tbody } :: acc,
+                  Sigset.union eff ebody ))
+          ([], Sigset.empty) arms
+      in
+      (mk (TSexcept (tinner, List.rev tarms)), Sigset.union !remaining arm_eff, env)
+
+and check_lvalue env pos (lv : Ast.lvalue) : tlvalue * ty * Sigset.t =
+  match lv with
+  | Ast.Lvar name -> (
+      match lookup_var env name with
+      | Some ty -> (TLvar name, ty, Sigset.empty)
+      | None -> err pos "unknown variable %s" name)
+  | Ast.Lindex (arr, idx) -> (
+      let tarr, earr = check_expr env arr None in
+      let tidx, eidx = check_expr env idx (Some Tint) in
+      if not (equal tidx.tty Tint) then err pos "array index must be int";
+      match tarr.tty with
+      | Tarr elem -> (TLindex (tarr, tidx), elem, Sigset.union earr eidx)
+      | other -> err pos "indexing a non-array value of type %s" (to_string other))
+  | Ast.Lfield (base, field) -> (
+      let tb, eb = check_expr env base None in
+      match tb.tty with
+      | Trec fields -> (
+          match List.assoc_opt field fields with
+          | Some t -> (TLfield (tb, field), t, eb)
+          | None -> err pos "record %s has no field %s" (to_string tb.tty) field)
+      | other -> err pos "field access on non-record type %s" (to_string other))
+
+and flush_target env pos (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Efield ({ Ast.e = Ast.Evar g; _ }, h)
+    when is_guardian env g && lookup_var env g = None -> (
+      let handlers = Hashtbl.find env.genv.guardians g in
+      match Hashtbl.find_opt handlers h with
+      | Some info -> (g, info.hi_group, h)
+      | None -> err pos "guardian %s has no handler %s" g h)
+  | _ -> err pos "flush/synch expect a handler: flush guardian.handler"
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let check_escaping pos ~where ~declared effects =
+  let bad =
+    List.filter
+      (fun s -> (not (universal s.sg_name)) && not (Sigset.mem_name s.sg_name declared))
+      effects
+  in
+  match bad with
+  | [] -> ()
+  | s :: _ ->
+      err pos
+        "%s can signal %s but does not declare it (add a signals clause or an except arm)"
+        where s.sg_name
+
+let check_handler genv gvars (hd : Ast.handler_decl) : thandler =
+  let pos = hd.Ast.hd_pos in
+  let params = List.map (fun (p, t) -> (p, resolve_ty genv pos t)) hd.Ast.hd_params in
+  let ret = match hd.Ast.hd_ret with None -> Tunit | Some t -> resolve_ty genv pos t in
+  let sigs = resolve_signals genv pos hd.Ast.hd_sigs in
+  List.iter
+    (fun (p, t) ->
+      if not (transmissible t) then
+        err pos "handler parameter %s has non-transmissible type %s" p (to_string t))
+    params;
+  if not (transmissible ret) then
+    err pos "handler result type %s is not transmissible" (to_string ret);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun t ->
+          if not (transmissible t) then
+            err pos "signal %s carries non-transmissible type %s" s.sg_name (to_string t))
+        s.sg_payload)
+    sigs;
+  let env =
+    List.fold_left (fun e (p, t) -> bind e p t)
+      { vars = gvars; genv }
+      params
+  in
+  let ctx =
+    { ret_ty = ret; declared = sigs; where = Printf.sprintf "handler %s" hd.Ast.hd_name }
+  in
+  let body, effects = check_stmts env ctx hd.Ast.hd_body in
+  check_escaping pos ~where:ctx.where ~declared:sigs effects;
+  { th_name = hd.Ast.hd_name; th_params = params; th_ret = ret; th_sigs = sigs; th_body = body }
+
+let collect_guardian_sigs genv (gd : Ast.guardian_decl) =
+  let handlers = Hashtbl.create 8 in
+  List.iter
+    (fun grp ->
+      List.iter
+        (fun (hd : Ast.handler_decl) ->
+          if Hashtbl.mem handlers hd.Ast.hd_name then
+            err hd.Ast.hd_pos "guardian %s declares handler %s twice" gd.Ast.gd_name
+              hd.Ast.hd_name;
+          let params = List.map (fun (_, t) -> resolve_ty genv hd.Ast.hd_pos t) hd.Ast.hd_params in
+          let ret =
+            match hd.Ast.hd_ret with
+            | None -> Tunit
+            | Some t -> resolve_ty genv hd.Ast.hd_pos t
+          in
+          let sigs = resolve_signals genv hd.Ast.hd_pos hd.Ast.hd_sigs in
+          Hashtbl.replace handlers hd.Ast.hd_name
+            {
+              hi_group = grp.Ast.grp_name;
+              hi_sig = { hs_params = params; hs_ret = ret; hs_sigs = sigs };
+            })
+        grp.Ast.grp_handlers)
+    gd.Ast.gd_groups;
+  handlers
+
+let check_program (prog : Ast.program) : tprogram =
+  let genv =
+    { typedefs = Hashtbl.create 16; guardians = Hashtbl.create 8; procs = Hashtbl.create 8 }
+  in
+  (* pass 1: typedefs in order, then guardian/proc signatures *)
+  List.iter
+    (function
+      | Ast.Itype (name, t) ->
+          if Hashtbl.mem genv.typedefs name then err 0 "type %s defined twice" name;
+          Hashtbl.replace genv.typedefs name (resolve_ty genv 0 t)
+      | Ast.Iguardian _ | Ast.Iproc _ | Ast.Iprocess _ -> ())
+    prog;
+  List.iter
+    (function
+      | Ast.Iguardian gd ->
+          if Hashtbl.mem genv.guardians gd.Ast.gd_name then
+            err gd.Ast.gd_pos "guardian %s defined twice" gd.Ast.gd_name;
+          Hashtbl.replace genv.guardians gd.Ast.gd_name (collect_guardian_sigs genv gd)
+      | Ast.Iproc pd ->
+          if Hashtbl.mem genv.procs pd.Ast.pd_name then
+            err pd.Ast.pd_pos "proc %s defined twice" pd.Ast.pd_name;
+          let params =
+            List.map (fun (p, t) -> (p, resolve_ty genv pd.Ast.pd_pos t)) pd.Ast.pd_params
+          in
+          let ret =
+            match pd.Ast.pd_ret with None -> Tunit | Some t -> resolve_ty genv pd.Ast.pd_pos t
+          in
+          let sigs = resolve_signals genv pd.Ast.pd_pos pd.Ast.pd_sigs in
+          Hashtbl.replace genv.procs pd.Ast.pd_name
+            ({ hs_params = List.map snd params; hs_ret = ret; hs_sigs = sigs }, params)
+      | Ast.Itype _ | Ast.Iprocess _ -> ())
+    prog;
+  (* pass 2: bodies *)
+  let guardians = ref [] and procs = ref [] and processes = ref [] in
+  List.iter
+    (function
+      | Ast.Itype _ -> ()
+      | Ast.Iguardian gd ->
+          (* guardian variables first: their initialisers must be pure
+             (no remote calls during guardian creation) *)
+          let env0 = { vars = []; genv } in
+          let gvars_rev, env =
+            List.fold_left
+              (fun (acc, env) (name, ty_opt, init) ->
+                let expected =
+                  match ty_opt with
+                  | Some t -> Some (resolve_ty genv gd.Ast.gd_pos t)
+                  | None -> None
+                in
+                let tinit, einit = check_expr env init expected in
+                if einit <> Sigset.empty then
+                  err gd.Ast.gd_pos
+                    "guardian variable %s: initialisation cannot make remote calls or \
+                     signal"
+                    name;
+                let ty = match expected with Some t -> t | None -> tinit.tty in
+                if not (equal tinit.tty ty) then
+                  err gd.Ast.gd_pos "guardian variable %s declared %s but initialised with %s"
+                    name (to_string ty) (to_string tinit.tty);
+                ((name, ty, tinit) :: acc, bind env name ty))
+              ([], env0) gd.Ast.gd_vars
+          in
+          let gvars = List.rev gvars_rev in
+          let gvar_env = env.vars in
+          let groups =
+            List.map
+              (fun grp ->
+                ( grp.Ast.grp_name,
+                  List.map (fun hd -> check_handler genv gvar_env hd) grp.Ast.grp_handlers ))
+              gd.Ast.gd_groups
+          in
+          guardians := { tg_name = gd.Ast.gd_name; tg_vars = gvars; tg_groups = groups }
+                       :: !guardians
+      | Ast.Iproc pd ->
+          let psig, params = Hashtbl.find genv.procs pd.Ast.pd_name in
+          let env = List.fold_left (fun e (p, t) -> bind e p t) { vars = []; genv } params in
+          let ctx =
+            {
+              ret_ty = psig.hs_ret;
+              declared = psig.hs_sigs;
+              where = Printf.sprintf "proc %s" pd.Ast.pd_name;
+            }
+          in
+          let body, effects = check_stmts env ctx pd.Ast.pd_body in
+          check_escaping pd.Ast.pd_pos ~where:ctx.where ~declared:psig.hs_sigs effects;
+          procs :=
+            { tp_name = pd.Ast.pd_name; tp_params = params; tp_ret = psig.hs_ret;
+              tp_sigs = psig.hs_sigs; tp_body = body }
+            :: !procs
+      | Ast.Iprocess prc ->
+          let env = { vars = []; genv } in
+          let ctx =
+            {
+              ret_ty = Tunit;
+              declared = [];
+              where = Printf.sprintf "process %s" prc.Ast.prc_name;
+            }
+          in
+          let body, effects = check_stmts env ctx prc.Ast.prc_body in
+          check_escaping prc.Ast.prc_pos ~where:ctx.where ~declared:[] effects;
+          processes := { tpr_name = prc.Ast.prc_name; tpr_body = body } :: !processes)
+    prog;
+  {
+    prog_guardians = List.rev !guardians;
+    prog_procs = List.rev !procs;
+    prog_processes = List.rev !processes;
+  }

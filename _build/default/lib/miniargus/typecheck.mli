@@ -1,0 +1,26 @@
+(** Static checking of Mini-Argus programs.
+
+    Beyond conventional type checking, the checker performs the
+    signal-effect analysis that makes the paper's promises "strongly
+    typed ... avoiding the need for runtime checking" (§3, §3.3):
+
+    - every promise type carries the declared signal set of the
+      handler (or forked proc) that produces it;
+    - [claim] has the result type of the promise and can raise exactly
+      the promise's signals plus the universal [unavailable] and
+      [failure];
+    - a signal may escape a handler or proc only if declared in its
+      [signals] clause; it may not escape a process at all — it must
+      be handled by an [except] arm (only [unavailable]/[failure],
+      which any remote interaction can raise, may escape);
+    - an [except when] arm whose signal cannot occur in the statement
+      it guards is rejected (it is dead code or a typo);
+    - handler argument/result/signal types must be transmissible — no
+      promises or queues across the wire (§3).
+
+    The result is a fully resolved {!Tast.tprogram}. *)
+
+exception Error of string * int
+(** Type error: message and source line (0 when unknown). *)
+
+val check_program : Ast.program -> Tast.tprogram

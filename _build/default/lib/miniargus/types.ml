@@ -1,0 +1,127 @@
+(* Checked types of Mini-Argus.
+
+   The promise type carries both the result type and the declared
+   signal set — the paper's central typing idea: "the type of the
+   promise object reflects the possible results of the call, i.e., the
+   type of the result in the normal case, and the names and types of
+   the possible exceptions" (§3). The universal exceptions
+   [unavailable] and [failure] are not part of the set; every remote
+   interaction can raise them. *)
+
+type ty =
+  | Tint
+  | Treal
+  | Tbool
+  | Tstr
+  | Tunit
+  | Tarr of ty
+  | Tqueue of ty
+  | Trec of (string * ty) list  (* fields sorted by name *)
+  | Tpromise of ty * signal list  (* signals sorted by name *)
+  | Tportv of ty list * ty * signal list
+      (* a transmissible handler reference: params, result, signals *)
+
+and signal = { sg_name : string; sg_payload : ty list }
+
+let sort_fields fields = List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+
+let sort_signals sigs = List.sort (fun a b -> String.compare a.sg_name b.sg_name) sigs
+
+let rec equal a b =
+  match (a, b) with
+  | Tint, Tint | Treal, Treal | Tbool, Tbool | Tstr, Tstr | Tunit, Tunit -> true
+  | Tarr x, Tarr y | Tqueue x, Tqueue y -> equal x y
+  | Trec xs, Trec ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (f, t) (g, u) -> f = g && equal t u) xs ys
+  | Tpromise (x, sx), Tpromise (y, sy) -> equal x y && equal_signals sx sy
+  | Tportv (px, rx, sx), Tportv (py, ry, sy) ->
+      List.length px = List.length py
+      && List.for_all2 equal px py
+      && equal rx ry && equal_signals sx sy
+  | ( Tint | Treal | Tbool | Tstr | Tunit | Tarr _ | Tqueue _ | Trec _ | Tpromise _
+    | Tportv _ ), _ ->
+      false
+
+and equal_signals xs ys =
+  List.length xs = List.length ys
+  && List.for_all2
+       (fun a b -> a.sg_name = b.sg_name && List.length a.sg_payload = List.length b.sg_payload
+                   && List.for_all2 equal a.sg_payload b.sg_payload)
+       xs ys
+
+let rec pp ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Treal -> Format.pp_print_string ppf "real"
+  | Tbool -> Format.pp_print_string ppf "bool"
+  | Tstr -> Format.pp_print_string ppf "string"
+  | Tunit -> Format.pp_print_string ppf "null"
+  | Tarr t -> Format.fprintf ppf "array[%a]" pp t
+  | Tqueue t -> Format.fprintf ppf "queue[%a]" pp t
+  | Trec fields ->
+      let pp_field ppf (f, t) = Format.fprintf ppf "%s: %a" f pp t in
+      Format.fprintf ppf "record[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_field)
+        fields
+  | Tpromise (t, sigs) ->
+      Format.fprintf ppf "promise";
+      (match t with Tunit -> () | t -> Format.fprintf ppf " returns (%a)" pp t);
+      if sigs <> [] then Format.fprintf ppf " signals (%a)" pp_signals sigs
+  | Tportv (params, ret, sigs) ->
+      Format.fprintf ppf "port (%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        params;
+      (match ret with Tunit -> () | t -> Format.fprintf ppf " returns (%a)" pp t);
+      if sigs <> [] then Format.fprintf ppf " signals (%a)" pp_signals sigs
+
+and pp_signals ppf sigs =
+  let pp_sig ppf s =
+    Format.pp_print_string ppf s.sg_name;
+    if s.sg_payload <> [] then
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        s.sg_payload
+  in
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_sig ppf sigs
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Values that may cross the wire: "promises are not legal as arguments
+   or results" (§3); queues are local synchronisation objects. *)
+let rec transmissible = function
+  | Tint | Treal | Tbool | Tstr | Tunit -> true
+  | Tarr t -> transmissible t
+  | Trec fields -> List.for_all (fun (_, t) -> transmissible t) fields
+  | Tportv _ -> true (* "ports may be sent as arguments and results" (§2) *)
+  | Tqueue _ | Tpromise _ -> false
+
+(* The two universal exceptions, always allowed to escape. *)
+let unavailable = { sg_name = "unavailable"; sg_payload = [ Tstr ] }
+
+let failure = { sg_name = "failure"; sg_payload = [ Tstr ] }
+
+let exception_reply = { sg_name = "exception_reply"; sg_payload = [] }
+
+let universal name = name = "unavailable" || name = "failure"
+
+(* Signal-set operations used by the effect analysis. *)
+module Sigset = struct
+  type t = signal list (* sorted, unique by name *)
+
+  let empty : t = []
+
+  let add s set = if List.exists (fun x -> x.sg_name = s.sg_name) set then set else
+      sort_signals (s :: set)
+
+  let union a b = List.fold_left (fun acc s -> add s acc) a b
+
+  let remove_name name set = List.filter (fun s -> s.sg_name <> name) set
+
+  let mem_name name set = List.exists (fun s -> s.sg_name = name) set
+
+  let find_name name set = List.find_opt (fun s -> s.sg_name = name) set
+
+  let of_list l = List.fold_left (fun acc s -> add s acc) empty l
+
+  let names set = List.map (fun s -> s.sg_name) set
+end

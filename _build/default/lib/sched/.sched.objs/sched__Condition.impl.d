@@ -1,0 +1,1 @@
+lib/sched/condition.ml: Mutex Queue Scheduler

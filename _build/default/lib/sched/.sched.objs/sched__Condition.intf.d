@@ -1,0 +1,1 @@
+lib/sched/condition.mli: Mutex Scheduler

@@ -1,0 +1,1 @@
+lib/sched/mutex.ml: Queue Scheduler

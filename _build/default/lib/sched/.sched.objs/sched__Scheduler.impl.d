@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Effect Hashtbl List Queue Sim

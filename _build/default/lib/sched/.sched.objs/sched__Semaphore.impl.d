@@ -1,0 +1,1 @@
+lib/sched/semaphore.ml: Queue Scheduler

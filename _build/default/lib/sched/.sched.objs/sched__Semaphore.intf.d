@@ -1,0 +1,1 @@
+lib/sched/semaphore.mli: Scheduler

@@ -1,0 +1,27 @@
+type t = { sched : Scheduler.t; waiters : unit Scheduler.waker Queue.t }
+
+let create sched = { sched; waiters = Queue.create () }
+
+let wait c m =
+  if not (Mutex.locked m) then invalid_arg "Condition.wait: mutex not held";
+  (* Park first, then release: registration happens inside [suspend]
+     before any other fiber runs, so no wakeup can be lost. *)
+  let reacquire () = Mutex.lock m in
+  Mutex.unlock m;
+  Scheduler.suspend c.sched (fun w -> Queue.push w c.waiters);
+  reacquire ()
+
+let rec signal c =
+  match Queue.take_opt c.waiters with
+  | None -> ()
+  | Some w -> if not (Scheduler.wake w ()) then signal c
+
+let broadcast c =
+  let rec drain () =
+    match Queue.take_opt c.waiters with
+    | None -> ()
+    | Some w ->
+        ignore (Scheduler.wake w () : bool);
+        drain ()
+  in
+  drain ()

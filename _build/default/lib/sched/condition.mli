@@ -1,0 +1,19 @@
+(** Condition variables with Mesa semantics.
+
+    A woken fiber re-acquires the mutex and must re-check its predicate
+    in a loop, because other fibers may run between the signal and the
+    resumption. *)
+
+type t
+
+val create : Scheduler.t -> t
+
+val wait : t -> Mutex.t -> unit
+(** Atomically release the mutex and park; on wake, re-acquire the
+    mutex before returning. The caller must hold the mutex. *)
+
+val signal : t -> unit
+(** Wake one waiting fiber (if any). *)
+
+val broadcast : t -> unit
+(** Wake every waiting fiber. *)

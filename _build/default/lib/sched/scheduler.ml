@@ -1,0 +1,341 @@
+exception Terminated
+
+type fiber_result = Finished | Failed of exn | Killed
+
+type t = {
+  mutable time : float;
+  run_q : (unit -> unit) Queue.t;
+  events : (unit -> unit) Sim.Heap.t;
+  mutable cur : fiber option;
+  mutable live : int;
+  live_tbl : (int, fiber) Hashtbl.t;
+  mutable next_fid : int;
+  mutable next_gid : int;
+  sched_rng : Sim.Rng.t;
+  sched_stats : Sim.Stats.t;
+  sched_trace : Sim.Trace.t;
+}
+
+and fiber = {
+  fid : int;
+  fname : string;
+  mutable fstate : fstate;
+  mutable fkilled : bool;
+  mutable fcritical : int;
+  mutable fwaiting : packed_waker option;
+  mutable fresult : fiber_result option;
+  fdaemon : bool;
+  mutable fgroup : group option;
+  mutable fon_exit : (fiber_result -> unit) list;
+}
+
+and fstate = Runnable | Running | Suspended | Done
+
+and 'a waker = {
+  mutable wcont : ('a, unit) Effect.Deep.continuation option;
+  wfiber : fiber;
+  wsched : t;
+}
+
+and packed_waker = Packed : 'a waker -> packed_waker
+
+and group = {
+  gid : int;
+  gsched : t;
+  mutable gmembers : fiber list;
+  mutable gwaiters : unit waker list;
+}
+
+type outcome = Completed | Deadlocked of fiber list | Time_limit
+
+type _ Effect.t += Suspend : t * ('a waker -> unit) -> 'a Effect.t
+
+let create ?(seed = 42) () =
+  {
+    time = 0.0;
+    run_q = Queue.create ();
+    events = Sim.Heap.create ();
+    cur = None;
+    live = 0;
+    live_tbl = Hashtbl.create 64;
+    next_fid = 0;
+    next_gid = 0;
+    sched_rng = Sim.Rng.create ~seed;
+    sched_stats = Sim.Stats.create ();
+    sched_trace = Sim.Trace.create ();
+  }
+
+let now t = t.time
+
+let rng t = t.sched_rng
+
+let stats t = t.sched_stats
+
+let trace t = t.sched_trace
+
+let current t = t.cur
+
+let fiber_id f = f.fid
+
+let fiber_name f = f.fname
+
+let fiber_result f = f.fresult
+
+let alive f = f.fresult = None
+
+let tracef t fmt = Sim.Trace.recordf t.sched_trace ~time:t.time fmt
+
+(* Group bookkeeping is internal; the public [Group] module wraps it. *)
+let group_remove t g fiber =
+  g.gmembers <- List.filter (fun f -> f.fid <> fiber.fid) g.gmembers;
+  if g.gmembers = [] then begin
+    let waiters = g.gwaiters in
+    g.gwaiters <- [];
+    List.iter
+      (fun w ->
+        (* wake is defined below; forward reference avoided by inlining
+           the resume here via the run queue. *)
+        match w.wcont with
+        | None -> ()
+        | Some k ->
+            w.wcont <- None;
+            w.wfiber.fwaiting <- None;
+            w.wfiber.fstate <- Runnable;
+            Queue.push
+              (fun () ->
+                t.cur <- Some w.wfiber;
+                w.wfiber.fstate <- Running;
+                Effect.Deep.continue k ())
+              t.run_q)
+      waiters
+  end
+
+let finish t fiber result =
+  assert (fiber.fresult = None);
+  fiber.fstate <- Done;
+  fiber.fresult <- Some result;
+  fiber.fwaiting <- None;
+  if not fiber.fdaemon then t.live <- t.live - 1;
+  Hashtbl.remove t.live_tbl fiber.fid;
+  tracef t "fiber %d (%s) %s" fiber.fid fiber.fname
+    (match result with
+    | Finished -> "finished"
+    | Failed _ -> "failed"
+    | Killed -> "killed");
+  (match fiber.fgroup with Some g -> group_remove t g fiber | None -> ());
+  let hooks = fiber.fon_exit in
+  fiber.fon_exit <- [];
+  List.iter (fun hook -> hook result) hooks
+
+let spawn t ?(name = "fiber") ?(daemon = false) ?group ?on_exit body =
+  let fiber =
+    {
+      fid = t.next_fid;
+      fname = name;
+      fstate = Runnable;
+      fkilled = false;
+      fcritical = 0;
+      fwaiting = None;
+      fresult = None;
+      fdaemon = daemon;
+      fgroup = group;
+      fon_exit = (match on_exit with None -> [] | Some h -> [ h ]);
+    }
+  in
+  t.next_fid <- t.next_fid + 1;
+  if not daemon then t.live <- t.live + 1;
+  Hashtbl.add t.live_tbl fiber.fid fiber;
+  (match group with Some g -> g.gmembers <- fiber :: g.gmembers | None -> ());
+  tracef t "spawn fiber %d (%s)" fiber.fid name;
+  let thunk () =
+    if fiber.fkilled then begin
+      t.cur <- Some fiber;
+      finish t fiber Killed
+    end
+    else begin
+      t.cur <- Some fiber;
+      fiber.fstate <- Running;
+      Effect.Deep.match_with body ()
+        {
+          retc = (fun () -> finish t fiber Finished);
+          exnc =
+            (fun e ->
+              match e with
+              | Terminated -> finish t fiber Killed
+              | e -> finish t fiber (Failed e));
+          effc =
+            (fun (type b) (eff : b Effect.t) ->
+              match eff with
+              | Suspend (_, register) ->
+                  Some
+                    (fun (k : (b, unit) Effect.Deep.continuation) ->
+                      let waker = { wcont = Some k; wfiber = fiber; wsched = t } in
+                      fiber.fstate <- Suspended;
+                      fiber.fwaiting <- Some (Packed waker);
+                      register waker)
+              | _ -> None);
+        }
+    end
+  in
+  Queue.push thunk t.run_q;
+  fiber
+
+let check_wounded t =
+  match t.cur with
+  | Some f when f.fkilled && f.fcritical = 0 -> raise Terminated
+  | Some _ | None -> ()
+
+let suspend t register =
+  (match t.cur with
+  | None -> invalid_arg "Scheduler.suspend: not in fiber context"
+  | Some _ -> ());
+  check_wounded t;
+  let v = Effect.perform (Suspend (t, register)) in
+  check_wounded t;
+  v
+
+let wake w v =
+  match w.wcont with
+  | None -> false
+  | Some k ->
+      let t = w.wsched in
+      if w.wfiber.fkilled && w.wfiber.fcritical = 0 then begin
+        (* The fiber was killed while parked; it will be (or has been)
+           discontinued by [kill]. Refuse delivery so callers retry. *)
+        false
+      end
+      else begin
+        w.wcont <- None;
+        w.wfiber.fwaiting <- None;
+        w.wfiber.fstate <- Runnable;
+        Queue.push
+          (fun () ->
+            t.cur <- Some w.wfiber;
+            w.wfiber.fstate <- Running;
+            Effect.Deep.continue k v)
+          t.run_q;
+        true
+      end
+
+let wake_exn w e =
+  match w.wcont with
+  | None -> false
+  | Some k ->
+      let t = w.wsched in
+      w.wcont <- None;
+      w.wfiber.fwaiting <- None;
+      w.wfiber.fstate <- Runnable;
+      Queue.push
+        (fun () ->
+          t.cur <- Some w.wfiber;
+          w.wfiber.fstate <- Running;
+          Effect.Deep.discontinue k e)
+        t.run_q;
+      true
+
+let waker_alive w = w.wcont <> None
+
+let kill _t fiber =
+  match fiber.fstate with
+  | Done -> ()
+  | Running | Runnable -> fiber.fkilled <- true
+  | Suspended ->
+      fiber.fkilled <- true;
+      if fiber.fcritical = 0 then begin
+        match fiber.fwaiting with
+        | None -> ()
+        | Some (Packed w) -> ignore (wake_exn w Terminated : bool)
+      end
+
+let yield t = suspend t (fun w -> ignore (wake w () : bool))
+
+let at t time f =
+  let time = if time < t.time then t.time else time in
+  Sim.Heap.push t.events ~prio:time f
+
+let after t dt f = at t (t.time +. dt) f
+
+let sleep t dt = suspend t (fun w -> after t dt (fun () -> ignore (wake w () : bool)))
+
+let enter_critical t =
+  match t.cur with
+  | None -> invalid_arg "Scheduler.enter_critical: not in fiber context"
+  | Some f -> f.fcritical <- f.fcritical + 1
+
+let exit_critical t =
+  match t.cur with
+  | None -> invalid_arg "Scheduler.exit_critical: not in fiber context"
+  | Some f ->
+      assert (f.fcritical > 0);
+      f.fcritical <- f.fcritical - 1;
+      if f.fcritical = 0 && f.fkilled then raise Terminated
+
+let critical t f =
+  enter_critical t;
+  match f () with
+  | v ->
+      exit_critical t;
+      v
+  | exception e ->
+      (* Leave the critical section even on exception; if the fiber was
+         wounded meanwhile, Terminated supersedes the user exception. *)
+      exit_critical t;
+      raise e
+
+let wounded t = match t.cur with None -> false | Some f -> f.fkilled
+
+let in_critical t = match t.cur with None -> false | Some f -> f.fcritical > 0
+
+let live_fibers t =
+  Hashtbl.fold (fun _ f acc -> if f.fdaemon then acc else f :: acc) t.live_tbl []
+
+let run ?until t =
+  let rec loop () =
+    if not (Queue.is_empty t.run_q) then begin
+      let thunk = Queue.pop t.run_q in
+      thunk ();
+      t.cur <- None;
+      loop ()
+    end
+    else
+      match Sim.Heap.peek t.events with
+      | None -> if t.live > 0 then Deadlocked (live_fibers t) else Completed
+      | Some (time, _) -> (
+          match until with
+          | Some u when time > u ->
+              t.time <- u;
+              Time_limit
+          | Some _ | None ->
+              (match Sim.Heap.pop t.events with
+              | Some (time, ev) ->
+                  if time > t.time then t.time <- time;
+                  ev ()
+              | None -> assert false);
+              t.cur <- None;
+              loop ())
+  in
+  loop ()
+
+module Group = struct
+  let create t =
+    let g = { gid = t.next_gid; gsched = t; gmembers = []; gwaiters = [] } in
+    t.next_gid <- t.next_gid + 1;
+    g
+
+  let add_spawn t g ?name ?on_exit body = spawn t ?name ~group:g ?on_exit body
+
+  let members g = g.gmembers
+
+  let live_count g = List.length g.gmembers
+
+  let terminate ?except t g =
+    let victims =
+      match except with
+      | None -> g.gmembers
+      | Some f -> List.filter (fun m -> m.fid <> f.fid) g.gmembers
+    in
+    List.iter (fun f -> kill t f) victims
+
+  let wait t g =
+    if g.gmembers <> [] then suspend t (fun w -> g.gwaiters <- w :: g.gwaiters)
+end

@@ -1,0 +1,37 @@
+type t = {
+  sched : Scheduler.t;
+  mutable permits : int;
+  waiters : unit Scheduler.waker Queue.t;
+}
+
+let create sched permits =
+  if permits < 0 then invalid_arg "Semaphore.create: negative permits";
+  { sched; permits; waiters = Queue.create () }
+
+let rec acquire s =
+  if s.permits > 0 then s.permits <- s.permits - 1
+  else begin
+    Scheduler.suspend s.sched (fun w -> Queue.push w s.waiters);
+    acquire s
+  end
+
+let rec wake_next q =
+  match Queue.take_opt q with
+  | None -> ()
+  | Some w -> if not (Scheduler.wake w ()) then wake_next q
+
+let release s =
+  s.permits <- s.permits + 1;
+  wake_next s.waiters
+
+let with_permit s f =
+  acquire s;
+  match f () with
+  | v ->
+      release s;
+      v
+  | exception e ->
+      release s;
+      raise e
+
+let available s = s.permits

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Format Hashtbl List String

@@ -1,0 +1,84 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* [before a b] decides heap order: earlier priority first, insertion
+   order breaking ties. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.arr.(i) h.arr.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && before h.arr.(l) h.arr.(!smallest) then smallest := l;
+  if r < h.size && before h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h =
+  let cap = Array.length h.arr in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy cell is immediately overwritten by [push]. *)
+  let dummy = h.arr.(0) in
+  let arr = Array.make new_cap dummy in
+  Array.blit h.arr 0 arr 0 h.size;
+  h.arr <- arr
+
+let push h ~prio value =
+  let entry = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = Array.length h.arr then
+    if h.size = 0 then h.arr <- Array.make 16 entry else grow h;
+  h.arr.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.arr.(0).prio, h.arr.(0).value)
+
+let clear h =
+  h.arr <- [||];
+  h.size <- 0
+
+let to_list h =
+  let copy = { arr = Array.sub h.arr 0 h.size; size = h.size; next_seq = 0 } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,36 @@
+(** Binary min-heap keyed by [(priority, sequence)].
+
+    The heap is the spine of the discrete-event simulator: events are
+    ordered first by virtual time and then by insertion order, so two
+    events scheduled for the same instant fire in the order they were
+    scheduled. This makes every simulation run deterministic. *)
+
+type 'a t
+(** Mutable min-heap holding values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** [push h ~prio v] inserts [v] with priority [prio]. Elements with
+    equal priority pop in insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the minimum element with its priority,
+    or [None] when the heap is empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** [peek h] is like {!pop} but leaves the element in place. *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)
+
+val to_list : 'a t -> (float * 'a) list
+(** Snapshot of the contents in pop order; the heap is unchanged. Costs
+    O(n log n); intended for tests and debugging. *)

@@ -1,0 +1,112 @@
+type counter = { mutable value : int }
+
+type summary = {
+  mutable samples : float list;
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sorted_cache : float array option;
+}
+
+type t = {
+  counters_tbl : (string, counter) Hashtbl.t;
+  summaries_tbl : (string, summary) Hashtbl.t;
+}
+
+let create () = { counters_tbl = Hashtbl.create 16; summaries_tbl = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { value = 0 } in
+      Hashtbl.add t.counters_tbl name c;
+      c
+
+let incr c = c.value <- c.value + 1
+
+let add c k = c.value <- c.value + k
+
+let count c = c.value
+
+let fresh_summary () =
+  {
+    samples = [];
+    count = 0;
+    total = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    sorted_cache = None;
+  }
+
+let summary t name =
+  match Hashtbl.find_opt t.summaries_tbl name with
+  | Some s -> s
+  | None ->
+      let s = fresh_summary () in
+      Hashtbl.add t.summaries_tbl name s;
+      s
+
+let observe s x =
+  s.samples <- x :: s.samples;
+  s.count <- s.count + 1;
+  s.total <- s.total +. x;
+  if x < s.min_v then s.min_v <- x;
+  if x > s.max_v then s.max_v <- x;
+  s.sorted_cache <- None
+
+let n s = s.count
+
+let mean s = if s.count = 0 then nan else s.total /. float_of_int s.count
+
+let min_value s = if s.count = 0 then nan else s.min_v
+
+let max_value s = if s.count = 0 then nan else s.max_v
+
+let sorted s =
+  match s.sorted_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list s.samples in
+      Array.sort compare a;
+      s.sorted_cache <- Some a;
+      a
+
+let quantile s q =
+  if s.count = 0 then nan
+  else begin
+    let a = sorted s in
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let idx = int_of_float (ceil (q *. float_of_int (Array.length a))) - 1 in
+    let idx = if idx < 0 then 0 else idx in
+    a.(idx)
+  end
+
+let counters t =
+  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) t.counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let summaries t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.summaries_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.value <- 0) t.counters_tbl;
+  Hashtbl.iter
+    (fun _ s ->
+      s.samples <- [];
+      s.count <- 0;
+      s.total <- 0.0;
+      s.min_v <- infinity;
+      s.max_v <- neg_infinity;
+      s.sorted_cache <- None)
+    t.summaries_tbl
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters t);
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "%s: n=%d mean=%.6g min=%.6g p50=%.6g p99=%.6g max=%.6g@." name
+        (n s) (mean s) (min_value s) (quantile s 0.5) (quantile s 0.99) (max_value s))
+    (summaries t)

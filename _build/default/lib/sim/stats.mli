@@ -1,0 +1,56 @@
+(** Counters and summary statistics collected during a simulation run.
+
+    Experiments report message counts, bytes on wire and latency
+    distributions; this module is the common sink for all of them. *)
+
+type counter
+(** Monotonic integer counter. *)
+
+type summary
+(** Streaming summary of float samples (count/mean/min/max plus the raw
+    samples for exact quantiles — simulations are small enough that
+    retaining samples is fine). *)
+
+type t
+(** A registry of named counters and summaries. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** [counter t name] finds or creates the counter called [name]. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val count : counter -> int
+
+val summary : t -> string -> summary
+(** [summary t name] finds or creates the summary called [name]. *)
+
+val observe : summary -> float -> unit
+
+val n : summary -> int
+
+val mean : summary -> float
+(** Mean of the observed samples; [nan] when empty. *)
+
+val min_value : summary -> float
+
+val max_value : summary -> float
+
+val quantile : summary -> float -> float
+(** [quantile s q] with [q] in [\[0,1\]]; nearest-rank on the sorted
+    samples; [nan] when empty. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val summaries : t -> (string * summary) list
+(** All summaries, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every counter and drop every sample, keeping registrations. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of the whole registry. *)

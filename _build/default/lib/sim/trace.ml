@@ -1,0 +1,45 @@
+type t = {
+  mutable records : (float * string) array;
+  capacity : int;
+  mutable next : int;
+  mutable filled : bool;
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () =
+  {
+    records = Array.make (max 1 capacity) (0.0, "");
+    capacity = max 1 capacity;
+    next = 0;
+    filled = false;
+    on = false;
+  }
+
+let enable t b = t.on <- b
+
+let enabled t = t.on
+
+let record t ~time msg =
+  if t.on then begin
+    t.records.(t.next) <- (time, msg);
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.next = 0 then t.filled <- true
+  end
+
+let recordf t ~time fmt =
+  if t.on then Format.kasprintf (fun s -> record t ~time s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let to_list t =
+  if not t.filled then Array.to_list (Array.sub t.records 0 t.next)
+  else
+    let older = Array.sub t.records t.next (t.capacity - t.next) in
+    let newer = Array.sub t.records 0 t.next in
+    Array.to_list (Array.append older newer)
+
+let clear t =
+  t.next <- 0;
+  t.filled <- false
+
+let dump ppf t =
+  List.iter (fun (time, msg) -> Format.fprintf ppf "[%12.6f] %s@." time msg) (to_list t)

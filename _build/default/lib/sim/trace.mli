@@ -1,0 +1,29 @@
+(** Lightweight event trace for debugging simulations.
+
+    A trace is a bounded ring of timestamped strings. Tracing is off by
+    default and costs one branch per call when disabled. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] keeps the last [capacity] records (default
+    4096). *)
+
+val enable : t -> bool -> unit
+(** Turn recording on or off. *)
+
+val enabled : t -> bool
+
+val record : t -> time:float -> string -> unit
+(** Append a record when enabled; otherwise do nothing. *)
+
+val recordf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!record}. The format arguments are evaluated
+    only when the trace is enabled. *)
+
+val to_list : t -> (float * string) list
+(** Records in chronological order (oldest first). *)
+
+val clear : t -> unit
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cpu.mli: Sched

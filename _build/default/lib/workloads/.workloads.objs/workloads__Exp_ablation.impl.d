@@ -1,0 +1,1 @@
+lib/workloads/exp_ablation.ml: Argus Core Cstream Fixtures List Net Printf Sched Sim Table

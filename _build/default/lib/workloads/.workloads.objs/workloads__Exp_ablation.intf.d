@@ -1,0 +1,1 @@
+lib/workloads/exp_ablation.mli: Table

@@ -1,0 +1,1 @@
+lib/workloads/exp_compose.ml: Argus Array Core Cpu Cstream Fixtures Fun List Net Printf Sched Table Xdr

@@ -1,0 +1,1 @@
+lib/workloads/exp_compose.mli: Core Cpu Sched Table

@@ -1,0 +1,1 @@
+lib/workloads/exp_failure.ml: Core Cstream Fixtures Float List Net Printf Sched String Table

@@ -1,0 +1,1 @@
+lib/workloads/exp_fork.ml: Core Cpu Fixtures Float List Printf Sched Sim Table

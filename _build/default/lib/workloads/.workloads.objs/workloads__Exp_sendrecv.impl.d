@@ -1,0 +1,1 @@
+lib/workloads/exp_sendrecv.ml: Core Cstream Fixtures Hashtbl List Net Printf Sched Table Xdr

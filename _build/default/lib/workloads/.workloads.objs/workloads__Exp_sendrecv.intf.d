@@ -1,0 +1,1 @@
+lib/workloads/exp_sendrecv.mli: Table

@@ -1,0 +1,1 @@
+lib/workloads/exp_streams.ml: Core Cstream Fixtures List Net Printf Sched Sim Table

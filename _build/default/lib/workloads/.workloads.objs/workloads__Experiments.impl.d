@@ -1,0 +1,1 @@
+lib/workloads/experiments.ml: Exp_ablation Exp_compose Exp_failure Exp_fork Exp_sendrecv Exp_streams List String Table

@@ -1,0 +1,1 @@
+lib/workloads/fixtures.ml: Argus Core Cstream Float Hashtbl List Net Option Printf Sched Xdr

@@ -1,0 +1,1 @@
+lib/workloads/fixtures.mli: Argus Core Cstream Net Sched

@@ -1,0 +1,1 @@
+lib/workloads/table.ml: Float Format List Option Printf String

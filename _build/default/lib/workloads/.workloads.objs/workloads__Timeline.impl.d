@@ -1,0 +1,1 @@
+lib/workloads/timeline.ml: Bytes Float List Printf String

@@ -1,0 +1,11 @@
+type t = { sched : Sched.Scheduler.t; sem : Sched.Semaphore.t; n : int }
+
+let create sched ~cores =
+  if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
+  { sched; sem = Sched.Semaphore.create sched cores; n = cores }
+
+let consume t dt =
+  if dt > 0.0 then
+    Sched.Semaphore.with_permit t.sem (fun () -> Sched.Scheduler.sleep t.sched dt)
+
+let cores t = t.n

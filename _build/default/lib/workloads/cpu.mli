@@ -1,0 +1,19 @@
+(** A machine with [k] processors, for experiments that distinguish
+    sequential machines from multiprocessors (§4.3, §3.2).
+
+    Fibers "compute" by holding one of [k] permits for a stretch of
+    virtual time; with one permit the machine serialises all
+    computation, with many it runs them in parallel. Communication
+    costs are charged elsewhere (the network model); this is only for
+    local computation such as the filters of a cascade. *)
+
+type t
+
+val create : Sched.Scheduler.t -> cores:int -> t
+
+val consume : t -> float -> unit
+(** [consume cpu dt] occupies one core for [dt] seconds of virtual
+    time (parks while all cores are busy). Zero or negative [dt] is a
+    no-op. *)
+
+val cores : t -> int

@@ -1,0 +1,15 @@
+(** Ablations of design choices called out in DESIGN.md §5.
+
+    A1 — in-order execution at the receiver (the paper's default, §2.1)
+    vs the "explicit override" that lets calls on one stream run
+    concurrently. The override buys completion time on uneven service
+    times but gives up the sequential-execution semantics; the stream's
+    reply order (and hence promise-readiness order) is preserved either
+    way.
+
+    A2 — sender-side buffering policy: flush on batch size, on a
+    timer, or both (the default). *)
+
+val a1 : ?n:int -> unit -> Table.t
+
+val a2 : ?n:int -> unit -> Table.t

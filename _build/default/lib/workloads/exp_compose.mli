@@ -1,0 +1,35 @@
+(** Experiments E3 and E4: stream composition (§4 of the paper). *)
+
+val grades_fig31 : n:int -> svc:float -> produce_cost:float -> float * int
+(** The Figure 3-1 program (two sequential loops) on [n] students;
+    returns (completion time, lines printed). *)
+
+val grades_fig42 : n:int -> svc:float -> produce_cost:float -> float * int
+(** The Figure 4-2 program (coenter + promise queue). *)
+
+val e3 : ?svc:float -> ?produce_cost:float -> unit -> Table.t
+
+(** A client and three servers (reader / computer / writer) for the
+    three-level cascade of §4. *)
+type cascade_world = {
+  cw_sched : Sched.Scheduler.t;
+  cw_read : (int, int, Core.Sigs.nothing) Core.Remote.h;
+  cw_compute : (int, int, Core.Sigs.nothing) Core.Remote.h;
+  cw_write : (int, unit, Core.Sigs.nothing) Core.Remote.h;
+  cw_cpu : Cpu.t;
+  cw_written : int ref;
+}
+
+val make_cascade : svc:float -> cores:int -> unit -> cascade_world
+
+val cascade_staged : cascade_world -> n:int -> filter_cost:float -> unit
+(** Staged loops: all reads, then all computes, then all writes. *)
+
+val cascade_per_stream : cascade_world -> n:int -> filter_cost:float -> unit
+(** One process per stream, joined by queues (the paper's choice). *)
+
+val cascade_per_item :
+  cascade_world -> n:int -> filter_cost:float -> proc_overhead:float -> unit
+(** One process per data item, sequenced per stream (§4.3). *)
+
+val e4 : ?n:int -> ?svc:float -> ?proc_overhead:float -> unit -> Table.t

@@ -1,0 +1,5 @@
+(** Experiment E6: a stream breaks mid-composition — the fork version
+    (Figure 4-1) hangs; the coenter version (Figure 4-2) terminates the
+    group and propagates the exception (§2, §4.1, §4.2). *)
+
+val e6 : ?n:int -> ?crash_at:float -> unit -> Table.t

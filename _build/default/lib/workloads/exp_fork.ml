@@ -1,0 +1,107 @@
+(* Experiment E5: local forks for parallel construction and search of a
+   promise-node binary tree (§3.2).
+
+   Each tree node costs some CPU time to construct. A sequential build
+   pays N * cost on one core; the forked build runs node constructions
+   in parallel, bounded by the number of cores. Searches over the
+   promise tree can start while the tree is still being built — they
+   park on unclaimable nodes ("if a search reaches a node that cannot
+   be claimed yet, it waits until the promise is ready"). *)
+
+module S = Sched.Scheduler
+module P = Core.Promise
+
+type ptree = Node of ((int * ptree * ptree) option, Core.Sigs.nothing) P.t
+
+let rec build_forked sched cpu ~node_cost lo hi =
+  if lo > hi then Node (P.resolved sched (P.Normal None))
+  else
+    Node
+      (Core.Fork.fork sched (fun () ->
+           Cpu.consume cpu node_cost;
+           let mid = (lo + hi) / 2 in
+           Ok (Some (mid, build_forked sched cpu ~node_cost lo (mid - 1),
+                     build_forked sched cpu ~node_cost (mid + 1) hi))))
+
+let rec build_sequential sched cpu ~node_cost lo hi =
+  if lo > hi then Node (P.resolved sched (P.Normal None))
+  else begin
+    Cpu.consume cpu node_cost;
+    let mid = (lo + hi) / 2 in
+    let l = build_sequential sched cpu ~node_cost lo (mid - 1) in
+    let r = build_sequential sched cpu ~node_cost (mid + 1) hi in
+    Node (P.resolved sched (P.Normal (Some (mid, l, r))))
+  end
+
+let rec search (Node p) key =
+  match P.claim p with
+  | P.Normal None -> false
+  | P.Normal (Some (k, l, r)) ->
+      if key = k then true else if key < k then search l key else search r key
+  | P.Signal _ | P.Unavailable _ | P.Failure _ -> false
+
+let run_variant ~variant ~cores ~n ~node_cost ~searches =
+  let sched = S.create () in
+  let cpu = Cpu.create sched ~cores in
+  let build_done = ref nan and all_done = ref nan in
+  let hits = ref 0 in
+  let time_total =
+    Fixtures.timed_run sched (fun () ->
+        let tree =
+          match variant with
+          | `Forked -> build_forked sched cpu ~node_cost 0 (n - 1)
+          | `Sequential -> build_sequential sched cpu ~node_cost 0 (n - 1)
+        in
+        (* Searches start immediately — against a forked tree they
+           overlap construction. *)
+        let rng = Sim.Rng.create ~seed:7 in
+        let keys = List.init searches (fun _ -> Sim.Rng.int rng (2 * n)) in
+        Core.Coenter.coenter_foreach sched keys (fun key ->
+            if search tree key then incr hits);
+        all_done := S.now sched;
+        (* Wait for construction too (forks may outlive the searches). *)
+        let rec wait_tree (Node p) =
+          match P.claim p with
+          | P.Normal None -> ()
+          | P.Normal (Some (_, l, r)) ->
+              wait_tree l;
+              wait_tree r
+          | P.Signal _ | P.Unavailable _ | P.Failure _ -> failwith "build failed"
+        in
+        wait_tree tree;
+        build_done := S.now sched)
+  in
+  ignore time_total;
+  (Float.max !build_done !all_done, !hits)
+
+let e5 ?(n = 255) ?(node_cost = 0.1e-3) ?(searches = 50) () =
+  let rows = ref [] in
+  let expected_hits = ref (-1) in
+  List.iter
+    (fun cores ->
+      List.iter
+        (fun variant ->
+          let time, hits = run_variant ~variant ~cores ~n ~node_cost ~searches in
+          (match !expected_hits with
+          | -1 -> expected_hits := hits
+          | e -> assert (hits = e));
+          rows :=
+            [
+              Table.cell_i cores;
+              (match variant with `Sequential -> "sequential" | `Forked -> "forked promises");
+              Table.cell_ms time;
+            ]
+            :: !rows)
+        [ `Sequential; `Forked ])
+    [ 1; 4; 16 ];
+  Table.make ~id:"E5"
+    ~title:
+      (Printf.sprintf "promise-node binary tree: build %d nodes (%.1f ms each) + %d searches" n
+         (node_cost *. 1e3) searches)
+    ~header:[ "CPUs"; "build"; "completion" ]
+    ~notes:
+      [
+        "paper claim (§3.2): forked promises allow parallel insertion and searching; \
+         searches block on nodes that cannot be claimed yet";
+      ]
+    (List.rev !rows)

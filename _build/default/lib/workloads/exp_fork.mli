@@ -1,0 +1,4 @@
+(** Experiment E5: parallel construction and search of a promise-node
+    binary tree with local forks (§3.2). *)
+
+val e5 : ?n:int -> ?node_cost:float -> ?searches:int -> unit -> Table.t

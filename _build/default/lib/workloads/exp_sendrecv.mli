@@ -1,0 +1,5 @@
+(** Experiment E8: explicit send/receive vs streams with promises (§5):
+    comparable throughput, but the send/receive client must correlate
+    every reply with its call by hand. *)
+
+val e8 : ?n:int -> unit -> Table.t

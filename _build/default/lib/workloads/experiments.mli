@@ -1,0 +1,18 @@
+(** Registry of the reproduction experiments (see DESIGN.md §4).
+
+    Each experiment is deterministic: it builds a fresh simulated
+    world, runs the workload and returns a {!Table.t}. E7 (wall-clock
+    microbenchmarks of promises vs dynamically checked futures) lives
+    in the bench executable because it needs real time. *)
+
+val all_ids : string list
+(** The simulated experiments, in order: E1–E6, E8, E9, plus the
+    ablations A1 (receiver execution discipline) and A2 (buffering
+    policy). *)
+
+val run : string -> Table.t
+(** [run "E3"] executes that experiment. Raises [Not_found] for an
+    unknown id. *)
+
+val run_all : unit -> Table.t list
+(** Every simulated experiment, in id order. *)

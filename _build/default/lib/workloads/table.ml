@@ -1,0 +1,44 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let cell_f x =
+  if Float.is_nan x then "-"
+  else if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let cell_ms seconds = Printf.sprintf "%.3f ms" (seconds *. 1e3)
+
+let cell_i = string_of_int
+
+let render ppf t =
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width col =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row col with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row row =
+    let cells = List.mapi (fun i w -> pad (Option.value ~default:"" (List.nth_opt row i)) w) widths in
+    String.concat "  " cells
+  in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "%s@." (render_row t.header);
+  let total = List.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Format.fprintf ppf "%s@." (String.make total '-');
+  List.iter (fun row -> Format.fprintf ppf "%s@." (render_row row)) t.rows;
+  List.iter (fun note -> Format.fprintf ppf "  note: %s@." note) t.notes;
+  Format.fprintf ppf "@."
+
+let print t =
+  render Format.std_formatter t;
+  Format.pp_print_flush Format.std_formatter ()

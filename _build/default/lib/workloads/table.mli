@@ -1,0 +1,30 @@
+(** Plain-text result tables for the experiment harness.
+
+    Every experiment produces one table shaped like the series the
+    paper's claims describe; the bench executable prints them and
+    EXPERIMENTS.md records them. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "E1" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** conclusions / paper-claim comparison *)
+}
+
+val make : id:string -> title:string -> header:string list -> ?notes:string list ->
+  string list list -> t
+
+val render : Format.formatter -> t -> unit
+(** Aligned columns, a rule under the header, notes at the end. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : float -> string
+(** Format a float compactly (4 significant digits). *)
+
+val cell_ms : float -> string
+(** Seconds rendered as milliseconds with unit. *)
+
+val cell_i : int -> string

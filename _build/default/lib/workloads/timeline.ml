@@ -1,0 +1,41 @@
+let render ?(width = 60) ~t_end rows =
+  if t_end <= 0.0 then invalid_arg "Timeline.render: t_end must be positive";
+  let bucket_of time = int_of_float (float_of_int width *. time /. t_end) in
+  let line (label, intervals) =
+    let cells = Bytes.make width '.' in
+    List.iter
+      (fun (start, stop) ->
+        let first = max 0 (bucket_of start) in
+        let last = min (width - 1) (bucket_of stop) in
+        for b = first to last do
+          Bytes.set cells b '#'
+        done)
+      intervals;
+    Printf.sprintf "%-10s |%s|" label (Bytes.to_string cells)
+  in
+  let axis =
+    Printf.sprintf "%-10s 0%s%.1f ms" "" (String.make (width - 6) ' ') (t_end *. 1e3)
+  in
+  List.map line rows @ [ axis ]
+
+let utilisation ~t_end intervals =
+  if t_end <= 0.0 then 0.0
+  else begin
+    let sorted = List.sort compare intervals in
+    let rec merge acc = function
+      | [] -> List.rev acc
+      | (s, e) :: rest -> (
+          match acc with
+          | (ps, pe) :: tail when s <= pe -> merge ((ps, Float.max pe e) :: tail) rest
+          | _ -> merge ((s, e) :: acc) rest)
+    in
+    let merged = merge [] sorted in
+    let covered =
+      List.fold_left
+        (fun acc (s, e) ->
+          let s = Float.max 0.0 s and e = Float.min t_end e in
+          acc +. Float.max 0.0 (e -. s))
+        0.0 merged
+    in
+    covered /. t_end
+  end

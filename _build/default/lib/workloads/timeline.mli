@@ -1,0 +1,21 @@
+(** ASCII utilisation timelines.
+
+    Renders busy intervals of several resources against a common time
+    axis — the visual form of the overlap arguments in §4 of the
+    paper: in the Figure 3-1 program the database and the printer are
+    busy one after the other; under the Figure 4-2 coenter their busy
+    periods overlap. *)
+
+val render :
+  ?width:int ->
+  t_end:float ->
+  (string * (float * float) list) list ->
+  string list
+(** [render ~t_end rows] draws one line per row: the label, then
+    [width] buckets (default 60) covering [\[0, t_end\]]; a bucket is
+    ['#'] if the resource was busy at any point inside it, ['.']
+    otherwise. A final axis line gives the scale. *)
+
+val utilisation : t_end:float -> (float * float) list -> float
+(** Fraction of [\[0, t_end\]] covered by the intervals (they may
+    overlap; overlaps are not double-counted). *)

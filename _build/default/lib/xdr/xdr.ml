@@ -1,0 +1,294 @@
+type value =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Str of string
+  | Pair of value * value
+  | List of value list
+  | Record of (string * value) list
+  | Tagged of string * value
+
+let rec wire_size = function
+  | Unit -> 1
+  | Bool _ -> 1
+  | Int _ -> 8
+  | Real _ -> 8
+  | Str s -> 4 + String.length s
+  | Pair (a, b) -> 1 + wire_size a + wire_size b
+  | List vs -> 4 + List.fold_left (fun acc v -> acc + wire_size v) 0 vs
+  | Record fields ->
+      4 + List.fold_left (fun acc (name, v) -> acc + String.length name + 1 + wire_size v) 0 fields
+  | Tagged (tag, v) -> 1 + String.length tag + wire_size v
+
+let rec pp_value ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Real r -> Format.fprintf ppf "%g" r
+  | Str s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp_value a pp_value b
+  | List vs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_value)
+        vs
+  | Record fields ->
+      let pp_field ppf (name, v) = Format.fprintf ppf "%s = %a" name pp_value v in
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_field)
+        fields
+  | Tagged (tag, v) -> Format.fprintf ppf "%s(%a)" tag pp_value v
+
+let equal_value (a : value) (b : value) = a = b
+
+type 'a codec = {
+  type_name : string;
+  encode : 'a -> (value, string) result;
+  decode : value -> ('a, string) result;
+}
+
+let encode c v = c.encode v
+
+let decode c v = c.decode v
+
+let type_error expected got =
+  Error (Format.asprintf "expected %s, got %a" expected pp_value got)
+
+let unit =
+  {
+    type_name = "unit";
+    encode = (fun () -> Ok Unit);
+    decode = (function Unit -> Ok () | v -> type_error "unit" v);
+  }
+
+let bool =
+  {
+    type_name = "bool";
+    encode = (fun b -> Ok (Bool b));
+    decode = (function Bool b -> Ok b | v -> type_error "bool" v);
+  }
+
+let int =
+  {
+    type_name = "int";
+    encode = (fun i -> Ok (Int i));
+    decode = (function Int i -> Ok i | v -> type_error "int" v);
+  }
+
+let real =
+  {
+    type_name = "real";
+    encode = (fun r -> Ok (Real r));
+    decode = (function Real r -> Ok r | v -> type_error "real" v);
+  }
+
+let string =
+  {
+    type_name = "string";
+    encode = (fun s -> Ok (Str s));
+    decode = (function Str s -> Ok s | v -> type_error "string" v);
+  }
+
+let ( let* ) = Result.bind
+
+let pair ca cb =
+  {
+    type_name = Printf.sprintf "(%s * %s)" ca.type_name cb.type_name;
+    encode =
+      (fun (a, b) ->
+        let* va = ca.encode a in
+        let* vb = cb.encode b in
+        Ok (Pair (va, vb)));
+    decode =
+      (fun v ->
+        match v with
+        | Pair (va, vb) ->
+            let* a = ca.decode va in
+            let* b = cb.decode vb in
+            Ok (a, b)
+        | v -> type_error "pair" v);
+  }
+
+let triple ca cb cc =
+  {
+    type_name = Printf.sprintf "(%s * %s * %s)" ca.type_name cb.type_name cc.type_name;
+    encode =
+      (fun (a, b, c) ->
+        let* va = ca.encode a in
+        let* vb = cb.encode b in
+        let* vc = cc.encode c in
+        Ok (Pair (va, Pair (vb, vc))));
+    decode =
+      (fun v ->
+        match v with
+        | Pair (va, Pair (vb, vc)) ->
+            let* a = ca.decode va in
+            let* b = cb.decode vb in
+            let* c = cc.decode vc in
+            Ok (a, b, c)
+        | v -> type_error "triple" v);
+  }
+
+let list ca =
+  {
+    type_name = Printf.sprintf "%s list" ca.type_name;
+    encode =
+      (fun items ->
+        let rec go acc = function
+          | [] -> Ok (List (List.rev acc))
+          | x :: rest -> (
+              match ca.encode x with Ok v -> go (v :: acc) rest | Error e -> Error e)
+        in
+        go [] items);
+    decode =
+      (fun v ->
+        match v with
+        | List vs ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | x :: rest -> (
+                  match ca.decode x with Ok d -> go (d :: acc) rest | Error e -> Error e)
+            in
+            go [] vs
+        | v -> type_error "list" v);
+  }
+
+let array ca =
+  let cl = list ca in
+  {
+    type_name = Printf.sprintf "%s array" ca.type_name;
+    encode = (fun arr -> cl.encode (Array.to_list arr));
+    decode = (fun v -> Result.map Array.of_list (cl.decode v));
+  }
+
+let option ca =
+  {
+    type_name = Printf.sprintf "%s option" ca.type_name;
+    encode =
+      (function
+      | None -> Ok (Tagged ("none", Unit))
+      | Some x ->
+          let* v = ca.encode x in
+          Ok (Tagged ("some", v)));
+    decode =
+      (fun v ->
+        match v with
+        | Tagged ("none", Unit) -> Ok None
+        | Tagged ("some", inner) -> Result.map Option.some (ca.decode inner)
+        | v -> type_error "option" v);
+  }
+
+let result ca cb =
+  {
+    type_name = Printf.sprintf "(%s, %s) result" ca.type_name cb.type_name;
+    encode =
+      (function
+      | Ok x ->
+          let* v = ca.encode x in
+          Ok (Tagged ("ok", v))
+      | Error e ->
+          let* v = cb.encode e in
+          Ok (Tagged ("error", v)));
+    decode =
+      (fun v ->
+        match v with
+        | Tagged ("ok", inner) -> Result.map Result.ok (ca.decode inner)
+        | Tagged ("error", inner) -> Result.map Result.error (cb.decode inner)
+        | v -> type_error "result" v);
+  }
+
+let record2 name (f1, c1) (f2, c2) =
+  {
+    type_name = name;
+    encode =
+      (fun (a, b) ->
+        let* va = c1.encode a in
+        let* vb = c2.encode b in
+        Ok (Record [ (f1, va); (f2, vb) ]));
+    decode =
+      (fun v ->
+        match v with
+        | Record [ (g1, va); (g2, vb) ] when g1 = f1 && g2 = f2 ->
+            let* a = c1.decode va in
+            let* b = c2.decode vb in
+            Ok (a, b)
+        | v -> type_error (Printf.sprintf "record %s" name) v);
+  }
+
+let record3 name (f1, c1) (f2, c2) (f3, c3) =
+  {
+    type_name = name;
+    encode =
+      (fun (a, b, c) ->
+        let* va = c1.encode a in
+        let* vb = c2.encode b in
+        let* vc = c3.encode c in
+        Ok (Record [ (f1, va); (f2, vb); (f3, vc) ]));
+    decode =
+      (fun v ->
+        match v with
+        | Record [ (g1, va); (g2, vb); (g3, vc) ] when g1 = f1 && g2 = f2 && g3 = f3 ->
+            let* a = c1.decode va in
+            let* b = c2.decode vb in
+            let* c = c3.decode vc in
+            Ok (a, b, c)
+        | v -> type_error (Printf.sprintf "record %s" name) v);
+  }
+
+let tagged name to_tag of_tag =
+  {
+    type_name = name;
+    encode =
+      (fun x ->
+        let tag, payload = to_tag x in
+        Ok (Tagged (tag, payload)));
+    decode =
+      (fun v ->
+        match v with Tagged (tag, payload) -> of_tag (tag, payload) | v -> type_error name v);
+  }
+
+let conv name f g c =
+  {
+    type_name = name;
+    encode = (fun x -> c.encode (f x));
+    decode = (fun v -> Result.map g (c.decode v));
+  }
+
+let conv_partial name f g c =
+  {
+    type_name = name;
+    encode =
+      (fun x ->
+        let* y = f x in
+        c.encode y);
+    decode =
+      (fun v ->
+        let* y = c.decode v in
+        g y);
+  }
+
+let failing_encode ?(reason = "injected encode failure") ~every c =
+  if every <= 0 then invalid_arg "Xdr.failing_encode: every must be positive";
+  let count = ref 0 in
+  {
+    c with
+    type_name = c.type_name ^ "?enc";
+    encode =
+      (fun x ->
+        incr count;
+        if !count mod every = 0 then Error reason else c.encode x);
+  }
+
+let failing_decode ?(reason = "injected decode failure") ~every c =
+  if every <= 0 then invalid_arg "Xdr.failing_decode: every must be positive";
+  let count = ref 0 in
+  {
+    c with
+    type_name = c.type_name ^ "?dec";
+    decode =
+      (fun v ->
+        incr count;
+        if !count mod every = 0 then Error reason else c.decode v);
+  }
+
+let encoded_size c v = match c.encode v with Ok enc -> wire_size enc | Error _ -> 0

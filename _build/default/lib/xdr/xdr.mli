@@ -1,0 +1,112 @@
+(** External data representation for remote calls.
+
+    Arguments and results of handler calls are passed by value (§3 of
+    the paper, citing Herlihy & Liskov): the caller {e encodes} each
+    argument into an external representation and the receiver {e
+    decodes} it, possibly with user-provided code that may fail. This
+    module provides the external value model, typed codecs built from
+    combinators, a deterministic byte-size model (used by the network
+    cost model), and hooks to inject encode/decode failures (the paper
+    maps them to the [failure] exception and a receiver-side stream
+    break).
+
+    The wire itself is untyped ([value]); static typing is recovered at
+    the language boundary by pairing each port with codecs — this is
+    precisely the paper's split between the language-independent
+    call-stream layer and the strongly typed language veneer. *)
+
+(** The external representation of transmissible values. *)
+type value =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Str of string
+  | Pair of value * value
+  | List of value list
+  | Record of (string * value) list
+  | Tagged of string * value  (** variant constructor with payload *)
+
+val wire_size : value -> int
+(** Deterministic size in bytes of the encoded form. Ints and reals
+    cost 8 bytes, bools 1, strings [4 + length], containers add small
+    headers. Used to charge transmission costs in the simulator. *)
+
+val pp_value : Format.formatter -> value -> unit
+
+val equal_value : value -> value -> bool
+
+(** A typed codec between ['a] and {!value}. Encoding and decoding can
+    fail (user-provided translation code may contain errors); failures
+    carry a human-readable reason. *)
+type 'a codec = {
+  type_name : string;
+  encode : 'a -> (value, string) result;
+  decode : value -> ('a, string) result;
+}
+
+val encode : 'a codec -> 'a -> (value, string) result
+
+val decode : 'a codec -> value -> ('a, string) result
+
+(** {1 Primitive codecs} *)
+
+val unit : unit codec
+
+val bool : bool codec
+
+val int : int codec
+
+val real : float codec
+
+val string : string codec
+
+(** {1 Combinators} *)
+
+val pair : 'a codec -> 'b codec -> ('a * 'b) codec
+
+val triple : 'a codec -> 'b codec -> 'c codec -> ('a * 'b * 'c) codec
+
+val list : 'a codec -> 'a list codec
+
+val array : 'a codec -> 'a array codec
+
+val option : 'a codec -> 'a option codec
+
+val result : 'a codec -> 'b codec -> ('a, 'b) Result.t codec
+
+val record2 : string -> (string * 'a codec) -> (string * 'b codec) -> ('a * 'b) codec
+(** [record2 name (f1, c1) (f2, c2)] encodes a two-field record with
+    named fields; decoding checks field names. *)
+
+val record3 :
+  string -> (string * 'a codec) -> (string * 'b codec) -> (string * 'c codec) ->
+  ('a * 'b * 'c) codec
+
+val tagged : string -> ('a -> string * value) -> (string * value -> ('a, string) result) -> 'a codec
+(** Build a codec for a variant type from explicit tag functions. *)
+
+val conv : string -> ('a -> 'b) -> ('b -> 'a) -> 'b codec -> 'a codec
+(** [conv name f g c] maps a codec through a bijection (total). *)
+
+val conv_partial :
+  string -> ('a -> ('b, string) result) -> ('b -> ('a, string) result) -> 'b codec -> 'a codec
+(** Like {!conv} but either direction may fail — the model for
+    user-provided abstract-type translation code (§3). *)
+
+(** {1 Failure injection}
+
+    Used by tests and experiment E6-style scenarios to model buggy
+    user translation code. *)
+
+val failing_encode : ?reason:string -> every:int -> 'a codec -> 'a codec
+(** Derived codec whose encode fails on every [every]-th use (1-based
+    counting; [every = 1] always fails). *)
+
+val failing_decode : ?reason:string -> every:int -> 'a codec -> 'a codec
+
+(** {1 Sizing} *)
+
+val encoded_size : 'a codec -> 'a -> int
+(** [encoded_size c v] is the wire size of [v]'s encoding, or 0 when
+    encoding fails. *)

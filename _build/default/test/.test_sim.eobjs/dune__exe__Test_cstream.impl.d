@@ -1,0 +1,1 @@
+test/test_cstream.ml: Alcotest Cstream Gen List Net QCheck QCheck_alcotest Sched Sim String Xdr

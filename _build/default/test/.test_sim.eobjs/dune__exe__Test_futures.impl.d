@@ -1,0 +1,1 @@
+test/test_futures.ml: Alcotest Format Futures_baseline List QCheck QCheck_alcotest Sched

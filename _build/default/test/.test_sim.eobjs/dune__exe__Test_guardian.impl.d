@@ -1,0 +1,1 @@
+test/test_guardian.ml: Alcotest Argus Array Core Cstream Hashtbl List Net Option Printf Sched String Xdr

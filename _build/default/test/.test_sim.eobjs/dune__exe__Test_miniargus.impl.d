@@ -1,0 +1,1 @@
+test/test_miniargus.ml: Alcotest Cstream List Miniargus Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Net QCheck QCheck_alcotest Sched Sim

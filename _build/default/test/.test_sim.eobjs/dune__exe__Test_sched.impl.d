@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Float Gen List Option QCheck QCheck_alcotest Sched Sim String

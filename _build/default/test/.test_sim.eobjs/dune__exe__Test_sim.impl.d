@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Fun Gen List QCheck QCheck_alcotest Sim

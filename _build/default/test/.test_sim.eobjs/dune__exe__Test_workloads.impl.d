@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Format Fun List Printf Scanf Sched String Workloads

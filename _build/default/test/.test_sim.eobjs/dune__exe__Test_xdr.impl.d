@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Format Gen List QCheck QCheck_alcotest Result String Xdr

@@ -1,0 +1,1521 @@
+(* Tests for the Mini-Argus language: lexer, parser (with a pretty-
+   printer round-trip property), the type checker's promise/signal
+   rules, and end-to-end interpreted semantics. *)
+
+module MA = Miniargus
+module I = MA.Interp
+
+let check = Alcotest.check
+
+(* Helpers *)
+
+let parse_ok src =
+  match MA.Run.parse src with
+  | Ok prog -> prog
+  | Error e -> Alcotest.failf "parse failed: %s" (MA.Run.error_to_string e)
+
+let type_error src =
+  match MA.Run.check src with
+  | Error { phase = `Type; message; _ } -> message
+  | Error e -> Alcotest.failf "expected type error, got: %s" (MA.Run.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected a type error, program was accepted"
+
+let checks_ok src =
+  match MA.Run.check src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "check failed: %s" (MA.Run.error_to_string e)
+
+let run_ok ?config ?chan_config ?crashes src =
+  match MA.Run.run ?config ?chan_config ?crashes src with
+  | Ok outcome ->
+      (match outcome.I.deadlocked with
+      | Some fs -> Alcotest.failf "program hangs: %s" (String.concat ", " fs)
+      | None -> ());
+      List.iter
+        (fun (p, r) ->
+          match r with
+          | I.Pok -> ()
+          | I.Pfailed m -> Alcotest.failf "process %s failed: %s" p m)
+        outcome.I.processes;
+      outcome
+  | Error e -> Alcotest.failf "run failed: %s" (MA.Run.error_to_string e)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+(* A small server used by many programs below. *)
+let echo_guardian =
+  {|
+guardian svc
+  group ops
+    handler double(n: int) returns (int)
+      return n * 2
+    end
+    handler fail(n: int) returns (int) signals (too_big(int))
+      if n > 100 then
+        signal too_big(100)
+      end
+      return n
+    end
+  end
+end
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_basics () =
+  let toks = MA.Lexer.tokens_of_string "var x := 3 % comment\n y" in
+  let kinds = List.map fst toks in
+  check Alcotest.bool "tokens" true
+    (kinds
+    = [ MA.Token.KW_VAR; MA.Token.IDENT "x"; MA.Token.ASSIGN; MA.Token.INT 3;
+        MA.Token.IDENT "y"; MA.Token.EOF ])
+
+let test_lexer_numbers_and_strings () =
+  let toks = MA.Lexer.tokens_of_string {|3.25 10 "hi\n" 1e3|} in
+  let kinds = List.map fst toks in
+  check Alcotest.bool "literals" true
+    (kinds
+    = [ MA.Token.REAL 3.25; MA.Token.INT 10; MA.Token.STRING "hi\n"; MA.Token.REAL 1000.0;
+        MA.Token.EOF ])
+
+let test_lexer_operators () =
+  let toks = MA.Lexer.tokens_of_string ":= ~= <= >= .. . = ^" in
+  let kinds = List.map fst toks in
+  check Alcotest.bool "operators" true
+    (kinds
+    = [ MA.Token.ASSIGN; MA.Token.NEQ; MA.Token.LE; MA.Token.GE; MA.Token.DOTDOT;
+        MA.Token.DOT; MA.Token.EQ; MA.Token.CARET; MA.Token.EOF ])
+
+let test_lexer_error () =
+  match MA.Lexer.tokens_of_string "a # b" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception MA.Lexer.Error (_, _) -> ()
+
+let test_lexer_unterminated_string () =
+  match MA.Lexer.tokens_of_string "\"oops" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception MA.Lexer.Error (msg, _) ->
+      check Alcotest.bool "message" true (contains msg "unterminated")
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_expr_precedence () =
+  let e = MA.Parser.parse_expr_string "1 + 2 * 3" in
+  match e.MA.Ast.e with
+  | MA.Ast.Ebinop (MA.Ast.Add, _, { MA.Ast.e = MA.Ast.Ebinop (MA.Ast.Mul, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "precedence: * binds tighter than +"
+
+let test_parse_postfix_chain () =
+  let e = MA.Parser.parse_expr_string "a[1].f(2)" in
+  match e.MA.Ast.e with
+  | MA.Ast.Eapply ({ MA.Ast.e = MA.Ast.Efield ({ MA.Ast.e = MA.Ast.Eindex _; _ }, "f"); _ }, _)
+    ->
+      ()
+  | _ -> Alcotest.fail "postfix chain shape"
+
+let test_parse_stream_fork () =
+  let e = MA.Parser.parse_expr_string "stream g.h(1)" in
+  (match e.MA.Ast.e with
+  | MA.Ast.Estream _ -> ()
+  | _ -> Alcotest.fail "stream");
+  let e = MA.Parser.parse_expr_string "fork p(1, 2)" in
+  match e.MA.Ast.e with MA.Ast.Efork _ -> () | _ -> Alcotest.fail "fork"
+
+let test_parse_program_shapes () =
+  let prog =
+    parse_ok
+      {|
+type pt = promise returns (real) signals (oops(string))
+guardian g
+  var count: int := 0
+  group grp
+    handler h(x: int) returns (int) signals (e1(string), e2)
+      return x
+    end
+  end
+end
+proc p(q: queue[int]) returns (int)
+  return deq(q)
+end
+process main
+  var x := 1
+  if x > 0 then
+    x := x - 1
+  elseif x = 0 then
+    x := 5
+  else
+    x := 0
+  end
+  while x > 0 do
+    x := x - 1
+  end
+  for i in 1 .. 3 do
+    x := x + i
+  end
+  coenter
+  action
+    x := 1
+  action
+    x := 2
+  end
+end
+|}
+  in
+  check Alcotest.int "four items" 4 (List.length prog)
+
+let test_parse_except_attaches () =
+  let prog =
+    parse_ok
+      {|
+process main
+  begin
+    var y := 1
+  end except
+  when oops(s: string):
+    put_line(s)
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  match prog with
+  | [ MA.Ast.Iprocess { MA.Ast.prc_body = [ { MA.Ast.s = MA.Ast.Sexcept (_, arms); _ } ]; _ } ]
+    ->
+      check Alcotest.int "two arms" 2 (List.length arms)
+  | _ -> Alcotest.fail "expected one process with one except statement"
+
+let test_parse_error_reports_line () =
+  match MA.Run.parse "process main\n  var x := (1 +\nend" with
+  | Error { phase = `Parse; line; _ } -> check Alcotest.bool "line recorded" true (line >= 2)
+  | Error _ | Ok _ -> Alcotest.fail "expected parse error"
+
+(* Round-trip: parse (pretty (parse src)) gives the same AST with
+   positions erased. *)
+let strip_program prog =
+  (* compare via the pretty-printer itself: print, reparse, print *)
+  let p1 = MA.Pretty.program_to_string prog in
+  let p2 = MA.Pretty.program_to_string (parse_ok p1) in
+  (p1, p2)
+
+let test_pretty_roundtrip_fixed () =
+  List.iter
+    (fun src ->
+      let p1, p2 = strip_program (parse_ok src) in
+      check Alcotest.string "roundtrip fixpoint" p1 p2)
+    [
+      echo_guardian;
+      {|
+process main
+  var a: array[record[g: int, s: string]] := [{g = 1, s = "x"}]
+  var q: queue[promise returns (real)] := queue()
+  for e in a do
+    put_line(e.s ^ int_to_string(e.g))
+  end
+end
+|};
+      {|
+proc f(x: int) returns (int) signals (neg)
+  if x < 0 then
+    signal neg
+  end
+  return x * x
+end
+process main
+  var p := fork f(3)
+  var r := 0
+  begin
+    r := claim(p)
+  end except
+  when neg:
+    r := 0
+  when others:
+    r := -1
+  end
+end
+|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Type checker: acceptance *)
+
+let test_check_figures () =
+  let read path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  List.iter
+    (fun f ->
+      ignore
+        (checks_ok (read ("../examples/argus/" ^ f)) : MA.Tast.tprogram))
+    [ "grades_fig31.arg"; "grades_fig41.arg"; "grades_fig42.arg"; "mailer.arg";
+      "cascade.arg"; "parallel_fib.arg"; "breaks.arg"; "broker.arg"; "windows.arg" ]
+
+let test_check_promise_type_from_stream () =
+  ignore
+    (checks_ok
+       (echo_guardian
+       ^ {|
+process main
+  var p: promise returns (int) := stream svc.double(3)
+  var x: int := 0
+  x := claim(p) except when others: x := -1 end
+end
+|})
+      : MA.Tast.tprogram)
+
+(* Type checker: rejections — each an essential rule. *)
+
+let test_reject_wrong_arg_type () =
+  let msg =
+    type_error (echo_guardian ^ {|
+process main
+  var p := stream svc.double("three")
+end
+|})
+  in
+  check Alcotest.bool "mentions type" true (contains msg "expected int")
+
+let test_reject_claim_non_promise () =
+  let msg = type_error {|
+process main
+  var x := claim(3)
+end
+|} in
+  check Alcotest.bool "claim wants promise" true (contains msg "claim expects a promise")
+
+let test_reject_promise_mismatch () =
+  let msg =
+    type_error
+      (echo_guardian
+     ^ {|
+process main
+  var p: promise returns (real) := stream svc.double(3)
+end
+|})
+  in
+  check Alcotest.bool "promise types differ" true (contains msg "declared")
+
+let test_reject_unhandled_signal_in_process () =
+  (* claim can raise too_big, which a process cannot let escape. *)
+  let msg =
+    type_error
+      (echo_guardian
+     ^ {|
+process main
+  var p := stream svc.fail(200)
+  var x := claim(p)
+end
+|})
+  in
+  check Alcotest.bool "signal must be handled" true (contains msg "too_big")
+
+let test_accept_handled_signal () =
+  ignore
+    (checks_ok
+       (echo_guardian
+      ^ {|
+process main
+  var p := stream svc.fail(200)
+  var x := 0
+  begin
+    x := claim(p)
+  end except
+  when too_big(limit: int):
+    x := limit
+  when others:
+    x := -1
+  end
+end
+|})
+      : MA.Tast.tprogram)
+
+let test_reject_undeclared_signal_in_handler () =
+  let msg =
+    type_error
+      {|
+guardian g
+  group grp
+    handler h(x: int) returns (int)
+      signal oops("bad")
+      return x
+    end
+  end
+end
+process main
+end
+|}
+  in
+  check Alcotest.bool "must declare" true (contains msg "oops")
+
+let test_reject_wrong_arm_payload () =
+  let msg =
+    type_error
+      (echo_guardian
+     ^ {|
+process main
+  var p := stream svc.fail(1)
+  var x := 0
+  begin
+    x := claim(p)
+  end except
+  when too_big(limit: string):
+    put_line(limit)
+  when others:
+    x := -1
+  end
+end
+|})
+  in
+  check Alcotest.bool "payload type mismatch" true (contains msg "too_big")
+
+let test_reject_impossible_arm () =
+  let msg =
+    type_error
+      {|
+process main
+  begin
+    var x := 1
+  end except
+  when ghost:
+    put_line("never")
+  end
+end
+|}
+  in
+  check Alcotest.bool "impossible arm rejected" true (contains msg "cannot signal")
+
+let test_reject_promise_in_handler_signature () =
+  let msg =
+    type_error
+      {|
+guardian g
+  group grp
+    handler h(p: promise returns (int)) returns (int)
+      return 0
+    end
+  end
+end
+process main
+end
+|}
+  in
+  check Alcotest.bool "promises not transmissible" true (contains msg "transmissible")
+
+let test_reject_declaring_unavailable () =
+  let msg =
+    type_error
+      {|
+guardian g
+  group grp
+    handler h(x: int) returns (int) signals (unavailable(string))
+      return x
+    end
+  end
+end
+process main
+end
+|}
+  in
+  check Alcotest.bool "universal signals implicit" true (contains msg "unavailable")
+
+let test_reject_unknown_handler () =
+  let msg = type_error (echo_guardian ^ {|
+process main
+  var x := svc.nope(1)
+end
+|}) in
+  check Alcotest.bool "unknown handler" true (contains msg "no handler")
+
+let test_reject_handler_ref_as_value () =
+  let msg = type_error (echo_guardian ^ {|
+process main
+  var x := svc.double
+end
+|}) in
+  check Alcotest.bool "handler as value" true (contains msg "used as a value")
+
+let test_reject_empty_array_without_annotation () =
+  let msg = type_error {|
+process main
+  var a := []
+end
+|} in
+  check Alcotest.bool "needs annotation" true (contains msg "annotate")
+
+let test_reject_synch_exception_unhandled () =
+  let msg =
+    type_error (echo_guardian ^ {|
+process main
+  synch svc.double
+end
+|})
+  in
+  check Alcotest.bool "exception_reply must be handled" true (contains msg "exception_reply")
+
+let test_reject_guardian_var_remote_init () =
+  let msg =
+    type_error
+      (echo_guardian
+     ^ {|
+guardian other
+  var x: int := svc.double(1)
+  group grp
+    handler h(y: int) returns (int)
+      return y
+    end
+  end
+end
+process main
+end
+|})
+  in
+  check Alcotest.bool "no remote calls in guardian init" true (contains msg "remote")
+
+let test_reject_fork_non_proc () =
+  let msg = type_error {|
+process main
+  var p := fork put_line("x")
+end
+|} in
+  check Alcotest.bool "fork wants proc" true (contains msg "proc")
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics *)
+
+let test_run_rpc_and_stream () =
+  let outcome =
+    run_ok
+      (echo_guardian
+     ^ {|
+process main
+  var direct: int := 0
+  direct := svc.double(21) except when others: direct := -1 end
+  put_line("rpc: " ^ int_to_string(direct))
+  var promises: array[promise returns (int)] := []
+  for i in 1 .. 3 do
+    addh(promises, stream svc.double(i))
+  end
+  flush svc.double
+  for i in 0 .. len(promises) - 1 do
+    var v: int := 0
+    v := claim(promises[i]) except when others: v := -1 end
+    put_line("stream: " ^ int_to_string(v))
+  end
+end
+|})
+  in
+  check Alcotest.(list string) "output"
+    [ "rpc: 42"; "stream: 2"; "stream: 4"; "stream: 6" ]
+    outcome.I.output
+
+let test_run_typed_signal () =
+  let outcome =
+    run_ok
+      (echo_guardian
+     ^ {|
+process main
+  var x := 0
+  begin
+    x := svc.fail(200)
+  end except
+  when too_big(limit: int):
+    put_line("limit is " ^ int_to_string(limit))
+  when others:
+    put_line("?")
+  end
+end
+|})
+  in
+  check Alcotest.(list string) "typed signal caught" [ "limit is 100" ] outcome.I.output
+
+let test_run_guardian_state_is_shared () =
+  let outcome =
+    run_ok
+      {|
+guardian counter
+  var count: int := 0
+  group ops
+    handler bump() returns (int)
+      count := count + 1
+      return count
+    end
+  end
+end
+process main
+  var a := 0
+  var b := 0
+  a := counter.bump() except when others: a := -1 end
+  b := counter.bump() except when others: b := -1 end
+  put_line(int_to_string(a) ^ "," ^ int_to_string(b))
+end
+|}
+  in
+  check Alcotest.(list string) "state persists across calls" [ "1,2" ] outcome.I.output
+
+let test_run_ready_and_ordering () =
+  (* promise i ready implies promise i-1 ready (checked in-language) *)
+  let outcome =
+    run_ok
+      (echo_guardian
+     ^ {|
+process main
+  var a: array[promise returns (int)] := []
+  for i in 1 .. 5 do
+    addh(a, stream svc.double(i))
+  end
+  flush svc.double
+  var v := 0
+  v := claim(a[4]) except when others: v := -1 end
+  % the last promise is ready, so all earlier ones must be too
+  var all_ready := true
+  for i in 0 .. 4 do
+    if not ready(a[i]) then
+      all_ready := false
+    end
+  end
+  if all_ready then
+    put_line("ordered")
+  else
+    put_line("OUT OF ORDER")
+  end
+end
+|})
+  in
+  check Alcotest.(list string) "readiness order" [ "ordered" ] outcome.I.output
+
+let test_run_fork_and_claim () =
+  let outcome =
+    run_ok
+      {|
+proc fib(n: int) returns (int)
+  if n < 2 then
+    return n
+  end
+  var a := fork fib(n - 1)
+  var b := fork fib(n - 2)
+  var x := 0
+  var y := 0
+  x := claim(a) except when others: x := 0 end
+  y := claim(b) except when others: y := 0 end
+  return x + y
+end
+process main
+  var p := fork fib(10)
+  var v := 0
+  v := claim(p) except when others: v := -1 end
+  put_line(int_to_string(v))
+end
+|}
+  in
+  check Alcotest.(list string) "parallel fib" [ "55" ] outcome.I.output
+
+let test_run_proc_signal_via_fork () =
+  let outcome =
+    run_ok
+      {|
+proc risky(n: int) returns (int) signals (nope(string))
+  if n > 5 then
+    signal nope("too big")
+  end
+  return n
+end
+process main
+  var p := fork risky(10)
+  var v := 0
+  begin
+    v := claim(p)
+  end except
+  when nope(why: string):
+    put_line("signalled: " ^ why)
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "fork signal" [ "signalled: too big" ] outcome.I.output
+
+let test_run_coenter_group_termination () =
+  let outcome =
+    run_ok
+      {|
+proc boom() signals (bang)
+  sleep(0.001)
+  signal bang
+end
+process main
+  var survived := false
+  begin
+    coenter
+    action
+      sleep(100.0)
+      survived := true
+    action
+      boom()
+    end
+  end except
+  when bang:
+    put_line("bang terminated the group")
+  when others:
+    put_line("?")
+  end
+  if survived then
+    put_line("SIBLING SURVIVED")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "group termination" [ "bang terminated the group" ]
+    outcome.I.output
+
+let test_run_queue_pipeline () =
+  let outcome =
+    run_ok
+      (echo_guardian
+     ^ {|
+process main
+  var q: queue[promise returns (int)] := queue()
+  coenter
+  action
+    for i in 1 .. 4 do
+      enq(q, stream svc.double(i))
+    end
+    flush svc.double
+  action
+    for i in 1 .. 4 do
+      var v := 0
+      v := claim(deq(q)) except when others: v := -1 end
+      put_line(int_to_string(v))
+    end
+  end
+end
+|})
+  in
+  check Alcotest.(list string) "pipeline output" [ "2"; "4"; "6"; "8" ] outcome.I.output
+
+let test_run_crash_gives_unavailable () =
+  let outcome =
+    match
+      MA.Run.run
+        ~chan_config:
+          { Cstream.Chanhub.default_config with retransmit_timeout = 2e-3; max_retries = 2 }
+        ~crashes:[ ("svc", 0.0) ]
+        (echo_guardian
+       ^ {|
+process main
+  var x := 0
+  begin
+    x := svc.double(1)
+  end except
+  when unavailable(why: string):
+    put_line("unavailable")
+  when others(d: string):
+    put_line("other: " ^ d)
+  end
+end
+|})
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "run failed: %s" (MA.Run.error_to_string e)
+  in
+  check Alcotest.(list string) "unavailable surfaced" [ "unavailable" ] outcome.I.output
+
+let test_run_fig41_hang_detected () =
+  let read path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let src = read "../examples/argus/grades_fig41.arg" in
+  match
+    MA.Run.run
+      ~chan_config:
+        { Cstream.Chanhub.default_config with retransmit_timeout = 2e-3; max_retries = 3 }
+      ~crashes:[ ("db", 0.002) ] src
+  with
+  | Ok outcome -> (
+      match outcome.I.deadlocked with
+      | Some fibers ->
+          check Alcotest.bool "do_print is stuck" true
+            (List.exists (fun f -> contains f "do_print") fibers)
+      | None -> Alcotest.fail "expected the Figure 4-1 termination problem")
+  | Error e -> Alcotest.failf "run failed: %s" (MA.Run.error_to_string e)
+
+let test_run_fig42_terminates_cleanly () =
+  let read path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let src = read "../examples/argus/grades_fig42.arg" in
+  match
+    MA.Run.run
+      ~chan_config:
+        { Cstream.Chanhub.default_config with retransmit_timeout = 2e-3; max_retries = 3 }
+      ~crashes:[ ("db", 0.002) ] src
+  with
+  | Ok outcome ->
+      check Alcotest.bool "no deadlock" true (outcome.I.deadlocked = None);
+      check Alcotest.bool "exception reported" true
+        (List.exists (fun l -> contains l "pipeline stopped") outcome.I.output)
+  | Error e -> Alcotest.failf "run failed: %s" (MA.Run.error_to_string e)
+
+let test_run_handler_crash_is_failure () =
+  let outcome =
+    run_ok
+      {|
+guardian g
+  group grp
+    handler div(a: int, b: int) returns (int)
+      return a / b
+    end
+  end
+end
+process main
+  var x := 0
+  begin
+    x := g.div(1, 0)
+  end except
+  when failure(why: string):
+    put_line("failure caught")
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "failure surfaced" [ "failure caught" ] outcome.I.output
+
+let read_example f =
+  let path = "../examples/argus/" ^ f in
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_run_cascade_example () =
+  let outcome = run_ok (read_example "cascade.arg") in
+  check Alcotest.(list string) "all items written" [ "items written: 20" ] outcome.I.output
+
+let test_run_parallel_fib_example () =
+  let outcome = run_ok (read_example "parallel_fib.arg") in
+  check Alcotest.bool "fib(12)" true
+    (List.mem "fib(12) = 144" outcome.I.output);
+  check Alcotest.bool "signal path" true
+    (List.mem "fib(-3) signalled negative, as declared" outcome.I.output)
+
+let test_run_mailer_example () =
+  let outcome = run_ok (read_example "mailer.arg") in
+  check Alcotest.bool "c1 sees ben's mail" true
+    (List.mem "c1 sees 1 message(s) for ben" outcome.I.output);
+  check Alcotest.bool "bounce detected via synch" true
+    (List.mem "c1: some mail bounced (exception_reply from synch)" outcome.I.output)
+
+let test_run_broker_ports_example () =
+  let outcome = run_ok (read_example "broker.arg") in
+  check Alcotest.(list string) "ports transmitted and used"
+    [ "square: 49, 81"; "double: 14, 18"; "directory signalled unknown(cube)" ]
+    outcome.I.output
+
+let test_reject_port_type_mismatch () =
+  let msg =
+    type_error
+      {|
+guardian w
+  group jobs
+    handler work(n: int) returns (int)
+      return n
+    end
+  end
+end
+process main
+  var p: port (string) returns (int) := port w.work
+end
+|}
+  in
+  check Alcotest.bool "port signature mismatch" true (contains msg "declared")
+
+let test_reject_port_call_bad_args () =
+  let msg =
+    type_error
+      {|
+guardian w
+  group jobs
+    handler work(n: int) returns (int)
+      return n
+    end
+  end
+end
+process main
+  var p: port (int) returns (int) := port w.work
+  var x := 0
+  x := p("seven") except when others: x := -1 end
+end
+|}
+  in
+  check Alcotest.bool "port call arg types checked" true (contains msg "expected int")
+
+let test_port_in_handler_signature_allowed () =
+  (* ports ARE transmissible — unlike promises *)
+  ignore
+    (checks_ok
+       {|
+guardian w
+  group jobs
+    handler work(n: int) returns (int)
+      return n
+    end
+    handler reflect() returns (port (int) returns (int))
+      return port w.work
+    end
+  end
+end
+process main
+end
+|}
+      : MA.Tast.tprogram)
+
+let test_run_port_roundtrip_through_wire () =
+  let outcome =
+    run_ok
+      {|
+guardian w
+  group jobs
+    handler work(n: int) returns (int)
+      return n * 3
+    end
+    handler reflect() returns (port (int) returns (int))
+      return port w.work
+    end
+  end
+end
+process main
+  var p: port (int) returns (int) := port w.work
+  var q: port (int) returns (int) := p
+  var x := 0
+  begin
+    q := w.reflect()
+    x := q(14)
+  end except when others: x := -1 end
+  put_line(int_to_string(x))
+end
+|}
+  in
+  check Alcotest.(list string) "transmitted port usable" [ "42" ] outcome.I.output
+
+let test_run_windows_example () =
+  let outcome = run_ok (read_example "windows.arg") in
+  check Alcotest.bool "window output present" true
+    (List.mem "[w0] booting" outcome.I.output && List.mem "[w1] hello from chat" outcome.I.output);
+  check Alcotest.bool "pool exhaustion signalled" true
+    (List.mem "third window refused, as declared" outcome.I.output);
+  (* output to one window stays in order *)
+  let w0 = List.filter (fun l -> String.length l >= 4 && String.sub l 0 4 = "[w0]") outcome.I.output in
+  check Alcotest.(list string) "w0 ordered" [ "[w0] <log>"; "[w0] booting"; "[w0] ready" ] w0
+
+let test_run_breaks_example_restart_recovers () =
+  match
+    MA.Run.run
+      ~chan_config:
+        { Cstream.Chanhub.default_config with retransmit_timeout = 2e-3; max_retries = 3 }
+      ~crashes:[ ("store", 0.005) ]
+      ~recoveries:[ ("store", 0.050) ]
+      (read_example "breaks.arg")
+  with
+  | Ok outcome ->
+      check Alcotest.bool "no hang" true (outcome.I.deadlocked = None);
+      check Alcotest.(list string) "full break/restart lifecycle"
+        [
+          "before crash: put -> 1";
+          "during crash: unavailable, as expected";
+          "after restart: put -> 2";
+        ]
+        outcome.I.output
+  | Error e -> Alcotest.failf "run failed: %s" (MA.Run.error_to_string e)
+
+let test_run_send_and_synch () =
+  let outcome =
+    run_ok
+      {|
+guardian logsvc
+  var lines: int := 0
+  group logging
+    handler log(line: string)
+      lines := lines + 1
+    end
+    handler count() returns (int)
+      return lines
+    end
+  end
+end
+process main
+  for i in 1 .. 5 do
+    send logsvc.log("entry " ^ int_to_string(i))
+  end
+  begin
+    synch logsvc.log
+    var n := 0
+    n := logsvc.count() except when others: n := -1 end
+    put_line(int_to_string(n))
+  end except
+  when exception_reply:
+    put_line("a send failed")
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "sends completed before synch returned" [ "5" ] outcome.I.output
+
+let test_reject_arity_mismatch () =
+  let msg = type_error (echo_guardian ^ {|
+process main
+  var x := svc.double(1, 2)
+end
+|}) in
+  check Alcotest.bool "arity" true (contains msg "argument")
+
+let test_reject_assignment_type_mismatch () =
+  let msg = type_error {|
+process main
+  var x := 1
+  x := "one"
+end
+|} in
+  check Alcotest.bool "assignment types" true (contains msg "assignment")
+
+let test_reject_unknown_type_name () =
+  let msg = type_error {|
+process main
+  var x: mystery := 1
+end
+|} in
+  check Alcotest.bool "unknown type" true (contains msg "mystery")
+
+let test_reject_duplicate_handler () =
+  let msg =
+    type_error
+      {|
+guardian g
+  group a
+    handler h(x: int) returns (int)
+      return x
+    end
+  end
+  group b
+    handler h(x: int) returns (int)
+      return x
+    end
+  end
+end
+process main
+end
+|}
+  in
+  check Alcotest.bool "duplicate handler" true (contains msg "twice")
+
+let test_reject_process_return_value () =
+  let msg = type_error {|
+process main
+  return 3
+end
+|} in
+  check Alcotest.bool "process returns nothing" true (contains msg "process")
+
+let test_reject_queue_in_signature () =
+  let msg =
+    type_error
+      {|
+guardian g
+  group a
+    handler h(q: queue[int]) returns (int)
+      return 0
+    end
+  end
+end
+process main
+end
+|}
+  in
+  check Alcotest.bool "queues not transmissible" true (contains msg "transmissible")
+
+let test_reject_mixed_arithmetic () =
+  let msg = type_error {|
+process main
+  var x := 1 + 2.5
+end
+|} in
+  check Alcotest.bool "no implicit int/real mixing" true (contains msg "arithmetic")
+
+let test_pretty_roundtrip_port_restart () =
+  let src =
+    {|
+guardian w
+  group jobs
+    handler work(n: int) returns (int)
+      return n
+    end
+  end
+end
+process main
+  var p: port (int) returns (int) := port w.work
+  restart w.work
+  send w.work(1)
+  var x := 0
+  x := p(2) except when others: x := -1 end
+end
+|}
+  in
+  let p1, p2 = strip_program (parse_ok src) in
+  check Alcotest.string "roundtrip fixpoint (ports, restart)" p1 p2
+
+let test_run_guardian_calls_guardian () =
+  (* A handler making its own remote calls (the proxy/aggregator
+     pattern): the proxy guardian forwards to a backend over its own
+     agent's stream. *)
+  let outcome =
+    run_ok
+      {|
+guardian backend
+  group calc
+    handler compute(n: int) returns (int)
+      sleep(0.0005)
+      return n * n
+    end
+  end
+end
+
+guardian proxy
+  var calls: int := 0
+  group front
+    handler ask(n: int) returns (int)
+      calls := calls + 1
+      var r := 0
+      r := backend.compute(n) except when others: signal failure("backend down") end
+      return r + 1000
+    end
+  end
+end
+
+process main
+  var a := 0
+  var b := 0
+  a := proxy.ask(4) except when others: a := -1 end
+  b := proxy.ask(6) except when others: b := -1 end
+  put_line(int_to_string(a) ^ " " ^ int_to_string(b))
+end
+|}
+  in
+  check Alcotest.(list string) "proxied results" [ "1016 1036" ] outcome.I.output
+
+(* ------------------------------------------------------------------ *)
+(* Language semantics (no network involved) *)
+
+let test_sem_arithmetic_and_strings () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var i := (2 + 3) * 4 - 10 / 2
+  var r := (1.5 + 2.5) * 2.0
+  var s := "a" ^ "b" ^ int_to_string(i)
+  put_line(s ^ " " ^ real_to_string(r) ^ " " ^ int_to_string(floor(3.9)))
+end
+|}
+  in
+  check Alcotest.(list string) "arith" [ "ab15 8.0 3" ] outcome.I.output
+
+let test_sem_records_and_arrays_mutate () =
+  let outcome =
+    run_ok
+      {|
+type point = record[x: int, y: int]
+process main
+  var p: point := {x = 1, y = 2}
+  p.x := 10
+  var pts: array[point] := [p]
+  addh(pts, {x = 3, y = 4})
+  pts[1].y := 40
+  % records are shared, not copied: p and pts[0] are the same object
+  pts[0].x := 99
+  put_line(int_to_string(p.x) ^ " " ^ int_to_string(pts[1].y) ^ " " ^ int_to_string(len(pts)))
+end
+|}
+  in
+  check Alcotest.(list string) "mutation and sharing" [ "99 40 2" ] outcome.I.output
+
+let test_sem_control_flow () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var total := 0
+  for i in 1 .. 5 do
+    if i = 3 then
+      total := total + 100
+    elseif i > 3 then
+      total := total + 10
+    else
+      total := total + 1
+    end
+  end
+  var n := 3
+  while n > 0 do
+    total := total + 1000
+    n := n - 1
+  end
+  put_line(int_to_string(total))
+end
+|}
+  in
+  check Alcotest.(list string) "if/elseif/while/for" [ "3122" ] outcome.I.output
+
+let test_sem_short_circuit () =
+  let outcome =
+    run_ok
+      {|
+proc noisy(v: bool) returns (bool)
+  put_line("evaluated")
+  return v
+end
+process main
+  if false and noisy(true) then
+    put_line("?")
+  end
+  if true or noisy(true) then
+    put_line("short-circuited")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "and/or do not evaluate rhs" [ "short-circuited" ]
+    outcome.I.output
+
+let test_sem_division_by_zero_failure () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var x := 0
+  begin
+    x := 1 / x
+  end except
+  when failure(why: string):
+    put_line("failure: " ^ why)
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "div by zero" [ "failure: division by zero" ] outcome.I.output
+
+let test_sem_index_out_of_bounds () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var a: array[int] := [1, 2]
+  var x := 0
+  begin
+    x := a[5]
+  end except
+  when failure(why: string):
+    put_line("caught")
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "oob" [ "caught" ] outcome.I.output
+
+let test_sem_for_each_empty () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var a: array[int] := []
+  var hits := 0
+  for x in a do
+    hits := hits + 1
+  end
+  put_line(int_to_string(hits))
+end
+|}
+  in
+  check Alcotest.(list string) "empty iteration" [ "0" ] outcome.I.output
+
+let test_sem_shadowing_scopes () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var x := 1
+  begin
+    var x := 2
+    put_line(int_to_string(x))
+  end
+  put_line(int_to_string(x))
+end
+|}
+  in
+  check Alcotest.(list string) "block scoping" [ "2"; "1" ] outcome.I.output
+
+let test_sem_nested_except_rethrow () =
+  let outcome =
+    run_ok
+      {|
+proc thrower() signals (inner)
+  signal inner
+end
+process main
+  begin
+    begin
+      thrower()
+    end except
+    when others:
+      % handle and raise a different problem
+      signal failure("translated")
+    end
+  end except
+  when failure(why: string):
+    put_line("outer saw: " ^ why)
+  when others:
+    put_line("?")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "nested handlers" [ "outer saw: translated" ] outcome.I.output
+
+let test_sem_now_and_sleep () =
+  let outcome =
+    run_ok
+      {|
+process main
+  var t0 := now()
+  sleep(0.25)
+  var t1 := now()
+  if t1 - t0 >= 0.25 then
+    put_line("time advanced")
+  end
+end
+|}
+  in
+  check Alcotest.(list string) "virtual time" [ "time advanced" ] outcome.I.output
+
+(* Differential property: random integer expressions evaluate to the
+   same value in Mini-Argus as in OCaml. The generator produces the
+   source text and the expected value together. *)
+let gen_int_expr =
+  QCheck.Gen.(
+    let rec go depth =
+      if depth = 0 then map (fun i -> (string_of_int i, i)) (int_range 0 20)
+      else
+        frequency
+          [
+            (1, map (fun i -> (string_of_int i, i)) (int_range 0 20));
+            ( 2,
+              map2
+                (fun (sa, va) (sb, vb) -> (Printf.sprintf "(%s + %s)" sa sb, va + vb))
+                (go (depth - 1)) (go (depth - 1)) );
+            ( 2,
+              map2
+                (fun (sa, va) (sb, vb) -> (Printf.sprintf "(%s - %s)" sa sb, va - vb))
+                (go (depth - 1)) (go (depth - 1)) );
+            ( 1,
+              map2
+                (fun (sa, va) (sb, vb) -> (Printf.sprintf "(%s * %s)" sa sb, va * vb))
+                (go (depth - 1)) (go (depth - 1)) );
+            ( 1,
+              map2
+                (fun (sa, va) (sb, vb) ->
+                  ( Printf.sprintf "(if %s < %s then %s else %s end)" sa sb sa sb,
+                    if va < vb then va else vb ))
+                (go (depth - 1)) (go (depth - 1))
+              |> map (fun (s, v) ->
+                     (* if-expressions are statements in Mini-Argus, so
+                        route them through min-like arithmetic instead *)
+                     ignore s;
+                     (string_of_int v, v)) );
+          ]
+    in
+    go 3)
+
+let prop_interp_matches_ocaml_arithmetic =
+  QCheck.Test.make ~name:"interpreter agrees with OCaml on integer arithmetic" ~count:60
+    (QCheck.make gen_int_expr)
+    (fun (src_expr, expected) ->
+      let program =
+        Printf.sprintf "process main
+  put_line(int_to_string(%s))
+end
+" src_expr
+      in
+      match MA.Run.run program with
+      | Ok outcome -> outcome.I.output = [ string_of_int expected ]
+      | Error _ -> false)
+
+(* Property: pretty-printing any parsed-then-printed program is a
+   fixpoint (idempotent printer), over generated simple programs. *)
+let gen_program =
+  QCheck.Gen.(
+    let small_ident = oneofl [ "a"; "b"; "c"; "x" ] in
+    let lit = map (fun i -> string_of_int i) (int_range 0 99) in
+    let expr = oneof [ lit; small_ident ] in
+    let stmt =
+      oneof
+        [
+          map2 (fun v e -> Printf.sprintf "  var %s := %s\n" v e) small_ident expr;
+          map (fun e -> Printf.sprintf "  put_line(int_to_string(%s))\n" e) lit;
+          map2 (fun c e -> Printf.sprintf "  if %s > 0 then\n    var y := %s\n  end\n" c e) lit
+            expr;
+        ]
+    in
+    map
+      (fun stmts -> "process main\n" ^ String.concat "" stmts ^ "end\n")
+      (list_size (int_range 1 5) stmt))
+
+let prop_pretty_idempotent =
+  QCheck.Test.make ~name:"pretty is a fixpoint on parsed programs" ~count:100
+    (QCheck.make gen_program)
+    (fun src ->
+      match MA.Run.parse src with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok prog ->
+          let p1 = MA.Pretty.program_to_string prog in
+          let p2 =
+            match MA.Run.parse p1 with
+            | Ok prog2 -> MA.Pretty.program_to_string prog2
+            | Error _ -> "<reparse failed>"
+          in
+          p1 = p2)
+
+let suite =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "numbers and strings" `Quick test_lexer_numbers_and_strings;
+        Alcotest.test_case "operators" `Quick test_lexer_operators;
+        Alcotest.test_case "bad character" `Quick test_lexer_error;
+        Alcotest.test_case "unterminated string" `Quick test_lexer_unterminated_string;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parse_expr_precedence;
+        Alcotest.test_case "postfix chain" `Quick test_parse_postfix_chain;
+        Alcotest.test_case "stream/fork" `Quick test_parse_stream_fork;
+        Alcotest.test_case "program shapes" `Quick test_parse_program_shapes;
+        Alcotest.test_case "except attaches" `Quick test_parse_except_attaches;
+        Alcotest.test_case "errors carry lines" `Quick test_parse_error_reports_line;
+        Alcotest.test_case "pretty roundtrip (fixed programs)" `Quick
+          test_pretty_roundtrip_fixed;
+        QCheck_alcotest.to_alcotest prop_pretty_idempotent;
+        QCheck_alcotest.to_alcotest prop_interp_matches_ocaml_arithmetic;
+      ] );
+    ( "typecheck",
+      [
+        Alcotest.test_case "the paper's figures check" `Quick test_check_figures;
+        Alcotest.test_case "stream call has promise type" `Quick
+          test_check_promise_type_from_stream;
+        Alcotest.test_case "reject wrong argument type" `Quick test_reject_wrong_arg_type;
+        Alcotest.test_case "reject claim of non-promise" `Quick test_reject_claim_non_promise;
+        Alcotest.test_case "reject promise type mismatch" `Quick test_reject_promise_mismatch;
+        Alcotest.test_case "reject unhandled signal in process" `Quick
+          test_reject_unhandled_signal_in_process;
+        Alcotest.test_case "accept handled signal" `Quick test_accept_handled_signal;
+        Alcotest.test_case "reject undeclared signal in handler" `Quick
+          test_reject_undeclared_signal_in_handler;
+        Alcotest.test_case "reject wrong arm payload" `Quick test_reject_wrong_arm_payload;
+        Alcotest.test_case "reject impossible arm" `Quick test_reject_impossible_arm;
+        Alcotest.test_case "reject promise in handler signature" `Quick
+          test_reject_promise_in_handler_signature;
+        Alcotest.test_case "reject declaring unavailable" `Quick
+          test_reject_declaring_unavailable;
+        Alcotest.test_case "reject unknown handler" `Quick test_reject_unknown_handler;
+        Alcotest.test_case "reject handler ref as value" `Quick
+          test_reject_handler_ref_as_value;
+        Alcotest.test_case "reject bare []" `Quick test_reject_empty_array_without_annotation;
+        Alcotest.test_case "reject unhandled exception_reply" `Quick
+          test_reject_synch_exception_unhandled;
+        Alcotest.test_case "reject remote call in guardian init" `Quick
+          test_reject_guardian_var_remote_init;
+        Alcotest.test_case "reject fork of non-proc" `Quick test_reject_fork_non_proc;
+        Alcotest.test_case "reject port type mismatch" `Quick test_reject_port_type_mismatch;
+        Alcotest.test_case "reject port call bad args" `Quick test_reject_port_call_bad_args;
+        Alcotest.test_case "ports transmissible in signatures" `Quick
+          test_port_in_handler_signature_allowed;
+        Alcotest.test_case "reject arity mismatch" `Quick test_reject_arity_mismatch;
+        Alcotest.test_case "reject assignment type mismatch" `Quick
+          test_reject_assignment_type_mismatch;
+        Alcotest.test_case "reject unknown type" `Quick test_reject_unknown_type_name;
+        Alcotest.test_case "reject duplicate handler" `Quick test_reject_duplicate_handler;
+        Alcotest.test_case "reject process return value" `Quick
+          test_reject_process_return_value;
+        Alcotest.test_case "reject queue in signature" `Quick test_reject_queue_in_signature;
+        Alcotest.test_case "reject mixed arithmetic" `Quick test_reject_mixed_arithmetic;
+        Alcotest.test_case "pretty roundtrip: ports and restart" `Quick
+          test_pretty_roundtrip_port_restart;
+      ] );
+    ( "semantics",
+      [
+        Alcotest.test_case "arithmetic and strings" `Quick test_sem_arithmetic_and_strings;
+        Alcotest.test_case "records/arrays mutate and share" `Quick
+          test_sem_records_and_arrays_mutate;
+        Alcotest.test_case "control flow" `Quick test_sem_control_flow;
+        Alcotest.test_case "short-circuit and/or" `Quick test_sem_short_circuit;
+        Alcotest.test_case "division by zero" `Quick test_sem_division_by_zero_failure;
+        Alcotest.test_case "index out of bounds" `Quick test_sem_index_out_of_bounds;
+        Alcotest.test_case "for-each over empty" `Quick test_sem_for_each_empty;
+        Alcotest.test_case "block scoping" `Quick test_sem_shadowing_scopes;
+        Alcotest.test_case "nested except + retranslate" `Quick test_sem_nested_except_rethrow;
+        Alcotest.test_case "now and sleep" `Quick test_sem_now_and_sleep;
+      ] );
+    ( "interp",
+      [
+        Alcotest.test_case "rpc and stream calls" `Quick test_run_rpc_and_stream;
+        Alcotest.test_case "typed signal" `Quick test_run_typed_signal;
+        Alcotest.test_case "guardian state shared" `Quick test_run_guardian_state_is_shared;
+        Alcotest.test_case "readiness ordering" `Quick test_run_ready_and_ordering;
+        Alcotest.test_case "fork + claim (parallel fib)" `Quick test_run_fork_and_claim;
+        Alcotest.test_case "proc signal via fork" `Quick test_run_proc_signal_via_fork;
+        Alcotest.test_case "coenter group termination" `Quick
+          test_run_coenter_group_termination;
+        Alcotest.test_case "queue pipeline" `Quick test_run_queue_pipeline;
+        Alcotest.test_case "crash gives unavailable" `Quick test_run_crash_gives_unavailable;
+        Alcotest.test_case "figure 4-1 hang detected" `Quick test_run_fig41_hang_detected;
+        Alcotest.test_case "figure 4-2 terminates cleanly" `Quick
+          test_run_fig42_terminates_cleanly;
+        Alcotest.test_case "handler crash is failure" `Quick test_run_handler_crash_is_failure;
+        Alcotest.test_case "send and synch" `Quick test_run_send_and_synch;
+        Alcotest.test_case "guardian calls guardian (proxy)" `Quick
+          test_run_guardian_calls_guardian;
+        Alcotest.test_case "cascade.arg end-to-end" `Quick test_run_cascade_example;
+        Alcotest.test_case "parallel_fib.arg end-to-end" `Quick
+          test_run_parallel_fib_example;
+        Alcotest.test_case "mailer.arg end-to-end" `Quick test_run_mailer_example;
+        Alcotest.test_case "breaks.arg: break, restart, recover" `Quick
+          test_run_breaks_example_restart_recovers;
+        Alcotest.test_case "broker.arg: first-class ports" `Quick
+          test_run_broker_ports_example;
+        Alcotest.test_case "windows.arg: the §2 window system" `Quick
+          test_run_windows_example;
+        Alcotest.test_case "port roundtrip through the wire" `Quick
+          test_run_port_roundtrip_through_wire;
+      ] );
+  ]
+
+let () = Alcotest.run "miniargus" suite
