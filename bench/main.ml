@@ -2,11 +2,11 @@
 
    Two kinds of measurements:
 
-   - E1-E6, E8, E9: deterministic simulated-time experiments (the
-     tables DESIGN.md maps to the paper's claims). These live in the
-     [workloads] library; this executable prints all of them.
+   - E1-E9 and the ablations: deterministic simulated-time experiments
+     (the tables DESIGN.md maps to the paper's claims). These live in
+     the [workloads] library; this executable prints all of them.
 
-   - E7: wall-clock microbenchmarks (Bechamel) comparing typed
+   - E10: wall-clock microbenchmarks (Bechamel) comparing typed
      promises against MultiLisp-style dynamically checked futures —
      the §3.3 claim that futures "are inefficient to implement unless
      specialized hardware is available, since every object must be
@@ -19,7 +19,7 @@ module F = Futures_baseline
 
 let n_items = 1000
 
-(* --- E7 subjects --------------------------------------------------- *)
+(* --- E10 subjects --------------------------------------------------- *)
 
 let bench_int_sum () =
   let arr = Array.init n_items Fun.id in
@@ -99,8 +99,8 @@ let bench_spawn_run () =
       done;
       ignore (Sched.Scheduler.run sched : Sched.Scheduler.outcome))
 
-let e7_tests =
-  Test.make_grouped ~name:"E7"
+let e10_tests =
+  Test.make_grouped ~name:"E10"
     [
       Test.make ~name:(Printf.sprintf "plain int sum (%d)" n_items) (bench_int_sum ());
       Test.make
@@ -115,11 +115,11 @@ let e7_tests =
       Test.make ~name:"spawn+yield+run 10 fibers" (bench_spawn_run ());
     ]
 
-let run_e7 () =
+let run_e10 () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances e7_tests in
+  let raw = Benchmark.all cfg instances e10_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter
@@ -133,7 +133,7 @@ let run_e7 () =
     results;
   let rows = List.sort compare !rows in
   let table_rows = List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) rows in
-  Workloads.Table.make ~id:"E7"
+  Workloads.Table.make ~id:"E10"
     ~title:"wall-clock: typed promises vs dynamically checked futures"
     ~header:[ "subject"; "time/run" ]
     ~notes:
@@ -152,6 +152,6 @@ let () =
   print_endline "simulated-time experiments (deterministic):";
   print_newline ();
   List.iter Workloads.Table.print (Workloads.Experiments.run_all ());
-  print_endline "wall-clock microbenchmarks (E7, Bechamel):";
+  print_endline "wall-clock microbenchmarks (E10, Bechamel):";
   print_newline ();
-  Workloads.Table.print (run_e7 ())
+  Workloads.Table.print (run_e10 ())

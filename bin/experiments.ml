@@ -18,7 +18,10 @@ let run_ids ids =
 open Cmdliner
 
 let ids_arg =
-  let doc = "Experiment id to run (repeatable; default: all). E7 is in bench/main.exe." in
+  let doc =
+    "Experiment id to run (repeatable; default: all). The wall-clock microbenchmarks (E10) \
+     are in bench/main.exe."
+  in
   Arg.(value & opt_all string [] & info [ "i"; "id" ] ~docv:"ID" ~doc)
 
 let cmd =

@@ -42,6 +42,25 @@ let claim p =
   | Blocked _ ->
       S.suspend p.sched (fun w -> on_ready p (fun o -> ignore (S.wake w o : bool)))
 
+let claim_deadline p ~deadline =
+  match p.state with
+  | Ready o -> o
+  | Blocked _ ->
+      if S.now p.sched >= deadline then
+        Unavailable "claim deadline exceeded: promise still blocked"
+      else
+        (* First wake wins: S.wake returns false once the waker has
+           fired, so the loser (outcome arrival or timer) is a no-op.
+           The promise itself stays blocked on timeout — claiming is
+           what gave up, not the call. *)
+        S.suspend p.sched (fun w ->
+            on_ready p (fun o -> ignore (S.wake w o : bool));
+            S.at p.sched deadline (fun () ->
+                ignore
+                  (S.wake w (Unavailable "claim deadline exceeded: promise still blocked") : bool)))
+
+let claim_timeout p ~timeout = claim_deadline p ~deadline:(S.now p.sched +. timeout)
+
 let claim_normal p ~on_signal =
   match claim p with
   | Normal v -> v

@@ -49,6 +49,19 @@ val claim : ('a, 'e) t -> ('a, 'e) outcome
 val peek : ('a, 'e) t -> ('a, 'e) outcome option
 (** The outcome if ready, without blocking. *)
 
+val claim_timeout : ('a, 'e) t -> timeout:float -> ('a, 'e) outcome
+(** {!claim}, but wait at most [timeout] (simulated) seconds: if the
+    promise is still blocked then, return
+    [Unavailable "claim deadline exceeded: …"] instead of parking
+    forever. The promise itself is {e not} resolved — a later claim can
+    still get the real outcome if it ever arrives. This is how
+    claimants of promises orphaned by a broken-but-supervised stream
+    degrade gracefully instead of hanging while the supervisor is mid
+    backoff (see [docs/FAULTS.md]). *)
+
+val claim_deadline : ('a, 'e) t -> deadline:float -> ('a, 'e) outcome
+(** {!claim_timeout} against an absolute scheduler time. *)
+
 exception Unavailable_exn of string
 
 exception Failure_exn of string

@@ -96,6 +96,7 @@ let on_in_break i f =
 
 let mark_in_broken i reason =
   if i.i_broken = None then begin
+    Sim.Stats.incr (Sim.Stats.counter (S.stats i.i_hub.h_sched) "chan_in_breaks");
     i.i_broken <- Some reason;
     let hooks = i.i_on_break in
     i.i_on_break <- [];
@@ -105,8 +106,14 @@ let mark_in_broken i reason =
 let transmit hub ~dst packet =
   Net.send hub.h_net ~src:hub.h_node ~dst ~bytes_:(packet_bytes packet) packet
 
+let hub_counter hub name = Sim.Stats.counter (S.stats hub.h_sched) name
+
+let hub_trace hub fmt = Sim.Trace.recordf (S.trace hub.h_sched) ~time:(S.now hub.h_sched) fmt
+
 let mark_broken o reason =
   if o.o_broken = None then begin
+    Sim.Stats.incr (hub_counter o.o_hub "chan_out_breaks");
+    hub_trace o.o_hub "chan: out %s->%d broken: %s" o.o_key.label o.o_dst reason;
     o.o_broken <- Some reason;
     o.o_buf <- [];
     o.o_buf_len <- 0;
@@ -146,6 +153,7 @@ let rec arm_retransmit o =
             if o.o_retries > o.o_cfg.max_retries then
               mark_broken o "retransmit limit exceeded: peer unreachable"
             else begin
+              Sim.Stats.incr (hub_counter o.o_hub "chan_retransmits");
               let first_seq = match o.o_unacked with (s, _) :: _ -> s | [] -> assert false in
               let items = List.map snd o.o_unacked in
               transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; items });
@@ -168,22 +176,23 @@ let flush_out o =
   end
 
 let send o item =
-  (match o.o_broken with
-  | Some reason -> invalid_arg ("Chanhub.send: channel broken: " ^ reason)
-  | None -> ());
-  o.o_buf <- item :: o.o_buf;
-  o.o_buf_len <- o.o_buf_len + 1;
-  o.o_next_seq <- o.o_next_seq + 1;
-  if o.o_buf_len >= o.o_cfg.max_batch then flush_out o
-  else if o.o_buf_len = 1 && o.o_cfg.flush_interval < infinity then begin
-    if o.o_cfg.flush_interval <= 0.0 then flush_out o
-    else begin
-      o.o_flush_gen <- o.o_flush_gen + 1;
-      let gen = o.o_flush_gen in
-      S.after o.o_hub.h_sched o.o_cfg.flush_interval (fun () ->
-          if gen = o.o_flush_gen then flush_out o)
-    end
-  end
+  match o.o_broken with
+  | Some reason -> Error reason
+  | None ->
+      o.o_buf <- item :: o.o_buf;
+      o.o_buf_len <- o.o_buf_len + 1;
+      o.o_next_seq <- o.o_next_seq + 1;
+      if o.o_buf_len >= o.o_cfg.max_batch then flush_out o
+      else if o.o_buf_len = 1 && o.o_cfg.flush_interval < infinity then begin
+        if o.o_cfg.flush_interval <= 0.0 then flush_out o
+        else begin
+          o.o_flush_gen <- o.o_flush_gen + 1;
+          let gen = o.o_flush_gen in
+          S.after o.o_hub.h_sched o.o_cfg.flush_interval (fun () ->
+              if gen = o.o_flush_gen then flush_out o)
+        end
+      end;
+      Ok ()
 
 let handle_ack o ~upto =
   if o.o_broken = None && upto > o.o_acked_upto then begin
@@ -243,6 +252,8 @@ let handle_data hub ~key ~first_seq ~items =
             transmit hub ~dst:key.src (Ack { key; upto = i.i_expected - 1 })
           else begin
             let skip = i.i_expected - first_seq in
+            if skip > 0 then
+              Sim.Stats.add (hub_counter hub "chan_dup_items_suppressed") (min skip count);
             let fresh = if skip >= count then [] else List.filteri (fun idx _ -> idx >= skip) items in
             if fresh <> [] then begin
               i.i_expected <- i.i_expected + List.length fresh;

@@ -65,6 +65,10 @@ val create_hub : packet Net.t -> Net.node -> hub
 val hub_node : hub -> Net.node
 
 val hub_sched : hub -> Sched.Scheduler.t
+(** The hub's scheduler. Channel-layer counters are recorded in this
+    scheduler's {!Sim.Stats} registry — [chan_retransmits],
+    [chan_dup_items_suppressed], [chan_out_breaks], [chan_in_breaks] —
+    and break events in its {!Sim.Trace}. *)
 
 val on_connect : hub -> label:string -> (in_chan -> unit) -> unit
 (** Register the acceptor for inbound channels labelled [label]. The
@@ -80,9 +84,11 @@ val connect : hub -> dst:Net.address -> label:string -> meta:string -> config ->
 (** Open a channel to the hub at [dst]. No handshake message is sent;
     the first data packet establishes the channel at the receiver. *)
 
-val send : out_chan -> Xdr.value -> unit
-(** Buffer one item for ordered delivery. Raises [Invalid_argument] on
-    a broken channel (callers are expected to check {!out_broken}). *)
+val send : out_chan -> Xdr.value -> (unit, string) result
+(** Buffer one item for ordered delivery. [Error reason] means the
+    channel is (already) broken — a break racing a buffered send is a
+    normal condition under churn, not a programming error, so it is
+    reported as a value rather than an exception. *)
 
 val flush_out : out_chan -> unit
 (** Transmit everything buffered now. *)

@@ -1,6 +1,12 @@
 module S = Sched.Scheduler
 
-type pending = { p_on_reply : Wire.routcome -> unit }
+type pending = {
+  p_cid : int;
+  p_port : string;
+  p_kind : Wire.kind;
+  p_args : Xdr.value;
+  p_on_reply : Wire.routcome -> unit;
+}
 
 type t = {
   hub : Chanhub.hub;
@@ -14,19 +20,34 @@ type t = {
   mutable s_broken : string option;
   pending : (int, pending) Hashtbl.t;
   mutable next_seq : int;
+  mutable next_cid : int;  (* stable call-ids: never reset, even across restarts *)
   mutable completed_upto : int;
   mutable exn_since_synch : bool;
   mutable synch_waiters : (int * unit S.waker) list;
   mutable break_hooks : (string -> unit) list;
+  mutable preserve_on_break : bool;
+  mutable progress_hook : (unit -> unit) option;
 }
 
 let agent t = t.s_agent
+
+let sched t = t.sched
 
 let gid t = t.s_gid
 
 let broken t = t.s_broken
 
+let incarnation t = t.incarnation
+
 let outstanding t = Hashtbl.length t.pending
+
+let set_preserve_on_break t b = t.preserve_on_break <- b
+
+let on_progress t f = t.progress_hook <- Some f
+
+let counter t name = Sim.Stats.counter (S.stats t.sched) name
+
+let trace t fmt = Sim.Trace.recordf (S.trace t.sched) ~time:(S.now t.sched) fmt
 
 let reply_label_for ~agent ~gid ~dst ~incarnation =
   Printf.sprintf "~r/%s/%s/%d/%d" agent gid dst incarnation
@@ -54,19 +75,31 @@ let complete t seq outcome =
       p.p_on_reply outcome;
       wake_satisfied_synchers t
 
+(* Resolve every still-outstanding call with [unavailable] (in call
+   order, each exactly once) — the terminal fate of in-flight calls
+   when nobody will retry them. *)
+let fail_pending t ~reason =
+  if Hashtbl.length t.pending > 0 then begin
+    let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.pending [] in
+    let seqs = List.sort compare seqs in
+    List.iter (fun seq -> complete t seq (Wire.W_unavailable reason)) seqs
+  end;
+  t.completed_upto <- t.next_seq - 1;
+  wake_satisfied_synchers t
+
 let handle_break t reason =
   if t.s_broken = None then begin
     t.s_broken <- Some reason;
-    (* Outstanding calls will never get replies: complete them (in call
-       order) with [unavailable] — "we rely on the language to cause
-       the calls to terminate with an exception" (§2). *)
-    let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.pending [] in
-    let seqs = List.sort compare seqs in
-    List.iter
-      (fun seq -> complete t seq (Wire.W_unavailable ("stream broken: " ^ reason)))
-      seqs;
-    t.completed_upto <- t.next_seq - 1;
-    wake_satisfied_synchers t;
+    Sim.Stats.incr (counter t "stream_breaks");
+    trace t "stream %s->%s/%d inc=%d break: %s" t.s_agent t.s_gid t.s_dst t.incarnation reason;
+    (* Outstanding calls will never get replies on this incarnation.
+       Default (§2): complete them with [unavailable] — "we rely on the
+       language to cause the calls to terminate with an exception".
+       Under supervision ([preserve_on_break]) they are kept pending so
+       a reincarnation can re-submit them with their stable call-ids;
+       the supervisor calls {!fail_pending} if it gives up. *)
+    if not t.preserve_on_break then fail_pending t ~reason:("stream broken: " ^ reason)
+    else wake_satisfied_synchers t;
     let hooks = t.break_hooks in
     t.break_hooks <- [];
     List.iter (fun f -> f reason) hooks
@@ -76,7 +109,13 @@ let deliver_replies t items =
   List.iter
     (fun item ->
       match Wire.parse_reply item with
-      | Ok (seq, outcome) -> complete t seq outcome
+      | Ok (seq, outcome) ->
+          let was_pending = Hashtbl.mem t.pending seq in
+          complete t seq outcome;
+          if was_pending then
+            (* A reply made it back: the stream demonstrably works.
+               Supervisors use this to close their circuit breaker. *)
+            (match t.progress_hook with Some f -> f () | None -> ())
       | Error _ ->
           (* A malformed reply means our peer is garbage; break. *)
           handle_break t "malformed reply from receiver")
@@ -107,10 +146,13 @@ let create hub ~agent ~dst ~gid ?(config = Chanhub.default_config) () =
       s_broken = None;
       pending = Hashtbl.create 32;
       next_seq = 0;
+      next_cid = 0;
       completed_upto = -1;
       exn_since_synch = false;
       synch_waiters = [];
       break_hooks = [];
+      preserve_on_break = false;
+      progress_hook = None;
     }
   in
   attach t chan;
@@ -120,11 +162,20 @@ let call t ~port ~kind ~args ~on_reply =
   match t.s_broken with
   | Some reason -> Error reason
   | None ->
-      let seq = t.next_seq in
+      let seq = t.next_seq and cid = t.next_cid in
       t.next_seq <- seq + 1;
-      Hashtbl.replace t.pending seq { p_on_reply = on_reply };
-      Chanhub.send t.chan (Wire.call_item ~seq ~port ~kind ~args);
-      Ok ()
+      t.next_cid <- cid + 1;
+      Hashtbl.replace t.pending seq
+        { p_cid = cid; p_port = port; p_kind = kind; p_args = args; p_on_reply = on_reply };
+      (match Chanhub.send t.chan (Wire.call_item ~seq ~cid ~port ~kind ~args) with
+      | Ok () -> Ok ()
+      | Error reason ->
+          (* Unreachable in practice: a channel break reports to
+             [handle_break] synchronously, so [s_broken] would be set.
+             Kept total in case break notification ever becomes lazy. *)
+          Hashtbl.remove t.pending seq;
+          t.next_seq <- seq;
+          Error reason)
 
 let flush t = if t.s_broken = None then Chanhub.flush_out t.chan
 
@@ -148,6 +199,16 @@ let synch t =
 let on_break t f =
   match t.s_broken with Some reason -> f reason | None -> t.break_hooks <- f :: t.break_hooks
 
+(* Shared tail of both restart flavours: bump the incarnation and open
+   its fresh channel pair. *)
+let reincarnate t =
+  Chanhub.remove_acceptor t.hub ~label:(reply_label t);
+  t.incarnation <- t.incarnation + 1;
+  t.s_broken <- None;
+  let label = reply_label t in
+  let chan = Chanhub.connect t.hub ~dst:t.s_dst ~label:t.s_gid ~meta:label t.s_cfg in
+  attach t chan
+
 let restart t =
   (match t.s_broken with
   | None ->
@@ -156,12 +217,47 @@ let restart t =
       Chanhub.break_out t.chan ~reason:"restarted by sender";
       handle_break t "restarted by sender"
   | Some _ -> ());
-  Chanhub.remove_acceptor t.hub ~label:(reply_label t);
-  t.incarnation <- t.incarnation + 1;
-  t.s_broken <- None;
+  (* Under supervision the break left in-flight calls pending; a manual
+     restart abandons them — each resolves [unavailable] exactly once. *)
+  (match t.s_broken with
+  | Some reason -> fail_pending t ~reason:("stream broken: " ^ reason)
+  | None -> ());
+  Sim.Stats.incr (counter t "stream_restarts");
+  trace t "stream %s->%s/%d restart (fresh incarnation %d)" t.s_agent t.s_gid t.s_dst
+    (t.incarnation + 1);
   t.next_seq <- 0;
   t.completed_upto <- -1;
   t.exn_since_synch <- false;
-  let label = reply_label t in
-  let chan = Chanhub.connect t.hub ~dst:t.s_dst ~label:t.s_gid ~meta:label t.s_cfg in
-  attach t chan
+  reincarnate t
+
+let restart_resubmit t =
+  match t.s_broken with
+  | None -> invalid_arg "Stream_end.restart_resubmit: stream is not broken"
+  | Some _ ->
+      (* Re-key the surviving in-flight calls into the new incarnation's
+         seq space (preserving call order and their stable cids), then
+         replay them. Replies already received form a contiguous prefix,
+         so the pending seqs are exactly [completed_upto+1 .. next_seq-1]. *)
+      let pend = Hashtbl.fold (fun seq p acc -> (seq, p) :: acc) t.pending [] in
+      let pend = List.sort (fun (a, _) (b, _) -> compare a b) pend in
+      let shift = t.completed_upto + 1 in
+      Hashtbl.reset t.pending;
+      List.iteri (fun i (_, p) -> Hashtbl.replace t.pending i p) pend;
+      t.synch_waiters <- List.map (fun (target, w) -> (target - shift, w)) t.synch_waiters;
+      t.next_seq <- List.length pend;
+      t.completed_upto <- -1;
+      Sim.Stats.incr (counter t "stream_restarts");
+      Sim.Stats.add (counter t "stream_resubmitted_calls") (List.length pend);
+      trace t "stream %s->%s/%d resubmit restart: incarnation %d, %d calls replayed"
+        t.s_agent t.s_gid t.s_dst (t.incarnation + 1) (List.length pend);
+      reincarnate t;
+      List.iteri
+        (fun i (_, p) ->
+          ignore
+            (Chanhub.send t.chan
+               (Wire.call_item ~seq:i ~cid:p.p_cid ~port:p.p_port ~kind:p.p_kind ~args:p.p_args)
+              : (unit, string) result))
+        pend;
+      if pend <> [] then Chanhub.flush_out t.chan;
+      wake_satisfied_synchers t;
+      List.length pend

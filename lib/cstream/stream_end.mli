@@ -12,7 +12,18 @@
     delivery (retransmit exhaustion, receiver crash, receiver-initiated
     break), every outstanding call completes with
     [W_unavailable]/[W_failure] and further calls fail immediately
-    until {!restart}. *)
+    until {!restart}.
+
+    {b Supervision extensions} (see [docs/FAULTS.md]): each call also
+    carries a {e stable call-id} that is monotonic over the whole life
+    of the stream end and never resets. A supervisor can opt into
+    {!set_preserve_on_break}, in which case a break leaves outstanding
+    calls pending, and {!restart_resubmit} replays them — with their
+    original call-ids — on the next incarnation, letting a deduplicating
+    receiver execute each call exactly once across incarnations.
+    Stream-level events are counted in the scheduler's {!Sim.Stats}
+    ([stream_breaks], [stream_restarts], [stream_resubmitted_calls])
+    and recorded in its {!Sim.Trace}. *)
 
 type t
 
@@ -32,8 +43,13 @@ val agent : t -> string
 
 val gid : t -> string
 
+val sched : t -> Sched.Scheduler.t
+
 val broken : t -> string option
 (** Why the stream is broken, or [None] while it is usable. *)
+
+val incarnation : t -> int
+(** Restarts so far; 0 for a fresh stream. *)
 
 val call :
   t -> port:string -> kind:Wire.kind -> args:Xdr.value ->
@@ -59,9 +75,37 @@ val outstanding : t -> int
 
 val restart : t -> unit
 (** Break (if not already broken) and reincarnate: outstanding calls
-    complete with [W_unavailable]; subsequent calls use a fresh
+    complete with [W_unavailable] (exactly once each, even if a
+    supervisor had preserved them); subsequent calls use a fresh
     incarnation of the stream. *)
 
 val on_break : t -> (string -> unit) -> unit
 (** Register a callback fired when the current incarnation breaks (at
     most once per incarnation; fires immediately if already broken). *)
+
+(** {1 Supervision support} *)
+
+val set_preserve_on_break : t -> bool -> unit
+(** With [true] (default [false]), a break does {e not} resolve
+    outstanding calls with [unavailable]; they stay pending for
+    {!restart_resubmit}. Whoever sets this owns their fate and must
+    eventually either resubmit or {!fail_pending} — otherwise claimants
+    wait forever (or until their {!Promise.claim_timeout}). *)
+
+val restart_resubmit : t -> int
+(** Reincarnate a broken stream {e keeping} its outstanding calls:
+    they are re-keyed into the new incarnation's sequence space and
+    re-sent with their original stable call-ids, so a receiver created
+    with [~dedup:true] executes each at most once across incarnations.
+    Returns the number of calls resubmitted. Raises [Invalid_argument]
+    if the stream is not broken. *)
+
+val fail_pending : t -> reason:string -> unit
+(** Resolve every still-outstanding call with [W_unavailable reason],
+    in call order, each exactly once — used by supervisors giving up
+    after exhausting their retry budget. *)
+
+val on_progress : t -> (unit -> unit) -> unit
+(** [f] runs each time a reply for an outstanding call arrives — proof
+    the current incarnation is live. Supervisors use it to close their
+    circuit breaker. At most one hook (last registration wins). *)

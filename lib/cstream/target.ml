@@ -2,7 +2,15 @@ module S = Sched.Scheduler
 
 type work =
   | Overhead  (** one arriving network message: charge kernel overhead *)
-  | Exec of { seq : int; port : string; kind : Wire.kind; args : Xdr.value }
+  | Exec of { seq : int; cid : int; port : string; kind : Wire.kind; args : Xdr.value }
+
+(* Cross-incarnation dedup cache entry, keyed by (stable stream id,
+   stable call-id). [In_progress] collects the reply callbacks of
+   duplicate submissions that arrived while the first execution is
+   still running; [Done] replays the recorded outcome. *)
+type in_progress = { mutable waiters : (Wire.routcome -> unit) list }
+
+type entry = In_progress of in_progress | Done of Wire.routcome
 
 type t = {
   hub : Chanhub.hub;
@@ -10,6 +18,11 @@ type t = {
   t_gid : string;
   reply_config : Chanhub.config;
   t_ordered : bool;
+  t_dedup : bool;
+  t_cache_cap : int;
+  t_cache : (string * int, entry) Hashtbl.t;
+  t_done_order : (string * int) Queue.t;
+  mutable t_done_count : int;
   dispatch : dispatch;
   conns : (Chanhub.key, conn) Hashtbl.t;
   mutable closed : bool;
@@ -19,6 +32,7 @@ and conn = {
   c_target : t;
   c_in : Chanhub.in_chan;
   c_reply : Chanhub.out_chan;
+  c_stable : string;  (* incarnation-independent identity of the sending stream *)
   c_work : work Sched.Bqueue.t;
   mutable c_driver : S.fiber option;
   mutable c_broken : bool;
@@ -41,9 +55,13 @@ and dispatch =
 
 let gid t = t.t_gid
 
+let dedup t = t.t_dedup
+
 let conn_src c = Chanhub.in_src c.c_in
 
 let conn_count t = Hashtbl.length t.conns
+
+let counter t name = Sim.Stats.counter (S.stats t.sched) name
 
 let flush_replies c = if Chanhub.out_broken c.c_reply = None then Chanhub.flush_out c.c_reply
 
@@ -89,7 +107,59 @@ let emit_reply c ~seq ~kind outcome =
       | Wire.Send, Wire.W_normal _ -> Wire.send_ok_item ~seq
       | (Wire.Call | Wire.Send), _ -> Wire.reply_item ~seq outcome
     in
-    Chanhub.send c.c_reply item
+    ignore (Chanhub.send c.c_reply item : (unit, string) result)
+  end
+
+(* The sending stream's identity across restarts: its reply-channel
+   label minus the trailing incarnation number, qualified by source
+   address. This is what a resubmitted call's cid is stable within. *)
+let stable_stream_id (key : Chanhub.key) =
+  let prefix =
+    match String.rindex_opt key.Chanhub.meta '/' with
+    | Some i -> String.sub key.Chanhub.meta 0 i
+    | None -> key.Chanhub.meta
+  in
+  Printf.sprintf "%d|%s" key.Chanhub.src prefix
+
+let remember t id outcome =
+  Hashtbl.replace t.t_cache id (Done outcome);
+  Queue.push id t.t_done_order;
+  t.t_done_count <- t.t_done_count + 1;
+  while t.t_done_count > t.t_cache_cap do
+    let victim = Queue.pop t.t_done_order in
+    Hashtbl.remove t.t_cache victim;
+    t.t_done_count <- t.t_done_count - 1
+  done
+
+(* Execute one call, or don't: with dedup on, a call-id already seen is
+   never re-executed — its recorded outcome is replayed (or joined, if
+   the first execution is still in flight). This is what turns the
+   sender's resubmission protocol into cross-incarnation exactly-once
+   execution. *)
+let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
+  let t = c.c_target in
+  if not t.t_dedup then t.dispatch c ~seq ~port ~kind ~args ~reply
+  else begin
+    let id = (c.c_stable, cid) in
+    match Hashtbl.find_opt t.t_cache id with
+    | Some (Done outcome) ->
+        Sim.Stats.incr (counter t "target_dedup_replays");
+        reply outcome
+    | Some (In_progress w) ->
+        Sim.Stats.incr (counter t "target_dedup_joins");
+        w.waiters <- reply :: w.waiters
+    | None ->
+        let w = { waiters = [] } in
+        Hashtbl.replace t.t_cache id (In_progress w);
+        t.dispatch c ~seq ~port ~kind ~args ~reply:(fun outcome ->
+            (* Record before replying: the outcome must outlive this
+               connection so a duplicate on a later incarnation replays
+               it instead of re-executing. *)
+            remember t id outcome;
+            let waiters = w.waiters in
+            w.waiters <- [];
+            List.iter (fun r -> r outcome) waiters;
+            reply outcome)
   end
 
 (* Unordered mode keeps the stream's reply-order guarantee: outcomes
@@ -120,18 +190,18 @@ let driver_loop c =
     | Overhead ->
         if overhead > 0.0 then S.sleep t.sched overhead;
         loop ()
-    | Exec { seq; port; kind; args } when not t.t_ordered ->
-        t.dispatch c ~seq ~port ~kind ~args ~reply:(fun o ->
+    | Exec { seq; cid; port; kind; args } when not t.t_ordered ->
+        exec_call c ~seq ~cid ~port ~kind ~args ~reply:(fun o ->
             if not c.c_broken then begin
               Hashtbl.replace c.c_done seq (kind, o);
               release_in_order c
             end);
         loop ()
-    | Exec { seq; port; kind; args } -> (
+    | Exec { seq; cid; port; kind; args } -> (
         c.c_inflight <- true;
         let outcome =
           S.suspend t.sched (fun w ->
-              t.dispatch c ~seq ~port ~kind ~args ~reply:(fun o ->
+              exec_call c ~seq ~cid ~port ~kind ~args ~reply:(fun o ->
                   ignore (S.wake w o : bool)))
         in
         c.c_inflight <- false;
@@ -155,6 +225,7 @@ let accept t in_chan =
       c_target = t;
       c_in = in_chan;
       c_reply = reply;
+      c_stable = stable_stream_id key;
       c_work = Sched.Bqueue.create t.sched;
       c_driver = None;
       c_broken = false;
@@ -177,8 +248,8 @@ let accept t in_chan =
         List.iter
           (fun item ->
             match Wire.parse_call item with
-            | Ok (seq, port, kind, args) ->
-                Sched.Bqueue.enq c.c_work (Exec { seq; port; kind; args })
+            | Ok (seq, cid, port, kind, args) ->
+                Sched.Bqueue.enq c.c_work (Exec { seq; cid; port; kind; args })
             | Error reason -> break_conn c ~reason)
           items
       end);
@@ -189,7 +260,8 @@ let accept t in_chan =
   in
   c.c_driver <- Some fiber
 
-let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) dispatch =
+let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) ?(dedup = false)
+    ?(dedup_cache = 1024) dispatch =
   let t =
     {
       hub;
@@ -197,6 +269,11 @@ let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) d
       t_gid = gid;
       reply_config;
       t_ordered = ordered;
+      t_dedup = dedup;
+      t_cache_cap = dedup_cache;
+      t_cache = Hashtbl.create (if dedup then 64 else 1);
+      t_done_order = Queue.create ();
+      t_done_count = 0;
       dispatch;
       conns = Hashtbl.create 8;
       closed = false;

@@ -13,7 +13,15 @@
 
     Replies are sent back on a dedicated reply channel per stream,
     buffered according to [reply_config]. Normal replies to [Send]
-    calls carry no result value. *)
+    calls carry no result value.
+
+    With [~dedup:true] the group additionally keeps a bounded cache of
+    completed call outcomes keyed by the sender's {e stable call-id}
+    (see {!Wire.call_item} and [docs/FAULTS.md]): a call the group has
+    already executed — typically resubmitted by a supervisor after a
+    stream break — is answered from the cache instead of being run
+    again, giving exactly-once {e execution} across stream
+    incarnations. *)
 
 type t
 
@@ -35,16 +43,36 @@ type dispatch =
     stream is dispatched only after [reply] fires. *)
 
 val create :
-  Chanhub.hub -> gid:string -> ?reply_config:Chanhub.config -> ?ordered:bool -> dispatch -> t
+  Chanhub.hub ->
+  gid:string ->
+  ?reply_config:Chanhub.config ->
+  ?ordered:bool ->
+  ?dedup:bool ->
+  ?dedup_cache:int ->
+  dispatch ->
+  t
 (** Register the port group [gid] on this hub. [ordered] (default
     [true]) is the paper's semantics: the next call on a stream starts
     only when the previous one has replied. [ordered:false] is the
     "explicit override" hinted at in §2.1: calls on one stream execute
     concurrently, while replies are still released in call order so the
     stream's reply-ordering guarantee (and promise-readiness order)
-    is preserved. Used by the receiver-ordering ablation. *)
+    is preserved. Used by the receiver-ordering ablation.
+
+    [dedup] (default [false]) enables the cross-incarnation outcome
+    cache; [dedup_cache] (default 1024) bounds the number of retained
+    outcomes, evicted oldest-first. Choose it larger than the maximum
+    number of calls a supervisor can have in flight across a restart.
+    Dedup hits are counted in {!Sim.Stats} as [target_dedup_replays]
+    (outcome replayed from cache) and [target_dedup_joins] (duplicate
+    arrived while the first execution was still running). *)
 
 val gid : t -> string
+
+val dedup : t -> bool
+(** Whether this group deduplicates on stable call-ids. The guardian
+    layer must not destroy orphaned handler executions when it does —
+    the recorded outcome is the dedup protocol's whole point. *)
 
 val conn_src : conn -> Net.address
 (** Node address of the sending agent. *)

@@ -19,14 +19,27 @@ let kind_of_tag = function
   | "s" -> Ok Send
   | other -> Error (Printf.sprintf "unknown call kind %S" other)
 
-let call_item ~seq ~port ~kind ~args =
+let call_item ~seq ~cid ~port ~kind ~args =
   Xdr.Record
-    [ ("q", Xdr.Int seq); ("p", Xdr.Str port); ("k", Xdr.Str (kind_tag kind)); ("a", args) ]
+    [
+      ("q", Xdr.Int seq);
+      ("i", Xdr.Int cid);
+      ("p", Xdr.Str port);
+      ("k", Xdr.Str (kind_tag kind));
+      ("a", args);
+    ]
 
 let parse_call = function
-  | Xdr.Record [ ("q", Xdr.Int seq); ("p", Xdr.Str port); ("k", Xdr.Str k); ("a", args) ] -> (
+  | Xdr.Record
+      [
+        ("q", Xdr.Int seq);
+        ("i", Xdr.Int cid);
+        ("p", Xdr.Str port);
+        ("k", Xdr.Str k);
+        ("a", args);
+      ] -> (
       match kind_of_tag k with
-      | Ok kind -> Ok (seq, port, kind, args)
+      | Ok kind -> Ok (seq, cid, port, kind, args)
       | Error e -> Error e)
   | v -> Error (Format.asprintf "malformed call item: %a" Xdr.pp_value v)
 

@@ -25,10 +25,15 @@ val pp_routcome : Format.formatter -> routcome -> unit
 
 (** {1 Call items} *)
 
-val call_item : seq:int -> port:string -> kind:kind -> args:Xdr.value -> Xdr.value
+val call_item : seq:int -> cid:int -> port:string -> kind:kind -> args:Xdr.value -> Xdr.value
+(** [seq] is the per-incarnation wire sequence (resets on restart);
+    [cid] is the {e stable call-id}, monotonic over the whole life of
+    the sending stream end — it never resets, so the receiver can
+    deduplicate calls re-submitted after a reincarnation (see
+    [docs/FAULTS.md]). *)
 
-val parse_call : Xdr.value -> (int * string * kind * Xdr.value, string) result
-(** Inverse of {!call_item}: [(seq, port, kind, args)]. *)
+val parse_call : Xdr.value -> (int * int * string * kind * Xdr.value, string) result
+(** Inverse of {!call_item}: [(seq, cid, port, kind, args)]. *)
 
 (** {1 Reply items} *)
 

@@ -33,7 +33,7 @@ let port_ref t ~group ~port =
 (* Run one handler call in its own fiber; [reply] fires exactly once
    unless the execution is orphaned (its stream died, taking the reply
    path with it). *)
-let run_handler t conn ~reply (Reg (hs, impl)) ~args ~caller =
+let run_handler t conn ~dedup ~reply (Reg (hs, impl)) ~args ~caller =
   match Xdr.decode hs.Core.Sigs.arg_c args with
   | Error reason ->
       (* §3: decode failure => failure reply, then the stream breaks. *)
@@ -66,30 +66,35 @@ let run_handler t conn ~reply (Reg (hs, impl)) ~args ~caller =
                 reply (W.W_failure ("handler crashed: " ^ Printexc.to_string e)))
       in
       (* Orphan destruction: if the stream goes away while the handler
-         is still running, destroy the execution. *)
-      T.on_conn_close conn (fun () -> if S.alive fiber then S.kill t.g_sched fiber)
+         is still running, destroy the execution. With dedup on, the
+         opposite is required: the execution must run to completion so
+         its outcome lands in the target's cache, where the supervisor's
+         resubmission of the same call-id finds it instead of executing
+         the handler a second time. *)
+      if not dedup then
+        T.on_conn_close conn (fun () -> if S.alive fiber then S.kill t.g_sched fiber)
 
-let dispatch t ports conn ~seq:_ ~port ~kind:_ ~args ~reply =
+let dispatch t ports ~dedup conn ~seq:_ ~port ~kind:_ ~args ~reply =
   match Hashtbl.find_opt ports port with
   | None -> reply (W.W_failure "handler does not exist")
-  | Some reg -> run_handler t conn ~reply reg ~args ~caller:(T.conn_src conn)
+  | Some reg -> run_handler t conn ~dedup ~reply reg ~args ~caller:(T.conn_src conn)
 
-let get_group t ~group ?reply_config ?ordered () =
+let get_group t ~group ?reply_config ?ordered ?(dedup = false) ?dedup_cache () =
   match Hashtbl.find_opt t.groups group with
   | Some state -> state
   | None ->
       let ports = Hashtbl.create 8 in
       let target =
-        T.create t.g_hub ~gid:group ?reply_config ?ordered
+        T.create t.g_hub ~gid:group ?reply_config ?ordered ~dedup ?dedup_cache
           (fun conn ~seq ~port ~kind ~args ~reply ->
-            dispatch t ports conn ~seq ~port ~kind ~args ~reply)
+            dispatch t ports ~dedup conn ~seq ~port ~kind ~args ~reply)
       in
       let state = { target; ports } in
       Hashtbl.replace t.groups group state;
       state
 
-let register_group t ~group ?reply_config ?ordered () =
-  ignore (get_group t ~group ?reply_config ?ordered () : group_state)
+let register_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache () =
+  ignore (get_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache () : group_state)
 
 let register t ~group hs impl =
   let state = get_group t ~group () in

@@ -18,7 +18,11 @@
 
     When a stream goes away while a handler call is still running, the
     orphaned execution is destroyed (killed at its next termination
-    point) — the Argus orphan-destruction guarantee in miniature. *)
+    point) — the Argus orphan-destruction guarantee in miniature.
+    Groups registered with [~dedup:true] invert this: orphans run to
+    completion so their outcome reaches the group's cross-incarnation
+    outcome cache, where a supervisor's resubmission of the same call
+    finds it (exactly-once execution; see [docs/FAULTS.md]). *)
 
 type t
 
@@ -54,10 +58,21 @@ val register :
     handler (used by tests; real guardians create ports once). *)
 
 val register_group :
-  t -> group:string -> ?reply_config:Cstream.Chanhub.config -> ?ordered:bool -> unit -> unit
+  t ->
+  group:string ->
+  ?reply_config:Cstream.Chanhub.config ->
+  ?ordered:bool ->
+  ?dedup:bool ->
+  ?dedup_cache:int ->
+  unit ->
+  unit
 (** Pre-create a group, fixing its reply-channel buffering config and
     execution discipline ([ordered:false] is the §2.1 override: calls
-    on one stream run concurrently; replies stay in call order). *)
+    on one stream run concurrently; replies stay in call order).
+    [dedup] (default [false]) enables the cross-incarnation outcome
+    cache of {!Cstream.Target.create} — required on the receiving side
+    for {!Core.Supervisor} exactly-once semantics — and [dedup_cache]
+    bounds it. *)
 
 val port_ref : t -> group:string -> port:string -> Core.Sigs.port_ref
 (** The transmissible reference to one of this guardian's ports. *)

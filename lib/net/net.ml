@@ -28,7 +28,7 @@ type node = { addr : address; nname : string; mutable is_crashed : bool }
 
 type 'msg t = {
   net_sched : S.t;
-  cfg : config;
+  mutable cfg : config;
   net_rng : Sim.Rng.t;
   net_stats : Sim.Stats.t;
   nodes : (address, node) Hashtbl.t;
@@ -59,6 +59,10 @@ let sched t = t.net_sched
 let stats t = t.net_stats
 
 let config t = t.cfg
+
+let set_config t cfg = t.cfg <- cfg
+
+let update_config t f = t.cfg <- f t.cfg
 
 let add_node t ~name =
   let n = { addr = t.next_addr; nname = name; is_crashed = false } in

@@ -54,6 +54,16 @@ val stats : 'msg t -> Sim.Stats.t
     [msgs_dropped_partition], [bytes_sent]; summary [delivery_delay]. *)
 
 val config : 'msg t -> config
+(** The network's current cost/fault knobs. The config is {e live}: the
+    fault layer mutates it mid-run (loss and jitter bursts), and every
+    send reads the values in force at send time. *)
+
+val set_config : 'msg t -> config -> unit
+
+val update_config : 'msg t -> (config -> config) -> unit
+(** [update_config t f] replaces the config with [f (config t)] —
+    used by {!Fault} for loss/jitter bursts that later restore the
+    baseline. *)
 
 (** {1 Nodes} *)
 

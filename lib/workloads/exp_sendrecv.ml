@@ -41,7 +41,9 @@ let run_raw ~n =
              let rec loop () =
                let items = Sched.Bqueue.deq work in
                S.sleep sched overhead;
-               List.iter (fun item -> CH.send back item) items;
+               List.iter
+                 (fun item -> ignore (CH.send back item : (unit, string) result))
+                 items;
                loop ()
              in
              loop ()));
@@ -72,7 +74,7 @@ let run_raw ~n =
         let replies = ref 0 in
         let done_waker = ref None in
         for i = 0 to n - 1 do
-          CH.send out (Xdr.Pair (Xdr.Int i, Xdr.Int (i * 2)));
+          ignore (CH.send out (Xdr.Pair (Xdr.Int i, Xdr.Int (i * 2))) : (unit, string) result);
           let w = ref None in
           (* register continuation *)
           ignore

@@ -6,6 +6,7 @@ let registry : (string * (unit -> Table.t)) list =
     ("E4", fun () -> Exp_compose.e4 ());
     ("E5", fun () -> Exp_fork.e5 ());
     ("E6", fun () -> Exp_failure.e6 ());
+    ("E7", fun () -> Exp_chaos.e7 ());
     ("E8", fun () -> Exp_sendrecv.e8 ());
     ("E9", fun () -> Exp_streams.e9 ());
     ("A1", fun () -> Exp_ablation.a1 ());

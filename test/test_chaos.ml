@@ -1,0 +1,17 @@
+(* Chaos gate: runs E7's invariant check — cross-incarnation
+   exactly-once under seeded crash/partition/loss schedules — over
+   several seeds. A trimmed run is part of the regular test suite;
+   `dune build @chaos` runs the full E7 sweep. *)
+
+let full = Array.exists (( = ) "--full") Sys.argv
+
+let () =
+  let ok =
+    if full then Workloads.Exp_chaos.check ()
+    else Workloads.Exp_chaos.check ~seeds:3 ~n:100 ~horizon:1.0 ()
+  in
+  if ok then print_endline "chaos invariants hold: no lost, no doubly-applied increments"
+  else begin
+    prerr_endline "chaos invariants VIOLATED (see `dune exec bin/experiments.exe -- -i E7`)";
+    exit 1
+  end

@@ -97,6 +97,50 @@ let test_promise_claim_normal_dispatch () =
     [ ("normal", 1); ("signal", 42); ("unavailable:down", 0); ("failure:dead", 0) ]
     (List.rev !trail)
 
+let test_promise_claim_timeout () =
+  let sched = S.create () in
+  let p : (int, Core.Sigs.nothing) P.t = P.create sched in
+  let first = ref None and second = ref None and resolved_at = ref 0.0 in
+  ignore
+    (S.spawn sched (fun () ->
+         (* Times out: the promise is still blocked at t=1. *)
+         first := Some (P.claim_timeout p ~timeout:1.0);
+         check Alcotest.bool "promise still blocked after timeout" false (P.ready p);
+         (* The real outcome lands at t=2; this claim sees it at once. *)
+         second := Some (P.claim_timeout p ~timeout:10.0);
+         resolved_at := S.now sched));
+  ignore
+    (S.spawn sched (fun () ->
+         S.sleep sched 2.0;
+         P.resolve p (P.Normal 3)));
+  run_ok sched;
+  (match !first with
+  | Some (P.Unavailable _) -> ()
+  | _ -> Alcotest.fail "first claim should time out as Unavailable");
+  (match !second with
+  | Some (P.Normal 3) -> ()
+  | _ -> Alcotest.fail "second claim should see the real outcome");
+  check (Alcotest.float 1e-9) "woken by resolve, not the timer" 2.0 !resolved_at;
+  (* A claim on an already-ready promise never invents a timeout. *)
+  ignore
+    (S.spawn sched (fun () ->
+         match P.claim_timeout p ~timeout:0.0 with
+         | P.Normal 3 -> ()
+         | _ -> Alcotest.fail "ready promise must return its outcome"));
+  run_ok sched
+
+let test_promise_claim_deadline_expired () =
+  let sched = S.create () in
+  let p : (int, Core.Sigs.nothing) P.t = P.create sched in
+  ignore
+    (S.spawn sched (fun () ->
+         S.sleep sched 5.0;
+         (* Deadline already in the past: degrade immediately. *)
+         match P.claim_deadline p ~deadline:1.0 with
+         | P.Unavailable _ -> check (Alcotest.float 1e-9) "no wait" 5.0 (S.now sched)
+         | _ -> Alcotest.fail "expired deadline should be Unavailable"));
+  run_ok sched
+
 let test_promise_map_all_both () =
   let sched = S.create () in
   ignore
@@ -504,6 +548,10 @@ let suite =
         Alcotest.test_case "multi-claim same outcome" `Quick test_promise_multi_claim_same_outcome;
         Alcotest.test_case "resolve twice rejected" `Quick test_promise_resolve_twice_rejected;
         Alcotest.test_case "claim_normal dispatch" `Quick test_promise_claim_normal_dispatch;
+        Alcotest.test_case "claim_timeout degrades to Unavailable" `Quick
+          test_promise_claim_timeout;
+        Alcotest.test_case "claim_deadline in the past" `Quick
+          test_promise_claim_deadline_expired;
         Alcotest.test_case "map/all/both" `Quick test_promise_map_all_both;
         Alcotest.test_case "on_ready after resolve" `Quick test_promise_on_ready_after_resolve;
         Alcotest.test_case "hooks in registration order" `Quick

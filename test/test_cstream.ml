@@ -41,19 +41,20 @@ let ints_of_values vs =
 (* Wire encoding *)
 
 let test_wire_call_roundtrip () =
-  let item = W.call_item ~seq:7 ~port:"record_grade" ~kind:W.Call ~args:(Xdr.Int 5) in
+  let item = W.call_item ~seq:7 ~cid:42 ~port:"record_grade" ~kind:W.Call ~args:(Xdr.Int 5) in
   match W.parse_call item with
-  | Ok (seq, port, kind, args) ->
+  | Ok (seq, cid, port, kind, args) ->
       check Alcotest.int "seq" 7 seq;
+      check Alcotest.int "cid" 42 cid;
       check Alcotest.string "port" "record_grade" port;
       check Alcotest.bool "kind" true (kind = W.Call);
       check Alcotest.bool "args" true (args = Xdr.Int 5)
   | Error e -> Alcotest.fail e
 
 let test_wire_send_kind_roundtrip () =
-  let item = W.call_item ~seq:0 ~port:"p" ~kind:W.Send ~args:Xdr.Unit in
+  let item = W.call_item ~seq:0 ~cid:0 ~port:"p" ~kind:W.Send ~args:Xdr.Unit in
   match W.parse_call item with
-  | Ok (_, _, kind, _) -> check Alcotest.bool "send kind" true (kind = W.Send)
+  | Ok (_, _, _, kind, _) -> check Alcotest.bool "send kind" true (kind = W.Send)
   | Error e -> Alcotest.fail e
 
 let test_wire_reply_roundtrips () =
@@ -106,7 +107,7 @@ let collect_channel w ~cfg ~n =
   ignore
     (S.spawn w.sched (fun () ->
          for i = 1 to n do
-           CH.send out (Xdr.Int i)
+           ignore (CH.send out (Xdr.Int i) : (unit, string) result)
          done;
          CH.flush_out out));
   run_ok w;
@@ -142,7 +143,8 @@ let test_chan_flush_interval_fires () =
   CH.on_connect w.hub_b ~label:"sink" (fun in_chan ->
       CH.set_deliver in_chan (fun _ -> received_at := S.now w.sched));
   let out = CH.connect w.hub_a ~dst:(Net.address w.node_b) ~label:"sink" ~meta:"" cfg in
-  ignore (S.spawn w.sched (fun () -> CH.send out (Xdr.Int 1)));
+  ignore
+    (S.spawn w.sched (fun () -> ignore (CH.send out (Xdr.Int 1) : (unit, string) result)));
   run_ok w;
   check Alcotest.bool "delivered after the interval" true
     (!received_at >= 5e-3 && !received_at < 20e-3)
@@ -186,7 +188,7 @@ let prop_chan_random_flush_interleavings =
         (S.spawn w.sched (fun () ->
              List.iteri
                (fun i flush_now ->
-                 CH.send out (Xdr.Int (i + 1));
+                 ignore (CH.send out (Xdr.Int (i + 1)) : (unit, string) result);
                  if flush_now then CH.flush_out out)
                plan;
              CH.flush_out out));
@@ -203,7 +205,7 @@ let test_chan_break_on_unreachable_peer () =
   CH.on_out_break out (fun reason -> broke := Some reason);
   ignore
     (S.spawn w.sched (fun () ->
-         CH.send out (Xdr.Int 1);
+         ignore (CH.send out (Xdr.Int 1) : (unit, string) result);
          CH.flush_out out));
   run_ok w;
   (match !broke with
@@ -222,7 +224,7 @@ let test_chan_unknown_label_resets () =
   CH.on_out_break out (fun reason -> broke := Some reason);
   ignore
     (S.spawn w.sched (fun () ->
-         CH.send out (Xdr.Int 1);
+         ignore (CH.send out (Xdr.Int 1) : (unit, string) result);
          CH.flush_out out));
   run_ok w;
   check Alcotest.(option string) "reset reason" (Some "no such port group") !broke
@@ -243,20 +245,20 @@ let test_chan_receiver_break () =
   ignore
     (S.spawn w.sched (fun () ->
          for i = 1 to 3 do
-           CH.send out (Xdr.Int i)
+           ignore (CH.send out (Xdr.Int i) : (unit, string) result)
          done));
   run_ok w;
   check Alcotest.(option string) "sender learned the reason" (Some "receiver had enough") !broke
 
-let test_chan_send_after_break_raises () =
+let test_chan_send_after_break_errors () =
   let w = make_world () in
   let out =
     CH.connect w.hub_a ~dst:(Net.address w.node_b) ~label:"x" ~meta:"" CH.default_config
   in
   CH.break_out out ~reason:"bye";
   (match CH.send out (Xdr.Int 1) with
-  | () -> Alcotest.fail "send on broken channel should raise"
-  | exception Invalid_argument _ -> ());
+  | Error reason -> check Alcotest.string "break reason reported" "bye" reason
+  | Ok () -> Alcotest.fail "send on broken channel should return Error");
   run_ok w
 
 (* ------------------------------------------------------------------ *)
@@ -635,6 +637,188 @@ let test_partition_breaks_then_restart_works () =
   | Some o -> Alcotest.failf "unexpected %a" W.pp_routcome o
   | None -> Alcotest.fail "no reply after heal+restart"
 
+(* ------------------------------------------------------------------ *)
+(* Supervision support: preserve-on-break, resubmission, dedup *)
+
+let test_break_during_synch_observes_broken () =
+  let w = make_world () in
+  let _target, _ = install_service w in
+  let stream =
+    SE.create w.hub_a ~agent:"client" ~dst:(Net.address w.node_b) ~gid:"svc"
+      ~config:fast_cfg ()
+  in
+  let result = ref None in
+  ignore
+    (S.spawn w.sched (fun () ->
+         Net.crash w.net w.node_b;
+         for i = 1 to 3 do
+           ignore
+             (SE.call stream ~port:"double" ~kind:W.Call ~args:(Xdr.Int i)
+                ~on_reply:(fun _ -> ())
+               : (unit, string) result)
+         done;
+         (* parks in synch; the retransmit-exhaustion break must wake it *)
+         result := Some (SE.synch stream)));
+  run_ok w;
+  match !result with
+  | Some (Error (`Broken _)) -> ()
+  | Some (Ok ()) -> Alcotest.fail "synch should observe the break"
+  | Some (Error `Exception_reply) -> Alcotest.fail "expected `Broken, got `Exception_reply"
+  | None -> Alcotest.fail "synch never returned"
+
+let test_restart_inflight_resolves_each_exactly_once () =
+  let w = make_world () in
+  (* Slow sequential service: all three calls are still in flight when
+     the sender restarts. *)
+  let _target, _ = install_service ~service:50e-3 w in
+  let stream = SE.create w.hub_a ~agent:"client" ~dst:(Net.address w.node_b) ~gid:"svc" () in
+  let counts = Array.make 3 0 in
+  let outcomes = Array.make 3 None in
+  ignore
+    (S.spawn w.sched (fun () ->
+         for i = 0 to 2 do
+           ignore
+             (SE.call stream ~port:"double" ~kind:W.Call ~args:(Xdr.Int i)
+                ~on_reply:(fun o ->
+                  counts.(i) <- counts.(i) + 1;
+                  outcomes.(i) <- Some o)
+               : (unit, string) result)
+         done;
+         SE.flush stream;
+         S.sleep w.sched 10e-3;
+         check Alcotest.int "all three in flight" 3 (SE.outstanding stream);
+         SE.restart stream;
+         check Alcotest.int "none outstanding after restart" 0 (SE.outstanding stream)));
+  (* Let the run drain: the orphaned handlers still reply at 50/100/150
+     ms on the dead incarnation; those stale replies must not re-resolve
+     anything. *)
+  run_ok w;
+  Array.iteri
+    (fun i c -> check Alcotest.int (Printf.sprintf "call %d resolved exactly once" i) 1 c)
+    counts;
+  Array.iter
+    (function
+      | Some (W.W_unavailable _) -> ()
+      | Some o -> Alcotest.failf "expected unavailable, got %a" W.pp_routcome o
+      | None -> Alcotest.fail "call never resolved")
+    outcomes
+
+let test_resubmit_preserves_and_replays_calls () =
+  let w = make_world () in
+  let _target, log = install_service w in
+  let stream =
+    SE.create w.hub_a ~agent:"client" ~dst:(Net.address w.node_b) ~gid:"svc"
+      ~config:fast_cfg ()
+  in
+  SE.set_preserve_on_break stream true;
+  let counts = Array.make 4 0 in
+  let normals = ref 0 in
+  ignore
+    (S.spawn w.sched (fun () ->
+         (* Crash before anything is delivered: every call survives the
+            break as pending and is replayed on the next incarnation. *)
+         Net.crash w.net w.node_b;
+         for i = 0 to 3 do
+           ignore
+             (SE.call stream ~port:"double" ~kind:W.Call ~args:(Xdr.Int i)
+                ~on_reply:(fun o ->
+                  counts.(i) <- counts.(i) + 1;
+                  match o with W.W_normal _ -> incr normals | _ -> ())
+               : (unit, string) result)
+         done;
+         SE.flush stream;
+         while SE.broken stream = None do
+           S.sleep w.sched 5e-3
+         done;
+         check Alcotest.int "calls preserved across break" 4 (SE.outstanding stream);
+         Net.recover w.net w.node_b;
+         check Alcotest.int "all four resubmitted" 4 (SE.restart_resubmit stream);
+         check Alcotest.int "fresh incarnation" 1 (SE.incarnation stream);
+         match SE.synch stream with
+         | Ok () -> ()
+         | Error `Exception_reply -> Alcotest.fail "unexpected exception reply"
+         | Error (`Broken r) -> Alcotest.failf "stream broke again: %s" r));
+  run_ok w;
+  Array.iteri
+    (fun i c -> check Alcotest.int (Printf.sprintf "call %d resolved exactly once" i) 1 c)
+    counts;
+  check Alcotest.int "all four terminated normally" 4 !normals;
+  check Alcotest.int "each call executed exactly once" 4 (List.length !log)
+
+let test_resubmit_dedups_already_executed_calls () =
+  let w = make_world () in
+  (* Count executions per argument; ~dedup:true must keep every count
+     at one even though calls 0-2 are submitted twice (their replies
+     were lost to the partition). *)
+  let applied : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let dispatch _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply =
+    ignore
+      (S.spawn w.sched (fun () ->
+           (match args with
+           | Xdr.Int i ->
+               Hashtbl.replace applied i
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt applied i))
+           | _ -> ());
+           reply (W.W_normal args)))
+  in
+  ignore (T.create w.hub_b ~gid:"svc" ~dedup:true dispatch : T.t);
+  let stream =
+    SE.create w.hub_a ~agent:"client" ~dst:(Net.address w.node_b) ~gid:"svc"
+      ~config:fast_cfg ()
+  in
+  SE.set_preserve_on_break stream true;
+  let counts = Array.make 4 0 in
+  let normals = ref 0 in
+  ignore
+    (S.spawn w.sched (fun () ->
+         for i = 0 to 2 do
+           ignore
+             (SE.call stream ~port:"echo" ~kind:W.Call ~args:(Xdr.Int i)
+                ~on_reply:(fun o ->
+                  counts.(i) <- counts.(i) + 1;
+                  match o with W.W_normal _ -> incr normals | _ -> ())
+               : (unit, string) result)
+         done;
+         SE.flush stream;
+         (* 3 ms: the calls have been delivered, executed and acked, but
+            their buffered replies have not been transmitted yet. *)
+         S.sleep w.sched 3e-3;
+         Net.partition w.net (Net.address w.node_a) (Net.address w.node_b);
+         (* A fourth call cannot be delivered: its retransmissions are
+            what detect the partition and break the stream. *)
+         ignore
+           (SE.call stream ~port:"echo" ~kind:W.Call ~args:(Xdr.Int 3)
+              ~on_reply:(fun o ->
+                counts.(3) <- counts.(3) + 1;
+                match o with W.W_normal _ -> incr normals | _ -> ())
+             : (unit, string) result);
+         SE.flush stream;
+         while SE.broken stream = None do
+           S.sleep w.sched 5e-3
+         done;
+         check Alcotest.int "all four preserved" 4 (SE.outstanding stream);
+         Net.heal w.net (Net.address w.node_a) (Net.address w.node_b);
+         check Alcotest.int "all four resubmitted" 4 (SE.restart_resubmit stream);
+         match SE.synch stream with
+         | Ok () -> ()
+         | Error `Exception_reply -> Alcotest.fail "unexpected exception reply"
+         | Error (`Broken r) -> Alcotest.failf "stream broke again: %s" r));
+  run_ok w;
+  Array.iteri
+    (fun i c -> check Alcotest.int (Printf.sprintf "call %d resolved exactly once" i) 1 c)
+    counts;
+  check Alcotest.int "all four terminated normally" 4 !normals;
+  for i = 0 to 3 do
+    check Alcotest.int
+      (Printf.sprintf "arg %d executed exactly once" i)
+      1
+      (Option.value ~default:0 (Hashtbl.find_opt applied i))
+  done;
+  let replays =
+    Sim.Stats.count (Sim.Stats.counter (S.stats w.sched) "target_dedup_replays")
+  in
+  check Alcotest.bool "dedup cache replayed the executed calls" true (replays >= 3)
+
 let test_two_channels_do_not_interfere () =
   let w = make_world () in
   let got1 = ref [] and got2 = ref [] in
@@ -647,8 +831,8 @@ let test_two_channels_do_not_interfere () =
   ignore
     (S.spawn w.sched (fun () ->
          for i = 1 to 5 do
-           CH.send c1 (Xdr.Int i);
-           CH.send c2 (Xdr.Int (100 + i))
+           ignore (CH.send c1 (Xdr.Int i) : (unit, string) result);
+           ignore (CH.send c2 (Xdr.Int (100 + i)) : (unit, string) result)
          done));
   run_ok w;
   check Alcotest.(list int) "channel one" [ 1; 2; 3; 4; 5 ] !got1;
@@ -718,7 +902,8 @@ let suite =
         Alcotest.test_case "break on unreachable peer" `Quick test_chan_break_on_unreachable_peer;
         Alcotest.test_case "unknown label resets" `Quick test_chan_unknown_label_resets;
         Alcotest.test_case "receiver break" `Quick test_chan_receiver_break;
-        Alcotest.test_case "send after break raises" `Quick test_chan_send_after_break_raises;
+        Alcotest.test_case "send after break returns Error" `Quick
+          test_chan_send_after_break_errors;
         QCheck_alcotest.to_alcotest prop_chan_reliable_any_seed;
         QCheck_alcotest.to_alcotest prop_chan_random_flush_interleavings;
       ] );
@@ -746,6 +931,17 @@ let suite =
           test_two_channels_do_not_interfere;
         Alcotest.test_case "unordered override overlaps, replies ordered" `Quick
           test_unordered_target_overlaps_but_replies_in_order;
+      ] );
+    ( "supervision",
+      [
+        Alcotest.test_case "break during synch observes `Broken" `Quick
+          test_break_during_synch_observes_broken;
+        Alcotest.test_case "restart resolves in-flight exactly once" `Quick
+          test_restart_inflight_resolves_each_exactly_once;
+        Alcotest.test_case "resubmit preserves and replays calls" `Quick
+          test_resubmit_preserves_and_replays_calls;
+        Alcotest.test_case "resubmit dedups already-executed calls" `Quick
+          test_resubmit_dedups_already_executed_calls;
       ] );
   ]
 

@@ -304,6 +304,131 @@ let test_orphan_destroyed_on_stream_restart () =
   check Alcotest.bool "handler had started" true !started;
   check Alcotest.(option string) "orphan destroyed" (Some "destroyed") !handler_fate
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: dedup + circuit breaker *)
+
+module Sup = Core.Supervisor
+
+let bump_sig = Core.Sigs.hsig0 "bump" ~arg:Xdr.int ~res:Xdr.int
+
+(* Fast break detection so outages turn into supervisor work quickly. *)
+let fast_chan_cfg =
+  { CH.max_batch = 4; flush_interval = 0.5e-3; retransmit_timeout = 4e-3; max_retries = 3 }
+
+let fast_sup_cfg =
+  {
+    Sup.backoff_base = 5e-3;
+    backoff_factor = 2.0;
+    backoff_max = 0.05;
+    backoff_jitter = 0.2;
+    retry_budget = 20;
+    open_timeout = 0.1;
+  }
+
+let test_dedup_exactly_once_under_dup_and_crash () =
+  (* The transport duplicates aggressively AND the guardian's node
+     crashes mid-run: between chanhub-level dup suppression and the
+     target's cross-incarnation call-id cache, the handler still
+     observes each op at most once — and every op acknowledged Normal
+     exactly once. *)
+  let w = make_world ~cfg:(Net.lossy ~loss:0.0 ~dup:0.3 Net.default_config) () in
+  G.register_group w.db ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  G.register w.db ~group:"ctr" bump_sig (fun ctx op ->
+      S.sleep ctx.G.sched 0.2e-3;
+      Hashtbl.replace seen op (1 + Option.value ~default:0 (Hashtbl.find_opt seen op));
+      Ok op);
+  S.at w.sched 10e-3 (fun () -> Net.crash w.net w.db_node);
+  S.at w.sched 30e-3 (fun () -> Net.recover w.net w.db_node);
+  let n = 30 in
+  let outcomes : (int, (int, Core.Sigs.nothing) P.outcome) Hashtbl.t = Hashtbl.create 64 in
+  let rejected = ref 0 in
+  ignore
+    (S.spawn w.sched (fun () ->
+         let ag = Core.Agent.create w.client_hub ~name:"c" ~config:fast_chan_cfg () in
+         let h = R.bind ag ~dst:(Net.address w.db_node) ~gid:"ctr" bump_sig in
+         let sup =
+           Sup.supervise_agent ~config:fast_sup_cfg ag ~dst:(Net.address w.db_node) ~gid:"ctr"
+         in
+         let promises = ref [] in
+         for op = 0 to n - 1 do
+           (match R.stream_call h op with
+           | p -> promises := (op, p) :: !promises
+           | exception P.Unavailable_exn _ -> incr rejected);
+           S.sleep w.sched 2e-3
+         done;
+         R.flush h;
+         List.iter
+           (fun (op, p) -> Hashtbl.replace outcomes op (P.claim p))
+           (List.rev !promises);
+         Sup.stop sup));
+  run_ok w.sched;
+  Hashtbl.iter
+    (fun op c -> check Alcotest.int (Printf.sprintf "op %d executed once" op) 1 c)
+    seen;
+  let normal = ref 0 in
+  Hashtbl.iter
+    (fun op o ->
+      match o with
+      | P.Normal _ ->
+          incr normal;
+          check Alcotest.int
+            (Printf.sprintf "acknowledged op %d applied exactly once" op)
+            1
+            (Option.value ~default:0 (Hashtbl.find_opt seen op))
+      | P.Signal _ | P.Unavailable _ | P.Failure _ -> ())
+    outcomes;
+  check Alcotest.bool "calls succeeded around the outage" true (!normal > 0);
+  check Alcotest.int "every op accounted for" n (Hashtbl.length outcomes + !rejected)
+
+let test_supervisor_circuit_opens_then_recovers () =
+  let w = make_world () in
+  G.register_group w.db ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register w.db ~group:"ctr" bump_sig (fun _ op -> Ok op);
+  let transitions = ref [] in
+  ignore
+    (S.spawn w.sched (fun () ->
+         let ag = Core.Agent.create w.client_hub ~name:"c" ~config:fast_chan_cfg () in
+         let h = R.bind ag ~dst:(Net.address w.db_node) ~gid:"ctr" bump_sig in
+         let sup =
+           Sup.supervise_agent
+             ~config:{ fast_sup_cfg with Sup.retry_budget = 2; open_timeout = 50e-3 }
+             ag ~dst:(Net.address w.db_node) ~gid:"ctr"
+         in
+         Sup.on_state_change sup (fun st -> transitions := st :: !transitions);
+         Net.crash w.net w.db_node;
+         (* Undeliverable call: two restarts spend the budget, then the
+            breaker opens and the pending call degrades. *)
+         (match R.rpc h 1 with
+         | P.Unavailable _ -> ()
+         | _ -> Alcotest.fail "call into the outage should be unavailable");
+         (match Sup.state sup with
+         | Sup.Open -> ()
+         | st -> Alcotest.failf "expected Open, got %a" Sup.pp_breaker_state st);
+         (* fail-fast while open: refused at submission *)
+         (match R.stream_call h 2 with
+         | _ -> Alcotest.fail "open breaker should refuse new calls"
+         | exception P.Unavailable_exn _ -> ());
+         Net.recover w.net w.db_node;
+         (* The half-open probe must restore service on its own. *)
+         let ok = ref false and attempts = ref 0 in
+         while (not !ok) && !attempts < 50 do
+           incr attempts;
+           match R.rpc h 3 with
+           | P.Normal _ -> ok := true
+           | P.Signal _ | P.Unavailable _ | P.Failure _ -> S.sleep w.sched 10e-3
+           | exception P.Unavailable_exn _ -> S.sleep w.sched 10e-3
+         done;
+         check Alcotest.bool "service restored without manual restart" true !ok;
+         (match Sup.state sup with
+         | Sup.Closed -> ()
+         | st -> Alcotest.failf "expected Closed, got %a" Sup.pp_breaker_state st);
+         Sup.stop sup));
+  run_ok w.sched;
+  check Alcotest.bool "breaker opened" true (List.mem Sup.Open !transitions);
+  check Alcotest.bool "breaker probed" true (List.mem Sup.Half_open !transitions);
+  check Alcotest.bool "breaker closed again" true (List.mem Sup.Closed !transitions)
+
 let test_port_ref_dynamic_binding () =
   (* Transmit a port reference (window-system style, §2) and call
      through it. *)
@@ -666,6 +791,13 @@ let suite =
         Alcotest.test_case "agent reuses stream; restart_to" `Quick
           test_agent_reuses_stream_and_restart_to;
         Alcotest.test_case "stream call statement form" `Quick test_stream_call_statement_form;
+      ] );
+    ( "supervision",
+      [
+        Alcotest.test_case "dedup exactly-once under dup + crash" `Quick
+          test_dedup_exactly_once_under_dup_and_crash;
+        Alcotest.test_case "circuit opens, probes, recovers" `Quick
+          test_supervisor_circuit_opens_then_recovers;
       ] );
     ( "action",
       [
