@@ -1,16 +1,22 @@
 (* Benchmark harness for the reproduction.
 
-   Two kinds of measurements:
+   Three kinds of measurements:
 
-   - E1-E9 and the ablations: deterministic simulated-time experiments
-     (the tables DESIGN.md maps to the paper's claims). These live in
-     the [workloads] library; this executable prints all of them.
+   - E1-E9, E12 and the ablations: deterministic simulated-time
+     experiments (the tables DESIGN.md maps to the paper's claims).
+     These live in the [workloads] library; this executable prints all
+     of them.
 
    - E10: wall-clock microbenchmarks (Bechamel) comparing typed
      promises against MultiLisp-style dynamically checked futures —
      the §3.3 claim that futures "are inefficient to implement unless
      specialized hardware is available, since every object must be
-     examined each time it is accessed". *)
+     examined each time it is accessed".
+
+   - Wire codec: wall-clock encode/decode throughput of the binary
+     {!Xdr.Bin} format at three payload sizes, written together with
+     E12's messages-per-call figures to BENCH_wire.json so the perf
+     trajectory is machine-readable. *)
 
 open Bechamel
 open Toolkit
@@ -115,11 +121,12 @@ let e10_tests =
       Test.make ~name:"spawn+yield+run 10 fibers" (bench_spawn_run ());
     ]
 
-let run_e10 () =
+(* ns/run per subject, via OLS on the monotonic clock. *)
+let measure_ns tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances e10_tests in
+  let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter
@@ -131,7 +138,10 @@ let run_e10 () =
       in
       rows := (name, ns) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  List.sort compare !rows
+
+let run_e10 () =
+  let rows = measure_ns e10_tests in
   let table_rows = List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) rows in
   Workloads.Table.make ~id:"E10"
     ~title:"wall-clock: typed promises vs dynamically checked futures"
@@ -145,6 +155,111 @@ let run_e10 () =
       ]
     table_rows
 
+(* --- wire codec bench + BENCH_wire.json ----------------------------- *)
+
+module W = Cstream.Wire
+
+(* Payloads shaped like real traffic at three sizes: one call item, a
+   16-call batch (the string table pays off: the port name and field
+   names repeat), and a bulky argument tree. *)
+let wire_payloads =
+  let small = W.call_item ~seq:12 ~cid:12 ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42) in
+  let medium =
+    Xdr.List
+      (List.init 16 (fun i ->
+           W.call_item ~seq:i ~cid:i ~port:"record_grade" ~kind:W.Call
+             ~args:(Xdr.Pair (Xdr.Str (Printf.sprintf "stu%05d" i), Xdr.Int (50 + i)))))
+  in
+  let large =
+    Xdr.List
+      (List.init 64 (fun i ->
+           Xdr.Record
+             [
+               ("name", Xdr.Str (Printf.sprintf "student-%04d" i));
+               ("grades", Xdr.List (List.init 16 (fun g -> Xdr.Int (40 + ((i * g) mod 60)))));
+               ("mean", Xdr.Real (50.0 +. (float_of_int i /. 7.0)));
+               ("active", Xdr.Bool (i mod 2 = 0));
+             ]))
+  in
+  [ ("small", small); ("medium", medium); ("large", large) ]
+
+let wire_tests =
+  Test.make_grouped ~name:"wire"
+    (List.concat_map
+       (fun (label, v) ->
+         let encoded = Xdr.Bin.to_string v in
+         [
+           Test.make
+             ~name:(Printf.sprintf "encode %s (%dB)" label (String.length encoded))
+             (Staged.stage (fun () -> Xdr.Bin.to_string v));
+           Test.make
+             ~name:(Printf.sprintf "decode %s (%dB)" label (String.length encoded))
+             (Staged.stage (fun () -> Xdr.Bin.of_string encoded));
+         ])
+       wire_payloads)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_wire_json ~codec_rows ~e12_rows path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"wire\",\n";
+  out "  \"units\": { \"codec\": \"ns/op\", \"e12\": \"per call\" },\n";
+  out "  \"codec\": [\n";
+  let n_codec = List.length codec_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"subject\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = n_codec - 1 then "" else ","))
+    codec_rows;
+  out "  ],\n";
+  out "  \"e12\": [\n";
+  let n_rows = List.length e12_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_wire.row) ->
+      out
+        "    { \"mode\": \"%s\", \"piggyback\": %b, \"calls\": %d, \"msgs\": %d, \"bytes\": \
+         %d, \"msgs_per_call\": %.4f, \"bytes_per_call\": %.2f, \"calls_per_data_packet\": \
+         %.2f, \"standalone_ack_packets\": %d, \"piggybacked_acks\": %d, \
+         \"completion_ms\": %.3f }%s\n"
+        (json_escape r.r_mode) r.r_piggyback r.r_calls r.r_msgs r.r_bytes
+        (float_of_int r.r_msgs /. float_of_int r.r_calls)
+        (float_of_int r.r_bytes /. float_of_int r.r_calls)
+        (Workloads.Exp_wire.calls_per_data_pkt r)
+        r.r_ack_pkts r.r_piggybacked
+        (r.r_time *. 1e3)
+        (if i = n_rows - 1 then "" else ","))
+    e12_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_wire () =
+  let codec_rows = measure_ns wire_tests in
+  let e12_rows = Workloads.Exp_wire.e12_rows () in
+  write_bench_wire_json ~codec_rows ~e12_rows "BENCH_wire.json";
+  let table_rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) codec_rows
+  in
+  Workloads.Table.make ~id:"wire" ~title:"wall-clock: binary codec encode/decode (Xdr.Bin)"
+    ~header:[ "subject"; "time/op" ]
+    ~notes:
+      [
+        "payload sizes are actual encoded bytes; results + E12 per-call figures written to \
+         BENCH_wire.json";
+      ]
+    table_rows
+
 (* --- main ---------------------------------------------------------- *)
 
 let () =
@@ -154,4 +269,8 @@ let () =
   List.iter Workloads.Table.print (Workloads.Experiments.run_all ());
   print_endline "wall-clock microbenchmarks (E10, Bechamel):";
   print_newline ();
-  Workloads.Table.print (run_e10 ())
+  Workloads.Table.print (run_e10 ());
+  print_endline "wall-clock wire codec (Bechamel):";
+  print_newline ();
+  Workloads.Table.print (run_wire ());
+  print_endline "wrote BENCH_wire.json"

@@ -1,32 +1,154 @@
 module S = Sched.Scheduler
+module B = Xdr.Bin
 
 type key = { src : Net.address; label : string; idx : int; meta : string }
 
 type packet =
-  | Data of { key : key; first_seq : int; items : Xdr.value list }
-  | Ack of { key : key; upto : int }
+  | Data of {
+      key : key;
+      first_seq : int;
+      acks : (key * int) list;  (* piggybacked cumulative acks *)
+      items : Xdr.value list;
+    }
+  | Ack of { acks : (key * int) list }
   | Reset of { key : key; reason : string }
 
-let key_bytes k = 16 + String.length k.label + String.length k.meta
+type frame = string
 
-let packet_bytes = function
-  | Data { key; items; _ } ->
-      8 + key_bytes key
-      + List.fold_left (fun acc item -> acc + 8 + Xdr.wire_size item) 0 items
-  | Ack { key; _ } -> 8 + key_bytes key
-  | Reset { key; reason } -> 8 + key_bytes key + String.length reason
+(* ------------------------------------------------------------------ *)
+(* Packet frame codec. Layout: version byte, packet tag (1 = Data,
+   2 = Ack, 3 = Reset), then the packet body. Every string — channel
+   labels, meta, record field names inside items — goes through one
+   intern table per frame, so a batch of calls to the same port pays
+   for the port name once. *)
+
+let encode_key e (k : key) =
+  B.add_uvarint e k.src;
+  B.add_string e k.label;
+  B.add_uvarint e k.idx;
+  B.add_string e k.meta
+
+let encode_ack e ((k, upto) : key * int) =
+  encode_key e k;
+  (* upto is -1 for "nothing received yet", hence signed *)
+  B.add_varint e upto
+
+let encode_packet p =
+  B.with_encoder (fun e ->
+      B.add_byte e B.version;
+      (match p with
+      | Data { key; first_seq; acks; items } ->
+          B.add_byte e 1;
+          encode_key e key;
+          B.add_uvarint e first_seq;
+          B.add_uvarint e (List.length acks);
+          List.iter (encode_ack e) acks;
+          B.add_uvarint e (List.length items);
+          List.iter (B.add_value e) items
+      | Ack { acks } ->
+          B.add_byte e 2;
+          B.add_uvarint e (List.length acks);
+          List.iter (encode_ack e) acks
+      | Reset { key; reason } ->
+          B.add_byte e 3;
+          encode_key e key;
+          B.add_raw_string e reason);
+      B.contents e)
+
+let ( let* ) = Result.bind
+
+let decode_key d =
+  let* src = B.read_uvarint d in
+  let* label = B.read_string d in
+  let* idx = B.read_uvarint d in
+  let* meta = B.read_string d in
+  Ok { src; label; idx; meta }
+
+let decode_acks d =
+  let* n = B.read_uvarint d in
+  if n < 0 || n > B.remaining d then Error "ack count overruns input"
+  else
+    let rec go k acc =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* key = decode_key d in
+        let* upto = B.read_varint d in
+        go (k - 1) ((key, upto) :: acc)
+    in
+    go n []
+
+let decode_packet frame =
+  let d = B.decoder frame in
+  let* v = B.read_byte d in
+  if v <> B.version then Error (Printf.sprintf "unsupported wire version %d" v)
+  else
+    let* tag = B.read_byte d in
+    let* p =
+      match tag with
+      | 1 ->
+          let* key = decode_key d in
+          let* first_seq = B.read_uvarint d in
+          let* acks = decode_acks d in
+          let* n = B.read_uvarint d in
+          if n < 0 || n > B.remaining d then Error "item count overruns input"
+          else
+            let rec go k acc =
+              if k = 0 then Ok (List.rev acc)
+              else
+                let* item = B.read_value d in
+                go (k - 1) (item :: acc)
+            in
+            let* items = go n [] in
+            Ok (Data { key; first_seq; acks; items })
+      | 2 ->
+          let* acks = decode_acks d in
+          Ok (Ack { acks })
+      | 3 ->
+          let* key = decode_key d in
+          let* reason = B.read_raw_string d in
+          Ok (Reset { key; reason })
+      | t -> Error (Printf.sprintf "unknown packet tag %d" t)
+    in
+    let* () = B.expect_end d in
+    Ok p
+
+let packet_bytes p = String.length (encode_packet p)
+
+(* ------------------------------------------------------------------ *)
 
 type config = {
   max_batch : int;
+  max_batch_bytes : int;
   flush_interval : float;
+  flush_on_idle : bool;
   retransmit_timeout : float;
   max_retries : int;
+  max_inflight_bytes : int;
 }
 
 let default_config =
-  { max_batch = 8; flush_interval = 2e-3; retransmit_timeout = 50e-3; max_retries = 10 }
+  {
+    max_batch = 8;
+    max_batch_bytes = 4096;
+    flush_interval = 2e-3;
+    flush_on_idle = false;
+    retransmit_timeout = 50e-3;
+    max_retries = 10;
+    max_inflight_bytes = max_int;
+  }
 
 let rpc_config = { default_config with max_batch = 1; flush_interval = 0.0 }
+
+let adaptive_config =
+  {
+    max_batch = 64;
+    max_batch_bytes = 1024;
+    flush_interval = 2e-3;
+    flush_on_idle = true;
+    retransmit_timeout = 50e-3;
+    max_retries = 10;
+    max_inflight_bytes = 8192;
+  }
 
 type out_chan = {
   o_hub : hub;
@@ -34,9 +156,11 @@ type out_chan = {
   o_dst : Net.address;
   o_cfg : config;
   mutable o_next_seq : int;  (* seq of the next item accepted by [send] *)
-  mutable o_buf : Xdr.value list;  (* reversed: newest first *)
+  mutable o_buf : (Xdr.value * int) list;  (* reversed: newest first; item, encoded size *)
   mutable o_buf_len : int;
-  mutable o_unacked : (int * Xdr.value) list;  (* oldest first *)
+  mutable o_buf_bytes : int;
+  mutable o_unacked : (int * int * Xdr.value) list;  (* oldest first; seq, size, item *)
+  mutable o_inflight_bytes : int;
   mutable o_acked_upto : int;
   mutable o_retries : int;
   mutable o_broken : string option;
@@ -44,6 +168,7 @@ type out_chan = {
   mutable o_flush_gen : int;
   mutable o_retx_gen : int;
   mutable o_retx_armed : bool;
+  o_waiters : unit S.waker Queue.t;  (* fibers parked in await_window *)
 }
 
 and in_chan = {
@@ -55,14 +180,21 @@ and in_chan = {
   mutable i_on_break : (string -> unit) list;
 }
 
+and pending_acks = {
+  p_acks : (key, int) Hashtbl.t;  (* per reverse channel: max upto seen *)
+  mutable p_armed : bool;  (* delayed standalone-Ack timer pending *)
+}
+
 and hub = {
-  h_net : packet Net.t;
+  h_net : frame Net.t;
   h_node : Net.node;
   h_sched : S.t;
+  h_ack_delay : float;
   h_outs : (key, out_chan) Hashtbl.t;
   h_ins : (key, in_chan) Hashtbl.t;
   h_acceptors : (string, in_chan -> unit) Hashtbl.t;
   h_dead : (key, string) Hashtbl.t;
+  h_pending : (Net.address, pending_acks) Hashtbl.t;
   mutable h_next_idx : int;
 }
 
@@ -82,6 +214,8 @@ let on_out_break o f =
   | None -> o.o_on_break <- f :: o.o_on_break
 
 let unacked_count o = o.o_buf_len + List.length o.o_unacked
+
+let inflight_bytes o = o.o_buf_bytes + o.o_inflight_bytes
 
 let in_key i = i.i_key
 
@@ -103,12 +237,81 @@ let mark_in_broken i reason =
     List.iter (fun f -> f reason) hooks
   end
 
-let transmit hub ~dst packet =
-  Net.send hub.h_net ~src:hub.h_node ~dst ~bytes_:(packet_bytes packet) packet
-
 let hub_counter hub name = Sim.Stats.counter (S.stats hub.h_sched) name
 
 let hub_trace hub fmt = Sim.Trace.recordf (S.trace hub.h_sched) ~time:(S.now hub.h_sched) fmt
+
+let transmit hub ~dst packet =
+  let frame = encode_packet packet in
+  let bytes = String.length frame in
+  Sim.Stats.add (hub_counter hub "chan_wire_bytes") bytes;
+  (match packet with
+  | Data { items; _ } ->
+      Sim.Stats.incr (hub_counter hub "chan_data_packets");
+      Sim.Stats.add (hub_counter hub "chan_items_sent") (List.length items)
+  | Ack _ -> Sim.Stats.incr (hub_counter hub "chan_ack_packets")
+  | Reset _ -> Sim.Stats.incr (hub_counter hub "chan_reset_packets"));
+  Net.send hub.h_net ~src:hub.h_node ~dst ~bytes_:bytes frame
+
+(* --- delayed acks and piggybacking -------------------------------- *)
+
+let pending_for hub dst =
+  match Hashtbl.find_opt hub.h_pending dst with
+  | Some p -> p
+  | None ->
+      let p = { p_acks = Hashtbl.create 4; p_armed = false } in
+      Hashtbl.replace hub.h_pending dst p;
+      p
+
+let drain_pending hub dst =
+  match Hashtbl.find_opt hub.h_pending dst with
+  | None -> []
+  | Some p ->
+      let acks = Hashtbl.fold (fun k upto acc -> (k, upto) :: acc) p.p_acks [] in
+      Hashtbl.reset p.p_acks;
+      acks
+
+(* Acks waiting for [dst] hitch a ride on this Data packet. *)
+let take_piggyback hub ~dst =
+  let acks = drain_pending hub dst in
+  if acks <> [] then Sim.Stats.add (hub_counter hub "chan_piggybacked_acks") (List.length acks);
+  acks
+
+(* Acknowledge [upto] on [key]'s reverse path. With no ack delay the
+   standalone Ack goes out immediately (the pre-piggybacking
+   behaviour). With a delay, the ack is parked hoping a reverse-
+   direction Data packet picks it up; a timer bounds how long the
+   sender waits (it must come well under the retransmit timeout). *)
+let post_ack hub ~dst ~key ~upto =
+  if hub.h_ack_delay <= 0.0 then begin
+    Sim.Stats.incr (hub_counter hub "chan_standalone_acks");
+    transmit hub ~dst (Ack { acks = [ (key, upto) ] })
+  end
+  else begin
+    let p = pending_for hub dst in
+    (match Hashtbl.find_opt p.p_acks key with
+    | Some prev when prev >= upto -> ()
+    | _ -> Hashtbl.replace p.p_acks key upto);
+    if not p.p_armed then begin
+      p.p_armed <- true;
+      S.after hub.h_sched hub.h_ack_delay (fun () ->
+          p.p_armed <- false;
+          let acks = drain_pending hub dst in
+          if acks <> [] then begin
+            Sim.Stats.add (hub_counter hub "chan_standalone_acks") (List.length acks);
+            transmit hub ~dst (Ack { acks })
+          end)
+    end
+  end
+
+(* --- sending end -------------------------------------------------- *)
+
+let wake_waiters o =
+  (* Wake everyone; each re-checks the window and re-parks if it is
+     still full, preserving FIFO order through the queue. *)
+  while not (Queue.is_empty o.o_waiters) do
+    ignore (S.wake (Queue.pop o.o_waiters) ())
+  done
 
 let mark_broken o reason =
   if o.o_broken = None then begin
@@ -117,10 +320,13 @@ let mark_broken o reason =
     o.o_broken <- Some reason;
     o.o_buf <- [];
     o.o_buf_len <- 0;
+    o.o_buf_bytes <- 0;
     o.o_unacked <- [];
+    o.o_inflight_bytes <- 0;
     o.o_flush_gen <- o.o_flush_gen + 1;
     o.o_retx_gen <- o.o_retx_gen + 1;
     o.o_retx_armed <- false;
+    wake_waiters o;
     let hooks = o.o_on_break in
     o.o_on_break <- [];
     List.iter (fun f -> f reason) hooks
@@ -154,9 +360,10 @@ let rec arm_retransmit o =
               mark_broken o "retransmit limit exceeded: peer unreachable"
             else begin
               Sim.Stats.incr (hub_counter o.o_hub "chan_retransmits");
-              let first_seq = match o.o_unacked with (s, _) :: _ -> s | [] -> assert false in
-              let items = List.map snd o.o_unacked in
-              transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; items });
+              let first_seq = match o.o_unacked with (s, _, _) :: _ -> s | [] -> assert false in
+              let items = List.map (fun (_, _, item) -> item) o.o_unacked in
+              let acks = take_piggyback o.o_hub ~dst:o.o_dst in
+              transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; acks; items });
               arm_retransmit o
             end
           end
@@ -165,24 +372,57 @@ let rec arm_retransmit o =
 
 let flush_out o =
   if o.o_broken = None && o.o_buf <> [] then begin
-    let items = List.rev o.o_buf in
+    let entries = List.rev o.o_buf in
     let first_seq = o.o_next_seq - o.o_buf_len in
+    let batch_bytes = o.o_buf_bytes in
     o.o_buf <- [];
     o.o_buf_len <- 0;
+    o.o_buf_bytes <- 0;
     o.o_flush_gen <- o.o_flush_gen + 1;
-    o.o_unacked <- o.o_unacked @ List.mapi (fun i item -> (first_seq + i, item)) items;
-    transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; items });
+    o.o_unacked <-
+      o.o_unacked @ List.mapi (fun i (item, size) -> (first_seq + i, size, item)) entries;
+    o.o_inflight_bytes <- o.o_inflight_bytes + batch_bytes;
+    let items = List.map fst entries in
+    let acks = take_piggyback o.o_hub ~dst:o.o_dst in
+    transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; acks; items });
     arm_retransmit o
   end
+
+(* Window has room for [bytes] more. When nothing at all is pending the
+   answer is always yes, so a single item larger than the whole window
+   still goes through (alone) instead of deadlocking. *)
+let window_admits o bytes =
+  inflight_bytes o = 0 || inflight_bytes o + bytes <= o.o_cfg.max_inflight_bytes
+
+let await_window o ~bytes =
+  match o.o_broken with
+  | Some reason -> Error reason
+  | None ->
+      if window_admits o bytes || S.current o.o_hub.h_sched = None then Ok ()
+      else begin
+        let rec wait () =
+          S.suspend o.o_hub.h_sched (fun w -> Queue.add w o.o_waiters);
+          match o.o_broken with
+          | Some reason -> Error reason
+          | None -> if window_admits o bytes then Ok () else wait ()
+        in
+        wait ()
+      end
 
 let send o item =
   match o.o_broken with
   | Some reason -> Error reason
   | None ->
-      o.o_buf <- item :: o.o_buf;
+      let size = B.size item in
+      o.o_buf <- (item, size) :: o.o_buf;
       o.o_buf_len <- o.o_buf_len + 1;
+      o.o_buf_bytes <- o.o_buf_bytes + size;
       o.o_next_seq <- o.o_next_seq + 1;
-      if o.o_buf_len >= o.o_cfg.max_batch then flush_out o
+      if
+        o.o_buf_len >= o.o_cfg.max_batch
+        || o.o_buf_bytes >= o.o_cfg.max_batch_bytes
+        || (o.o_cfg.flush_on_idle && o.o_unacked = [])
+      then flush_out o
       else if o.o_buf_len = 1 && o.o_cfg.flush_interval < infinity then begin
         if o.o_cfg.flush_interval <= 0.0 then flush_out o
         else begin
@@ -197,12 +437,26 @@ let send o item =
 let handle_ack o ~upto =
   if o.o_broken = None && upto > o.o_acked_upto then begin
     o.o_acked_upto <- upto;
-    o.o_unacked <- List.filter (fun (s, _) -> s > upto) o.o_unacked;
+    let freed = ref 0 in
+    o.o_unacked <-
+      List.filter
+        (fun (s, size, _) ->
+          if s <= upto then begin
+            freed := !freed + size;
+            false
+          end
+          else true)
+        o.o_unacked;
+    o.o_inflight_bytes <- o.o_inflight_bytes - !freed;
     o.o_retries <- 0;
     (* restart the timer for the (new) oldest unacked item *)
     o.o_retx_gen <- o.o_retx_gen + 1;
     o.o_retx_armed <- false;
-    if o.o_unacked <> [] then arm_retransmit o
+    if o.o_unacked <> [] then arm_retransmit o;
+    if !freed > 0 then wake_waiters o;
+    (* Nagle release: the wire went idle — ship what accumulated while
+       the previous batch was in flight. *)
+    if o.o_cfg.flush_on_idle && o.o_unacked = [] && o.o_buf <> [] then flush_out o
   end
 
 let break_in i ~reason =
@@ -249,7 +503,7 @@ let handle_data hub ~key ~first_seq ~items =
           let count = List.length items in
           if first_seq > i.i_expected then
             (* Gap: go-back-n — drop and re-ack what we have. *)
-            transmit hub ~dst:key.src (Ack { key; upto = i.i_expected - 1 })
+            post_ack hub ~dst:key.src ~key ~upto:(i.i_expected - 1)
           else begin
             let skip = i.i_expected - first_seq in
             if skip > 0 then
@@ -261,7 +515,7 @@ let handle_data hub ~key ~first_seq ~items =
               | Some f -> f fresh
               | None -> ()
             end;
-            transmit hub ~dst:key.src (Ack { key; upto = i.i_expected - 1 })
+            post_ack hub ~dst:key.src ~key ~upto:(i.i_expected - 1)
           end
 
 let handle_reset hub ~key ~reason =
@@ -277,29 +531,42 @@ let handle_reset hub ~key ~reason =
       mark_in_broken i reason
   | None -> ()
 
-let receive hub ~src:_ packet =
-  match packet with
-  | Data { key; first_seq; items } -> handle_data hub ~key ~first_seq ~items
-  | Ack { key; upto } -> (
+let handle_acks hub acks =
+  List.iter
+    (fun (key, upto) ->
       match Hashtbl.find_opt hub.h_outs key with
       | Some o -> handle_ack o ~upto
       | None -> ())
-  | Reset { key; reason } -> handle_reset hub ~key ~reason
+    acks
 
-let create_hub net node =
+let receive hub ~src:_ frame =
+  match decode_packet frame with
+  | Error _ ->
+      (* Corrupt frame: drop it; go-back-n retransmission recovers. *)
+      Sim.Stats.incr (hub_counter hub "chan_decode_errors")
+  | Ok (Data { key; first_seq; acks; items }) ->
+      (* Acks ride in front of the data they share a packet with. *)
+      handle_acks hub acks;
+      handle_data hub ~key ~first_seq ~items
+  | Ok (Ack { acks }) -> handle_acks hub acks
+  | Ok (Reset { key; reason }) -> handle_reset hub ~key ~reason
+
+let create_hub ?(ack_delay = 0.0) net node =
   let hub =
     {
       h_net = net;
       h_node = node;
       h_sched = Net.sched net;
+      h_ack_delay = ack_delay;
       h_outs = Hashtbl.create 16;
       h_ins = Hashtbl.create 16;
       h_acceptors = Hashtbl.create 16;
       h_dead = Hashtbl.create 16;
+      h_pending = Hashtbl.create 4;
       h_next_idx = 0;
     }
   in
-  Net.set_receiver net node (fun ~src packet -> receive hub ~src packet);
+  Net.set_receiver net node (fun ~src frame -> receive hub ~src frame);
   hub
 
 let on_connect hub ~label acceptor = Hashtbl.replace hub.h_acceptors label acceptor
@@ -308,6 +575,10 @@ let remove_acceptor hub ~label = Hashtbl.remove hub.h_acceptors label
 
 let connect hub ~dst ~label ~meta cfg =
   if cfg.max_batch <= 0 then invalid_arg "Chanhub.connect: max_batch must be positive";
+  if cfg.max_batch_bytes <= 0 then
+    invalid_arg "Chanhub.connect: max_batch_bytes must be positive";
+  if cfg.max_inflight_bytes <= 0 then
+    invalid_arg "Chanhub.connect: max_inflight_bytes must be positive";
   let key = { src = Net.address hub.h_node; label; idx = hub.h_next_idx; meta } in
   hub.h_next_idx <- hub.h_next_idx + 1;
   let o =
@@ -319,7 +590,9 @@ let connect hub ~dst ~label ~meta cfg =
       o_next_seq = 0;
       o_buf = [];
       o_buf_len = 0;
+      o_buf_bytes = 0;
       o_unacked = [];
+      o_inflight_bytes = 0;
       o_acked_upto = -1;
       o_retries = 0;
       o_broken = None;
@@ -327,6 +600,7 @@ let connect hub ~dst ~label ~meta cfg =
       o_flush_gen = 0;
       o_retx_gen = 0;
       o_retx_armed = false;
+      o_waiters = Queue.create ();
     }
   in
   Hashtbl.replace hub.h_outs key o;

@@ -9,10 +9,21 @@
     one call-stream.
 
     Buffering also lives here: a channel accumulates items and sends
-    them as one network message when any of (a) [max_batch] items are
-    waiting, (b) [flush_interval] has elapsed since the first waiting
-    item, or (c) the user flushes explicitly — "stream calls and their
-    replies are buffered and sent when convenient".
+    them as one network message when any of (a) [max_batch] items or
+    [max_batch_bytes] encoded bytes are waiting, (b) [flush_interval]
+    has elapsed since the first waiting item, (c) [flush_on_idle] is
+    set and nothing is in flight (Nagle-style: first item goes out
+    immediately, later items coalesce while the wire is busy), or
+    (d) the user flushes explicitly — "stream calls and their replies
+    are buffered and sent when convenient".
+
+    Packets travel as {!frame}s — compact binary strings produced by
+    {!Xdr.Bin} (see docs/WIRE.md) — so every byte count the simulator
+    charges is the actual encoded size. Cumulative acks piggyback on
+    reverse-direction Data packets when the hub is given an
+    [ack_delay]; a delayed standalone Ack is the fallback. A sender-
+    side sliding window ([max_inflight_bytes]) lets a slow receiver
+    back-pressure callers through {!await_window}.
 
     Each node owns a {e hub} that multiplexes all channel endpoints on
     that node. Channels are identified by (source address, label,
@@ -33,42 +44,83 @@ type in_chan
 type key = { src : Net.address; label : string; idx : int; meta : string }
 
 type packet =
-  | Data of { key : key; first_seq : int; items : Xdr.value list }
-  | Ack of { key : key; upto : int }
+  | Data of {
+      key : key;
+      first_seq : int;
+      acks : (key * int) list;
+          (** cumulative acks for reverse-direction channels,
+              piggybacked on this data packet *)
+      items : Xdr.value list;
+    }
+  | Ack of { acks : (key * int) list }
   | Reset of { key : key; reason : string }
 
+type frame = string
+(** A packet encoded for the wire: what actually travels through
+    {!Net}. *)
+
+val encode_packet : packet -> frame
+
+val decode_packet : frame -> (packet, string) result
+(** Total: malformed frames yield [Error], never an exception. *)
+
 val packet_bytes : packet -> int
-(** Wire size of a packet under the {!Xdr.wire_size} model. *)
+(** Actual encoded size of the packet in bytes
+    ([String.length (encode_packet p)]). *)
 
 type config = {
   max_batch : int;  (** flush after this many buffered items *)
+  max_batch_bytes : int;  (** … or this many buffered encoded bytes *)
   flush_interval : float;
       (** flush this long after the first buffered item (seconds);
           [infinity] disables timed flushing *)
+  flush_on_idle : bool;
+      (** Nagle-style: flush immediately whenever nothing is awaiting
+          an ack; while data is in flight, buffer up to the other
+          limits *)
   retransmit_timeout : float;
   max_retries : int;  (** consecutive unanswered retransmits before break *)
+  max_inflight_bytes : int;
+      (** sliding-window budget: {!await_window} blocks while this many
+          encoded bytes are buffered or unacked *)
 }
 
 val default_config : config
-(** [max_batch = 8], [flush_interval = 2 ms], [retransmit_timeout =
-    50 ms], [max_retries = 10]. *)
+(** [max_batch = 8], [max_batch_bytes = 4096], [flush_interval = 2 ms],
+    [flush_on_idle = false], [retransmit_timeout = 50 ms],
+    [max_retries = 10], [max_inflight_bytes = max_int] (window
+    disabled). *)
 
 val rpc_config : config
 (** No buffering: every item is sent immediately ([max_batch = 1]) —
     "RPCs and their replies are sent over the network immediately". *)
 
+val adaptive_config : config
+(** Nagle-style adaptive batching: [flush_on_idle = true] with
+    [max_batch = 64], [max_batch_bytes = 1024] and an 8 KiB in-flight
+    window — low latency when idle, aggressive coalescing under load.
+    Pair with a hub [ack_delay] to enable ack piggybacking. *)
+
 (** {1 Hubs} *)
 
-val create_hub : packet Net.t -> Net.node -> hub
-(** Create the hub for [node] and install it as the node's receiver. *)
+val create_hub : ?ack_delay:float -> frame Net.t -> Net.node -> hub
+(** Create the hub for [node] and install it as the node's receiver.
+    [ack_delay] (default [0.], i.e. disabled) holds acks back for that
+    many seconds hoping a reverse-direction Data packet will carry
+    them; whatever is still pending when the timer fires goes out as
+    one standalone Ack packet. Keep it well under the senders'
+    [retransmit_timeout]. *)
 
 val hub_node : hub -> Net.node
 
 val hub_sched : hub -> Sched.Scheduler.t
 (** The hub's scheduler. Channel-layer counters are recorded in this
     scheduler's {!Sim.Stats} registry — [chan_retransmits],
-    [chan_dup_items_suppressed], [chan_out_breaks], [chan_in_breaks] —
-    and break events in its {!Sim.Trace}. *)
+    [chan_dup_items_suppressed], [chan_out_breaks], [chan_in_breaks],
+    [chan_data_packets], [chan_ack_packets], [chan_reset_packets],
+    [chan_wire_bytes], [chan_items_sent], [chan_piggybacked_acks],
+    [chan_standalone_acks], [chan_decode_errors] — and break events in
+    its {!Sim.Trace}. *)
 
 val on_connect : hub -> label:string -> (in_chan -> unit) -> unit
 (** Register the acceptor for inbound channels labelled [label]. The
@@ -88,7 +140,20 @@ val send : out_chan -> Xdr.value -> (unit, string) result
 (** Buffer one item for ordered delivery. [Error reason] means the
     channel is (already) broken — a break racing a buffered send is a
     normal condition under churn, not a programming error, so it is
-    reported as a value rather than an exception. *)
+    reported as a value rather than an exception. [send] itself never
+    blocks; callers that want window back-pressure call
+    {!await_window} first. *)
+
+val await_window : out_chan -> bytes:int -> (unit, string) result
+(** Block the calling fiber until the channel can admit [bytes] more
+    encoded bytes under [max_inflight_bytes] (buffered + unacked), or
+    the channel breaks ([Error reason] — whatever was in flight is
+    void anyway). Returns immediately outside fiber context. Callers
+    must invoke this {e before} claiming a sequence number: blocking
+    after would let a later call overtake on the channel. *)
+
+val inflight_bytes : out_chan -> int
+(** Encoded bytes currently buffered plus sent-but-unacked. *)
 
 val flush_out : out_chan -> unit
 (** Transmit everything buffered now. *)

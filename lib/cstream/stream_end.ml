@@ -161,13 +161,30 @@ let create hub ~agent ~dst ~gid ?(config = Chanhub.default_config) () =
 let call t ~port ~kind ~args ~on_reply =
   match t.s_broken with
   | Some reason -> Error reason
-  | None ->
+  | None -> (
+      (* Reserve window space BEFORE claiming a sequence number: a fiber
+         that blocked after taking its seq would let later calls enter
+         the channel first and violate in-call-order delivery. The size
+         probe uses the current seq; if another fiber wins the race
+         while we are parked, the item is rebuilt below (the varint seq
+         may change its length by a byte or two). *)
+      let probe_seq = t.next_seq and probe_cid = t.next_cid in
+      let probe = Wire.call_item ~seq:probe_seq ~cid:probe_cid ~port ~kind ~args in
+      match Chanhub.await_window t.chan ~bytes:(Xdr.Bin.size probe) with
+      | Error reason -> Error reason
+      | Ok () ->
+      match t.s_broken with
+      | Some reason -> Error reason
+      | None ->
       let seq = t.next_seq and cid = t.next_cid in
       t.next_seq <- seq + 1;
       t.next_cid <- cid + 1;
       Hashtbl.replace t.pending seq
         { p_cid = cid; p_port = port; p_kind = kind; p_args = args; p_on_reply = on_reply };
-      (match Chanhub.send t.chan (Wire.call_item ~seq ~cid ~port ~kind ~args) with
+      let item =
+        if seq = probe_seq then probe else Wire.call_item ~seq ~cid ~port ~kind ~args
+      in
+      (match Chanhub.send t.chan item with
       | Ok () -> Ok ()
       | Error reason ->
           (* Unreachable in practice: a channel break reports to
@@ -175,7 +192,7 @@ let call t ~port ~kind ~args ~on_reply =
              Kept total in case break notification ever becomes lazy. *)
           Hashtbl.remove t.pending seq;
           t.next_seq <- seq;
-          Error reason)
+          Error reason))
 
 let flush t = if t.s_broken = None then Chanhub.flush_out t.chan
 

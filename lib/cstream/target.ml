@@ -107,7 +107,14 @@ let emit_reply c ~seq ~kind outcome =
       | Wire.Send, Wire.W_normal _ -> Wire.send_ok_item ~seq
       | (Wire.Call | Wire.Send), _ -> Wire.reply_item ~seq outcome
     in
-    ignore (Chanhub.send c.c_reply item : (unit, string) result)
+    (* Back-pressure: a slow/unreachable caller bounds the reply
+       channel's in-flight bytes, parking the driver fiber (in ordered
+       mode) instead of growing the unacked queue without limit. A
+       no-op outside fiber context or when the reply config leaves the
+       window unbounded. *)
+    ignore
+      (Chanhub.await_window c.c_reply ~bytes:(Xdr.Bin.size item) : (unit, string) result);
+    if not c.c_broken then ignore (Chanhub.send c.c_reply item : (unit, string) result)
   end
 
 (* The sending stream's identity across restarts: its reply-channel

@@ -29,19 +29,25 @@ let call_item ~seq ~cid ~port ~kind ~args =
       ("a", args);
     ]
 
-let parse_call = function
-  | Xdr.Record
-      [
-        ("q", Xdr.Int seq);
-        ("i", Xdr.Int cid);
-        ("p", Xdr.Str port);
-        ("k", Xdr.Str k);
-        ("a", args);
-      ] -> (
-      match kind_of_tag k with
-      | Ok kind -> Ok (seq, cid, port, kind, args)
-      | Error e -> Error e)
-  | v -> Error (Format.asprintf "malformed call item: %a" Xdr.pp_value v)
+(* Parse by field name, not position: a reordered-but-complete record
+   (e.g. from a future encoder) must decode, and unknown extra fields
+   are ignored for forward compatibility. *)
+let parse_call v =
+  let malformed () = Error (Format.asprintf "malformed call item: %a" Xdr.pp_value v) in
+  match v with
+  | Xdr.Record fields -> (
+      let field name = List.assoc_opt name fields in
+      match (field "q", field "i", field "p", field "k", field "a") with
+      | ( Some (Xdr.Int seq),
+          Some (Xdr.Int cid),
+          Some (Xdr.Str port),
+          Some (Xdr.Str k),
+          Some args ) -> (
+          match kind_of_tag k with
+          | Ok kind -> Ok (seq, cid, port, kind, args)
+          | Error e -> Error e)
+      | _ -> malformed ())
+  | _ -> malformed ()
 
 let outcome_value = function
   | W_normal v -> Xdr.Tagged ("n", v)

@@ -439,7 +439,7 @@ and exec_stmt ictx (env : env) (stmt : tstmt) : env =
 let run_program ?(config = Net.default_config) ?chan_config ?(seed = 42) ?(echo = false)
     ?(until = 300.0) ?(crashes = []) ?(recoveries = []) (prog : tprogram) : outcome =
   let sched = S.create ~seed () in
-  let net : CH.packet Net.t = Net.create sched config in
+  let net : CH.frame Net.t = Net.create sched config in
   let world =
     {
       sched;

@@ -30,6 +30,9 @@ let add c k = c.value <- c.value + k
 
 let count c = c.value
 
+let peek t name =
+  match Hashtbl.find_opt t.counters_tbl name with Some c -> c.value | None -> 0
+
 let fresh_summary () =
   {
     samples = [];

@@ -25,6 +25,10 @@ val add : counter -> int -> unit
 
 val count : counter -> int
 
+val peek : t -> string -> int
+(** [peek t name] reads the counter called [name] without creating it;
+    0 when it was never registered. *)
+
 val summary : t -> string -> summary
 (** [summary t name] finds or creates the summary called [name]. *)
 

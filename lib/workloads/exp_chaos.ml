@@ -24,7 +24,7 @@ let inc_sig = Core.Sigs.hsig0 "inc" ~arg:Xdr.int ~res:Xdr.int
 (* Fast break detection so outages convert into stream breaks (and
    hence supervisor work) quickly. *)
 let chan_cfg =
-  { CH.max_batch = 4; flush_interval = 0.5e-3; retransmit_timeout = 4e-3; max_retries = 3 }
+  { CH.default_config with CH.max_batch = 4; flush_interval = 0.5e-3; retransmit_timeout = 4e-3; max_retries = 3 }
 
 let sup_cfg =
   {

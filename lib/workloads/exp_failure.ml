@@ -16,6 +16,7 @@ module P = Core.Promise
 (* Fast break detection so the break lands mid-production. *)
 let stream_cfg =
   {
+    CH.default_config with
     CH.max_batch = 4;
     flush_interval = 0.5e-3;
     retransmit_timeout = 2e-3;

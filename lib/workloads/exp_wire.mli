@@ -1,0 +1,26 @@
+(** Experiment E12 — the binary wire: packets per call, bytes per call
+    and ack piggybacking for RPC vs stream vs send (§2's message
+    economy, measured over actual encoded sizes; see docs/WIRE.md). *)
+
+type row = {
+  r_mode : string;
+  r_piggyback : bool;
+  r_calls : int;
+  r_time : float;  (** completion (simulated seconds) *)
+  r_msgs : int;  (** network messages of any kind *)
+  r_bytes : int;  (** actual encoded bytes on the wire *)
+  r_data_pkts : int;
+  r_ack_pkts : int;  (** standalone Ack packets *)
+  r_piggybacked : int;  (** acks that rode on reverse-direction Data *)
+  r_standalone : int;  (** acks that needed their own packet *)
+}
+
+val calls_per_data_pkt : row -> float
+(** Call + reply items per Data packet, halved — i.e. how many {e
+    calls} one data packet carries on average across both directions. *)
+
+val e12_rows : ?n:int -> unit -> row list
+(** The raw measurements: every (mode × piggyback on/off) combination,
+    [n] calls each (default 400). Used by the bench JSON emitter. *)
+
+val e12 : ?n:int -> unit -> Table.t

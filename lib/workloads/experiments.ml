@@ -9,6 +9,7 @@ let registry : (string * (unit -> Table.t)) list =
     ("E7", fun () -> Exp_chaos.e7 ());
     ("E8", fun () -> Exp_sendrecv.e8 ());
     ("E9", fun () -> Exp_streams.e9 ());
+    ("E12", fun () -> Exp_wire.e12 ());
     ("A1", fun () -> Exp_ablation.a1 ());
     ("A2", fun () -> Exp_ablation.a2 ());
   ]

@@ -5,7 +5,7 @@ module R = Core.Remote
 
 type pair = {
   sched : S.t;
-  net : CH.packet Net.t;
+  net : CH.frame Net.t;
   client_node : Net.node;
   server_node : Net.node;
   client_hub : CH.hub;
@@ -14,13 +14,14 @@ type pair = {
 
 let work_sig = Core.Sigs.hsig0 "work" ~arg:Xdr.int ~res:Xdr.int
 
-let make_pair ?(cfg = Net.default_config) ?(seed = 42) ?(service = 0.0) ?reply_config () =
+let make_pair ?(cfg = Net.default_config) ?(seed = 42) ?(service = 0.0) ?reply_config
+    ?(ack_delay = 0.0) () =
   let sched = S.create ~seed () in
   let net = Net.create sched cfg in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~ack_delay net client_node in
+  let server_hub = CH.create_hub ~ack_delay net server_node in
   let server = G.create server_hub ~name:"server" in
   (match reply_config with
   | Some rc -> G.register_group server ~group:"main" ~reply_config:rc ()
@@ -36,7 +37,7 @@ let work_handle pair ?config ~agent () =
 
 type grades_world = {
   g_sched : S.t;
-  g_net : CH.packet Net.t;
+  g_net : CH.frame Net.t;
   g_client_node : Net.node;
   g_db_node : Net.node;
   g_printer_node : Net.node;

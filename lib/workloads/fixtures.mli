@@ -4,7 +4,7 @@
     [work] handler ([int -> int], configurable service time). *)
 type pair = {
   sched : Sched.Scheduler.t;
-  net : Cstream.Chanhub.packet Net.t;
+  net : Cstream.Chanhub.frame Net.t;
   client_node : Net.node;
   server_node : Net.node;
   client_hub : Cstream.Chanhub.hub;
@@ -19,10 +19,13 @@ val make_pair :
   ?seed:int ->
   ?service:float ->
   ?reply_config:Cstream.Chanhub.config ->
+  ?ack_delay:float ->
   unit ->
   pair
 (** Build the two-node world; [service] is the handler's per-call
-    compute time, [reply_config] the server's reply buffering. *)
+    compute time, [reply_config] the server's reply buffering,
+    [ack_delay] (default 0: disabled) enables ack piggybacking on both
+    hubs — see {!Cstream.Chanhub.create_hub}. *)
 
 val work_handle :
   pair -> ?config:Cstream.Chanhub.config -> agent:string -> unit ->
@@ -33,7 +36,7 @@ val work_handle :
     grades database guardian and a printer guardian on three nodes. *)
 type grades_world = {
   g_sched : Sched.Scheduler.t;
-  g_net : Cstream.Chanhub.packet Net.t;
+  g_net : Cstream.Chanhub.frame Net.t;
   g_client_node : Net.node;
   g_db_node : Net.node;
   g_printer_node : Net.node;

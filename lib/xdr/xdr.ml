@@ -39,7 +39,27 @@ let rec pp_value ppf = function
         fields
   | Tagged (tag, v) -> Format.fprintf ppf "%s(%a)" tag pp_value v
 
-let equal_value (a : value) (b : value) = a = b
+(* Structural equality with explicit float handling: polymorphic [=]
+   follows IEEE semantics where [nan <> nan], so a [Real nan] payload
+   would compare unequal to its own decoded copy and defeat dedup-cache
+   replay comparison. Two reals are equal when IEEE-equal (which
+   identifies -0. and +0.) or both NaN. *)
+let rec equal_value (a : value) (b : value) =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Real x, Real y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Str x, Str y -> String.equal x y
+  | Pair (a1, a2), Pair (b1, b2) -> equal_value a1 b1 && equal_value a2 b2
+  | List xs, List ys -> List.equal equal_value xs ys
+  | Record xs, Record ys ->
+      List.equal
+        (fun (nx, vx) (ny, vy) -> String.equal nx ny && equal_value vx vy)
+        xs ys
+  | Tagged (tx, vx), Tagged (ty, vy) -> String.equal tx ty && equal_value vx vy
+  | (Unit | Bool _ | Int _ | Real _ | Str _ | Pair _ | List _ | Record _ | Tagged _), _ ->
+      false
 
 type 'a codec = {
   type_name : string;
@@ -292,3 +312,293 @@ let failing_decode ?(reason = "injected decode failure") ~every c =
   }
 
 let encoded_size c v = match c.encode v with Ok enc -> wire_size enc | Error _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Binary wire codec *)
+
+module Bin = struct
+  let version = 1
+
+  (* Strings up to this length go through the per-encoder intern table,
+     so a port name repeated across the calls of one batched packet is
+     transmitted once and referenced afterwards. Longer strings are
+     payload, not vocabulary: they are emitted inline. *)
+  let intern_max = 64
+
+  (* value tags (one byte each) *)
+  let t_unit = 0x00
+  and t_false = 0x01
+  and t_true = 0x02
+  and t_int = 0x03
+  and t_real = 0x04
+  and t_str_ref = 0x05
+  and t_str_inline = 0x06
+  and t_pair = 0x07
+  and t_list = 0x08
+  and t_record = 0x09
+  and t_tagged = 0x0A
+
+  (* Decode refuses nesting deeper than this rather than risking a
+     stack overflow on adversarial input. *)
+  let max_depth = 1024
+
+  (* --- encoder ---------------------------------------------------- *)
+
+  type encoder = {
+    e_buf : Buffer.t;
+    e_strings : (string, int) Hashtbl.t;  (* interned string -> slot *)
+    mutable e_next : int;  (* next intern slot *)
+  }
+
+  let create_encoder () =
+    { e_buf = Buffer.create 256; e_strings = Hashtbl.create 16; e_next = 0 }
+
+  let reset e =
+    Buffer.clear e.e_buf;
+    Hashtbl.reset e.e_strings;
+    e.e_next <- 0
+
+  let length e = Buffer.length e.e_buf
+
+  let contents e = Buffer.contents e.e_buf
+
+  let add_byte e n = Buffer.add_char e.e_buf (Char.unsafe_chr (n land 0xff))
+
+  (* LEB128; the first iteration may see a negative int (all-ones
+     pattern from zigzag of min_int) — [lsr] then makes it positive, so
+     the loop terminates in at most 9 bytes for a 63-bit int. *)
+  let add_uvarint e n =
+    let rec go n =
+      if n land lnot 0x7f = 0 then Buffer.add_char e.e_buf (Char.unsafe_chr n)
+      else begin
+        Buffer.add_char e.e_buf (Char.unsafe_chr (n land 0x7f lor 0x80));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let zigzag n = (n lsl 1) lxor (n asr 62)
+
+  let unzigzag z = (z lsr 1) lxor (-(z land 1))
+
+  let add_varint e n = add_uvarint e (zigzag n)
+
+  let add_raw_string e s =
+    add_uvarint e (String.length s);
+    Buffer.add_string e.e_buf s
+
+  (* String reference: [0] introduces a new intern-table entry inline,
+     [k > 0] references entry [k-1] — single-pass for both sides. *)
+  let add_string e s =
+    match Hashtbl.find_opt e.e_strings s with
+    | Some slot -> add_uvarint e (slot + 1)
+    | None ->
+        Hashtbl.add e.e_strings s e.e_next;
+        e.e_next <- e.e_next + 1;
+        add_byte e 0;
+        add_raw_string e s
+
+  let rec add_value e v =
+    match v with
+    | Unit -> add_byte e t_unit
+    | Bool false -> add_byte e t_false
+    | Bool true -> add_byte e t_true
+    | Int i ->
+        add_byte e t_int;
+        add_varint e i
+    | Real r ->
+        add_byte e t_real;
+        Buffer.add_int64_le e.e_buf (Int64.bits_of_float r)
+    | Str s when String.length s <= intern_max ->
+        add_byte e t_str_ref;
+        add_string e s
+    | Str s ->
+        add_byte e t_str_inline;
+        add_raw_string e s
+    | Pair (a, b) ->
+        add_byte e t_pair;
+        add_value e a;
+        add_value e b
+    | List vs ->
+        add_byte e t_list;
+        add_uvarint e (List.length vs);
+        List.iter (add_value e) vs
+    | Record fields ->
+        add_byte e t_record;
+        add_uvarint e (List.length fields);
+        List.iter
+          (fun (name, v) ->
+            add_string e name;
+            add_value e v)
+          fields
+    | Tagged (tag, v) ->
+        add_byte e t_tagged;
+        add_string e tag;
+        add_value e v
+
+  (* Encoder pool: hot paths (one encode per packet) reuse buffers and
+     intern tables instead of reallocating. *)
+  let pool : encoder list ref = ref []
+
+  let pool_cap = 8
+
+  let with_encoder f =
+    let e =
+      match !pool with
+      | e :: rest ->
+          pool := rest;
+          reset e;
+          e
+      | [] -> create_encoder ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        if List.compare_length_with !pool pool_cap < 0 then pool := e :: !pool)
+      (fun () -> f e)
+
+  let to_string v =
+    with_encoder (fun e ->
+        add_value e v;
+        contents e)
+
+  let size v =
+    with_encoder (fun e ->
+        add_value e v;
+        length e)
+
+  (* --- decoder ---------------------------------------------------- *)
+
+  exception Bad of string
+  (* internal only: every public read catches it and returns [Error] *)
+
+  type decoder = {
+    d_src : string;
+    mutable d_pos : int;
+    mutable d_table : string array;
+    mutable d_count : int;
+  }
+
+  let decoder s = { d_src = s; d_pos = 0; d_table = [||]; d_count = 0 }
+
+  let pos d = d.d_pos
+
+  let remaining d = String.length d.d_src - d.d_pos
+
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+  let u8 d =
+    if d.d_pos >= String.length d.d_src then bad "truncated input at byte %d" d.d_pos;
+    let c = Char.code (String.unsafe_get d.d_src d.d_pos) in
+    d.d_pos <- d.d_pos + 1;
+    c
+
+  let uvarint_exn d =
+    let rec go shift acc =
+      if shift > 56 then bad "varint longer than 9 bytes at %d" d.d_pos;
+      let b = u8 d in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let raw_string_exn d =
+    let len = uvarint_exn d in
+    if len < 0 || len > remaining d then
+      bad "string of %d bytes overruns input (%d left)" len (remaining d);
+    let s = String.sub d.d_src d.d_pos len in
+    d.d_pos <- d.d_pos + len;
+    s
+
+  let push_interned d s =
+    if d.d_count >= Array.length d.d_table then begin
+      let cap = max 8 (2 * Array.length d.d_table) in
+      let bigger = Array.make cap "" in
+      Array.blit d.d_table 0 bigger 0 d.d_count;
+      d.d_table <- bigger
+    end;
+    d.d_table.(d.d_count) <- s;
+    d.d_count <- d.d_count + 1
+
+  let string_exn d =
+    let n = uvarint_exn d in
+    if n = 0 then begin
+      let s = raw_string_exn d in
+      push_interned d s;
+      s
+    end
+    else if n - 1 < d.d_count then d.d_table.(n - 1)
+    else bad "string ref %d out of table range (%d entries)" n d.d_count
+
+  let real_exn d =
+    if remaining d < 8 then bad "truncated real at byte %d" d.d_pos;
+    let bits = String.get_int64_le d.d_src d.d_pos in
+    d.d_pos <- d.d_pos + 8;
+    Int64.float_of_bits bits
+
+  let rec value_exn d depth =
+    if depth > max_depth then bad "nesting deeper than %d" max_depth;
+    let tag = u8 d in
+    if tag = t_unit then Unit
+    else if tag = t_false then Bool false
+    else if tag = t_true then Bool true
+    else if tag = t_int then Int (unzigzag (uvarint_exn d))
+    else if tag = t_real then Real (real_exn d)
+    else if tag = t_str_ref then Str (string_exn d)
+    else if tag = t_str_inline then Str (raw_string_exn d)
+    else if tag = t_pair then begin
+      let a = value_exn d (depth + 1) in
+      let b = value_exn d (depth + 1) in
+      Pair (a, b)
+    end
+    else if tag = t_list then begin
+      let n = uvarint_exn d in
+      if n < 0 || n > remaining d then bad "list of %d elements overruns input" n;
+      let rec go k acc =
+        if k = 0 then List.rev acc else go (k - 1) (value_exn d (depth + 1) :: acc)
+      in
+      List (go n [])
+    end
+    else if tag = t_record then begin
+      let n = uvarint_exn d in
+      if n < 0 || n > remaining d then bad "record of %d fields overruns input" n;
+      let rec go k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let name = string_exn d in
+          let v = value_exn d (depth + 1) in
+          go (k - 1) ((name, v) :: acc)
+        end
+      in
+      Record (go n [])
+    end
+    else if tag = t_tagged then begin
+      let tag_name = string_exn d in
+      let v = value_exn d (depth + 1) in
+      Tagged (tag_name, v)
+    end
+    else bad "unknown value tag 0x%02x at byte %d" tag (d.d_pos - 1)
+
+  let wrap f d = match f d with v -> Ok v | exception Bad m -> Error m
+
+  let read_byte d = wrap u8 d
+
+  let read_uvarint d = wrap uvarint_exn d
+
+  let read_varint d = wrap (fun d -> unzigzag (uvarint_exn d)) d
+
+  let read_string d = wrap string_exn d
+
+  let read_raw_string d = wrap raw_string_exn d
+
+  let read_value d = wrap (fun d -> value_exn d 0) d
+
+  let expect_end d =
+    if remaining d = 0 then Ok ()
+    else Error (Printf.sprintf "%d trailing bytes after value" (remaining d))
+
+  let of_string s =
+    let d = decoder s in
+    match read_value d with
+    | Error _ as e -> e
+    | Ok v -> ( match expect_end d with Ok () -> Ok v | Error m -> Error m)
+end

@@ -35,6 +35,10 @@ val wire_size : value -> int
 val pp_value : Format.formatter -> value -> unit
 
 val equal_value : value -> value -> bool
+(** Structural equality. Unlike polymorphic [=], two [Real] payloads
+    that are both NaN compare equal — a decoded copy of a value must
+    equal the original even when it carries NaN (dedup-cache replay
+    comparison depends on this). *)
 
 (** A typed codec between ['a] and {!value}. Encoding and decoding can
     fail (user-provided translation code may contain errors); failures
@@ -110,3 +114,91 @@ val failing_decode : ?reason:string -> every:int -> 'a codec -> 'a codec
 val encoded_size : 'a codec -> 'a -> int
 (** [encoded_size c v] is the wire size of [v]'s encoding, or 0 when
     encoding fails. *)
+
+(** {1 Binary wire codec}
+
+    Compact binary serialization of {!value}: single-byte tags,
+    varint-encoded ints and lengths, and a per-encoder interned string
+    table so repeated record-field names and port names cost a one-byte
+    reference after first use. See docs/WIRE.md for the format. Unlike
+    {!wire_size} (the symbolic cost model, kept for backward-compatible
+    experiments), [Bin.size] is the byte count actually shipped. *)
+module Bin : sig
+  val version : int
+  (** Format version stamped as the first byte of every packet frame. *)
+
+  (** {2 Encoding} *)
+
+  type encoder
+  (** A reusable encode buffer plus string-intern table. *)
+
+  val create_encoder : unit -> encoder
+
+  val reset : encoder -> unit
+  (** Clear buffer and intern table for reuse. *)
+
+  val length : encoder -> int
+
+  val contents : encoder -> string
+
+  val add_byte : encoder -> int -> unit
+
+  val add_uvarint : encoder -> int -> unit
+  (** LEB128. Negative ints (e.g. zigzag of [min_int]) are emitted as
+      their 63-bit two's-complement pattern in at most 9 bytes. *)
+
+  val add_varint : encoder -> int -> unit
+  (** Zigzag-mapped signed varint. *)
+
+  val add_string : encoder -> string -> unit
+  (** Interned string reference: first occurrence is emitted inline and
+      added to the table, later occurrences are a 1–2 byte reference. *)
+
+  val add_raw_string : encoder -> string -> unit
+  (** Length-prefixed bytes, never interned. *)
+
+  val add_value : encoder -> value -> unit
+
+  val with_encoder : (encoder -> 'a) -> 'a
+  (** Run with a pooled encoder (reset before use, returned to the pool
+      after). Do not retain the encoder past the callback. *)
+
+  val to_string : value -> string
+  (** One-shot encode using the pool. *)
+
+  val size : value -> int
+  (** Actual encoded byte count: encodes into a pooled buffer and
+      returns its length without materialising the string. *)
+
+  (** {2 Decoding}
+
+      Decoders never raise on malformed input: every [read_*] returns a
+      [result], with bounds-checked reads, a varint length cap, string
+      table range checks and a nesting-depth limit. *)
+
+  type decoder
+
+  val decoder : string -> decoder
+
+  val pos : decoder -> int
+
+  val remaining : decoder -> int
+
+  val read_byte : decoder -> (int, string) result
+
+  val read_uvarint : decoder -> (int, string) result
+
+  val read_varint : decoder -> (int, string) result
+
+  val read_string : decoder -> (string, string) result
+  (** Interned reference (shares the decoder's growing table). *)
+
+  val read_raw_string : decoder -> (string, string) result
+
+  val read_value : decoder -> (value, string) result
+
+  val expect_end : decoder -> (unit, string) result
+
+  val of_string : string -> (value, string) result
+  (** Decode exactly one value; trailing bytes are an error. *)
+end

@@ -11,7 +11,7 @@ let check = Alcotest.check
 
 type world = {
   sched : S.t;
-  net : CH.packet Net.t;
+  net : CH.frame Net.t;
   node_a : Net.node;
   node_b : Net.node;
   hub_a : CH.hub;

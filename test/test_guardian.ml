@@ -41,7 +41,7 @@ let print_sig = Core.Sigs.hsig0 "print" ~arg:Xdr.string ~res:Xdr.unit
 
 type world = {
   sched : S.t;
-  net : CH.packet Net.t;
+  net : CH.frame Net.t;
   client_node : Net.node;
   db_node : Net.node;
   printer_node : Net.node;
@@ -313,7 +313,7 @@ let bump_sig = Core.Sigs.hsig0 "bump" ~arg:Xdr.int ~res:Xdr.int
 
 (* Fast break detection so outages turn into supervisor work quickly. *)
 let fast_chan_cfg =
-  { CH.max_batch = 4; flush_interval = 0.5e-3; retransmit_timeout = 4e-3; max_retries = 3 }
+  { CH.default_config with CH.max_batch = 4; flush_interval = 0.5e-3; retransmit_timeout = 4e-3; max_retries = 3 }
 
 let fast_sup_cfg =
   {

@@ -1,0 +1,543 @@
+(* Tests for the binary wire layer (docs/WIRE.md): Xdr.Bin value codec
+   round trips (property-based, incl. adversarial inputs), the Chanhub
+   packet frame codec, ack piggybacking, Nagle-style adaptive flushing
+   and the sender-side sliding window. *)
+
+module S = Sched.Scheduler
+module B = Xdr.Bin
+module CH = Cstream.Chanhub
+module SE = Cstream.Stream_end
+module T = Cstream.Target
+module W = Cstream.Wire
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Random value trees *)
+
+let gen_value : Xdr.value QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_string =
+    oneof
+      [
+        string_size ~gen:printable (int_range 0 12);
+        (* raw bytes incl. NUL and non-ASCII *)
+        string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 20);
+        return "héllo wörld ⇒ ünïcode";
+        string_size ~gen:printable (int_range 65 120);  (* beyond intern threshold *)
+      ]
+  in
+  let gen_int =
+    oneof [ small_signed_int; int; oneofl [ 0; -1; 1; max_int; min_int; 1 lsl 62 ] ]
+  in
+  let gen_real =
+    oneof
+      [
+        float;
+        oneofl [ 0.0; -0.0; nan; infinity; neg_infinity; Float.min_float; Float.max_float ];
+      ]
+  in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Xdr.Unit;
+            map (fun b -> Xdr.Bool b) bool;
+            map (fun i -> Xdr.Int i) gen_int;
+            map (fun r -> Xdr.Real r) gen_real;
+            map (fun s -> Xdr.Str s) gen_string;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 3) in
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Xdr.Pair (a, b)) sub sub;
+            map (fun vs -> Xdr.List vs) (list_size (int_range 0 6) sub);
+            map
+              (fun fields -> Xdr.Record fields)
+              (list_size (int_range 0 5)
+                 (pair (oneofl [ "q"; "i"; "p"; "k"; "a"; "name"; "grades" ]) sub));
+            map2 (fun t v -> Xdr.Tagged (t, v)) (oneofl [ "n"; "g"; "u"; "f" ]) sub;
+          ])
+
+let arb_value = QCheck.make ~print:(Format.asprintf "%a" Xdr.pp_value) gen_value
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decode (encode v) = v" ~count:500 arb_value (fun v ->
+      match B.of_string (B.to_string v) with
+      | Ok v' -> Xdr.equal_value v v'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_size_matches =
+  QCheck.Test.make ~name:"Bin.size v = length of encoding" ~count:200 arb_value (fun v ->
+      B.size v = String.length (B.to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* Explicit edge cases *)
+
+let roundtrip v =
+  match B.of_string (B.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let assert_roundtrips what v =
+  check Alcotest.bool what true (Xdr.equal_value v (roundtrip v))
+
+let test_edge_values () =
+  assert_roundtrips "min_int" (Xdr.Int min_int);
+  assert_roundtrips "max_int" (Xdr.Int max_int);
+  assert_roundtrips "negative" (Xdr.Int (-123456789));
+  assert_roundtrips "nan" (Xdr.Real nan);
+  assert_roundtrips "inf" (Xdr.Real infinity);
+  assert_roundtrips "-inf" (Xdr.Real neg_infinity);
+  assert_roundtrips "-0." (Xdr.Real (-0.0));
+  assert_roundtrips "empty list" (Xdr.List []);
+  assert_roundtrips "empty record" (Xdr.Record []);
+  assert_roundtrips "empty string" (Xdr.Str "");
+  assert_roundtrips "non-ascii" (Xdr.Str "日本語 résumé \x00\xff");
+  assert_roundtrips "long string" (Xdr.Str (String.make 5000 '\xab'));
+  assert_roundtrips "repeated fields"
+    (Xdr.List
+       (List.init 20 (fun i ->
+            Xdr.Record [ ("q", Xdr.Int i); ("a", Xdr.Str "portname") ])))
+
+let test_deep_nesting_roundtrips () =
+  let rec deep n acc = if n = 0 then acc else deep (n - 1) (Xdr.Pair (Xdr.Int n, acc)) in
+  assert_roundtrips "300 levels" (deep 300 Xdr.Unit)
+
+let test_excessive_nesting_rejected () =
+  (* Hand-built 2000-deep Pair spine: the decoder must refuse (depth
+     cap) rather than risk a stack overflow — and refuse politely. *)
+  let b = Buffer.create 4096 in
+  for _ = 1 to 2000 do
+    Buffer.add_char b '\x07' (* Pair *);
+    Buffer.add_char b '\x00' (* Unit as first component *)
+  done;
+  Buffer.add_char b '\x00';
+  match B.of_string (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "2000-deep nesting accepted"
+
+let test_string_interning_compresses () =
+  (* 50 records sharing field names and a port string: the intern table
+     should make this far smaller than 50 standalone encodings. *)
+  let item i = Xdr.Record [ ("port", Xdr.Str "record_grade"); ("seq", Xdr.Int i) ] in
+  let batch = B.size (Xdr.List (List.init 50 item)) in
+  let standalone = List.init 50 (fun i -> B.size (item i)) |> List.fold_left ( + ) 0 in
+  check Alcotest.bool
+    (Printf.sprintf "batched %dB < 60%% of standalone %dB" batch standalone)
+    true
+    (float_of_int batch < 0.6 *. float_of_int standalone)
+
+(* ------------------------------------------------------------------ *)
+(* Truncation / corruption: total decoding *)
+
+let test_truncated_returns_error () =
+  let victims =
+    [
+      Xdr.Int max_int;
+      Xdr.Real 3.25;
+      Xdr.Str "hello world";
+      Xdr.List [ Xdr.Int 1; Xdr.Str "two"; Xdr.Real 3.0 ];
+      Xdr.Record [ ("q", Xdr.Int 1); ("a", Xdr.Tagged ("n", Xdr.Unit)) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let enc = B.to_string v in
+      for len = 0 to String.length enc - 1 do
+        match B.of_string (String.sub enc 0 len) with
+        | Error _ -> ()
+        | Ok got ->
+            Alcotest.failf "prefix %d/%d of %a decoded to %a" len (String.length enc)
+              Xdr.pp_value v Xdr.pp_value got
+      done)
+    victims
+
+let test_trailing_garbage_rejected () =
+  let enc = B.to_string (Xdr.Int 5) ^ "x" in
+  match B.of_string enc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+
+let prop_corruption_never_raises =
+  QCheck.Test.make ~name:"corrupted buffers never raise" ~count:300
+    QCheck.(triple arb_value small_int (int_bound 255))
+    (fun (v, pos, byte) ->
+      let enc = Bytes.of_string (B.to_string v) in
+      let pos = pos mod Bytes.length enc in
+      Bytes.set enc pos (Char.chr byte);
+      match B.of_string (Bytes.to_string enc) with
+      | Ok _ | Error _ -> true
+      | exception e -> QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
+let prop_random_bytes_never_raise =
+  QCheck.Test.make ~name:"arbitrary byte strings never raise" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_range 0 40) (Gen.map Char.chr (Gen.int_range 0 255)))
+    (fun s ->
+      match B.of_string s with
+      | Ok _ | Error _ -> true
+      | exception e -> QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Packet frame codec *)
+
+let equal_acks a b =
+  List.length a = List.length b && List.for_all2 (fun (k1, u1) (k2, u2) -> k1 = k2 && u1 = u2) a b
+
+let equal_packet (a : CH.packet) (b : CH.packet) =
+  match (a, b) with
+  | ( CH.Data { key = k1; first_seq = f1; acks = a1; items = i1 },
+      CH.Data { key = k2; first_seq = f2; acks = a2; items = i2 } ) ->
+      k1 = k2 && f1 = f2 && equal_acks a1 a2
+      && List.length i1 = List.length i2
+      && List.for_all2 Xdr.equal_value i1 i2
+  | CH.Ack { acks = a1 }, CH.Ack { acks = a2 } -> equal_acks a1 a2
+  | CH.Reset { key = k1; reason = r1 }, CH.Reset { key = k2; reason = r2 } ->
+      k1 = k2 && r1 = r2
+  | _ -> false
+
+let sample_key = { CH.src = 3; label = "grades"; idx = 7; meta = "~r/a/grades/1/0" }
+
+let test_packet_roundtrips () =
+  let packets =
+    [
+      CH.Data
+        {
+          key = sample_key;
+          first_seq = 42;
+          acks = [ (sample_key, -1); ({ sample_key with CH.idx = 8 }, 17) ];
+          items =
+            List.init 5 (fun i ->
+                W.call_item ~seq:(42 + i) ~cid:(100 + i) ~port:"record_grade" ~kind:W.Call
+                  ~args:(Xdr.Pair (Xdr.Str "stu00001", Xdr.Int 85)));
+        };
+      CH.Data { key = sample_key; first_seq = 0; acks = []; items = [] };
+      CH.Ack { acks = [ (sample_key, 12) ] };
+      CH.Ack { acks = [] };
+      CH.Reset { key = sample_key; reason = "no such port group" };
+    ]
+  in
+  List.iter
+    (fun p ->
+      match CH.decode_packet (CH.encode_packet p) with
+      | Ok p' -> check Alcotest.bool "packet roundtrip" true (equal_packet p p')
+      | Error e -> Alcotest.failf "packet decode failed: %s" e)
+    packets
+
+let test_packet_bytes_is_actual_size () =
+  let p = CH.Ack { acks = [ (sample_key, 12) ] } in
+  check Alcotest.int "packet_bytes = encoded length"
+    (String.length (CH.encode_packet p))
+    (CH.packet_bytes p)
+
+let test_packet_garbage_rejected () =
+  (match CH.decode_packet "" with Error _ -> () | Ok _ -> Alcotest.fail "empty frame accepted");
+  (match CH.decode_packet "\x02\x01" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong version accepted");
+  let enc = CH.encode_packet (CH.Reset { key = sample_key; reason = "r" }) in
+  for len = 0 to String.length enc - 1 do
+    match CH.decode_packet (String.sub enc 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated frame (%d bytes) accepted" len
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour: piggybacking, Nagle flush, sliding window *)
+
+type world = {
+  sched : S.t;
+  net : CH.frame Net.t;
+  node_a : Net.node;
+  node_b : Net.node;
+  hub_a : CH.hub;
+  hub_b : CH.hub;
+}
+
+let make_world ?(cfg = Net.default_config) ?(seed = 42) ?(ack_delay = 0.0) () =
+  let sched = S.create ~seed () in
+  let net = Net.create sched cfg in
+  let node_a = Net.add_node net ~name:"a" in
+  let node_b = Net.add_node net ~name:"b" in
+  let hub_a = CH.create_hub ~ack_delay net node_a in
+  let hub_b = CH.create_hub ~ack_delay net node_b in
+  { sched; net; node_a; node_b; hub_a; hub_b }
+
+let run_ok w =
+  match S.run w.sched with
+  | S.Completed -> ()
+  | S.Deadlocked fs ->
+      Alcotest.failf "deadlock: %s" (String.concat "," (List.map S.fiber_name fs))
+  | S.Time_limit -> Alcotest.fail "unexpected time limit"
+
+(* A request/reply echo world over raw stream/target, returning the
+   scheduler stats after [n] calls. *)
+let run_echo ~w ~cfg ~n =
+  let target =
+    T.create w.hub_b ~gid:"echo" ~reply_config:cfg (fun _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply ->
+        reply (W.W_normal args))
+  in
+  ignore (target : T.t);
+  let se = SE.create w.hub_a ~agent:"t" ~dst:(Net.address w.node_b) ~gid:"echo" ~config:cfg () in
+  let replies = ref 0 in
+  ignore
+    (S.spawn w.sched (fun () ->
+         for i = 1 to n do
+           match
+             SE.call se ~port:"p" ~kind:W.Call ~args:(Xdr.Int i) ~on_reply:(fun _ -> incr replies)
+           with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "call failed: %s" e
+         done;
+         match SE.synch se with
+         | Ok () -> ()
+         | Error `Exception_reply -> Alcotest.fail "exception reply"
+         | Error (`Broken r) -> Alcotest.failf "stream broke: %s" r));
+  run_ok w;
+  check Alcotest.int "all replies arrived" n !replies;
+  S.stats w.sched
+
+let test_piggybacking_halves_standalone_acks () =
+  let cfg = { CH.default_config with CH.max_batch = 8; flush_interval = 1e-3 } in
+  let without = run_echo ~w:(make_world ()) ~cfg ~n:64 in
+  let with_ = run_echo ~w:(make_world ~ack_delay:1e-3 ()) ~cfg ~n:64 in
+  let acks_off = Sim.Stats.peek without "chan_ack_packets" in
+  let acks_on = Sim.Stats.peek with_ "chan_ack_packets" in
+  check Alcotest.bool
+    (Printf.sprintf "standalone ack packets: %d with piggyback <= half of %d without" acks_on
+       acks_off)
+    true
+    (acks_on * 2 <= acks_off);
+  check Alcotest.bool "some acks actually piggybacked" true
+    (Sim.Stats.peek with_ "chan_piggybacked_acks" > 0)
+
+let test_nagle_first_item_flushes_immediately () =
+  let w = make_world () in
+  let received_at = ref nan in
+  CH.on_connect w.hub_b ~label:"sink" (fun in_chan ->
+      CH.set_deliver in_chan (fun _ -> received_at := S.now w.sched));
+  let out =
+    CH.connect w.hub_a ~dst:(Net.address w.node_b) ~label:"sink" ~meta:""
+      { CH.adaptive_config with CH.flush_interval = 100e-3 }
+  in
+  ignore (S.spawn w.sched (fun () -> ignore (CH.send out (Xdr.Int 1) : (unit, string) result)));
+  run_ok w;
+  (* Idle channel: the item must leave immediately (one RTT ~ 1.1 ms),
+     not wait for the 100 ms flush timer. *)
+  check Alcotest.bool
+    (Printf.sprintf "delivered at %.4fs, not on the flush timer" !received_at)
+    true
+    (!received_at < 10e-3)
+
+let test_nagle_coalesces_under_load () =
+  let w = make_world () in
+  let batches = ref [] in
+  CH.on_connect w.hub_b ~label:"sink" (fun in_chan ->
+      CH.set_deliver in_chan (fun items -> batches := List.length items :: !batches));
+  let out =
+    CH.connect w.hub_a ~dst:(Net.address w.node_b) ~label:"sink" ~meta:""
+      { CH.adaptive_config with CH.flush_interval = 100e-3 }
+  in
+  ignore
+    (S.spawn w.sched (fun () ->
+         (* All 20 sends happen at t=0: the first flushes alone (idle);
+            the rest coalesce while it is in flight. *)
+         for i = 1 to 20 do
+           ignore (CH.send out (Xdr.Int i) : (unit, string) result)
+         done));
+  run_ok w;
+  let batches = List.rev !batches in
+  check Alcotest.int "all items arrive" 20 (List.fold_left ( + ) 0 batches);
+  check Alcotest.bool
+    (Printf.sprintf "first batch is the lone idle flush: %s"
+       (String.concat "," (List.map string_of_int batches)))
+    true
+    (match batches with 1 :: rest -> rest <> [] && List.for_all (fun b -> b > 1) rest | _ -> false)
+
+let test_window_backpressures_and_bounds_inflight () =
+  let w = make_world () in
+  let item = Xdr.Str (String.make 100 'x') in
+  let item_bytes = B.size item in
+  (* Window fits ~4 items; 20 sends must block and drain in waves. *)
+  let cfg =
+    {
+      CH.adaptive_config with
+      CH.max_inflight_bytes = 4 * item_bytes;
+      max_batch = 4;
+      flush_interval = 1e-3;
+    }
+  in
+  let received = ref 0 in
+  CH.on_connect w.hub_b ~label:"sink" (fun in_chan ->
+      CH.set_deliver in_chan (fun items -> received := !received + List.length items));
+  let out = CH.connect w.hub_a ~dst:(Net.address w.node_b) ~label:"sink" ~meta:"" cfg in
+  let max_seen = ref 0 in
+  ignore
+    (S.spawn w.sched (fun () ->
+         for _ = 1 to 20 do
+           (match CH.await_window out ~bytes:item_bytes with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "window wait failed: %s" e);
+           (match CH.send out item with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "send failed: %s" e);
+           if CH.inflight_bytes out > !max_seen then max_seen := CH.inflight_bytes out
+         done));
+  run_ok w;
+  check Alcotest.int "all delivered" 20 !received;
+  check Alcotest.bool
+    (Printf.sprintf "inflight bytes bounded: %d <= %d" !max_seen cfg.CH.max_inflight_bytes)
+    true
+    (!max_seen <= cfg.CH.max_inflight_bytes)
+
+let test_window_waiters_released_on_break () =
+  let w = make_world () in
+  let item = Xdr.Str (String.make 100 'x') in
+  let cfg = { CH.adaptive_config with CH.max_inflight_bytes = 50; max_retries = 0 } in
+  (* No acceptor for the label on b: data is answered with Reset, so
+     the channel breaks while the second sender waits for window room. *)
+  let out = CH.connect w.hub_a ~dst:(Net.address w.node_b) ~label:"nobody" ~meta:"" cfg in
+  let got_error = ref None in
+  ignore
+    (S.spawn w.sched (fun () ->
+         ignore (CH.send out item : (unit, string) result);
+         match CH.await_window out ~bytes:(B.size item) with
+         | Ok () -> Alcotest.fail "window opened on a broken channel"
+         | Error e -> got_error := Some e));
+  run_ok w;
+  match !got_error with
+  | Some _ -> ()
+  | None -> Alcotest.fail "waiter never released"
+
+let test_stream_call_window_preserves_order () =
+  (* Two fibers race calls through a tiny window. Wake order under
+     back-pressure decides how the fibers interleave, but each fiber's
+     own calls must still execute in its issue order, and nothing may
+     be lost or duplicated. *)
+  let w = make_world () in
+  let cfg =
+    { CH.adaptive_config with CH.max_inflight_bytes = 60; max_batch = 2; flush_interval = 1e-3 }
+  in
+  let executed = ref [] in
+  let target =
+    T.create w.hub_b ~gid:"echo" ~reply_config:cfg (fun _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply ->
+        (match args with Xdr.Int i -> executed := i :: !executed | _ -> ());
+        reply (W.W_normal args))
+  in
+  ignore (target : T.t);
+  let se = SE.create w.hub_a ~agent:"t" ~dst:(Net.address w.node_b) ~gid:"echo" ~config:cfg () in
+  let caller lo hi =
+    S.spawn w.sched (fun () ->
+        for i = lo to hi do
+          match SE.call se ~port:"p" ~kind:W.Call ~args:(Xdr.Int i) ~on_reply:(fun _ -> ()) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "call failed: %s" e
+        done)
+  in
+  ignore (caller 1 15);
+  ignore (caller 101 115);
+  ignore
+    (S.spawn w.sched (fun () ->
+         S.sleep w.sched 1.0;
+         match SE.synch se with Ok () -> () | Error _ -> Alcotest.fail "broke"));
+  run_ok w;
+  let executed = List.rev !executed in
+  let of_fiber lo hi = List.filter (fun i -> lo <= i && i <= hi) executed in
+  check Alcotest.(list int) "fiber 1's calls in its issue order"
+    (List.init 15 (fun i -> i + 1))
+    (of_fiber 1 15);
+  check Alcotest.(list int) "fiber 2's calls in its issue order"
+    (List.init 15 (fun i -> i + 101))
+    (of_fiber 101 115);
+  check Alcotest.int "nothing lost or duplicated" 30 (List.length executed)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regressions: field-order tolerant parse, NaN equality *)
+
+let test_parse_call_field_order_insensitive () =
+  let reordered =
+    Xdr.Record
+      [
+        ("a", Xdr.Str "payload");
+        ("k", Xdr.Str "c");
+        ("p", Xdr.Str "work");
+        ("i", Xdr.Int 9);
+        ("q", Xdr.Int 4);
+        ("future_field", Xdr.Unit);  (* unknown extras ignored *)
+      ]
+  in
+  match W.parse_call reordered with
+  | Ok (4, 9, "work", W.Call, Xdr.Str "payload") -> ()
+  | Ok _ -> Alcotest.fail "wrong fields extracted"
+  | Error e -> Alcotest.fail e
+
+let test_parse_call_missing_field_rejected () =
+  let missing = Xdr.Record [ ("q", Xdr.Int 1); ("i", Xdr.Int 2); ("p", Xdr.Str "x") ] in
+  match W.parse_call missing with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incomplete call accepted"
+
+let test_equal_value_nan () =
+  check Alcotest.bool "NaN = NaN" true (Xdr.equal_value (Xdr.Real nan) (Xdr.Real nan));
+  check Alcotest.bool "nested NaN" true
+    (Xdr.equal_value
+       (Xdr.List [ Xdr.Real nan; Xdr.Int 1 ])
+       (Xdr.List [ Xdr.Real nan; Xdr.Int 1 ]));
+  check Alcotest.bool "NaN <> 1." false (Xdr.equal_value (Xdr.Real nan) (Xdr.Real 1.0));
+  check Alcotest.bool "0. = -0." true (Xdr.equal_value (Xdr.Real 0.0) (Xdr.Real (-0.0)));
+  check Alcotest.bool "Int <> Real" false (Xdr.equal_value (Xdr.Int 1) (Xdr.Real 1.0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wire_codec"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_size_matches;
+          Alcotest.test_case "edge values" `Quick test_edge_values;
+          Alcotest.test_case "deep nesting roundtrips" `Quick test_deep_nesting_roundtrips;
+          Alcotest.test_case "excessive nesting rejected" `Quick test_excessive_nesting_rejected;
+          Alcotest.test_case "string interning compresses" `Quick test_string_interning_compresses;
+        ] );
+      ( "total decoding",
+        [
+          Alcotest.test_case "every truncation errors" `Quick test_truncated_returns_error;
+          Alcotest.test_case "trailing garbage rejected" `Quick test_trailing_garbage_rejected;
+          QCheck_alcotest.to_alcotest prop_corruption_never_raises;
+          QCheck_alcotest.to_alcotest prop_random_bytes_never_raise;
+        ] );
+      ( "packet frames",
+        [
+          Alcotest.test_case "packet roundtrips" `Quick test_packet_roundtrips;
+          Alcotest.test_case "packet_bytes is actual size" `Quick test_packet_bytes_is_actual_size;
+          Alcotest.test_case "garbage frames rejected" `Quick test_packet_garbage_rejected;
+        ] );
+      ( "adaptive wire",
+        [
+          Alcotest.test_case "piggybacking halves standalone acks" `Quick
+            test_piggybacking_halves_standalone_acks;
+          Alcotest.test_case "nagle: idle flush is immediate" `Quick
+            test_nagle_first_item_flushes_immediately;
+          Alcotest.test_case "nagle: coalesces under load" `Quick test_nagle_coalesces_under_load;
+          Alcotest.test_case "window bounds inflight bytes" `Quick
+            test_window_backpressures_and_bounds_inflight;
+          Alcotest.test_case "window waiters released on break" `Quick
+            test_window_waiters_released_on_break;
+          Alcotest.test_case "window preserves call order" `Quick
+            test_stream_call_window_preserves_order;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "parse_call ignores field order" `Quick
+            test_parse_call_field_order_insensitive;
+          Alcotest.test_case "parse_call rejects missing fields" `Quick
+            test_parse_call_missing_field_rejected;
+          Alcotest.test_case "equal_value handles NaN" `Quick test_equal_value_nan;
+        ] );
+    ]
