@@ -260,6 +260,119 @@ let run_wire () =
       ]
     table_rows
 
+(* --- pipeline bench + BENCH_pipeline.json --------------------------- *)
+
+(* The receiver-side costs of promise pipelining, per pipelined call:
+   scanning arguments for references, substituting produced values, and
+   the registry's record/await cycle. These bound the overhead a
+   non-pipelined call pays for the feature existing at all (a single
+   [has_refs] scan that finds nothing). *)
+
+let pref i =
+  Xdr.Pref { Xdr.ps_stream = "3|server/work"; ps_call = i; ps_field = None }
+
+(* An argument tree shaped like a real pipelined batch: mostly plain
+   values, a few references scattered at different depths. *)
+let pipeline_args =
+  Xdr.List
+    (List.init 16 (fun i ->
+         if i mod 5 = 0 then Xdr.Pair (pref i, Xdr.Int i)
+         else
+           Xdr.Record
+             [ ("name", Xdr.Str (Printf.sprintf "item-%03d" i)); ("rank", Xdr.Int i) ]))
+
+let plain_args =
+  Xdr.List (List.init 16 (fun i -> Xdr.Pair (Xdr.Str (Printf.sprintf "s%d" i), Xdr.Int i)))
+
+let bench_refs_scan v = Staged.stage (fun () -> Pipeline.refs v)
+let bench_has_refs v = Staged.stage (fun () -> Pipeline.has_refs v)
+
+let bench_substitute () =
+  let lookup (r : Xdr.promise_ref) =
+    Pipeline.project ~field:r.Xdr.ps_field (Xdr.Int (r.Xdr.ps_call * 2))
+  in
+  Staged.stage (fun () -> Pipeline.substitute ~lookup pipeline_args)
+
+let bench_registry_record_find () =
+  let reg : int Pipeline.Registry.t = Pipeline.Registry.create ~cap:1024 () in
+  let next = ref 0 in
+  Staged.stage (fun () ->
+      (* Fresh key each run so [record] actually stores (repeats are
+         ignored by design); FIFO eviction keeps the table at cap. *)
+      incr next;
+      Pipeline.Registry.record reg ~stream:"bench" ~call:!next !next;
+      Pipeline.Registry.find reg ~stream:"bench" ~call:!next)
+
+let bench_registry_await_cycle () =
+  let reg : int Pipeline.Registry.t = Pipeline.Registry.create ~cap:1024 () in
+  let next = ref 0 in
+  let got = ref 0 in
+  Staged.stage (fun () ->
+      (* The parked path: await before the outcome lands, then record
+         fires the callback. *)
+      incr next;
+      ignore (Pipeline.Registry.await reg ~stream:"bench" ~call:!next (fun v -> got := v) : bool);
+      Pipeline.Registry.record reg ~stream:"bench" ~call:!next !next;
+      !got)
+
+let pipeline_tests =
+  Test.make_grouped ~name:"pipeline"
+    [
+      Test.make ~name:"refs scan (16 args, 4 refs)" (bench_refs_scan pipeline_args);
+      Test.make ~name:"has_refs scan (no refs)" (bench_has_refs plain_args);
+      Test.make ~name:"substitute (16 args, 4 refs)" (bench_substitute ());
+      Test.make ~name:"registry record+find" (bench_registry_record_find ());
+      Test.make ~name:"registry await+record (parked)" (bench_registry_await_cycle ());
+    ]
+
+let write_bench_pipeline_json ~subject_rows ~e13_rows path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"pipeline\",\n";
+  out "  \"units\": { \"subjects\": \"ns/op\", \"e13\": \"per chain\" },\n";
+  out "  \"subjects\": [\n";
+  let n_subj = List.length subject_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"subject\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = n_subj - 1 then "" else ","))
+    subject_rows;
+  out "  ],\n";
+  out "  \"e13\": [\n";
+  let n_rows = List.length e13_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_pipeline.row) ->
+      out
+        "    { \"mode\": \"%s\", \"depth\": %d, \"completion_ms\": %.3f, \"msgs\": %d, \
+         \"bytes\": %d, \"data_packets\": %d, \"pipelined_calls\": %d, \
+         \"ref_substitutions\": %d }%s\n"
+        (json_escape r.r_mode) r.r_depth (r.r_time *. 1e3) r.r_msgs r.r_bytes r.r_data_pkts
+        r.r_pipelined r.r_substitutions
+        (if i = n_rows - 1 then "" else ","))
+    e13_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_pipeline () =
+  let subject_rows = measure_ns pipeline_tests in
+  let e13_rows = Workloads.Exp_pipeline.e13_rows () in
+  write_bench_pipeline_json ~subject_rows ~e13_rows "BENCH_pipeline.json";
+  let table_rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) subject_rows
+  in
+  Workloads.Table.make ~id:"pipeline"
+    ~title:"wall-clock: promise-pipelining receiver machinery"
+    ~header:[ "subject"; "time/op" ]
+    ~notes:
+      [
+        "receiver-side per-call costs of pipelining (docs/PIPELINE.md): reference scan, \
+         value substitution, bounded-registry record/await; results + E13 chain figures \
+         written to BENCH_pipeline.json";
+      ]
+    table_rows
+
 (* --- main ---------------------------------------------------------- *)
 
 let () =
@@ -273,4 +386,7 @@ let () =
   print_endline "wall-clock wire codec (Bechamel):";
   print_newline ();
   Workloads.Table.print (run_wire ());
-  print_endline "wrote BENCH_wire.json"
+  print_endline "wall-clock pipelining machinery (Bechamel):";
+  print_newline ();
+  Workloads.Table.print (run_pipeline ());
+  print_endline "wrote BENCH_wire.json, BENCH_pipeline.json"

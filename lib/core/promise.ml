@@ -10,15 +10,33 @@ type ('a, 'e) state =
   | Blocked of (('a, 'e) outcome -> unit) list  (* waiting callbacks, newest first *)
   | Ready of ('a, 'e) outcome
 
-type ('a, 'e) t = { sched : S.t; mutable state : ('a, 'e) state }
+(* Where a promise came from, when it was born from a stream call: the
+   producing stream's incarnation-independent identity, the stable
+   call-id, and the destination node. Enough to mint a transmissible
+   {!Xdr.promise_ref} naming the not-yet-ready result (promise
+   pipelining, docs/PIPELINE.md). *)
+type origin = { og_stream : string; og_call : int; og_dst : int }
+
+type ('a, 'e) t = {
+  sched : S.t;
+  mutable state : ('a, 'e) state;
+  mutable origin : origin option;
+}
 
 exception Unavailable_exn of string
 
 exception Failure_exn of string
 
-let create sched = { sched; state = Blocked [] }
+let create sched = { sched; state = Blocked []; origin = None }
 
-let resolved sched outcome = { sched; state = Ready outcome }
+let resolved sched outcome = { sched; state = Ready outcome; origin = None }
+
+let set_origin p origin =
+  match p.origin with
+  | Some _ -> invalid_arg "Promise.set_origin: origin already set"
+  | None -> p.origin <- Some origin
+
+let origin p = p.origin
 
 let ready p = match p.state with Ready _ -> true | Blocked _ -> false
 

@@ -94,3 +94,23 @@ val all : Sched.Scheduler.t -> ('a, 'e) t list -> ('a list, 'e) t
 
 val resolved : Sched.Scheduler.t -> ('a, 'e) outcome -> ('a, 'e) t
 (** An already-ready promise. *)
+
+(** {1 Origin (promise pipelining)}
+
+    A promise born from a stream call remembers which call produced it,
+    so {!Remote.pipe} can mint a transmissible {!Xdr.promise_ref}
+    naming the not-yet-ready result (docs/PIPELINE.md). *)
+
+type origin = {
+  og_stream : string;  (** producing stream's stable id ({!Stream_end.stable_id}) *)
+  og_call : int;  (** the producing call's stable call-id *)
+  og_dst : int;  (** node the producing call executes on *)
+}
+
+val set_origin : ('a, 'e) t -> origin -> unit
+(** Stamp the producing call's identity. Raises [Invalid_argument] if
+    already stamped — a promise has one producer. *)
+
+val origin : ('a, 'e) t -> origin option
+(** [None] for promises not born from a stream call (combinators,
+    {!resolved}, forked local procedures) — those cannot be piped. *)

@@ -32,31 +32,113 @@ let decode_outcome (hs : ('a, 'r, 'e) Sigs.hsig) (w : W.routcome) : ('r, 'e) Pro
   | W.W_unavailable reason -> Promise.Unavailable reason
   | W.W_failure reason -> Promise.Failure reason
 
-(* Shared front half of every call form: wounded-fiber check, argument
-   encoding, stream-broken check. On success the call is on the stream
-   and [on_reply] will fire exactly once. *)
-let start_call h ~kind arg ~on_reply =
+(* Put one already-encoded call on the stream: wounded-fiber check,
+   stream-broken check. On success returns the stable call-id and
+   [on_reply] will fire exactly once. *)
+let start_encoded h ~kind ~args ~on_reply =
   if S.wounded h.h_sched then
     (* "It cannot make any remote calls at such a point" (§4.2). *)
     raise S.Terminated;
+  match SE.call_cid h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply with
+  | Ok cid -> cid
+  | Error reason -> raise (Promise.Unavailable_exn reason)
+
+(* Shared front half of the typed call forms: encode, then transmit. *)
+let start_call h ~kind arg ~on_reply =
   match Xdr.encode h.h_sig.Sigs.arg_c arg with
   | Error reason -> raise (Promise.Failure_exn ("encoding failed: " ^ reason))
-  | Ok args -> (
-      match SE.call h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply with
-      | Ok () -> ()
-      | Error reason -> raise (Promise.Unavailable_exn reason))
+  | Ok args -> start_encoded h ~kind ~args ~on_reply
+
+(* A promise born here can be piped into a later call on the same node:
+   remember which call produces it. *)
+let stamp_origin h p cid =
+  Promise.set_origin p
+    { Promise.og_stream = SE.stable_id h.h_stream; og_call = cid; og_dst = SE.dst h.h_stream }
 
 let stream_call h arg =
   let p = Promise.create h.h_sched in
-  start_call h ~kind:W.Call arg ~on_reply:(fun w -> Promise.resolve p (decode_outcome h.h_sig w));
+  let cid =
+    start_call h ~kind:W.Call arg ~on_reply:(fun w -> Promise.resolve p (decode_outcome h.h_sig w))
+  in
+  stamp_origin h p cid;
   p
 
 let stream_call_ h arg =
-  start_call h ~kind:W.Call arg ~on_reply:(fun w ->
-      (* Decoded and discarded, as §3 specifies for statement form. *)
-      ignore (decode_outcome h.h_sig w : _ Promise.outcome))
+  ignore
+    (start_call h ~kind:W.Call arg ~on_reply:(fun w ->
+         (* Decoded and discarded, as §3 specifies for statement form. *)
+         ignore (decode_outcome h.h_sig w : _ Promise.outcome))
+      : int)
 
-let send h arg = start_call h ~kind:W.Send arg ~on_reply:(fun _ -> ())
+let send h arg = ignore (start_call h ~kind:W.Send arg ~on_reply:(fun _ -> ()) : int)
+
+(* {2 Promise pipelining (docs/PIPELINE.md)} *)
+
+type 'a arg =
+  | Arg_now of 'a  (* ordinary by-value argument *)
+  | Arg_ref of { ar_origin : Promise.origin; ar_field : string option }
+  | Arg_dead of W.routcome
+      (* the producer already terminated abnormally: the dependent call
+         completes with the same outcome without ever being sent *)
+
+let arg v = Arg_now v
+
+let pipe p =
+  match Promise.peek p with
+  | Some (Promise.Normal v) -> Arg_now v
+  | Some (Promise.Unavailable r) -> Arg_dead (W.W_unavailable r)
+  | Some (Promise.Failure r) -> Arg_dead (W.W_failure r)
+  | Some (Promise.Signal _) | None -> (
+      (* A ready signal still goes by reference: its wire encoding was
+         recorded at the receiver, which propagates it to the dependent
+         call — we cannot re-encode a decoded ['e] here. *)
+      match Promise.origin p with
+      | None ->
+          invalid_arg
+            "Remote.pipe: promise was not born from a stream call (no origin to reference)"
+      | Some og -> Arg_ref { ar_origin = og; ar_field = None })
+
+let pipe_field (p : _ Promise.t) ~field =
+  match Promise.peek p with
+  | Some (Promise.Unavailable r) -> Arg_dead (W.W_unavailable r)
+  | Some (Promise.Failure r) -> Arg_dead (W.W_failure r)
+  | Some (Promise.Normal _ | Promise.Signal _) | None -> (
+      match Promise.origin p with
+      | None ->
+          invalid_arg
+            "Remote.pipe_field: promise was not born from a stream call (no origin to reference)"
+      | Some og -> Arg_ref { ar_origin = og; ar_field = Some field })
+
+let stream_call_p h a =
+  match a with
+  | Arg_now v -> stream_call h v
+  | Arg_dead w ->
+      (* "The producer's fate is the dependent's fate": complete
+         abnormally right here, transmitting nothing. *)
+      Promise.resolved h.h_sched (decode_outcome h.h_sig w)
+  | Arg_ref { ar_origin; ar_field } ->
+      if ar_origin.Promise.og_dst <> SE.dst h.h_stream then
+        raise
+          (Promise.Failure_exn
+             "pipelined argument references a call on a different node; claim it instead")
+      else begin
+        let args =
+          Xdr.Pref
+            {
+              Xdr.ps_stream = ar_origin.Promise.og_stream;
+              ps_call = ar_origin.Promise.og_call;
+              ps_field = ar_field;
+            }
+        in
+        let p = Promise.create h.h_sched in
+        let cid =
+          start_encoded h ~kind:W.Call ~args ~on_reply:(fun w ->
+              Promise.resolve p (decode_outcome h.h_sig w))
+        in
+        stamp_origin h p cid;
+        Sim.Stats.incr (Sim.Stats.counter (S.stats h.h_sched) "pipelined_calls");
+        p
+      end
 
 let flush h = SE.flush h.h_stream
 

@@ -53,6 +53,51 @@ val send : ('a, 'r, 'e) h -> 'a -> unit
 val rpc : ('a, 'r, 'e) h -> 'a -> ('r, 'e) Promise.outcome
 (** Flush and wait for this call's outcome (fiber context only). *)
 
+(** {1 Promise pipelining}
+
+    Calling on a not-yet-ready result (docs/PIPELINE.md): {!pipe}
+    converts a promise born from a stream call into an argument that is
+    transmitted {e by reference} — an {!Xdr.promise_ref} naming the
+    producing call — so a dependent call leaves immediately, without
+    waiting (or paying a round trip) for the producer's reply. The
+    receiver substitutes the produced value before executing; if the
+    producer terminates abnormally, the dependent call completes with
+    the same abnormal outcome and never executes.
+
+    Both calls must target the same node, and the destination port
+    groups must belong to the same guardian (they share the outcome
+    registry). Referencing across nodes raises {!Promise.Failure_exn}
+    at the call site. *)
+
+type 'a arg
+(** An argument for a handler taking ['a]: either a value, or a
+    reference to a promised result of type ['a]. *)
+
+val arg : 'a -> 'a arg
+(** An ordinary by-value argument. *)
+
+val pipe : ('a, _) Promise.t -> 'a arg
+(** Use a promised result as an argument. Already-ready promises pass
+    their value (or abnormal outcome) directly; blocked ones become a
+    {!Xdr.promise_ref}. Raises [Invalid_argument] if the promise was
+    not born from a stream call ({!Promise.origin} is [None]). *)
+
+val pipe_field : (_, _) Promise.t -> field:string -> 'a arg
+(** Use one field of a promised record result as an argument — the
+    untyped escape hatch for calls that consume part of a result. The
+    caller asserts the field's encoding matches the consuming handler's
+    argument type; a wrong assertion surfaces as a decode [failure] at
+    the receiver, and a missing field or non-record result as a
+    [failure] reply to the dependent call. *)
+
+val stream_call_p : ('a, 'r, 'e) h -> 'a arg -> ('r, 'e) Promise.t
+(** {!stream_call}, accepting a pipelineable argument. A reference to a
+    producer that already terminated with [unavailable]/[failure]
+    yields an already-ready promise with that same outcome — nothing is
+    transmitted. Pipelined transmissions are counted in {!Sim.Stats} as
+    [pipelined_calls] (sender side); receiver-side events appear as
+    [parked_calls], [ref_substitutions] and [ref_failures]. *)
+
 (** {1 Stream control (per handle)} *)
 
 val flush : ('a, 'r, 'e) h -> unit

@@ -35,6 +35,8 @@ let sched t = t.sched
 
 let gid t = t.s_gid
 
+let dst t = t.s_dst
+
 let broken t = t.s_broken
 
 let incarnation t = t.incarnation
@@ -54,6 +56,14 @@ let reply_label_for ~agent ~gid ~dst ~incarnation =
 
 let reply_label t =
   reply_label_for ~agent:t.s_agent ~gid:t.s_gid ~dst:t.s_dst ~incarnation:t.incarnation
+
+(* As the receiver will compute it from our reply-channel label — the
+   address half is this hub's node, the label half drops the
+   incarnation suffix, so the id survives restarts. *)
+let stable_id t =
+  Wire.stable_stream_id
+    ~src:(Net.address (Chanhub.hub_node t.hub))
+    ~reply_label:(reply_label t)
 
 let wake_satisfied_synchers t =
   let ready, waiting =
@@ -158,7 +168,7 @@ let create hub ~agent ~dst ~gid ?(config = Chanhub.default_config) () =
   attach t chan;
   t
 
-let call t ~port ~kind ~args ~on_reply =
+let call_cid t ~port ~kind ~args ~on_reply =
   match t.s_broken with
   | Some reason -> Error reason
   | None -> (
@@ -185,7 +195,7 @@ let call t ~port ~kind ~args ~on_reply =
         if seq = probe_seq then probe else Wire.call_item ~seq ~cid ~port ~kind ~args
       in
       (match Chanhub.send t.chan item with
-      | Ok () -> Ok ()
+      | Ok () -> Ok cid
       | Error reason ->
           (* Unreachable in practice: a channel break reports to
              [handle_break] synchronously, so [s_broken] would be set.
@@ -193,6 +203,9 @@ let call t ~port ~kind ~args ~on_reply =
           Hashtbl.remove t.pending seq;
           t.next_seq <- seq;
           Error reason))
+
+let call t ~port ~kind ~args ~on_reply =
+  Result.map (fun (_ : int) -> ()) (call_cid t ~port ~kind ~args ~on_reply)
 
 let flush t = if t.s_broken = None then Chanhub.flush_out t.chan
 

@@ -43,6 +43,14 @@ val agent : t -> string
 
 val gid : t -> string
 
+val dst : t -> Net.address
+(** The node this stream's port group lives on. *)
+
+val stable_id : t -> string
+(** The stream's incarnation-independent identity as the receiver sees
+    it ({!Wire.stable_stream_id}) — the stream half of a transmissible
+    {!Xdr.promise_ref}. Constant across {!restart}s. *)
+
 val sched : t -> Sched.Scheduler.t
 
 val broken : t -> string option
@@ -58,6 +66,14 @@ val call :
     the paper's "call fails and signals immediately, and no promise is
     created". Otherwise [on_reply] fires exactly once, later, in
     scheduler context; replies fire in call order. *)
+
+val call_cid :
+  t -> port:string -> kind:Wire.kind -> args:Xdr.value ->
+  on_reply:(Wire.routcome -> unit) -> (int, string) result
+(** {!call}, returning the stable call-id assigned to the call. Paired
+    with {!stable_id} it names this call's future outcome in a
+    transmissible {!Xdr.promise_ref} (promise pipelining,
+    docs/PIPELINE.md). *)
 
 val flush : t -> unit
 (** Transmit buffered call requests now (§2's [flush]). *)

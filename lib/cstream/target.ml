@@ -23,6 +23,9 @@ type t = {
   t_cache : (string * int, entry) Hashtbl.t;
   t_done_order : (string * int) Queue.t;
   mutable t_done_count : int;
+  t_registry : Wire.routcome Pipeline.Registry.t option;
+      (* promise-pipelining outcome registry, possibly shared with
+         other targets of the same guardian (docs/PIPELINE.md) *)
   dispatch : dispatch;
   conns : (Chanhub.key, conn) Hashtbl.t;
   mutable closed : bool;
@@ -121,12 +124,7 @@ let emit_reply c ~seq ~kind outcome =
    label minus the trailing incarnation number, qualified by source
    address. This is what a resubmitted call's cid is stable within. *)
 let stable_stream_id (key : Chanhub.key) =
-  let prefix =
-    match String.rindex_opt key.Chanhub.meta '/' with
-    | Some i -> String.sub key.Chanhub.meta 0 i
-    | None -> key.Chanhub.meta
-  in
-  Printf.sprintf "%d|%s" key.Chanhub.src prefix
+  Wire.stable_stream_id ~src:key.Chanhub.src ~reply_label:key.Chanhub.meta
 
 let remember t id outcome =
   Hashtbl.replace t.t_cache id (Done outcome);
@@ -138,14 +136,116 @@ let remember t id outcome =
     t.t_done_count <- t.t_done_count - 1
   done
 
+(* Promise pipelining (docs/PIPELINE.md): substitute {!Xdr.Pref}
+   placeholders among [args] with the produced outcomes from the
+   target's registry, parking the call until every referenced outcome
+   has landed. [k] receives the fully substituted arguments; if any
+   producer terminated abnormally the call completes through [reply]
+   with the corresponding abnormal outcome and [k] never runs. *)
+let resolve_refs c ~cid ~args ~reply k =
+  let t = c.c_target in
+  if not (Pipeline.has_refs args) then k args
+  else begin
+    let fail reason =
+      Sim.Stats.incr (counter t "ref_failures");
+      reply (Wire.W_failure reason)
+    in
+    match t.t_registry with
+    | None -> fail "promise pipelining is not enabled at this port group"
+    | Some reg ->
+        let refs = Pipeline.refs args in
+        (* A reference to a call on this same stream at our cid or
+           later can never resolve (calls execute in stream order), so
+           parking would deadlock the stream on itself. *)
+        if
+          List.exists
+            (fun r -> String.equal r.Xdr.ps_stream c.c_stable && r.Xdr.ps_call >= cid)
+            refs
+        then fail "pipelined reference to a not-earlier call on the same stream"
+        else begin
+          let proceed () =
+            (* All referenced outcomes are in the registry now. The
+               first abnormal producer (in argument order) decides the
+               call's fate; otherwise every reference is replaced by
+               its produced (possibly field-projected) value. *)
+            let abnormal = ref None in
+            List.iter
+              (fun (r : Xdr.promise_ref) ->
+                if !abnormal = None then
+                  match Pipeline.Registry.find reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call with
+                  | Some (Wire.W_normal _) | None -> ()
+                  | Some ((Wire.W_signal _ | Wire.W_unavailable _ | Wire.W_failure _) as o) ->
+                      abnormal := Some o)
+              refs;
+            match !abnormal with
+            | Some o ->
+                Sim.Stats.incr (counter t "ref_failures");
+                reply o
+            | None -> (
+                let lookup (r : Xdr.promise_ref) =
+                  match Pipeline.Registry.find reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call with
+                  | Some (Wire.W_normal v) -> Pipeline.project ~field:r.Xdr.ps_field v
+                  | Some _ | None -> Error "referenced outcome disappeared" (* unreachable *)
+                in
+                match Pipeline.substitute ~lookup args with
+                | Ok args' ->
+                    Sim.Stats.add (counter t "ref_substitutions") (List.length refs);
+                    k args'
+                | Error reason -> fail reason)
+          in
+          let missing =
+            List.filter
+              (fun (r : Xdr.promise_ref) ->
+                Pipeline.Registry.find reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call = None)
+              refs
+          in
+          if missing = [] then proceed ()
+          else begin
+            Sim.Stats.incr (counter t "parked_calls");
+            let remaining = ref (List.length missing) in
+            let aborted = ref false in
+            List.iter
+              (fun (r : Xdr.promise_ref) ->
+                let registered =
+                  Pipeline.Registry.await reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call
+                    (fun _o ->
+                      (* Fires when the producer's outcome lands; the
+                         conn may have died while we were parked. *)
+                      if not (!aborted || c.c_broken) then begin
+                        decr remaining;
+                        if !remaining = 0 then proceed ()
+                      end)
+                in
+                if (not registered) && not !aborted then begin
+                  aborted := true;
+                  fail "pipeline dependency table full"
+                end)
+              missing
+          end
+        end
+  end
+
 (* Execute one call, or don't: with dedup on, a call-id already seen is
    never re-executed — its recorded outcome is replayed (or joined, if
    the first execution is still in flight). This is what turns the
    sender's resubmission protocol into cross-incarnation exactly-once
-   execution. *)
+   execution. Pipelined arguments are substituted (parking the call if
+   needed) before the handler dispatches; every Call outcome is
+   recorded in the pipelining registry for later dependents. *)
 let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
   let t = c.c_target in
-  if not t.t_dedup then t.dispatch c ~seq ~port ~kind ~args ~reply
+  let reply =
+    match t.t_registry with
+    | Some reg when kind = Wire.Call ->
+        fun outcome ->
+          Pipeline.Registry.record reg ~stream:c.c_stable ~call:cid outcome;
+          reply outcome
+    | Some _ | None -> reply
+  in
+  let run ~reply =
+    resolve_refs c ~cid ~args ~reply (fun args -> t.dispatch c ~seq ~port ~kind ~args ~reply)
+  in
+  if not t.t_dedup then run ~reply
   else begin
     let id = (c.c_stable, cid) in
     match Hashtbl.find_opt t.t_cache id with
@@ -158,7 +258,7 @@ let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
     | None ->
         let w = { waiters = [] } in
         Hashtbl.replace t.t_cache id (In_progress w);
-        t.dispatch c ~seq ~port ~kind ~args ~reply:(fun outcome ->
+        run ~reply:(fun outcome ->
             (* Record before replying: the outcome must outlive this
                connection so a duplicate on a later incarnation replays
                it instead of re-executing. *)
@@ -268,7 +368,7 @@ let accept t in_chan =
   c.c_driver <- Some fiber
 
 let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) ?(dedup = false)
-    ?(dedup_cache = 1024) dispatch =
+    ?(dedup_cache = 1024) ?pipeline dispatch =
   let t =
     {
       hub;
@@ -281,6 +381,7 @@ let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) ?
       t_cache = Hashtbl.create (if dedup then 64 else 1);
       t_done_order = Queue.create ();
       t_done_count = 0;
+      t_registry = pipeline;
       dispatch;
       conns = Hashtbl.create 8;
       closed = false;

@@ -49,6 +49,7 @@ val create :
   ?ordered:bool ->
   ?dedup:bool ->
   ?dedup_cache:int ->
+  ?pipeline:Wire.routcome Pipeline.Registry.t ->
   dispatch ->
   t
 (** Register the port group [gid] on this hub. [ordered] (default
@@ -65,7 +66,18 @@ val create :
     number of calls a supervisor can have in flight across a restart.
     Dedup hits are counted in {!Sim.Stats} as [target_dedup_replays]
     (outcome replayed from cache) and [target_dedup_joins] (duplicate
-    arrived while the first execution was still running). *)
+    arrived while the first execution was still running).
+
+    [pipeline] enables promise pipelining (docs/PIPELINE.md): every
+    [Call] outcome is recorded in the given registry keyed by the
+    sender's (stable stream id, stable call-id), and arguments
+    containing {!Xdr.Pref} references are resolved against it before
+    dispatch — parking the call until every referenced outcome has
+    landed, propagating the first abnormal producer outcome without
+    executing the handler. Pass the {e same} registry to every group of
+    one guardian so calls can reference results produced through other
+    groups on the same node. Events are counted in {!Sim.Stats} as
+    [parked_calls], [ref_substitutions] and [ref_failures]. *)
 
 val gid : t -> string
 

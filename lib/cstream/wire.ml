@@ -12,6 +12,20 @@ let pp_routcome ppf = function
   | W_unavailable reason -> Format.fprintf ppf "unavailable(%s)" reason
   | W_failure reason -> Format.fprintf ppf "failure(%s)" reason
 
+(* The incarnation-independent identity of a sending stream, as both
+   ends compute it: the reply-channel label minus its trailing
+   incarnation number, qualified by the sender's address. Promise
+   references ({!Xdr.Pref}) name producing calls by this string plus
+   the stable call-id, so a reference minted before a crash still
+   resolves after [restart_resubmit]. *)
+let stable_stream_id ~src ~reply_label =
+  let prefix =
+    match String.rindex_opt reply_label '/' with
+    | Some i -> String.sub reply_label 0 i
+    | None -> reply_label
+  in
+  Printf.sprintf "%d|%s" src prefix
+
 let kind_tag = function Call -> "c" | Send -> "s"
 
 let kind_of_tag = function

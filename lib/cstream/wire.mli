@@ -23,6 +23,14 @@ type routcome =
 
 val pp_routcome : Format.formatter -> routcome -> unit
 
+val stable_stream_id : src:Net.address -> reply_label:string -> string
+(** The incarnation-independent identity of a sending stream, derived
+    from the sender's address and the reply-channel label (with its
+    trailing incarnation number stripped). Computed identically by the
+    sender ({!Stream_end.stable_id}) and the receiver ({!Target}), it
+    keys the receiver's dedup cache and the promise-pipelining outcome
+    registry (docs/PIPELINE.md). *)
+
 (** {1 Call items} *)
 
 val call_item : seq:int -> cid:int -> port:string -> kind:kind -> args:Xdr.value -> Xdr.value

@@ -8,6 +8,10 @@ type t = {
   g_name : string;
   g_sched : S.t;
   groups : (string, group_state) Hashtbl.t;
+  g_pipeline : W.routcome Pipeline.Registry.t;
+      (* one outcome registry per guardian, shared by all its groups, so
+         a pipelined call can reference a result produced through any
+         port group of the same guardian (docs/PIPELINE.md) *)
   mutable destroyed : bool;
 }
 
@@ -86,6 +90,7 @@ let get_group t ~group ?reply_config ?ordered ?(dedup = false) ?dedup_cache () =
       let ports = Hashtbl.create 8 in
       let target =
         T.create t.g_hub ~gid:group ?reply_config ?ordered ~dedup ?dedup_cache
+          ~pipeline:t.g_pipeline
           (fun conn ~seq ~port ~kind ~args ~reply ->
             dispatch t ports ~dedup conn ~seq ~port ~kind ~args ~reply)
       in
@@ -100,12 +105,13 @@ let register t ~group hs impl =
   let state = get_group t ~group () in
   Hashtbl.replace state.ports hs.Core.Sigs.hname (Reg (hs, impl))
 
-let create hub ~name =
+let create ?(pipeline_cache = 1024) hub ~name =
   {
     g_hub = hub;
     g_name = name;
     g_sched = CH.hub_sched hub;
     groups = Hashtbl.create 8;
+    g_pipeline = Pipeline.Registry.create ~cap:pipeline_cache ();
     destroyed = false;
   }
 

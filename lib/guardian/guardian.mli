@@ -33,9 +33,17 @@ type ctx = {
   guardian : t;
 }
 
-val create : Cstream.Chanhub.hub -> name:string -> t
+val create : ?pipeline_cache:int -> Cstream.Chanhub.hub -> name:string -> t
 (** Create a guardian on the node owning [hub]. Several guardians can
-    share one node (and hub) as long as their group names differ. *)
+    share one node (and hub) as long as their group names differ.
+
+    Every guardian owns one promise-pipelining outcome registry
+    (docs/PIPELINE.md), shared by all its port groups: a pipelined call
+    arriving at any group can reference a result produced through any
+    other group of the {e same} guardian. [pipeline_cache] (default
+    1024) bounds the retained outcomes, evicted oldest-first — size it
+    above the maximum pipelining window (calls between a producer and
+    its last dependent). *)
 
 val name : t -> string
 

@@ -1,0 +1,127 @@
+let rec fold_refs acc v =
+  match v with
+  | Xdr.Unit | Xdr.Bool _ | Xdr.Int _ | Xdr.Real _ | Xdr.Str _ -> acc
+  | Xdr.Pref r -> if List.exists (fun r' -> r' = r) acc then acc else r :: acc
+  | Xdr.Pair (a, b) -> fold_refs (fold_refs acc a) b
+  | Xdr.List vs -> List.fold_left fold_refs acc vs
+  | Xdr.Record fields -> List.fold_left (fun acc (_, v) -> fold_refs acc v) acc fields
+  | Xdr.Tagged (_, v) -> fold_refs acc v
+
+let refs v = List.rev (fold_refs [] v)
+
+let rec has_refs = function
+  | Xdr.Unit | Xdr.Bool _ | Xdr.Int _ | Xdr.Real _ | Xdr.Str _ -> false
+  | Xdr.Pref _ -> true
+  | Xdr.Pair (a, b) -> has_refs a || has_refs b
+  | Xdr.List vs -> List.exists has_refs vs
+  | Xdr.Record fields -> List.exists (fun (_, v) -> has_refs v) fields
+  | Xdr.Tagged (_, v) -> has_refs v
+
+let project ~field v =
+  match field with
+  | None -> Ok v
+  | Some f -> (
+      match v with
+      | Xdr.Record fields -> (
+          match List.assoc_opt f fields with
+          | Some fv -> Ok fv
+          | None -> Error (Printf.sprintf "produced record has no field %S" f))
+      | other ->
+          Error
+            (Format.asprintf "field selector %S applied to non-record result %a" f Xdr.pp_value
+               other))
+
+let ( let* ) = Result.bind
+
+let rec substitute ~lookup v =
+  match v with
+  | Xdr.Unit | Xdr.Bool _ | Xdr.Int _ | Xdr.Real _ | Xdr.Str _ -> Ok v
+  | Xdr.Pref r -> lookup r
+  | Xdr.Pair (a, b) ->
+      let* a = substitute ~lookup a in
+      let* b = substitute ~lookup b in
+      Ok (Xdr.Pair (a, b))
+  | Xdr.List vs ->
+      let* vs = subst_list ~lookup vs in
+      Ok (Xdr.List vs)
+  | Xdr.Record fields ->
+      let rec go acc = function
+        | [] -> Ok (Xdr.Record (List.rev acc))
+        | (name, fv) :: rest ->
+            let* fv = substitute ~lookup fv in
+            go ((name, fv) :: acc) rest
+      in
+      go [] fields
+  | Xdr.Tagged (tag, tv) ->
+      let* tv = substitute ~lookup tv in
+      Ok (Xdr.Tagged (tag, tv))
+
+and subst_list ~lookup = function
+  | [] -> Ok []
+  | v :: rest ->
+      let* v = substitute ~lookup v in
+      let* rest = subst_list ~lookup rest in
+      Ok (v :: rest)
+
+module Registry = struct
+  type 'o t = {
+    cap : int;
+    max_waiters : int;
+    done_ : (string * int, 'o) Hashtbl.t;
+    done_order : (string * int) Queue.t;
+    mutable done_count : int;
+    waiters : (string * int, ('o -> unit) list) Hashtbl.t;
+    mutable waiter_count : int;
+  }
+
+  let create ?(cap = 1024) ?(max_waiters = 4096) () =
+    {
+      cap;
+      max_waiters;
+      done_ = Hashtbl.create 64;
+      done_order = Queue.create ();
+      done_count = 0;
+      waiters = Hashtbl.create 16;
+      waiter_count = 0;
+    }
+
+  let known t = t.done_count
+
+  let waiting t = t.waiter_count
+
+  let find t ~stream ~call = Hashtbl.find_opt t.done_ (stream, call)
+
+  let record t ~stream ~call outcome =
+    let key = (stream, call) in
+    if not (Hashtbl.mem t.done_ key) then begin
+      Hashtbl.replace t.done_ key outcome;
+      Queue.push key t.done_order;
+      t.done_count <- t.done_count + 1;
+      while t.done_count > t.cap do
+        let victim = Queue.pop t.done_order in
+        Hashtbl.remove t.done_ victim;
+        t.done_count <- t.done_count - 1
+      done
+    end;
+    match Hashtbl.find_opt t.waiters key with
+    | None -> ()
+    | Some ks ->
+        Hashtbl.remove t.waiters key;
+        t.waiter_count <- t.waiter_count - List.length ks;
+        List.iter (fun k -> k outcome) (List.rev ks)
+
+  let await t ~stream ~call k =
+    let key = (stream, call) in
+    match Hashtbl.find_opt t.done_ key with
+    | Some o ->
+        k o;
+        true
+    | None ->
+        if t.waiter_count >= t.max_waiters then false
+        else begin
+          let existing = Option.value ~default:[] (Hashtbl.find_opt t.waiters key) in
+          Hashtbl.replace t.waiters key (k :: existing);
+          t.waiter_count <- t.waiter_count + 1;
+          true
+        end
+end

@@ -1,0 +1,73 @@
+(** Promise pipelining: the value-plumbing half of [docs/PIPELINE.md].
+
+    A pipelined call carries {!Xdr.Pref} placeholders among its
+    arguments — references to results of earlier calls that may not
+    have completed yet. This module provides the receiver-side
+    machinery that is independent of the stream layer:
+
+    - {!refs}/{!has_refs} scan an argument tree for unresolved
+      references;
+    - {!substitute} replaces every reference with its produced value
+      (projecting a named [Record] field when the reference asks for
+      one);
+    - {!Registry} is the bounded outcome store, keyed by (stable
+      stream id, stable call-id), that produced outcomes land in and
+      that parked dependent calls wait on.
+
+    The registry is polymorphic in the outcome type so this library
+    sits below the stream layer: [Cstream.Target] instantiates it at
+    [Wire.routcome]. *)
+
+val refs : Xdr.value -> Xdr.promise_ref list
+(** All promise references in the tree, first-occurrence order,
+    duplicates removed. [[]] for ordinary argument values. *)
+
+val has_refs : Xdr.value -> bool
+
+val project : field:string option -> Xdr.value -> (Xdr.value, string) result
+(** Apply a reference's field selector to a produced value: [None]
+    returns the value itself; [Some f] requires a [Record] with a
+    field [f] and returns that field's value. *)
+
+val substitute :
+  lookup:(Xdr.promise_ref -> (Xdr.value, string) result) ->
+  Xdr.value ->
+  (Xdr.value, string) result
+(** Replace every {!Xdr.Pref} leaf using [lookup] (which receives the
+    reference {e including} its field selector and must perform the
+    projection, typically via {!project}). The first lookup error
+    aborts the substitution. *)
+
+(** Bounded outcome registry with parked waiters.
+
+    [record] is called for every completed call; [await] is how a
+    dependent call parks until the outcome it references lands. Both
+    sides are bounded: completed outcomes are evicted FIFO beyond
+    [cap], and at most [max_waiters] callbacks may be parked at once
+    (beyond that {!await} refuses, and the caller fails the dependent
+    call instead of queueing without limit). *)
+module Registry : sig
+  type 'o t
+
+  val create : ?cap:int -> ?max_waiters:int -> unit -> 'o t
+  (** [cap] (default 1024) bounds remembered outcomes; [max_waiters]
+      (default 4096) bounds parked callbacks. *)
+
+  val record : 'o t -> stream:string -> call:int -> 'o -> unit
+  (** Store the outcome of (stream, call) and fire any waiters parked
+      on it. A second record for the same key is ignored — an outcome
+      never changes (dedup replays re-record the same value). *)
+
+  val find : 'o t -> stream:string -> call:int -> 'o option
+
+  val await : 'o t -> stream:string -> call:int -> ('o -> unit) -> bool
+  (** Park [k] until (stream, call) has an outcome; fires immediately
+      when it already does. Returns [false] (and parks nothing) when
+      the waiter table is full. *)
+
+  val known : 'o t -> int
+  (** Outcomes currently remembered. *)
+
+  val waiting : 'o t -> int
+  (** Callbacks currently parked. *)
+end

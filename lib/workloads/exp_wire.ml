@@ -34,6 +34,7 @@ type row = {
   r_ack_pkts : int;  (** standalone Ack packets *)
   r_piggybacked : int;  (** acks that rode on reverse-direction Data *)
   r_standalone : int;  (** acks that needed their own packet *)
+  r_decode_errors : int;  (** frames that failed to decode at a receiver *)
 }
 
 let calls_per_data_pkt r =
@@ -85,6 +86,7 @@ let run_mode ?(n = 400) ~mode ~piggyback () =
     r_ack_pkts = Sim.Stats.peek chan_stats "chan_ack_packets";
     r_piggybacked = Sim.Stats.peek chan_stats "chan_piggybacked_acks";
     r_standalone = Sim.Stats.peek chan_stats "chan_standalone_acks";
+    r_decode_errors = Sim.Stats.peek chan_stats "chan_decode_errors";
   }
 
 let e12_rows ?(n = 400) () =
@@ -110,7 +112,10 @@ let e12 ?(n = 400) () =
       Table.cell_f (float_of_int r.r_bytes /. float_of_int r.r_calls);
       Table.cell_f (calls_per_data_pkt r);
       Table.cell_i r.r_ack_pkts;
+      Table.cell_i r.r_piggybacked;
+      Table.cell_i r.r_standalone;
       ratio;
+      Table.cell_i r.r_decode_errors;
       Table.cell_ms r.r_time;
     ]
   in
@@ -119,7 +124,7 @@ let e12 ?(n = 400) () =
     ~header:
       [
         "mode"; "piggyback"; "msgs"; "bytes"; "msgs/call"; "bytes/call"; "items/data pkt";
-        "ack pkts"; "acks ridden"; "completion";
+        "ack pkts"; "piggy acks"; "solo acks"; "acks ridden"; "decode errs"; "completion";
       ]
     ~notes:
       [
@@ -127,7 +132,9 @@ let e12 ?(n = 400) () =
          protocol traffic (acks) piggybacks on traffic flowing the other way";
         "bytes are actual encoded sizes (Xdr.Bin, docs/WIRE.md), not the wire_size estimate; \
          'acks ridden' is the share of acks that travelled inside reverse-direction Data \
-         packets instead of standalone Ack packets";
+         packets ('piggy acks') instead of standalone Ack packets ('solo acks'); 'decode \
+         errs' counts frames a receiver could not decode (0 on a clean run — the \
+         total-decoder gate)";
         "'stream adaptive' uses Nagle-style flushing (immediate when idle, coalesce while \
          data is in flight) with a 1 KiB batch budget and an 8 KiB in-flight window";
       ]

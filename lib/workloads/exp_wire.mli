@@ -13,6 +13,7 @@ type row = {
   r_ack_pkts : int;  (** standalone Ack packets *)
   r_piggybacked : int;  (** acks that rode on reverse-direction Data *)
   r_standalone : int;  (** acks that needed their own packet *)
+  r_decode_errors : int;  (** frames that failed to decode at a receiver *)
 }
 
 val calls_per_data_pkt : row -> float

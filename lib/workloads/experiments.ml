@@ -10,6 +10,7 @@ let registry : (string * (unit -> Table.t)) list =
     ("E8", fun () -> Exp_sendrecv.e8 ());
     ("E9", fun () -> Exp_streams.e9 ());
     ("E12", fun () -> Exp_wire.e12 ());
+    ("E13", fun () -> Exp_pipeline.e13 ());
     ("A1", fun () -> Exp_ablation.a1 ());
     ("A2", fun () -> Exp_ablation.a2 ());
   ]

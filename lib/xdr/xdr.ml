@@ -1,3 +1,5 @@
+type promise_ref = { ps_stream : string; ps_call : int; ps_field : string option }
+
 type value =
   | Unit
   | Bool of bool
@@ -8,6 +10,7 @@ type value =
   | List of value list
   | Record of (string * value) list
   | Tagged of string * value
+  | Pref of promise_ref
 
 let rec wire_size = function
   | Unit -> 1
@@ -20,6 +23,9 @@ let rec wire_size = function
   | Record fields ->
       4 + List.fold_left (fun acc (name, v) -> acc + String.length name + 1 + wire_size v) 0 fields
   | Tagged (tag, v) -> 1 + String.length tag + wire_size v
+  | Pref r ->
+      1 + String.length r.ps_stream + 8
+      + (match r.ps_field with Some f -> 1 + String.length f | None -> 1)
 
 let rec pp_value ppf = function
   | Unit -> Format.pp_print_string ppf "()"
@@ -38,6 +44,9 @@ let rec pp_value ppf = function
         (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_field)
         fields
   | Tagged (tag, v) -> Format.fprintf ppf "%s(%a)" tag pp_value v
+  | Pref { ps_stream; ps_call; ps_field } ->
+      Format.fprintf ppf "pref(%s#%d%s)" ps_stream ps_call
+        (match ps_field with Some f -> "." ^ f | None -> "")
 
 (* Structural equality with explicit float handling: polymorphic [=]
    follows IEEE semantics where [nan <> nan], so a [Real nan] payload
@@ -58,7 +67,11 @@ let rec equal_value (a : value) (b : value) =
         (fun (nx, vx) (ny, vy) -> String.equal nx ny && equal_value vx vy)
         xs ys
   | Tagged (tx, vx), Tagged (ty, vy) -> String.equal tx ty && equal_value vx vy
-  | (Unit | Bool _ | Int _ | Real _ | Str _ | Pair _ | List _ | Record _ | Tagged _), _ ->
+  | Pref x, Pref y ->
+      String.equal x.ps_stream y.ps_stream && x.ps_call = y.ps_call
+      && Option.equal String.equal x.ps_field y.ps_field
+  | (Unit | Bool _ | Int _ | Real _ | Str _ | Pair _ | List _ | Record _ | Tagged _ | Pref _), _
+    ->
       false
 
 type 'a codec = {
@@ -337,6 +350,7 @@ module Bin = struct
   and t_list = 0x08
   and t_record = 0x09
   and t_tagged = 0x0A
+  and t_pref = 0x0B
 
   (* Decode refuses nesting deeper than this rather than risking a
      stack overflow on adversarial input. *)
@@ -435,6 +449,15 @@ module Bin = struct
         add_byte e t_tagged;
         add_string e tag;
         add_value e v
+    | Pref { ps_stream; ps_call; ps_field } ->
+        add_byte e t_pref;
+        add_string e ps_stream;
+        add_varint e ps_call;
+        (match ps_field with
+        | None -> add_byte e 0
+        | Some f ->
+            add_byte e 1;
+            add_string e f)
 
   (* Encoder pool: hot paths (one encode per packet) reuse buffers and
      intern tables instead of reallocating. *)
@@ -575,6 +598,17 @@ module Bin = struct
       let tag_name = string_exn d in
       let v = value_exn d (depth + 1) in
       Tagged (tag_name, v)
+    end
+    else if tag = t_pref then begin
+      let ps_stream = string_exn d in
+      let ps_call = unzigzag (uvarint_exn d) in
+      let ps_field =
+        match u8 d with
+        | 0 -> None
+        | 1 -> Some (string_exn d)
+        | b -> bad "bad promise-ref field marker 0x%02x at byte %d" b (d.d_pos - 1)
+      in
+      Pref { ps_stream; ps_call; ps_field }
     end
     else bad "unknown value tag 0x%02x at byte %d" tag (d.d_pos - 1)
 

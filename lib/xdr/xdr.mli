@@ -15,6 +15,14 @@
     precisely the paper's split between the language-independent
     call-stream layer and the strongly typed language veneer. *)
 
+(** A promise reference: a transmissible placeholder for the result of
+    an earlier call that may not have completed yet (promise
+    pipelining, see docs/PIPELINE.md). [ps_stream] is the producing
+    stream's incarnation-independent identity, [ps_call] its stable
+    call-id on that stream, and [ps_field] optionally selects one named
+    field of a [Record] result instead of the whole value. *)
+type promise_ref = { ps_stream : string; ps_call : int; ps_field : string option }
+
 (** The external representation of transmissible values. *)
 type value =
   | Unit
@@ -26,6 +34,9 @@ type value =
   | List of value list
   | Record of (string * value) list
   | Tagged of string * value  (** variant constructor with payload *)
+  | Pref of promise_ref
+      (** reference to a not-yet-claimed result of an earlier call; the
+          receiver substitutes the produced value before executing *)
 
 val wire_size : value -> int
 (** Deterministic size in bytes of the encoded form. Ints and reals

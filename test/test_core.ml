@@ -129,6 +129,64 @@ let test_promise_claim_timeout () =
          | _ -> Alcotest.fail "ready promise must return its outcome"));
   run_ok sched
 
+let test_promise_claim_timeout_racing_claimants () =
+  (* Several fibers claim the same promise with staggered timeouts
+     while the resolve lands in the middle of the stagger: claimants
+     whose deadline passed first degrade to Unavailable, everyone still
+     waiting at resolve time gets the real value at that instant, and a
+     timed-out claimant's re-claim sees the real value too. First-wake-
+     wins must hold per claimant — no outcome is delivered twice and
+     the losing timer is a no-op. *)
+  let sched = S.create () in
+  let p : (int, Core.Sigs.nothing) P.t = P.create sched in
+  let outcomes : (float * float * (int, Core.Sigs.nothing) P.outcome) list ref = ref [] in
+  let claimant timeout =
+    ignore
+      (S.spawn sched (fun () ->
+           let o = P.claim_timeout p ~timeout in
+           outcomes := (timeout, S.now sched, o) :: !outcomes))
+  in
+  List.iter claimant [ 1.0; 2.0; 4.0; 6.0; 9.0 ];
+  let reclaim = ref None in
+  ignore
+    (S.spawn sched (fun () ->
+         (* The same fiber that timed out comes back for the value. *)
+         (match P.claim_timeout p ~timeout:2.0 with
+         | P.Unavailable _ -> ()
+         | _ -> Alcotest.fail "short claim should have timed out");
+         (* Bind before reading the clock: the claim suspends first. *)
+         let o = P.claim_timeout p ~timeout:60.0 in
+         reclaim := Some (o, S.now sched)));
+  ignore
+    (S.spawn sched (fun () ->
+         S.sleep sched 5.0;
+         P.resolve p (P.Normal 42)));
+  run_ok sched;
+  List.iter
+    (fun (timeout, at, o) ->
+      if timeout < 5.0 then begin
+        check (Alcotest.float 1e-9) (Printf.sprintf "timeout %.0f fired on time" timeout)
+          timeout at;
+        match o with
+        | P.Unavailable _ -> ()
+        | _ -> Alcotest.failf "timeout %.0f should degrade to Unavailable" timeout
+      end
+      else begin
+        check (Alcotest.float 1e-9)
+          (Printf.sprintf "timeout %.0f woken by the resolve" timeout)
+          5.0 at;
+        check Alcotest.bool
+          (Printf.sprintf "timeout %.0f sees the value" timeout)
+          true
+          (o = P.Normal 42)
+      end)
+    !outcomes;
+  check Alcotest.int "every claimant completed exactly once" 5 (List.length !outcomes);
+  (match !reclaim with
+  | Some (P.Normal 42, at) -> check (Alcotest.float 1e-9) "re-claim woken by resolve" 5.0 at
+  | _ -> Alcotest.fail "timed-out claimant's re-claim must get the real value");
+  check Alcotest.bool "promise ready exactly once" true (P.peek p = Some (P.Normal 42))
+
 let test_promise_claim_deadline_expired () =
   let sched = S.create () in
   let p : (int, Core.Sigs.nothing) P.t = P.create sched in
@@ -550,6 +608,8 @@ let suite =
         Alcotest.test_case "claim_normal dispatch" `Quick test_promise_claim_normal_dispatch;
         Alcotest.test_case "claim_timeout degrades to Unavailable" `Quick
           test_promise_claim_timeout;
+        Alcotest.test_case "claim_timeout racing claimants vs late resolve" `Quick
+          test_promise_claim_timeout_racing_claimants;
         Alcotest.test_case "claim_deadline in the past" `Quick
           test_promise_claim_deadline_expired;
         Alcotest.test_case "map/all/both" `Quick test_promise_map_all_both;

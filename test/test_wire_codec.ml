@@ -38,6 +38,13 @@ let gen_value : Xdr.value QCheck.Gen.t =
       ]
   in
   sized @@ fix (fun self n ->
+      let gen_pref =
+        map3
+          (fun stream call field -> Xdr.Pref { Xdr.ps_stream = stream; ps_call = call; ps_field = field })
+          gen_string
+          (oneof [ small_nat; oneofl [ 0; 1; max_int ] ])
+          (oneof [ return None; map Option.some gen_string ])
+      in
       let leaf =
         oneof
           [
@@ -46,6 +53,7 @@ let gen_value : Xdr.value QCheck.Gen.t =
             map (fun i -> Xdr.Int i) gen_int;
             map (fun r -> Xdr.Real r) gen_real;
             map (fun s -> Xdr.Str s) gen_string;
+            gen_pref;
           ]
       in
       if n <= 0 then leaf
@@ -102,7 +110,27 @@ let test_edge_values () =
   assert_roundtrips "repeated fields"
     (Xdr.List
        (List.init 20 (fun i ->
-            Xdr.Record [ ("q", Xdr.Int i); ("a", Xdr.Str "portname") ])))
+            Xdr.Record [ ("q", Xdr.Int i); ("a", Xdr.Str "portname") ])));
+  assert_roundtrips "promise ref"
+    (Xdr.Pref { Xdr.ps_stream = "3|~r/a/main/1"; ps_call = 42; ps_field = None });
+  assert_roundtrips "promise ref with field"
+    (Xdr.Pref { Xdr.ps_stream = "3|~r/a/main/1"; ps_call = 0; ps_field = Some "hi" });
+  assert_roundtrips "promise ref edge strings"
+    (Xdr.Pref { Xdr.ps_stream = ""; ps_call = max_int; ps_field = Some "" });
+  (* The stream id is repeated across a pipelined batch: it must go
+     through the string-interning path like any other string. *)
+  assert_roundtrips "interned stream ids"
+    (Xdr.List
+       (List.init 8 (fun i ->
+            Xdr.Pref { Xdr.ps_stream = "7|~r/agent/group/9"; ps_call = i; ps_field = None })))
+
+let test_pref_bad_field_marker_rejected () =
+  (* Tag 0x0B (Pref), interned empty stream id (fresh entry, length 0),
+     call 0, then a field marker that is neither 0 nor 1: the total
+     decoder must reject, not crash. *)
+  match B.of_string "\x0b\x00\x00\x00\x02" with
+  | Ok v -> Alcotest.failf "bad field marker decoded as %a" Xdr.pp_value v
+  | Error _ -> ()
 
 let test_deep_nesting_roundtrips () =
   let rec deep n acc = if n = 0 then acc else deep (n - 1) (Xdr.Pair (Xdr.Int n, acc)) in
@@ -503,6 +531,8 @@ let () =
           Alcotest.test_case "edge values" `Quick test_edge_values;
           Alcotest.test_case "deep nesting roundtrips" `Quick test_deep_nesting_roundtrips;
           Alcotest.test_case "excessive nesting rejected" `Quick test_excessive_nesting_rejected;
+          Alcotest.test_case "promise-ref bad field marker rejected" `Quick
+            test_pref_bad_field_marker_rejected;
           Alcotest.test_case "string interning compresses" `Quick test_string_interning_compresses;
         ] );
       ( "total decoding",
