@@ -311,7 +311,9 @@ let bench_registry_await_cycle () =
       (* The parked path: await before the outcome lands, then record
          fires the callback. *)
       incr next;
-      ignore (Pipeline.Registry.await reg ~stream:"bench" ~call:!next (fun v -> got := v) : bool);
+      ignore
+        (Pipeline.Registry.await reg ~stream:"bench" ~call:!next (fun v -> got := v)
+          : [ `Fired | `Parked of Pipeline.Registry.waiter | `Refused ]);
       Pipeline.Registry.record reg ~stream:"bench" ~call:!next !next;
       !got)
 

@@ -117,6 +117,11 @@ let stream_call_p h a =
          abnormally right here, transmitting nothing. *)
       Promise.resolved h.h_sched (decode_outcome h.h_sig w)
   | Arg_ref { ar_origin; ar_field } ->
+      (* The sender can only validate the node: which guardian a group
+         belongs to is receiver-local knowledge. A same-node reference
+         that crosses guardians (disjoint registries) is rejected by
+         the receiver's scope check with the same "claim it instead"
+         failure, instead of parking forever. *)
       if ar_origin.Promise.og_dst <> SE.dst h.h_stream then
         raise
           (Promise.Failure_exn

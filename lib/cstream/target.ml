@@ -154,10 +154,26 @@ let resolve_refs c ~cid ~args ~reply k =
     | None -> fail "promise pipelining is not enabled at this port group"
     | Some reg ->
         let refs = Pipeline.refs args in
-        (* A reference to a call on this same stream at our cid or
-           later can never resolve (calls execute in stream order), so
-           parking would deadlock the stream on itself. *)
+        (* Outcomes are only observable within one guardian's registry.
+           A reference to a stream that feeds a different guardian on
+           this node (its group is outside our registry's scope) could
+           park forever — the producing call's outcome lands in a
+           disjoint table. The producing group is embedded in the
+           stable stream id; reject anything out of scope. *)
         if
+          List.exists
+            (fun (r : Xdr.promise_ref) ->
+              match Wire.stream_id_group r.Xdr.ps_stream with
+              | Some g -> not (Pipeline.Registry.in_scope reg g)
+              | None -> true)
+            refs
+        then
+          fail
+            "pipelined reference to a call through a different guardian; claim it instead"
+        else if
+          (* A reference to a call on this same stream at our cid or
+             later can never resolve (calls execute in stream order), so
+             parking would deadlock the stream on itself. *)
           List.exists
             (fun r -> String.equal r.Xdr.ps_stream c.c_stable && r.Xdr.ps_call >= cid)
             refs
@@ -199,28 +215,61 @@ let resolve_refs c ~cid ~args ~reply k =
                 Pipeline.Registry.find reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call = None)
               refs
           in
-          if missing = [] then proceed ()
+          if
+            (* A missing outcome at or below its stream's eviction mark
+               was already produced and forgotten: it will never be
+               re-recorded (only a dedup replay of the producer could,
+               and that replays the cache, not the registry's past),
+               so parking would hang the dependent call forever. *)
+            List.exists
+              (fun (r : Xdr.promise_ref) ->
+                Pipeline.Registry.evicted reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call)
+              missing
+          then
+            fail
+              "referenced outcome already evicted from the pipeline registry; claim it instead"
+          else if missing = [] then proceed ()
           else begin
-            Sim.Stats.incr (counter t "parked_calls");
             let remaining = ref (List.length missing) in
             let aborted = ref false in
-            List.iter
-              (fun (r : Xdr.promise_ref) ->
-                let registered =
-                  Pipeline.Registry.await reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call
-                    (fun _o ->
-                      (* Fires when the producer's outcome lands; the
-                         conn may have died while we were parked. *)
-                      if not (!aborted || c.c_broken) then begin
-                        decr remaining;
-                        if !remaining = 0 then proceed ()
-                      end)
-                in
-                if (not registered) && not !aborted then begin
-                  aborted := true;
-                  fail "pipeline dependency table full"
-                end)
-              missing
+            let deliver _o =
+              (* Fires when a producer's outcome lands. The conn may
+                 have died while we were parked: with dedup on, the
+                 call still runs to completion — mirroring the orphan
+                 rule for executing handlers — so its outcome lands in
+                 the cross-incarnation cache, where the In_progress
+                 entry inserted before parking is resolved and a
+                 resubmitted duplicate finds the reply it joined for.
+                 Without dedup the parked call dies with its conn (its
+                 waiters are cancelled on close, below). *)
+              if (not !aborted) && (t.t_dedup || not c.c_broken) then begin
+                decr remaining;
+                if !remaining = 0 then proceed ()
+              end
+            in
+            let rec register acc = function
+              | [] -> Ok acc
+              | (r : Xdr.promise_ref) :: rest -> (
+                  match
+                    Pipeline.Registry.await reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call
+                      deliver
+                  with
+                  | `Fired -> register acc rest
+                  | `Parked w -> register (w :: acc) rest
+                  | `Refused -> Error acc)
+            in
+            match register [] missing with
+            | Error registered ->
+                (* Nothing parked after all: release the waiter slots
+                   already taken, and don't count an aborted park. *)
+                aborted := true;
+                List.iter (Pipeline.Registry.cancel reg) registered;
+                fail "pipeline dependency table full"
+            | Ok registered ->
+                Sim.Stats.incr (counter t "parked_calls");
+                if not t.t_dedup then
+                  on_conn_close c (fun () ->
+                      List.iter (Pipeline.Registry.cancel reg) registered)
           end
         end
   end

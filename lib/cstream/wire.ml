@@ -26,6 +26,19 @@ let stable_stream_id ~src ~reply_label =
   in
   Printf.sprintf "%d|%s" src prefix
 
+(* A stable stream id embeds the reply label "~r/<agent>/<gid>/<dst>"
+   (incarnation already stripped), so the port group the stream sends
+   to can be recovered: second-to-last '/'-segment, counted from the
+   end so an agent name containing '/' cannot shift it. *)
+let stream_id_group id =
+  match String.index_opt id '|' with
+  | None -> None
+  | Some i -> (
+      let label = String.sub id (i + 1) (String.length id - i - 1) in
+      match String.split_on_char '/' label with
+      | "~r" :: rest when List.length rest >= 3 -> Some (List.nth rest (List.length rest - 2))
+      | _ -> None)
+
 let kind_tag = function Call -> "c" | Send -> "s"
 
 let kind_of_tag = function

@@ -31,6 +31,13 @@ val stable_stream_id : src:Net.address -> reply_label:string -> string
     keys the receiver's dedup cache and the promise-pipelining outcome
     registry (docs/PIPELINE.md). *)
 
+val stream_id_group : string -> string option
+(** The port-group name embedded in a stable stream id — the group the
+    identified stream sends its calls to. [None] if the id does not
+    have the generated shape. The receiver uses this to reject a
+    promise reference naming a stream that feeds a different guardian
+    (whose registry is disjoint; docs/PIPELINE.md). *)
+
 (** {1 Call items} *)
 
 val call_item : seq:int -> cid:int -> port:string -> kind:kind -> args:Xdr.value -> Xdr.value

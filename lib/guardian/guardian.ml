@@ -29,6 +29,8 @@ let sched t = t.g_sched
 
 let hub t = t.g_hub
 
+let pipeline_registry t = t.g_pipeline
+
 let group_names t = Hashtbl.fold (fun g _ acc -> g :: acc) t.groups [] |> List.sort compare
 
 let port_ref t ~group ~port =
@@ -88,6 +90,10 @@ let get_group t ~group ?reply_config ?ordered ?(dedup = false) ?dedup_cache () =
   | Some state -> state
   | None ->
       let ports = Hashtbl.create 8 in
+      (* Scope the shared registry to this guardian's groups: the
+         receiver uses it to fail (not park) references to streams that
+         feed another guardian's disjoint registry. *)
+      Pipeline.Registry.add_scope t.g_pipeline group;
       let target =
         T.create t.g_hub ~gid:group ?reply_config ?ordered ~dedup ?dedup_cache
           ~pipeline:t.g_pipeline

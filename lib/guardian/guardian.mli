@@ -53,6 +53,10 @@ val sched : t -> Sched.Scheduler.t
 
 val hub : t -> Cstream.Chanhub.hub
 
+val pipeline_registry : t -> Cstream.Wire.routcome Pipeline.Registry.t
+(** The guardian's promise-pipelining outcome registry (observability:
+    {!Pipeline.Registry.known}/{!Pipeline.Registry.waiting}). *)
+
 val register :
   t ->
   group:string ->

@@ -64,14 +64,22 @@ and subst_list ~lookup = function
       Ok (v :: rest)
 
 module Registry = struct
+  type waiter = { w_key : string * int; w_id : int }
+
   type 'o t = {
     cap : int;
     max_waiters : int;
     done_ : (string * int, 'o) Hashtbl.t;
     done_order : (string * int) Queue.t;
     mutable done_count : int;
-    waiters : (string * int, ('o -> unit) list) Hashtbl.t;
+    waiters : (string * int, (int * ('o -> unit)) list) Hashtbl.t;
     mutable waiter_count : int;
+    mutable next_waiter : int;
+    (* highest call id evicted from [done_], per stream: a missing key
+       at or below this mark was (plausibly) completed and forgotten,
+       so parking on it would never return. *)
+    evicted_hwm : (string, int) Hashtbl.t;
+    scopes : (string, unit) Hashtbl.t;
   }
 
   let create ?(cap = 1024) ?(max_waiters = 4096) () =
@@ -83,6 +91,9 @@ module Registry = struct
       done_count = 0;
       waiters = Hashtbl.create 16;
       waiter_count = 0;
+      next_waiter = 0;
+      evicted_hwm = Hashtbl.create 8;
+      scopes = Hashtbl.create 8;
     }
 
   let known t = t.done_count
@@ -91,6 +102,17 @@ module Registry = struct
 
   let find t ~stream ~call = Hashtbl.find_opt t.done_ (stream, call)
 
+  let add_scope t name = Hashtbl.replace t.scopes name ()
+
+  let in_scope t name = Hashtbl.mem t.scopes name
+
+  let evicted t ~stream ~call =
+    (not (Hashtbl.mem t.done_ (stream, call)))
+    &&
+    match Hashtbl.find_opt t.evicted_hwm stream with
+    | Some hwm -> call <= hwm
+    | None -> false
+
   let record t ~stream ~call outcome =
     let key = (stream, call) in
     if not (Hashtbl.mem t.done_ key) then begin
@@ -98,8 +120,11 @@ module Registry = struct
       Queue.push key t.done_order;
       t.done_count <- t.done_count + 1;
       while t.done_count > t.cap do
-        let victim = Queue.pop t.done_order in
+        let (vstream, vcall) as victim = Queue.pop t.done_order in
         Hashtbl.remove t.done_ victim;
+        (match Hashtbl.find_opt t.evicted_hwm vstream with
+        | Some hwm when hwm >= vcall -> ()
+        | Some _ | None -> Hashtbl.replace t.evicted_hwm vstream vcall);
         t.done_count <- t.done_count - 1
       done
     end;
@@ -108,20 +133,33 @@ module Registry = struct
     | Some ks ->
         Hashtbl.remove t.waiters key;
         t.waiter_count <- t.waiter_count - List.length ks;
-        List.iter (fun k -> k outcome) (List.rev ks)
+        List.iter (fun (_, k) -> k outcome) (List.rev ks)
 
   let await t ~stream ~call k =
     let key = (stream, call) in
     match Hashtbl.find_opt t.done_ key with
     | Some o ->
         k o;
-        true
+        `Fired
     | None ->
-        if t.waiter_count >= t.max_waiters then false
+        if t.waiter_count >= t.max_waiters then `Refused
         else begin
+          let id = t.next_waiter in
+          t.next_waiter <- id + 1;
           let existing = Option.value ~default:[] (Hashtbl.find_opt t.waiters key) in
-          Hashtbl.replace t.waiters key (k :: existing);
+          Hashtbl.replace t.waiters key ((id, k) :: existing);
           t.waiter_count <- t.waiter_count + 1;
-          true
+          `Parked { w_key = key; w_id = id }
+        end
+
+  let cancel t w =
+    match Hashtbl.find_opt t.waiters w.w_key with
+    | None -> ()
+    | Some ks ->
+        let ks' = List.filter (fun (id, _) -> id <> w.w_id) ks in
+        if List.length ks' < List.length ks then begin
+          t.waiter_count <- t.waiter_count - 1;
+          if ks' = [] then Hashtbl.remove t.waiters w.w_key
+          else Hashtbl.replace t.waiters w.w_key ks'
         end
 end

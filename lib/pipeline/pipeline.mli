@@ -45,9 +45,16 @@ val substitute :
     sides are bounded: completed outcomes are evicted FIFO beyond
     [cap], and at most [max_waiters] callbacks may be parked at once
     (beyond that {!await} refuses, and the caller fails the dependent
-    call instead of queueing without limit). *)
+    call instead of queueing without limit). A parked waiter holds its
+    slot until it fires or is {!cancel}led — callers that abandon a
+    parked call (a dead connection, a partially registered dependency
+    set) must cancel, or abandoned entries leak slots until the table
+    refuses all comers. *)
 module Registry : sig
   type 'o t
+
+  type waiter
+  (** Handle on one parked callback, for {!cancel}. *)
 
   val create : ?cap:int -> ?max_waiters:int -> unit -> 'o t
   (** [cap] (default 1024) bounds remembered outcomes; [max_waiters]
@@ -60,10 +67,36 @@ module Registry : sig
 
   val find : 'o t -> stream:string -> call:int -> 'o option
 
-  val await : 'o t -> stream:string -> call:int -> ('o -> unit) -> bool
-  (** Park [k] until (stream, call) has an outcome; fires immediately
-      when it already does. Returns [false] (and parks nothing) when
-      the waiter table is full. *)
+  val await :
+    'o t -> stream:string -> call:int -> ('o -> unit) -> [ `Fired | `Parked of waiter | `Refused ]
+  (** Park [k] until (stream, call) has an outcome. [`Fired]: the
+      outcome was already present and [k] ran synchronously.
+      [`Parked w]: [k] will run when the outcome lands, unless
+      [cancel w] first. [`Refused]: the waiter table is full; nothing
+      was parked. *)
+
+  val cancel : 'o t -> waiter -> unit
+  (** Release a parked waiter's slot without firing it. A no-op if the
+      waiter already fired (or was cancelled before). *)
+
+  val evicted : 'o t -> stream:string -> call:int -> bool
+  (** Whether (stream, call) is absent {e and} at or below the highest
+      call id evicted from this stream's remembered outcomes — i.e. its
+      outcome was plausibly recorded once and has been forgotten, so an
+      [await] would never fire. Callers should fail such references
+      instead of parking. (With out-of-order recording a still-running
+      call below the eviction mark is indistinguishable from an evicted
+      one; the conservative answer is still to fail.) *)
+
+  val add_scope : 'o t -> string -> unit
+  (** Declare a producer namespace (for the stream layer: a port-group
+      name of the owning guardian) whose outcomes land in this
+      registry. *)
+
+  val in_scope : 'o t -> string -> bool
+  (** Whether a namespace was declared via {!add_scope}. References to
+      producers outside every declared scope can never resolve here and
+      should be failed rather than parked. *)
 
   val known : 'o t -> int
   (** Outcomes currently remembered. *)

@@ -37,6 +37,7 @@ let contains ~affix s =
 type world = {
   sched : S.t;
   net : CH.frame Net.t;
+  client_node : Net.node;
   server_node : Net.node;
   client_hub : CH.hub;
   server : G.t;
@@ -45,15 +46,15 @@ type world = {
 (* Batching stream config, so back-to-back pipelined calls coalesce. *)
 let batch_cfg = { CH.default_config with CH.max_batch = 16; flush_interval = 1e-3 }
 
-let make_world ?(cfg = Net.default_config) () =
+let make_world ?(cfg = Net.default_config) ?pipeline_cache () =
   let sched = S.create () in
   let net = Net.create sched cfg in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
   let client_hub = CH.create_hub net client_node in
   let server_hub = CH.create_hub net server_node in
-  let server = G.create server_hub ~name:"server" in
-  { sched; net; server_node; client_hub; server }
+  let server = G.create ?pipeline_cache server_hub ~name:"server" in
+  { sched; net; client_node; server_node; client_hub; server }
 
 let handle w ?(config = batch_cfg) ~agent ~gid hs =
   let ag = Core.Agent.create w.client_hub ~name:agent ~config () in
@@ -353,6 +354,224 @@ let test_resubmit_dependent_exactly_once () =
   check Alcotest.int "no other argument values were executed" 3 (Hashtbl.length executions)
 
 (* ------------------------------------------------------------------ *)
+(* Supervision x pipelining, the parked flavour: the dependent call is
+   parked on a dedup group (waiting for a producer on another stream)
+   when its own connection dies. The parked call must still run to
+   completion once the producer lands — its outcome is what resolves
+   the In_progress dedup entry a resubmitted duplicate joins. A
+   regression here deadlocks the duplicate forever. *)
+
+let test_parked_dependent_conn_break_exactly_once () =
+  let w = make_world () in
+  let slow_execs : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let ctr_execs : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let bump tbl n = Hashtbl.replace tbl n (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n)) in
+  G.register_group w.server ~group:"slow" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register w.server ~group:"slow" step_sig (fun ctx n ->
+      bump slow_execs n;
+      S.sleep ctx.G.sched 30e-3;
+      Ok (n * 2));
+  G.register_group w.server ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register w.server ~group:"ctr" step_sig (fun _ n ->
+      bump ctr_execs n;
+      Ok (n + 1));
+  (* Cut the link while the producer executes and the dependent call is
+     parked; every channel (including the reply for the first ctr call)
+     goes unacked, so both sides break by retransmission exhaustion —
+     the receiver's ctr conn dies with the dependent call still
+     parked. *)
+  let client = Net.address w.client_node and server = Net.address w.server_node in
+  S.at w.sched 1.8e-3 (fun () -> Net.partition w.net client server);
+  S.at w.sched 25e-3 (fun () -> Net.heal w.net client server);
+  let o1 = ref None and o0 = ref None and o2 = ref None and o3 = ref None and o4 = ref None in
+  ignore
+    (S.spawn w.sched (fun () ->
+         let producer = handle w ~config:fast_chan_cfg ~agent:"a" ~gid:"slow" step_sig in
+         let consumer = handle w ~config:fast_chan_cfg ~agent:"b" ~gid:"ctr" step_sig in
+         let sa = R.stream producer and sb = R.stream consumer in
+         SE.set_preserve_on_break sa true;
+         SE.set_preserve_on_break sb true;
+         let p1 = R.stream_call producer 7 in
+         R.flush producer;
+         let p0 = R.stream_call consumer 100 in
+         let p2 = R.stream_call_p consumer (R.pipe p1) in
+         R.flush consumer;
+         (* Probes into the outage so each sender notices the break. *)
+         S.sleep w.sched 4e-3;
+         let p3 = R.stream_call producer 1 in
+         R.flush producer;
+         let p4 = R.stream_call consumer 50 in
+         R.flush consumer;
+         while SE.broken sa = None || SE.broken sb = None do
+           S.sleep w.sched 1e-3
+         done;
+         while S.now w.sched < 26e-3 do
+           S.sleep w.sched 1e-3
+         done;
+         ignore (SE.restart_resubmit sa : int);
+         ignore (SE.restart_resubmit sb : int);
+         o1 := Some (P.claim p1);
+         o0 := Some (P.claim p0);
+         o2 := Some (P.claim p2);
+         o3 := Some (P.claim p3);
+         o4 := Some (P.claim p4)));
+  run_ok w.sched;
+  check Alcotest.bool "producer result" true (!o1 = Some (P.Normal 14));
+  check Alcotest.bool "plain ctr result" true (!o0 = Some (P.Normal 101));
+  check Alcotest.bool "parked dependent result" true (!o2 = Some (P.Normal 15));
+  check Alcotest.bool "slow probe result" true (!o3 = Some (P.Normal 2));
+  check Alcotest.bool "ctr probe result" true (!o4 = Some (P.Normal 51));
+  check Alcotest.int "producer executed exactly once" 1
+    (Option.value ~default:0 (Hashtbl.find_opt slow_execs 7));
+  check Alcotest.int "parked dependent executed exactly once, substituted arg" 1
+    (Option.value ~default:0 (Hashtbl.find_opt ctr_execs 14));
+  check Alcotest.int "plain ctr call executed exactly once" 1
+    (Option.value ~default:0 (Hashtbl.find_opt ctr_execs 100));
+  check Alcotest.int "dependent call parked" 1 (peek w.sched "parked_calls")
+
+(* ------------------------------------------------------------------ *)
+(* A reference whose producer outcome was FIFO-evicted from the
+   registry must fail, not park forever. *)
+
+let test_evicted_reference_fails () =
+  let w = make_world ~pipeline_cache:2 () in
+  G.register w.server ~group:"main" step_sig (fun _ n -> Ok (n + 1));
+  let ran = ref 0 in
+  G.register w.server ~group:"aux" step_sig (fun _ n ->
+      incr ran;
+      Ok (n + 1));
+  let out = ref None in
+  ignore
+    (S.spawn w.sched (fun () ->
+         let producer = handle w ~agent:"a" ~gid:"main" step_sig in
+         let consumer = handle w ~agent:"b" ~gid:"aux" step_sig in
+         (* Five completed calls through a cap-2 registry push call 0
+            out; reference it only after everything settled. *)
+         let ps = List.init 5 (fun i -> R.stream_call producer i) in
+         R.flush producer;
+         List.iter (fun p -> ignore (P.claim p : _ P.outcome)) ps;
+         let args =
+           Xdr.Pref
+             { Xdr.ps_stream = SE.stable_id (R.stream producer); ps_call = 0; ps_field = None }
+         in
+         let se = R.stream consumer in
+         (match
+            SE.call se ~port:"step" ~kind:Cstream.Wire.Call ~args ~on_reply:(fun o ->
+                out := Some o)
+          with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "call rejected: %s" e);
+         SE.flush se));
+  run_ok w.sched;
+  (match !out with
+  | Some (Cstream.Wire.W_failure reason) ->
+      check Alcotest.bool "names the eviction" true (contains ~affix:"evicted" reason)
+  | _ -> Alcotest.fail "evicted reference must fail, not park");
+  check Alcotest.int "dependent never executed" 0 !ran;
+  check Alcotest.int "nothing parked" 0 (peek w.sched "parked_calls");
+  check Alcotest.int "counted as ref failure" 1 (peek w.sched "ref_failures")
+
+(* ------------------------------------------------------------------ *)
+(* Same node, different guardian: the registries are disjoint, so the
+   reference must be rejected with the documented failure instead of
+   parking forever at the receiver. *)
+
+let test_cross_guardian_ref_fails () =
+  let w = make_world () in
+  let other = G.create (G.hub w.server) ~name:"other" in
+  G.register w.server ~group:"main" step_sig (fun _ n -> Ok (n + 1));
+  let ran = ref 0 in
+  G.register other ~group:"g2" step_sig (fun _ n ->
+      incr ran;
+      Ok (n + 1));
+  let out = ref None in
+  ignore
+    (S.spawn w.sched (fun () ->
+         let producer = handle w ~agent:"a" ~gid:"main" step_sig in
+         let dependent = handle w ~agent:"b" ~gid:"g2" step_sig in
+         let p1 = R.stream_call producer 1 in
+         let p2 = R.stream_call_p dependent (R.pipe p1) in
+         R.flush producer;
+         R.flush dependent;
+         ignore (P.claim p1 : _ P.outcome);
+         out := Some (P.claim p2)));
+  run_ok w.sched;
+  (match !out with
+  | Some (P.Failure reason) ->
+      check Alcotest.bool "names the guardian mismatch" true (contains ~affix:"guardian" reason)
+  | _ -> Alcotest.fail "cross-guardian reference must fail, not park");
+  check Alcotest.int "dependent never executed" 0 !ran;
+  check Alcotest.int "nothing parked" 0 (peek w.sched "parked_calls");
+  check Alcotest.int "counted as ref failure" 1 (peek w.sched "ref_failures")
+
+(* ------------------------------------------------------------------ *)
+(* Waiter-slot hygiene: a parked call abandoned with its connection
+   (dedup off) must release its registry slots, or the table fills up
+   and refuses every future cross-stream pipelined call. *)
+
+let test_parked_waiters_reclaimed_on_conn_break () =
+  let w = make_world () in
+  G.register w.server ~group:"main" step_sig (fun ctx n ->
+      S.sleep ctx.G.sched 20e-3;
+      Ok (n * 2));
+  let ran = ref 0 in
+  G.register w.server ~group:"aux" step_sig (fun _ n ->
+      incr ran;
+      Ok (n + 1));
+  let reg = G.pipeline_registry w.server in
+  ignore
+    (S.spawn w.sched (fun () ->
+         let producer = handle w ~agent:"a" ~gid:"main" step_sig in
+         let consumer = handle w ~agent:"b" ~gid:"aux" step_sig in
+         let p1 = R.stream_call producer 7 in
+         R.flush producer;
+         let _p2 = R.stream_call_p consumer (R.pipe p1) in
+         R.flush consumer;
+         S.sleep w.sched 5e-3;
+         check Alcotest.int "dependent parked one waiter" 1 (Pipeline.Registry.waiting reg);
+         (* The consumer stream restarts: the Reset reaches the target,
+            whose conn-close hook must release the parked slot. *)
+         SE.restart (R.stream consumer);
+         S.sleep w.sched 5e-3;
+         check Alcotest.int "waiter slot reclaimed on conn close" 0
+           (Pipeline.Registry.waiting reg);
+         ignore (P.claim p1 : _ P.outcome)));
+  run_ok w.sched;
+  check Alcotest.int "orphaned dependent never executed" 0 !ran
+
+(* ------------------------------------------------------------------ *)
+(* Registry unit checks: cancel releases slots and silences callbacks;
+   a refused await parks nothing; eviction marks work per stream. *)
+
+let test_registry_waiter_accounting () =
+  let reg : int Pipeline.Registry.t = Pipeline.Registry.create ~cap:1 ~max_waiters:2 () in
+  let fired = ref [] in
+  let park c =
+    Pipeline.Registry.await reg ~stream:"s" ~call:c (fun v -> fired := v :: !fired)
+  in
+  let w1 = match park 0 with `Parked w -> w | _ -> Alcotest.fail "expected to park" in
+  (match park 1 with `Parked _ -> () | _ -> Alcotest.fail "expected to park");
+  (match park 2 with `Refused -> () | _ -> Alcotest.fail "expected refusal at max_waiters");
+  check Alcotest.int "refused await parks nothing" 2 (Pipeline.Registry.waiting reg);
+  Pipeline.Registry.cancel reg w1;
+  check Alcotest.int "cancel releases the slot" 1 (Pipeline.Registry.waiting reg);
+  Pipeline.Registry.record reg ~stream:"s" ~call:0 7;
+  Pipeline.Registry.record reg ~stream:"s" ~call:1 9;
+  check Alcotest.(list int) "cancelled waiter never fires" [ 9 ] !fired;
+  check Alcotest.int "no waiters left" 0 (Pipeline.Registry.waiting reg);
+  Pipeline.Registry.cancel reg w1;
+  check Alcotest.int "cancel after firing is a no-op" 0 (Pipeline.Registry.waiting reg);
+  (* cap = 1: recording call 1 evicted call 0. *)
+  check Alcotest.bool "evicted below the mark" true
+    (Pipeline.Registry.evicted reg ~stream:"s" ~call:0);
+  check Alcotest.bool "present outcome is not evicted" false
+    (Pipeline.Registry.evicted reg ~stream:"s" ~call:1);
+  check Alcotest.bool "beyond the mark is not evicted" false
+    (Pipeline.Registry.evicted reg ~stream:"s" ~call:5);
+  check Alcotest.bool "other streams unaffected" false
+    (Pipeline.Registry.evicted reg ~stream:"t" ~call:0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "pipeline"
@@ -377,10 +596,20 @@ let () =
             test_forward_ref_on_same_stream_fails;
           Alcotest.test_case "cross-node pipe rejected at call site" `Quick
             test_cross_node_pipe_rejected;
+          Alcotest.test_case "evicted reference fails, no park" `Quick
+            test_evicted_reference_fails;
+          Alcotest.test_case "cross-guardian reference fails, no park" `Quick
+            test_cross_guardian_ref_fails;
+          Alcotest.test_case "parked waiters reclaimed on conn break" `Quick
+            test_parked_waiters_reclaimed_on_conn_break;
+          Alcotest.test_case "registry waiter accounting" `Quick
+            test_registry_waiter_accounting;
         ] );
       ( "supervision",
         [
           Alcotest.test_case "resubmitted dependent executes exactly once" `Quick
             test_resubmit_dependent_exactly_once;
+          Alcotest.test_case "parked dependent survives its conn's death" `Quick
+            test_parked_dependent_conn_break_exactly_once;
         ] );
     ]
