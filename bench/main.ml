@@ -375,6 +375,99 @@ let run_pipeline () =
       ]
     table_rows
 
+(* --- shard bench + BENCH_shard.json --------------------------------- *)
+
+(* The receiver-side costs of sharded dispatch (docs/SHARDING.md): the
+   partition hash every arriving call pays, and the byte-sized registry
+   record path that sharded groups share. The scaling story itself is
+   E14 (simulated time, deterministic); its rows ride along in the JSON
+   so the perf trajectory of the tentpole is machine-readable. *)
+
+module T = Cstream.Target
+
+let small_call_args = Xdr.Pair (Xdr.Int 7, Xdr.Int 42)
+
+let large_call_args =
+  Xdr.Pair
+    ( Xdr.Str "partition-key-with-some-length",
+      Xdr.Record
+        [
+          ("name", Xdr.Str "student-0042");
+          ("grades", Xdr.List (List.init 16 (fun g -> Xdr.Int (40 + g))));
+          ("mean", Xdr.Real 57.5);
+        ] )
+
+let bench_shard_key v =
+  Staged.stage (fun () -> T.default_shard_key ~port:"shard_work" v)
+
+let bench_registry_record_sized () =
+  let reg : W.routcome Pipeline.Registry.t =
+    Pipeline.Registry.create ~cap:1024 ~max_bytes:(1 lsl 20)
+      ~bytes_of:(fun o -> Xdr.Bin.size (W.outcome_value o))
+      ()
+  in
+  let outcome = W.W_normal large_call_args in
+  let next = ref 0 in
+  Staged.stage (fun () ->
+      incr next;
+      Pipeline.Registry.record reg ~stream:"bench" ~call:!next outcome;
+      Pipeline.Registry.find reg ~stream:"bench" ~call:!next)
+
+let shard_tests =
+  Test.make_grouped ~name:"shard"
+    [
+      Test.make ~name:"shard key (int pair)" (bench_shard_key small_call_args);
+      Test.make ~name:"shard key (string key, record payload)"
+        (bench_shard_key large_call_args);
+      Test.make ~name:"registry record+find (byte-sized)" (bench_registry_record_sized ());
+    ]
+
+let write_bench_shard_json ~subject_rows ~e14_rows path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"shard\",\n";
+  out "  \"units\": { \"subjects\": \"ns/op\", \"e14\": \"per run\" },\n";
+  out "  \"subjects\": [\n";
+  let n_subj = List.length subject_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"subject\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = n_subj - 1 then "" else ","))
+    subject_rows;
+  out "  ],\n";
+  out "  \"e14\": [\n";
+  let n_rows = List.length e14_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_shard.row) ->
+      out
+        "    { \"series\": \"%s\", \"shards\": %d, \"calls\": %d, \"completion_ms\": %.3f, \
+         \"calls_per_s\": %.1f, \"speedup\": %.3f, \"shard_dispatches\": %d, \
+         \"queue_depth_hwm\": %d, \"imbalance_hwm\": %d, \"per_key_order\": %b }%s\n"
+        (json_escape r.r_series) r.r_shards r.r_calls (r.r_time *. 1e3) r.r_throughput
+        r.r_speedup r.r_dispatches r.r_queue_hwm r.r_imbalance r.r_ordered
+        (if i = n_rows - 1 then "" else ","))
+    e14_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_shard () =
+  let subject_rows = measure_ns shard_tests in
+  let e14_rows = Workloads.Exp_shard.e14_rows () in
+  write_bench_shard_json ~subject_rows ~e14_rows "BENCH_shard.json";
+  let table_rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) subject_rows
+  in
+  Workloads.Table.make ~id:"shard" ~title:"wall-clock: sharded-dispatch receiver machinery"
+    ~header:[ "subject"; "time/op" ]
+    ~notes:
+      [
+        "per-call cost of the partition hash plus the byte-sized registry record path \
+         (docs/SHARDING.md); results + E14 scaling figures written to BENCH_shard.json";
+      ]
+    table_rows
+
 (* --- main ---------------------------------------------------------- *)
 
 let () =
@@ -391,4 +484,7 @@ let () =
   print_endline "wall-clock pipelining machinery (Bechamel):";
   print_newline ();
   Workloads.Table.print (run_pipeline ());
-  print_endline "wrote BENCH_wire.json, BENCH_pipeline.json"
+  print_endline "wall-clock sharded-dispatch machinery (Bechamel):";
+  print_newline ();
+  Workloads.Table.print (run_shard ());
+  print_endline "wrote BENCH_wire.json, BENCH_pipeline.json, BENCH_shard.json"

@@ -19,6 +19,10 @@ type t = {
   reply_config : Chanhub.config;
   t_ordered : bool;
   t_dedup : bool;
+  t_shards : int;
+  t_shard_key : port:string -> Xdr.value -> int;
+  t_dispatch_counts : int array;
+      (* cumulative calls routed to each shard, for the imbalance stat *)
   t_cache_cap : int;
   t_cache : (string * int, entry) Hashtbl.t;
   t_done_order : (string * int) Queue.t;
@@ -36,15 +40,19 @@ and conn = {
   c_in : Chanhub.in_chan;
   c_reply : Chanhub.out_chan;
   c_stable : string;  (* incarnation-independent identity of the sending stream *)
-  c_work : work Sched.Bqueue.t;
-  mutable c_driver : S.fiber option;
+  c_shards : shard array;  (* one execution lane per shard (docs/SHARDING.md) *)
   mutable c_broken : bool;
-  mutable c_inflight : bool;  (* a call is being executed right now *)
+  mutable c_inflight : int;  (* calls being executed right now, across all lanes *)
   mutable c_breaking : string option;  (* break requested mid-call *)
   mutable c_on_close : (unit -> unit) list;
-  (* unordered mode: outcomes parked until all earlier replies went out *)
+  (* sharded/unordered modes: outcomes parked until all earlier replies went out *)
   c_done : (int, Wire.kind * Wire.routcome) Hashtbl.t;
   mutable c_next_reply : int;
+}
+
+and shard = {
+  sh_work : work Sched.Bqueue.t;
+  mutable sh_driver : S.fiber option;
 }
 
 and dispatch =
@@ -60,11 +68,31 @@ let gid t = t.t_gid
 
 let dedup t = t.t_dedup
 
+let shards t = t.t_shards
+
+(* Default partition function: hash of the first argument, so a
+   [Pair (key, payload)] argument shards on the key alone. The function
+   must be pure — a resubmitted call (same stable call item, possibly a
+   new stream incarnation) re-hashes to the same shard, which is what
+   keeps dedup joins and per-key order stable across restarts. *)
+let first_arg = function Xdr.Pair (a, _) -> a | v -> v
+
+let default_shard_key ~port:_ args = Hashtbl.hash (first_arg args)
+
+let shard_of t ~port args =
+  if t.t_shards = 1 then 0
+  else
+    let k = t.t_shard_key ~port args in
+    ((k mod t.t_shards) + t.t_shards) mod t.t_shards
+
 let conn_src c = Chanhub.in_src c.c_in
 
 let conn_count t = Hashtbl.length t.conns
 
 let counter t name = Sim.Stats.counter (S.stats t.sched) name
+
+(* Raise a counter to a new high-water mark (counters only add). *)
+let bump_hwm c v = if v > Sim.Stats.count c then Sim.Stats.add c (v - Sim.Stats.count c)
 
 let flush_replies c = if Chanhub.out_broken c.c_reply = None then Chanhub.flush_out c.c_reply
 
@@ -74,10 +102,13 @@ let remove_conn c =
   if not c.c_broken then begin
     c.c_broken <- true;
     Hashtbl.remove c.c_target.conns (Chanhub.in_key c.c_in);
-    (match c.c_driver with
-    | Some fiber -> S.kill c.c_target.sched fiber
-    | None -> ());
-    Sched.Bqueue.close c.c_work;
+    Array.iter
+      (fun sh ->
+        (match sh.sh_driver with
+        | Some fiber -> S.kill c.c_target.sched fiber
+        | None -> ());
+        Sched.Bqueue.close sh.sh_work)
+      c.c_shards;
     let hooks = c.c_on_close in
     c.c_on_close <- [];
     List.iter (fun f -> f ()) hooks
@@ -96,9 +127,10 @@ let do_break c reason =
   end
 
 let break_conn c ~reason =
-  if c.c_inflight then begin
+  if c.c_inflight > 0 then begin
     (* A call is mid-execution (typically the one whose handler is
-       requesting the break): wait for its reply to be emitted first. *)
+       requesting the break): wait for its reply — with several lanes,
+       for every in-flight call's reply — to be emitted first. *)
     if c.c_breaking = None then c.c_breaking <- Some reason
   end
   else do_break c reason
@@ -333,40 +365,53 @@ let release_in_order c =
   in
   go ()
 
-(* Sequential execution of one stream's calls: the driver parks until
-   the handler replies before taking the next piece of work. With
-   [t_ordered = false] (the override hinted at in §2.1), calls are
-   dispatched as they arrive and run concurrently; only the replies
-   are sequenced. *)
-let driver_loop c =
+(* Sequential execution of one lane's calls: the driver parks until
+   the handler replies before taking the next piece of work. With one
+   shard this is the paper's per-stream order; with several, each lane
+   keeps that discipline for its own partition of the key space while
+   lanes run concurrently (docs/SHARDING.md), and replies are parked in
+   [c_done] so they still leave in call order. With [t_ordered = false]
+   (the override hinted at in §2.1), calls are dispatched as they
+   arrive and run concurrently; only the replies are sequenced. *)
+let driver_loop c sh =
   let t = c.c_target in
   let overhead = (Chanhub.hub_net_config t.hub).Net.kernel_overhead in
+  (* Only the single-lane ordered mode may emit straight from the
+     driver: any overlap in execution can scramble completion order, so
+     replies go through the in-order parking table instead. *)
+  let direct = t.t_ordered && t.t_shards = 1 in
+  let park_reply ~seq ~kind o =
+    if not c.c_broken then begin
+      Hashtbl.replace c.c_done seq (kind, o);
+      release_in_order c
+    end
+  in
   let rec loop () =
-    match Sched.Bqueue.deq c.c_work with
+    match Sched.Bqueue.deq sh.sh_work with
     | Overhead ->
         if overhead > 0.0 then S.sleep t.sched overhead;
         loop ()
+    | Exec _ when c.c_breaking <> None ->
+        (* A break is pending: work queued behind the in-flight calls
+           is discarded, as it would be by the break itself. *)
+        loop ()
     | Exec { seq; cid; port; kind; args } when not t.t_ordered ->
-        exec_call c ~seq ~cid ~port ~kind ~args ~reply:(fun o ->
-            if not c.c_broken then begin
-              Hashtbl.replace c.c_done seq (kind, o);
-              release_in_order c
-            end);
+        exec_call c ~seq ~cid ~port ~kind ~args ~reply:(park_reply ~seq ~kind);
         loop ()
     | Exec { seq; cid; port; kind; args } -> (
-        c.c_inflight <- true;
+        c.c_inflight <- c.c_inflight + 1;
         let outcome =
           S.suspend t.sched (fun w ->
               exec_call c ~seq ~cid ~port ~kind ~args ~reply:(fun o ->
                   ignore (S.wake w o : bool)))
         in
-        c.c_inflight <- false;
-        emit_reply c ~seq ~kind outcome;
+        c.c_inflight <- c.c_inflight - 1;
+        if direct then emit_reply c ~seq ~kind outcome else park_reply ~seq ~kind outcome;
         match c.c_breaking with
-        | Some reason ->
+        | Some reason when c.c_inflight = 0 ->
             c.c_breaking <- None;
             do_break c reason
-        | None -> loop ())
+        | Some _ | None -> loop ())
     | exception Sched.Bqueue.Closed -> ()
   in
   loop ()
@@ -382,10 +427,11 @@ let accept t in_chan =
       c_in = in_chan;
       c_reply = reply;
       c_stable = stable_stream_id key;
-      c_work = Sched.Bqueue.create t.sched;
-      c_driver = None;
+      c_shards =
+        Array.init t.t_shards (fun _ ->
+            { sh_work = Sched.Bqueue.create t.sched; sh_driver = None });
       c_broken = false;
-      c_inflight = false;
+      c_inflight = 0;
       c_breaking = None;
       c_on_close = [];
       c_done = Hashtbl.create 8;
@@ -400,24 +446,49 @@ let accept t in_chan =
   Chanhub.on_out_break reply (fun _reason -> remove_conn c);
   Chanhub.set_deliver in_chan (fun items ->
       if not c.c_broken then begin
-        Sched.Bqueue.enq c.c_work Overhead;
+        (* The cost model charges kernel overhead once per arriving
+           network message; every lane the message feeds charges it
+           before that message's calls so the sleep delays them all,
+           while concurrent lanes absorb it in parallel. Lane 0 always
+           pays (preserving the single-lane behaviour exactly). *)
+        Sched.Bqueue.enq c.c_shards.(0).sh_work Overhead;
+        let touched = Array.make t.t_shards false in
+        touched.(0) <- true;
         List.iter
           (fun item ->
-            match Wire.parse_call item with
-            | Ok (seq, cid, port, kind, args) ->
-                Sched.Bqueue.enq c.c_work (Exec { seq; cid; port; kind; args })
-            | Error reason -> break_conn c ~reason)
+            if not c.c_broken then
+              match Wire.parse_call item with
+              | Ok (seq, cid, port, kind, args) ->
+                  let s = shard_of t ~port args in
+                  let lane = c.c_shards.(s) in
+                  if not touched.(s) then begin
+                    touched.(s) <- true;
+                    Sched.Bqueue.enq lane.sh_work Overhead
+                  end;
+                  Sched.Bqueue.enq lane.sh_work (Exec { seq; cid; port; kind; args });
+                  if t.t_shards > 1 then begin
+                    Sim.Stats.incr (counter t "shard_dispatches");
+                    t.t_dispatch_counts.(s) <- t.t_dispatch_counts.(s) + 1;
+                    bump_hwm (counter t "shard_queue_hwm") (Sched.Bqueue.length lane.sh_work);
+                    let mx = Array.fold_left max 0 t.t_dispatch_counts in
+                    let mn = Array.fold_left min max_int t.t_dispatch_counts in
+                    bump_hwm (counter t "shard_imbalance") (mx - mn)
+                  end
+              | Error reason -> break_conn c ~reason)
           items
       end);
-  let fiber =
-    S.spawn t.sched ~daemon:true
-      ~name:(Printf.sprintf "target:%s<-%d" t.t_gid key.Chanhub.src)
-      (fun () -> driver_loop c)
-  in
-  c.c_driver <- Some fiber
+  Array.iteri
+    (fun k sh ->
+      let name =
+        if t.t_shards = 1 then Printf.sprintf "target:%s<-%d" t.t_gid key.Chanhub.src
+        else Printf.sprintf "target:%s<-%d#%d" t.t_gid key.Chanhub.src k
+      in
+      sh.sh_driver <- Some (S.spawn t.sched ~daemon:true ~name (fun () -> driver_loop c sh)))
+    c.c_shards
 
 let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) ?(dedup = false)
-    ?(dedup_cache = 1024) ?pipeline dispatch =
+    ?(dedup_cache = 1024) ?(shards = 1) ?(shard_key = default_shard_key) ?pipeline dispatch =
+  if shards <= 0 then invalid_arg "Target.create: shards must be positive";
   let t =
     {
       hub;
@@ -426,6 +497,9 @@ let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) ?
       reply_config;
       t_ordered = ordered;
       t_dedup = dedup;
+      t_shards = shards;
+      t_shard_key = shard_key;
+      t_dispatch_counts = Array.make shards 0;
       t_cache_cap = dedup_cache;
       t_cache = Hashtbl.create (if dedup then 64 else 1);
       t_done_order = Queue.create ();

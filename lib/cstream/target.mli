@@ -49,6 +49,8 @@ val create :
   ?ordered:bool ->
   ?dedup:bool ->
   ?dedup_cache:int ->
+  ?shards:int ->
+  ?shard_key:(port:string -> Xdr.value -> int) ->
   ?pipeline:Wire.routcome Pipeline.Registry.t ->
   dispatch ->
   t
@@ -59,6 +61,22 @@ val create :
     concurrently, while replies are still released in call order so the
     stream's reply-ordering guarantee (and promise-readiness order)
     is preserved. Used by the receiver-ordering ablation.
+
+    [shards] (default 1) partitions each stream's execution across that
+    many concurrent lanes, keyed by [shard_key] (default: hash of the
+    first argument — the [a] of a [Pair (a, b)] argument, or the whole
+    value). The paper's in-order guarantee is relaxed to {e per-key}
+    order: two calls whose keys map to the same shard still execute
+    strictly in call order, while calls on different shards overlap
+    (docs/SHARDING.md). Replies are nevertheless released in call
+    order, so the stream's reply-order guarantee (and promise-readiness
+    order) is unchanged. [shard_key] must be a pure function of its
+    arguments: a resubmitted call re-hashes to the same shard, which is
+    what keeps dedup joins and per-key order stable across stream
+    incarnations. Sharded dispatch is counted in {!Sim.Stats} as
+    [shard_dispatches], with high-water marks [shard_queue_hwm] (lane
+    queue depth) and [shard_imbalance] (spread between the most- and
+    least-loaded lane's cumulative dispatches).
 
     [dedup] (default [false]) enables the cross-incarnation outcome
     cache; [dedup_cache] (default 1024) bounds the number of retained
@@ -85,6 +103,14 @@ val dedup : t -> bool
 (** Whether this group deduplicates on stable call-ids. The guardian
     layer must not destroy orphaned handler executions when it does —
     the recorded outcome is the dedup protocol's whole point. *)
+
+val shards : t -> int
+(** Number of execution lanes per connection (1 = unsharded). *)
+
+val default_shard_key : port:string -> Xdr.value -> int
+(** The default partition function: [Hashtbl.hash] of the first
+    argument ([Pair (a, _)] shards on [a]; any other shape on the whole
+    value). Deterministic across incarnations. *)
 
 val conn_src : conn -> Net.address
 (** Node address of the sending agent. *)

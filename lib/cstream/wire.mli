@@ -52,6 +52,11 @@ val parse_call : Xdr.value -> (int * int * string * kind * Xdr.value, string) re
 
 (** {1 Reply items} *)
 
+val outcome_value : routcome -> Xdr.value
+(** The encodable form of one outcome (the payload of {!reply_item}).
+    Exposed so byte budgets can size a stored outcome exactly as it
+    would ship ([Xdr.Bin.size (outcome_value o)]). *)
+
 val reply_item : seq:int -> routcome -> Xdr.value
 (** Encodes the outcome; a [W_normal] reply to a [Send] should be
     constructed with {!send_ok_item} instead. *)

@@ -15,7 +15,18 @@ type t = {
   mutable destroyed : bool;
 }
 
-and group_state = { target : T.t; ports : (string, reg) Hashtbl.t }
+and group_state = { target : T.t; ports : (string, reg) Hashtbl.t; config : group_config }
+
+(* The configuration a group was created with, kept so a later
+   [get_group] with conflicting options fails loudly instead of
+   silently ignoring the new configuration. *)
+and group_config = {
+  gc_reply_config : CH.config;
+  gc_ordered : bool;
+  gc_dedup : bool;
+  gc_dedup_cache : int;
+  gc_shards : int;
+}
 
 and reg = Reg : ('a, 'r, 'e) Core.Sigs.hsig * (ctx -> 'a -> ('r, 'e) result) -> reg
 
@@ -85,39 +96,91 @@ let dispatch t ports ~dedup conn ~seq:_ ~port ~kind:_ ~args ~reply =
   | None -> reply (W.W_failure "handler does not exist")
   | Some reg -> run_handler t conn ~dedup ~reply reg ~args ~caller:(T.conn_src conn)
 
-let get_group t ~group ?reply_config ?ordered ?(dedup = false) ?dedup_cache () =
+let get_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache ?shards ?shard_key () =
   match Hashtbl.find_opt t.groups group with
-  | Some state -> state
+  | Some state ->
+      (* The group already exists: every option the caller passed
+         explicitly must match what the group was created with —
+         returning the existing group while silently dropping a
+         conflicting configuration hides real bugs (a dedup group that
+         is not deduplicating, a sharded group running on one lane). *)
+      let conflict what ~requested ~actual =
+        invalid_arg
+          (Printf.sprintf
+             "Guardian.get_group: group %S of guardian %S already exists with %s = %s; \
+              conflicting %s = %s requested"
+             group t.g_name what actual what requested)
+      in
+      let check what pp actual = function
+        | Some v when v <> actual -> conflict what ~requested:(pp v) ~actual:(pp actual)
+        | Some _ | None -> ()
+      in
+      let gc = state.config in
+      check "ordered" string_of_bool gc.gc_ordered ordered;
+      check "dedup" string_of_bool gc.gc_dedup dedup;
+      check "dedup_cache" string_of_int gc.gc_dedup_cache dedup_cache;
+      check "shards" string_of_int gc.gc_shards shards;
+      (match reply_config with
+      | Some rc when rc <> gc.gc_reply_config ->
+          conflict "reply_config" ~requested:"<given config>" ~actual:"<creation config>"
+      | Some _ | None -> ());
+      (match shard_key with
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Guardian.get_group: group %S of guardian %S already exists; a shard_key \
+                cannot be re-specified (functions are not comparable)"
+               group t.g_name)
+      | None -> ());
+      state
   | None ->
+      let gc =
+        {
+          gc_reply_config = Option.value ~default:CH.default_config reply_config;
+          gc_ordered = Option.value ~default:true ordered;
+          gc_dedup = Option.value ~default:false dedup;
+          gc_dedup_cache = Option.value ~default:1024 dedup_cache;
+          gc_shards = Option.value ~default:1 shards;
+        }
+      in
       let ports = Hashtbl.create 8 in
       (* Scope the shared registry to this guardian's groups: the
          receiver uses it to fail (not park) references to streams that
          feed another guardian's disjoint registry. *)
       Pipeline.Registry.add_scope t.g_pipeline group;
       let target =
-        T.create t.g_hub ~gid:group ?reply_config ?ordered ~dedup ?dedup_cache
+        T.create t.g_hub ~gid:group ~reply_config:gc.gc_reply_config ~ordered:gc.gc_ordered
+          ~dedup:gc.gc_dedup ~dedup_cache:gc.gc_dedup_cache ~shards:gc.gc_shards ?shard_key
           ~pipeline:t.g_pipeline
           (fun conn ~seq ~port ~kind ~args ~reply ->
-            dispatch t ports ~dedup conn ~seq ~port ~kind ~args ~reply)
+            dispatch t ports ~dedup:gc.gc_dedup conn ~seq ~port ~kind ~args ~reply)
       in
-      let state = { target; ports } in
+      let state = { target; ports; config = gc } in
       Hashtbl.replace t.groups group state;
       state
 
-let register_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache () =
-  ignore (get_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache () : group_state)
+let register_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache ?shards ?shard_key () =
+  ignore
+    (get_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache ?shards ?shard_key ()
+      : group_state)
 
 let register t ~group hs impl =
   let state = get_group t ~group () in
   Hashtbl.replace state.ports hs.Core.Sigs.hname (Reg (hs, impl))
 
-let create ?(pipeline_cache = 1024) hub ~name =
+let create ?(pipeline_cache = 1024) ?(pipeline_bytes = max_int) hub ~name =
+  let g_sched = CH.hub_sched hub in
+  let bytes_evicted = Sim.Stats.counter (S.stats g_sched) "registry_bytes_evicted" in
   {
     g_hub = hub;
     g_name = name;
-    g_sched = CH.hub_sched hub;
+    g_sched;
     groups = Hashtbl.create 8;
-    g_pipeline = Pipeline.Registry.create ~cap:pipeline_cache ();
+    g_pipeline =
+      Pipeline.Registry.create ~cap:pipeline_cache ~max_bytes:pipeline_bytes
+        ~bytes_of:(fun o -> Xdr.Bin.size (W.outcome_value o))
+        ~on_evict:(fun ~bytes -> Sim.Stats.add bytes_evicted bytes)
+        ();
     destroyed = false;
   }
 

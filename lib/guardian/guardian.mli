@@ -33,7 +33,8 @@ type ctx = {
   guardian : t;
 }
 
-val create : ?pipeline_cache:int -> Cstream.Chanhub.hub -> name:string -> t
+val create :
+  ?pipeline_cache:int -> ?pipeline_bytes:int -> Cstream.Chanhub.hub -> name:string -> t
 (** Create a guardian on the node owning [hub]. Several guardians can
     share one node (and hub) as long as their group names differ.
 
@@ -43,7 +44,12 @@ val create : ?pipeline_cache:int -> Cstream.Chanhub.hub -> name:string -> t
     other group of the {e same} guardian. [pipeline_cache] (default
     1024) bounds the retained outcomes, evicted oldest-first — size it
     above the maximum pipelining window (calls between a producer and
-    its last dependent). *)
+    its last dependent). [pipeline_bytes] (default unbounded) is a byte
+    budget on the same store, measured in encoded wire bytes
+    ({!Xdr.Bin}) of the retained outcomes: the FIFO eviction also runs
+    while the byte total exceeds it, so a few bulky results cannot pin
+    memory that the count cap alone would allow. Evicted bytes are
+    counted in {!Sim.Stats} as [registry_bytes_evicted]. *)
 
 val name : t -> string
 
@@ -76,6 +82,8 @@ val register_group :
   ?ordered:bool ->
   ?dedup:bool ->
   ?dedup_cache:int ->
+  ?shards:int ->
+  ?shard_key:(port:string -> Xdr.value -> int) ->
   unit ->
   unit
 (** Pre-create a group, fixing its reply-channel buffering config and
@@ -84,7 +92,21 @@ val register_group :
     [dedup] (default [false]) enables the cross-incarnation outcome
     cache of {!Cstream.Target.create} — required on the receiving side
     for {!Core.Supervisor} exactly-once semantics — and [dedup_cache]
-    bounds it. *)
+    bounds it.
+
+    [shards] (default 1) partitions each stream's execution across that
+    many concurrent lanes keyed by [shard_key] (default: hash of the
+    first argument); see {!Cstream.Target.create} and docs/SHARDING.md.
+    Per-key call order and per-stream reply order are preserved;
+    independent keys execute in parallel.
+
+    If the group already exists (created by an earlier [register_group]
+    or first [register]), every option passed here must match the
+    group's creation configuration: a conflicting [ordered], [dedup],
+    [dedup_cache], [shards] or [reply_config] raises
+    [Invalid_argument] instead of being silently ignored, and a
+    [shard_key] can never be re-specified (functions cannot be
+    compared). Omitted options always pass. *)
 
 val port_ref : t -> group:string -> port:string -> Core.Sigs.port_ref
 (** The transmissible reference to one of this guardian's ports. *)

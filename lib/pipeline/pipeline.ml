@@ -69,9 +69,13 @@ module Registry = struct
   type 'o t = {
     cap : int;
     max_waiters : int;
-    done_ : (string * int, 'o) Hashtbl.t;
+    max_bytes : int;
+    bytes_of : 'o -> int;
+    on_evict : bytes:int -> unit;
+    done_ : (string * int, 'o * int) Hashtbl.t;  (* outcome, encoded size *)
     done_order : (string * int) Queue.t;
     mutable done_count : int;
+    mutable byte_count : int;
     waiters : (string * int, (int * ('o -> unit)) list) Hashtbl.t;
     mutable waiter_count : int;
     mutable next_waiter : int;
@@ -82,13 +86,18 @@ module Registry = struct
     scopes : (string, unit) Hashtbl.t;
   }
 
-  let create ?(cap = 1024) ?(max_waiters = 4096) () =
+  let create ?(cap = 1024) ?(max_waiters = 4096) ?(max_bytes = max_int)
+      ?(bytes_of = fun _ -> 0) ?(on_evict = fun ~bytes:_ -> ()) () =
     {
       cap;
       max_waiters;
+      max_bytes;
+      bytes_of;
+      on_evict;
       done_ = Hashtbl.create 64;
       done_order = Queue.create ();
       done_count = 0;
+      byte_count = 0;
       waiters = Hashtbl.create 16;
       waiter_count = 0;
       next_waiter = 0;
@@ -98,9 +107,11 @@ module Registry = struct
 
   let known t = t.done_count
 
+  let bytes t = t.byte_count
+
   let waiting t = t.waiter_count
 
-  let find t ~stream ~call = Hashtbl.find_opt t.done_ (stream, call)
+  let find t ~stream ~call = Option.map fst (Hashtbl.find_opt t.done_ (stream, call))
 
   let add_scope t name = Hashtbl.replace t.scopes name ()
 
@@ -113,19 +124,31 @@ module Registry = struct
     | Some hwm -> call <= hwm
     | None -> false
 
+  let evict_one t =
+    let (vstream, vcall) as victim = Queue.pop t.done_order in
+    let vbytes = match Hashtbl.find_opt t.done_ victim with Some (_, b) -> b | None -> 0 in
+    Hashtbl.remove t.done_ victim;
+    (match Hashtbl.find_opt t.evicted_hwm vstream with
+    | Some hwm when hwm >= vcall -> ()
+    | Some _ | None -> Hashtbl.replace t.evicted_hwm vstream vcall);
+    t.done_count <- t.done_count - 1;
+    t.byte_count <- t.byte_count - vbytes;
+    t.on_evict ~bytes:vbytes
+
   let record t ~stream ~call outcome =
     let key = (stream, call) in
     if not (Hashtbl.mem t.done_ key) then begin
-      Hashtbl.replace t.done_ key outcome;
+      let size = t.bytes_of outcome in
+      Hashtbl.replace t.done_ key (outcome, size);
       Queue.push key t.done_order;
       t.done_count <- t.done_count + 1;
-      while t.done_count > t.cap do
-        let (vstream, vcall) as victim = Queue.pop t.done_order in
-        Hashtbl.remove t.done_ victim;
-        (match Hashtbl.find_opt t.evicted_hwm vstream with
-        | Some hwm when hwm >= vcall -> ()
-        | Some _ | None -> Hashtbl.replace t.evicted_hwm vstream vcall);
-        t.done_count <- t.done_count - 1
+      t.byte_count <- t.byte_count + size;
+      (* Two budgets, one FIFO: whichever is exhausted first drives
+         eviction. An oversized outcome can evict everything including
+         itself — its waiters below still fire with the value in hand;
+         only later dependents see it as evicted and fail fast. *)
+      while t.done_count > t.cap || (t.byte_count > t.max_bytes && t.done_count > 0) do
+        evict_one t
       done
     end;
     match Hashtbl.find_opt t.waiters key with
@@ -138,7 +161,7 @@ module Registry = struct
   let await t ~stream ~call k =
     let key = (stream, call) in
     match Hashtbl.find_opt t.done_ key with
-    | Some o ->
+    | Some (o, _) ->
         k o;
         `Fired
     | None ->

@@ -56,9 +56,26 @@ module Registry : sig
   type waiter
   (** Handle on one parked callback, for {!cancel}. *)
 
-  val create : ?cap:int -> ?max_waiters:int -> unit -> 'o t
+  val create :
+    ?cap:int ->
+    ?max_waiters:int ->
+    ?max_bytes:int ->
+    ?bytes_of:('o -> int) ->
+    ?on_evict:(bytes:int -> unit) ->
+    unit ->
+    'o t
   (** [cap] (default 1024) bounds remembered outcomes; [max_waiters]
-      (default 4096) bounds parked callbacks. *)
+      (default 4096) bounds parked callbacks.
+
+      [max_bytes] (default unbounded) is a byte budget alongside the
+      count cap: outcomes are sized by [bytes_of] (default [fun _ -> 0],
+      i.e. budget off) when recorded, and the same FIFO eviction runs
+      while the remembered total exceeds the budget. The stream layer
+      passes the encoded wire size ({!Xdr.Bin}) so a few bulky results
+      cannot pin the registry's memory the way the count cap alone
+      would allow. [on_evict] fires once per evicted outcome with its
+      recorded size (used to feed the [registry_bytes_evicted]
+      counter). *)
 
   val record : 'o t -> stream:string -> call:int -> 'o -> unit
   (** Store the outcome of (stream, call) and fire any waiters parked
@@ -100,6 +117,9 @@ module Registry : sig
 
   val known : 'o t -> int
   (** Outcomes currently remembered. *)
+
+  val bytes : 'o t -> int
+  (** Total [bytes_of] size of the remembered outcomes. *)
 
   val waiting : 'o t -> int
   (** Callbacks currently parked. *)

@@ -11,6 +11,7 @@ let registry : (string * (unit -> Table.t)) list =
     ("E9", fun () -> Exp_streams.e9 ());
     ("E12", fun () -> Exp_wire.e12 ());
     ("E13", fun () -> Exp_pipeline.e13 ());
+    ("E14", fun () -> Exp_shard.e14 ());
     ("A1", fun () -> Exp_ablation.a1 ());
     ("A2", fun () -> Exp_ablation.a2 ());
   ]
