@@ -163,11 +163,13 @@ module W = Cstream.Wire
    16-call batch (the string table pays off: the port name and field
    names repeat), and a bulky argument tree. *)
 let wire_payloads =
-  let small = W.call_item ~seq:12 ~cid:12 ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42) in
+  let small =
+    W.call_item ~seq:12 ~cid:12 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42)
+  in
   let medium =
     Xdr.List
       (List.init 16 (fun i ->
-           W.call_item ~seq:i ~cid:i ~port:"record_grade" ~kind:W.Call
+           W.call_item ~seq:i ~cid:i ~trace:None ~port:"record_grade" ~kind:W.Call
              ~args:(Xdr.Pair (Xdr.Str (Printf.sprintf "stu%05d" i), Xdr.Int (50 + i)))))
   in
   let large =
@@ -244,7 +246,35 @@ let write_bench_wire_json ~codec_rows ~e12_rows path =
   out "}\n";
   close_out oc
 
+(* With tracing disabled, wire items must be byte-for-byte the
+   pre-tracing encodings (docs/TRACING.md) — otherwise the E12
+   bytes-per-call figures in BENCH_wire.json would silently shift.
+   Checked against literal copies of the original compact shapes. *)
+let assert_untraced_bytes_unchanged () =
+  let bin = Xdr.Bin.to_string in
+  let expect what reference item =
+    if bin reference <> bin item then
+      failwith (Printf.sprintf "tracing-off wire regression: %s encoding changed" what)
+  in
+  expect "call item"
+    (Xdr.Record
+       [
+         ("q", Xdr.Int 12);
+         ("i", Xdr.Int 12);
+         ("p", Xdr.Str "work");
+         ("k", Xdr.Str "c");
+         ("a", Xdr.Int 42);
+       ])
+    (W.call_item ~seq:12 ~cid:12 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42));
+  expect "reply item"
+    (Xdr.Pair (Xdr.Int 3, Xdr.Tagged ("n", Xdr.Int 7)))
+    (W.reply_item ~seq:3 ~trace:None (W.W_normal (Xdr.Int 7)));
+  expect "send-ok item"
+    (Xdr.Pair (Xdr.Int 3, Xdr.Tagged ("o", Xdr.Unit)))
+    (W.send_ok_item ~seq:3 ~trace:None)
+
 let run_wire () =
+  assert_untraced_bytes_unchanged ();
   let codec_rows = measure_ns wire_tests in
   let e12_rows = Workloads.Exp_wire.e12_rows () in
   write_bench_wire_json ~codec_rows ~e12_rows "BENCH_wire.json";

@@ -1,19 +1,35 @@
 (* CLI to run the reproduction experiments individually or all at
-   once. `dune exec bin/experiments.exe -- --id E3` *)
+   once. `dune exec bin/experiments.exe -- --id E3`;
+   `dune exec bin/experiments.exe -- --trace` dumps causal timelines
+   (docs/TRACING.md). *)
 
-let run_ids ids =
-  let ids = if ids = [] then Workloads.Experiments.all_ids else ids in
-  let ok = ref true in
-  List.iter
-    (fun id ->
-      match Workloads.Experiments.run id with
-      | table -> Workloads.Table.print table
-      | exception Not_found ->
-          Printf.eprintf "unknown experiment id %S (known: %s)\n" id
-            (String.concat ", " Workloads.Experiments.all_ids);
-          ok := false)
-    ids;
-  if !ok then 0 else 1
+(* [--trace] exits non-zero if the dump flags a missing edge, so the CI
+   step that archives it also gates on it. *)
+let run_ids trace ids =
+  if trace then begin
+    let out = Workloads.Exp_trace.dump () in
+    print_string out;
+    let warned =
+      let n = String.length "WARNING" and m = String.length out in
+      let rec go i = i + n <= m && (String.sub out i n = "WARNING" || go (i + 1)) in
+      go 0
+    in
+    if warned then 1 else 0
+  end
+  else begin
+    let ids = if ids = [] then Workloads.Experiments.all_ids else ids in
+    let ok = ref true in
+    List.iter
+      (fun id ->
+        match Workloads.Experiments.run id with
+        | table -> Workloads.Table.print table
+        | exception Not_found ->
+            Printf.eprintf "unknown experiment id %S (known: %s)\n" id
+              (String.concat ", " Workloads.Experiments.all_ids);
+            ok := false)
+      ids;
+    if !ok then 0 else 1
+  end
 
 open Cmdliner
 
@@ -24,9 +40,17 @@ let ids_arg =
   in
   Arg.(value & opt_all string [] & info [ "i"; "id" ] ~docv:"ID" ~doc)
 
+let trace_arg =
+  let doc =
+    "Instead of experiment tables, dump causal trace timelines: a pipelined \
+     dependent-call chain and a small chaos run with crash + resubmit, every call's \
+     journey rendered per promise and as a per-stream gantt (docs/TRACING.md)."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let cmd =
   let doc = "run the Promises (PLDI 1988) reproduction experiments" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const run_ids $ ids_arg)
+  Cmd.v info Term.(const run_ids $ trace_arg $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

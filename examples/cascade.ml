@@ -18,8 +18,12 @@ let n_items = 150
 
 let filter_cost = 0.4e-3
 
+(* All three server groups share one configuration value: deduplicating
+   replies so a retried call is never applied twice. *)
+let group_config = Cstream.Group_config.(default |> with_dedup)
+
 let run variant ~cores =
-  let cw = E.make_cascade ~svc:0.2e-3 ~cores () in
+  let cw = E.make_cascade ~group_config ~svc:0.2e-3 ~cores () in
   let time =
     Workloads.Fixtures.timed_run cw.E.cw_sched (fun () ->
         match variant with

@@ -34,8 +34,14 @@ let () =
   let client_hub = Cstream.Chanhub.create_hub net client_node in
   let server_hub = Cstream.Chanhub.create_hub net server_node in
 
-  (* 2. A guardian with one typed handler. *)
+  (* 2. A guardian with one typed handler. The port group's behavior —
+     reply buffering, ordering, duplicate suppression, sharding — is one
+     {!Cstream.Group_config.t} value built with [with_*] chains;
+     [with_dedup] makes retried calls exactly-once. *)
   let server = G.create server_hub ~name:"math" in
+  G.register_group server ~group:"ops"
+    ~config:Cstream.Group_config.(default |> with_dedup)
+    ();
   G.register server ~group:"ops" square_sig (fun ctx n ->
       S.sleep ctx.G.sched 0.5e-3 (* pretend to work *);
       if n > 1000 then Error (Too_big 1000) else Ok (n * n));

@@ -21,15 +21,17 @@ type ('a, 'e) t = {
   sched : S.t;
   mutable state : ('a, 'e) state;
   mutable origin : origin option;
+  mutable trace : int option;
+      (* causal trace id of the producing call (docs/TRACING.md) *)
 }
 
 exception Unavailable_exn of string
 
 exception Failure_exn of string
 
-let create sched = { sched; state = Blocked []; origin = None }
+let create sched = { sched; state = Blocked []; origin = None; trace = None }
 
-let resolved sched outcome = { sched; state = Ready outcome; origin = None }
+let resolved sched outcome = { sched; state = Ready outcome; origin = None; trace = None }
 
 let set_origin p origin =
   match p.origin with
@@ -37,6 +39,21 @@ let set_origin p origin =
   | None -> p.origin <- Some origin
 
 let origin p = p.origin
+
+let set_trace p tid = p.trace <- Some tid
+
+let trace p = p.trace
+
+(* The claim edge closes a traced call's timeline: the moment some
+   fiber actually obtained the outcome. The claimant's node is not
+   known at this layer, so the span carries none. *)
+let record_claim p ?note () =
+  match p.trace with
+  | None -> ()
+  | Some tid ->
+      let sp = S.spans p.sched in
+      if Sim.Span.enabled sp then
+        Sim.Span.record sp ~time:(S.now p.sched) ~kind:Sim.Span.Claim ~trace:tid ?note ()
 
 let ready p = match p.state with Ready _ -> true | Blocked _ -> false
 
@@ -56,13 +73,21 @@ let on_ready p hook =
 
 let claim p =
   match p.state with
-  | Ready o -> o
+  | Ready o ->
+      record_claim p ();
+      o
   | Blocked _ ->
-      S.suspend p.sched (fun w -> on_ready p (fun o -> ignore (S.wake w o : bool)))
+      let o =
+        S.suspend p.sched (fun w -> on_ready p (fun o -> ignore (S.wake w o : bool)))
+      in
+      record_claim p ();
+      o
 
 let claim_deadline p ~deadline =
   match p.state with
-  | Ready o -> o
+  | Ready o ->
+      record_claim p ();
+      o
   | Blocked _ ->
       if S.now p.sched >= deadline then
         Unavailable "claim deadline exceeded: promise still blocked"
@@ -71,11 +96,18 @@ let claim_deadline p ~deadline =
            fired, so the loser (outcome arrival or timer) is a no-op.
            The promise itself stays blocked on timeout — claiming is
            what gave up, not the call. *)
-        S.suspend p.sched (fun w ->
-            on_ready p (fun o -> ignore (S.wake w o : bool));
-            S.at p.sched deadline (fun () ->
-                ignore
-                  (S.wake w (Unavailable "claim deadline exceeded: promise still blocked") : bool)))
+        let o =
+          S.suspend p.sched (fun w ->
+              on_ready p (fun o -> ignore (S.wake w o : bool));
+              S.at p.sched deadline (fun () ->
+                  ignore
+                    (S.wake w (Unavailable "claim deadline exceeded: promise still blocked")
+                      : bool)))
+        in
+        (match p.state with
+        | Ready _ -> record_claim p ()
+        | Blocked _ -> record_claim p ~note:"deadline exceeded" ());
+        o
 
 let claim_timeout p ~timeout = claim_deadline p ~deadline:(S.now p.sched +. timeout)
 

@@ -114,3 +114,15 @@ val set_origin : ('a, 'e) t -> origin -> unit
 val origin : ('a, 'e) t -> origin option
 (** [None] for promises not born from a stream call (combinators,
     {!resolved}, forked local procedures) — those cannot be piped. *)
+
+(** {1 Causal tracing (docs/TRACING.md)}
+
+    A promise born from a stream call also remembers the call's trace
+    id, so claiming it can record the final edge of the call's causal
+    timeline in the scheduler's {!Sim.Span} store. *)
+
+val set_trace : ('a, 'e) t -> int -> unit
+(** Stamp the producing call's trace id (done by {!Remote} at issue). *)
+
+val trace : ('a, 'e) t -> int option
+(** [None] for promises not born from a stream call. *)

@@ -33,14 +33,14 @@ let decode_outcome (hs : ('a, 'r, 'e) Sigs.hsig) (w : W.routcome) : ('r, 'e) Pro
   | W.W_failure reason -> Promise.Failure reason
 
 (* Put one already-encoded call on the stream: wounded-fiber check,
-   stream-broken check. On success returns the stable call-id and
-   [on_reply] will fire exactly once. *)
+   stream-broken check. On success returns the stable call-id and the
+   call's causal trace id, and [on_reply] will fire exactly once. *)
 let start_encoded h ~kind ~args ~on_reply =
   if S.wounded h.h_sched then
     (* "It cannot make any remote calls at such a point" (§4.2). *)
     raise S.Terminated;
-  match SE.call_cid h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply with
-  | Ok cid -> cid
+  match SE.call_traced h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply with
+  | Ok ids -> ids
   | Error reason -> raise (Promise.Unavailable_exn reason)
 
 (* Shared front half of the typed call forms: encode, then transmit. *)
@@ -49,18 +49,20 @@ let start_call h ~kind arg ~on_reply =
   | Error reason -> raise (Promise.Failure_exn ("encoding failed: " ^ reason))
   | Ok args -> start_encoded h ~kind ~args ~on_reply
 
-(* A promise born here can be piped into a later call on the same node:
-   remember which call produces it. *)
-let stamp_origin h p cid =
+(* A promise born here can be piped into a later call on the same node
+   (remember which call produces it) and claimed under tracing (stamp
+   the call's trace id so the claim edge lands in its timeline). *)
+let stamp_origin h p (cid, tid) =
   Promise.set_origin p
-    { Promise.og_stream = SE.stable_id h.h_stream; og_call = cid; og_dst = SE.dst h.h_stream }
+    { Promise.og_stream = SE.stable_id h.h_stream; og_call = cid; og_dst = SE.dst h.h_stream };
+  Promise.set_trace p tid
 
 let stream_call h arg =
   let p = Promise.create h.h_sched in
-  let cid =
+  let ids =
     start_call h ~kind:W.Call arg ~on_reply:(fun w -> Promise.resolve p (decode_outcome h.h_sig w))
   in
-  stamp_origin h p cid;
+  stamp_origin h p ids;
   p
 
 let stream_call_ h arg =
@@ -68,9 +70,9 @@ let stream_call_ h arg =
     (start_call h ~kind:W.Call arg ~on_reply:(fun w ->
          (* Decoded and discarded, as §3 specifies for statement form. *)
          ignore (decode_outcome h.h_sig w : _ Promise.outcome))
-      : int)
+      : int * int)
 
-let send h arg = ignore (start_call h ~kind:W.Send arg ~on_reply:(fun _ -> ()) : int)
+let send h arg = ignore (start_call h ~kind:W.Send arg ~on_reply:(fun _ -> ()) : int * int)
 
 (* {2 Promise pipelining (docs/PIPELINE.md)} *)
 
@@ -136,11 +138,11 @@ let stream_call_p h a =
             }
         in
         let p = Promise.create h.h_sched in
-        let cid =
+        let ids =
           start_encoded h ~kind:W.Call ~args ~on_reply:(fun w ->
               Promise.resolve p (decode_outcome h.h_sig w))
         in
-        stamp_origin h p cid;
+        stamp_origin h p ids;
         Sim.Stats.incr (Sim.Stats.counter (S.stats h.h_sched) "pipelined_calls");
         p
       end

@@ -241,6 +241,21 @@ let hub_counter hub name = Sim.Stats.counter (S.stats hub.h_sched) name
 
 let hub_trace hub fmt = Sim.Trace.recordf (S.trace hub.h_sched) ~time:(S.now hub.h_sched) fmt
 
+(* Causal tracing (docs/TRACING.md): every item that carries a trace id
+   gets a span at each transport edge. Items without one — all of them,
+   when tracing is off — cost a single branch here. *)
+let span_items hub kind ?note items =
+  let spans = S.spans hub.h_sched in
+  if Sim.Span.enabled spans then
+    List.iter
+      (fun item ->
+        match Wire.item_trace item with
+        | Some tid ->
+            Sim.Span.record spans ~time:(S.now hub.h_sched) ~kind ~trace:tid
+              ~node:(Net.address hub.h_node) ?note ()
+        | None -> ())
+      items
+
 let transmit hub ~dst packet =
   let frame = encode_packet packet in
   let bytes = String.length frame in
@@ -364,6 +379,9 @@ let rec arm_retransmit o =
               let items = List.map (fun (_, _, item) -> item) o.o_unacked in
               let acks = take_piggyback o.o_hub ~dst:o.o_dst in
               transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; acks; items });
+              span_items o.o_hub Sim.Span.Retransmit
+                ~note:(Printf.sprintf "try %d -> n%d" o.o_retries o.o_dst)
+                items;
               arm_retransmit o
             end
           end
@@ -385,6 +403,7 @@ let flush_out o =
     let items = List.map fst entries in
     let acks = take_piggyback o.o_hub ~dst:o.o_dst in
     transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; acks; items });
+    span_items o.o_hub Sim.Span.Transmit ~note:(Printf.sprintf "-> n%d" o.o_dst) items;
     arm_retransmit o
   end
 
@@ -438,15 +457,18 @@ let handle_ack o ~upto =
   if o.o_broken = None && upto > o.o_acked_upto then begin
     o.o_acked_upto <- upto;
     let freed = ref 0 in
+    let freed_items = ref [] in
     o.o_unacked <-
       List.filter
-        (fun (s, size, _) ->
+        (fun (s, size, item) ->
           if s <= upto then begin
             freed := !freed + size;
+            freed_items := item :: !freed_items;
             false
           end
           else true)
         o.o_unacked;
+    span_items o.o_hub Sim.Span.Ack (List.rev !freed_items);
     o.o_inflight_bytes <- o.o_inflight_bytes - !freed;
     o.o_retries <- 0;
     (* restart the timer for the (new) oldest unacked item *)
@@ -511,6 +533,7 @@ let handle_data hub ~key ~first_seq ~items =
             let fresh = if skip >= count then [] else List.filteri (fun idx _ -> idx >= skip) items in
             if fresh <> [] then begin
               i.i_expected <- i.i_expected + List.length fresh;
+              span_items hub Sim.Span.Deliver ~note:(Printf.sprintf "from n%d" key.src) fresh;
               match i.i_deliver with
               | Some f -> f fresh
               | None -> ()

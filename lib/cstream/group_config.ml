@@ -1,0 +1,86 @@
+type shard_key = port:string -> Xdr.value -> int
+
+type t = {
+  reply_config : Chanhub.config;
+  ordered : bool;
+  dedup : bool;
+  dedup_cache : int;
+  shards : int;
+  shard_key : shard_key option;
+  pipeline : Wire.routcome Pipeline.Registry.t option;
+}
+
+let default =
+  {
+    reply_config = Chanhub.default_config;
+    ordered = true;
+    dedup = false;
+    dedup_cache = 1024;
+    shards = 1;
+    shard_key = None;
+    pipeline = None;
+  }
+
+let with_reply_config reply_config t = { t with reply_config }
+
+let with_ordered ordered t = { t with ordered }
+
+let with_dedup ?(cache = 1024) t = { t with dedup = true; dedup_cache = cache }
+
+let without_dedup t = { t with dedup = false }
+
+let with_shards ?key shards t =
+  if shards <= 0 then invalid_arg "Group_config.with_shards: shards must be positive";
+  { t with shards; shard_key = (match key with Some _ -> key | None -> t.shard_key) }
+
+let with_pipeline reg t = { t with pipeline = Some reg }
+
+(* Whole-config equality, used by {!Guardian.get_group} to detect a
+   conflicting re-registration. The functional/abstract fields
+   ([shard_key], [pipeline]) compare physically: re-passing the same
+   value is compatible, a different one conflicts — functions have no
+   structural equality to offer. *)
+let equal a b =
+  a.reply_config = b.reply_config
+  && a.ordered = b.ordered
+  && a.dedup = b.dedup
+  && a.dedup_cache = b.dedup_cache
+  && a.shards = b.shards
+  && (match (a.shard_key, b.shard_key) with
+     | None, None -> true
+     | Some f, Some g -> f == g
+     | None, Some _ | Some _, None -> false)
+  &&
+  match (a.pipeline, b.pipeline) with
+  | None, None -> true
+  | Some r, Some s -> r == s
+  | None, Some _ | Some _, None -> false
+
+(* The field names on which two configs disagree — the payload of a
+   conflict error message. *)
+let diff a b =
+  List.filter_map
+    (fun (name, differs) -> if differs then Some name else None)
+    [
+      ("reply_config", a.reply_config <> b.reply_config);
+      ("ordered", a.ordered <> b.ordered);
+      ("dedup", a.dedup <> b.dedup);
+      ("dedup_cache", a.dedup_cache <> b.dedup_cache);
+      ("shards", a.shards <> b.shards);
+      ( "shard_key",
+        match (a.shard_key, b.shard_key) with
+        | None, None -> false
+        | Some f, Some g -> not (f == g)
+        | None, Some _ | Some _, None -> true );
+      ( "pipeline",
+        match (a.pipeline, b.pipeline) with
+        | None, None -> false
+        | Some r, Some s -> not (r == s)
+        | None, Some _ | Some _, None -> true );
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "{ordered=%b; dedup=%b; dedup_cache=%d; shards=%d; shard_key=%s; pipeline=%s}"
+    t.ordered t.dedup t.dedup_cache t.shards
+    (match t.shard_key with Some _ -> "<fn>" | None -> "default")
+    (match t.pipeline with Some _ -> "<registry>" | None -> "none")

@@ -1,0 +1,76 @@
+(** The configuration of a receiving port group, in one value.
+
+    Everything that used to travel as a sprawl of optional arguments
+    through {!Target.create} and [Guardian.register_group] —
+    reply-channel buffering, execution discipline, cross-incarnation
+    dedup, sharding, promise pipelining — lives in this record. Build
+    one by deriving from {!default} with the [with_*] functions:
+
+    {[
+      Group_config.(default |> with_dedup ~cache:2048 |> with_shards 4)
+    ]}
+
+    Both entry points take the whole config ([?config]); the guardian
+    layer stores it per group and compares {e whole configs} with
+    {!equal} when a group is re-registered, so a conflicting
+    re-registration fails loudly, field-by-field ({!diff}). *)
+
+type shard_key = port:string -> Xdr.value -> int
+(** A pure partition function routing each call to an execution lane
+    (docs/SHARDING.md). Purity matters: a resubmitted call must re-hash
+    to its original lane. *)
+
+type t = {
+  reply_config : Chanhub.config;  (** buffering of the per-stream reply channel *)
+  ordered : bool;
+      (** [true] (the paper's §2.1 semantics): the next call on a stream
+          starts only when the previous one has replied. [false] is the
+          explicit override: calls run concurrently, replies still
+          leave in call order. *)
+  dedup : bool;
+      (** cross-incarnation outcome cache keyed by stable call-id —
+          required receiver-side for supervisor exactly-once
+          (docs/FAULTS.md) *)
+  dedup_cache : int;  (** retained outcomes (oldest evicted first) *)
+  shards : int;
+      (** execution lanes per connection; >1 relaxes in-order execution
+          to per-key order (docs/SHARDING.md) *)
+  shard_key : shard_key option;
+      (** [None] = hash of the first argument ({!Target.default_shard_key}) *)
+  pipeline : Wire.routcome Pipeline.Registry.t option;
+      (** promise-pipelining outcome registry (docs/PIPELINE.md). The
+          guardian layer always substitutes its own per-guardian
+          registry; set this only when driving {!Target} directly. *)
+}
+
+val default : t
+(** Paper semantics: ordered, unsharded, no dedup, no pipelining,
+    {!Chanhub.default_config} replies. *)
+
+val with_reply_config : Chanhub.config -> t -> t
+
+val with_ordered : bool -> t -> t
+
+val with_dedup : ?cache:int -> t -> t
+(** Enable the cross-incarnation outcome cache ([cache] defaults to
+    1024 retained outcomes). *)
+
+val without_dedup : t -> t
+
+val with_shards : ?key:shard_key -> int -> t -> t
+(** Set the lane count (raises [Invalid_argument] on [<= 0]); [key]
+    replaces the partition function, otherwise any previously set key
+    is kept. *)
+
+val with_pipeline : Wire.routcome Pipeline.Registry.t -> t -> t
+
+val equal : t -> t -> bool
+(** Structural on the plain fields; {e physical} on [shard_key] and
+    [pipeline] (functions and registries have no structural equality) —
+    so re-passing the very same config value is always compatible. *)
+
+val diff : t -> t -> string list
+(** Names of the fields on which the two configs disagree (empty iff
+    {!equal}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -2,6 +2,7 @@ module S = Sched.Scheduler
 
 type pending = {
   p_cid : int;
+  p_trace : int;  (* causal trace id; survives resubmission with the cid *)
   p_port : string;
   p_kind : Wire.kind;
   p_args : Xdr.value;
@@ -51,6 +52,10 @@ let counter t name = Sim.Stats.counter (S.stats t.sched) name
 
 let trace t fmt = Sim.Trace.recordf (S.trace t.sched) ~time:(S.now t.sched) fmt
 
+let spans t = S.spans t.sched
+
+let node_addr t = Net.address (Chanhub.hub_node t.hub)
+
 let reply_label_for ~agent ~gid ~dst ~incarnation =
   Printf.sprintf "~r/%s/%s/%d/%d" agent gid dst incarnation
 
@@ -64,6 +69,12 @@ let stable_id t =
   Wire.stable_stream_id
     ~src:(Net.address (Chanhub.hub_node t.hub))
     ~reply_label:(reply_label t)
+
+let span t ~kind ~trace ~call ?note () =
+  let sp = spans t in
+  if Sim.Span.enabled sp then
+    Sim.Span.record sp ~time:(S.now t.sched) ~kind ~trace ~node:(node_addr t)
+      ~stream:(stable_id t) ~call ?note ()
 
 let wake_satisfied_synchers t =
   let ready, waiting =
@@ -102,6 +113,10 @@ let handle_break t reason =
     t.s_broken <- Some reason;
     Sim.Stats.incr (counter t "stream_breaks");
     trace t "stream %s->%s/%d inc=%d break: %s" t.s_agent t.s_gid t.s_dst t.incarnation reason;
+    if Sim.Span.enabled (spans t) then
+      Hashtbl.iter
+        (fun _ p -> span t ~kind:Sim.Span.Break ~trace:p.p_trace ~call:p.p_cid ~note:reason ())
+        t.pending;
     (* Outstanding calls will never get replies on this incarnation.
        Default (§2): complete them with [unavailable] — "we rely on the
        language to cause the calls to terminate with an exception".
@@ -168,10 +183,15 @@ let create hub ~agent ~dst ~gid ?(config = Chanhub.default_config) () =
   attach t chan;
   t
 
-let call_cid t ~port ~kind ~args ~on_reply =
+let call_traced t ~port ~kind ~args ~on_reply =
   match t.s_broken with
   | Some reason -> Error reason
   | None -> (
+      (* The trace id is allocated at issue and kept for the call's
+         whole life, across resubmissions; it rides the wire only while
+         tracing is on, so the off-path encoding is unchanged. *)
+      let tid = Sim.Span.next_trace (spans t) in
+      let wire_trace = if Sim.Span.enabled (spans t) then Some tid else None in
       (* Reserve window space BEFORE claiming a sequence number: a fiber
          that blocked after taking its seq would let later calls enter
          the channel first and violate in-call-order delivery. The size
@@ -179,7 +199,9 @@ let call_cid t ~port ~kind ~args ~on_reply =
          while we are parked, the item is rebuilt below (the varint seq
          may change its length by a byte or two). *)
       let probe_seq = t.next_seq and probe_cid = t.next_cid in
-      let probe = Wire.call_item ~seq:probe_seq ~cid:probe_cid ~port ~kind ~args in
+      let probe =
+        Wire.call_item ~seq:probe_seq ~cid:probe_cid ~trace:wire_trace ~port ~kind ~args
+      in
       match Chanhub.await_window t.chan ~bytes:(Xdr.Bin.size probe) with
       | Error reason -> Error reason
       | Ok () ->
@@ -190,12 +212,23 @@ let call_cid t ~port ~kind ~args ~on_reply =
       t.next_seq <- seq + 1;
       t.next_cid <- cid + 1;
       Hashtbl.replace t.pending seq
-        { p_cid = cid; p_port = port; p_kind = kind; p_args = args; p_on_reply = on_reply };
+        {
+          p_cid = cid;
+          p_trace = tid;
+          p_port = port;
+          p_kind = kind;
+          p_args = args;
+          p_on_reply = on_reply;
+        };
       let item =
-        if seq = probe_seq then probe else Wire.call_item ~seq ~cid ~port ~kind ~args
+        if seq = probe_seq then probe
+        else Wire.call_item ~seq ~cid ~trace:wire_trace ~port ~kind ~args
       in
+      span t ~kind:Sim.Span.Issue ~trace:tid ~call:cid ~note:port ();
       (match Chanhub.send t.chan item with
-      | Ok () -> Ok cid
+      | Ok () ->
+          span t ~kind:Sim.Span.Enqueue ~trace:tid ~call:cid ();
+          Ok (cid, tid)
       | Error reason ->
           (* Unreachable in practice: a channel break reports to
              [handle_break] synchronously, so [s_broken] would be set.
@@ -203,6 +236,9 @@ let call_cid t ~port ~kind ~args ~on_reply =
           Hashtbl.remove t.pending seq;
           t.next_seq <- seq;
           Error reason))
+
+let call_cid t ~port ~kind ~args ~on_reply =
+  Result.map fst (call_traced t ~port ~kind ~args ~on_reply)
 
 let call t ~port ~kind ~args ~on_reply =
   Result.map (fun (_ : int) -> ()) (call_cid t ~port ~kind ~args ~on_reply)
@@ -281,11 +317,15 @@ let restart_resubmit t =
       trace t "stream %s->%s/%d resubmit restart: incarnation %d, %d calls replayed"
         t.s_agent t.s_gid t.s_dst (t.incarnation + 1) (List.length pend);
       reincarnate t;
+      let wire_trace p = if Sim.Span.enabled (spans t) then Some p.p_trace else None in
       List.iteri
         (fun i (_, p) ->
+          span t ~kind:Sim.Span.Resubmit ~trace:p.p_trace ~call:p.p_cid
+            ~note:(Printf.sprintf "incarnation %d" t.incarnation) ();
           ignore
             (Chanhub.send t.chan
-               (Wire.call_item ~seq:i ~cid:p.p_cid ~port:p.p_port ~kind:p.p_kind ~args:p.p_args)
+               (Wire.call_item ~seq:i ~cid:p.p_cid ~trace:(wire_trace p) ~port:p.p_port
+                  ~kind:p.p_kind ~args:p.p_args)
               : (unit, string) result))
         pend;
       if pend <> [] then Chanhub.flush_out t.chan;

@@ -75,6 +75,16 @@ val call_cid :
     transmissible {!Xdr.promise_ref} (promise pipelining,
     docs/PIPELINE.md). *)
 
+val call_traced :
+  t -> port:string -> kind:Wire.kind -> args:Xdr.value ->
+  on_reply:(Wire.routcome -> unit) -> (int * int, string) result
+(** {!call_cid}, additionally returning the call's causal trace id
+    ([cid, trace]). The trace id is allocated here at issue
+    ({!Sim.Span.next_trace}), kept across {!restart_resubmit}, and
+    carried in the wire item while the scheduler's span store is
+    enabled (docs/TRACING.md) — the language layer stamps it on the
+    promise so {!Core.Promise} can record the claim edge. *)
+
 val flush : t -> unit
 (** Transmit buffered call requests now (§2's [flush]). *)
 

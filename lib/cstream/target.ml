@@ -2,7 +2,14 @@ module S = Sched.Scheduler
 
 type work =
   | Overhead  (** one arriving network message: charge kernel overhead *)
-  | Exec of { seq : int; cid : int; port : string; kind : Wire.kind; args : Xdr.value }
+  | Exec of {
+      seq : int;
+      cid : int;
+      trace : int option;  (* causal trace id carried by the call item *)
+      port : string;
+      kind : Wire.kind;
+      args : Xdr.value;
+    }
 
 (* Cross-incarnation dedup cache entry, keyed by (stable stream id,
    stable call-id). [In_progress] collects the reply callbacks of
@@ -46,7 +53,7 @@ and conn = {
   mutable c_breaking : string option;  (* break requested mid-call *)
   mutable c_on_close : (unit -> unit) list;
   (* sharded/unordered modes: outcomes parked until all earlier replies went out *)
-  c_done : (int, Wire.kind * Wire.routcome) Hashtbl.t;
+  c_done : (int, Wire.kind * int option * Wire.routcome) Hashtbl.t;
   mutable c_next_reply : int;
 }
 
@@ -90,6 +97,19 @@ let conn_src c = Chanhub.in_src c.c_in
 let conn_count t = Hashtbl.length t.conns
 
 let counter t name = Sim.Stats.counter (S.stats t.sched) name
+
+(* Receiver-side span emission (docs/TRACING.md): a no-op unless the
+   arriving item carried a trace id, which it only does while the
+   sender's (shared) span store is enabled. *)
+let span t ~kind ~trace ?stream ?call ?note () =
+  match trace with
+  | None -> ()
+  | Some tid ->
+      let sp = S.spans t.sched in
+      if Sim.Span.enabled sp then
+        Sim.Span.record sp ~time:(S.now t.sched) ~kind ~trace:tid
+          ~node:(Net.address (Chanhub.hub_node t.hub))
+          ?stream ?call ?note ()
 
 (* Raise a counter to a new high-water mark (counters only add). *)
 let bump_hwm c v = if v > Sim.Stats.count c then Sim.Stats.add c (v - Sim.Stats.count c)
@@ -135,13 +155,18 @@ let break_conn c ~reason =
   end
   else do_break c reason
 
-let emit_reply c ~seq ~kind outcome =
+let emit_reply c ~seq ~kind ~trace outcome =
   if not c.c_broken then begin
+    let t = c.c_target in
+    (* The reply carries the call's trace id only while tracing is on,
+       so the off-path reply encoding stays the compact pair. *)
+    let wire_trace = if Sim.Span.enabled (S.spans t.sched) then trace else None in
     let item =
       match (kind, outcome) with
-      | Wire.Send, Wire.W_normal _ -> Wire.send_ok_item ~seq
-      | (Wire.Call | Wire.Send), _ -> Wire.reply_item ~seq outcome
+      | Wire.Send, Wire.W_normal _ -> Wire.send_ok_item ~seq ~trace:wire_trace
+      | (Wire.Call | Wire.Send), _ -> Wire.reply_item ~seq ~trace:wire_trace outcome
     in
+    span t ~kind:Sim.Span.Reply ~trace ~stream:c.c_stable ();
     (* Back-pressure: a slow/unreachable caller bounds the reply
        channel's in-flight bytes, parking the driver fiber (in ordered
        mode) instead of growing the unacked queue without limit. A
@@ -174,7 +199,7 @@ let remember t id outcome =
    has landed. [k] receives the fully substituted arguments; if any
    producer terminated abnormally the call completes through [reply]
    with the corresponding abnormal outcome and [k] never runs. *)
-let resolve_refs c ~cid ~args ~reply k =
+let resolve_refs c ~cid ~trace ~args ~reply k =
   let t = c.c_target in
   if not (Pipeline.has_refs args) then k args
   else begin
@@ -238,6 +263,9 @@ let resolve_refs c ~cid ~args ~reply k =
                 match Pipeline.substitute ~lookup args with
                 | Ok args' ->
                     Sim.Stats.add (counter t "ref_substitutions") (List.length refs);
+                    span t ~kind:Sim.Span.Substitute ~trace ~stream:c.c_stable ~call:cid
+                      ~note:(Printf.sprintf "%d ref(s)" (List.length refs))
+                      ();
                     k args'
                 | Error reason -> fail reason)
           in
@@ -299,6 +327,9 @@ let resolve_refs c ~cid ~args ~reply k =
                 fail "pipeline dependency table full"
             | Ok registered ->
                 Sim.Stats.incr (counter t "parked_calls");
+                span t ~kind:Sim.Span.Park ~trace ~stream:c.c_stable ~call:cid
+                  ~note:(Printf.sprintf "%d outcome(s) missing" (List.length missing))
+                  ();
                 if not t.t_dedup then
                   on_conn_close c (fun () ->
                       List.iter (Pipeline.Registry.cancel reg) registered)
@@ -313,7 +344,7 @@ let resolve_refs c ~cid ~args ~reply k =
    execution. Pipelined arguments are substituted (parking the call if
    needed) before the handler dispatches; every Call outcome is
    recorded in the pipelining registry for later dependents. *)
-let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
+let exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply =
   let t = c.c_target in
   let reply =
     match t.t_registry with
@@ -324,7 +355,12 @@ let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
     | Some _ | None -> reply
   in
   let run ~reply =
-    resolve_refs c ~cid ~args ~reply (fun args -> t.dispatch c ~seq ~port ~kind ~args ~reply)
+    resolve_refs c ~cid ~trace ~args ~reply (fun args ->
+        span t ~kind:Sim.Span.Exec_begin ~trace ~stream:c.c_stable ~call:cid ~note:port ();
+        t.dispatch c ~seq ~port ~kind ~args
+          ~reply:(fun outcome ->
+            span t ~kind:Sim.Span.Exec_end ~trace ~stream:c.c_stable ~call:cid ();
+            reply outcome))
   in
   if not t.t_dedup then run ~reply
   else begin
@@ -332,9 +368,11 @@ let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
     match Hashtbl.find_opt t.t_cache id with
     | Some (Done outcome) ->
         Sim.Stats.incr (counter t "target_dedup_replays");
+        span t ~kind:Sim.Span.Dedup_replay ~trace ~stream:c.c_stable ~call:cid ();
         reply outcome
     | Some (In_progress w) ->
         Sim.Stats.incr (counter t "target_dedup_joins");
+        span t ~kind:Sim.Span.Dedup_join ~trace ~stream:c.c_stable ~call:cid ();
         w.waiters <- reply :: w.waiters
     | None ->
         let w = { waiters = [] } in
@@ -356,9 +394,9 @@ let exec_call c ~seq ~cid ~port ~kind ~args ~reply =
 let release_in_order c =
   let rec go () =
     match Hashtbl.find_opt c.c_done c.c_next_reply with
-    | Some (kind, outcome) ->
+    | Some (kind, trace, outcome) ->
         Hashtbl.remove c.c_done c.c_next_reply;
-        emit_reply c ~seq:c.c_next_reply ~kind outcome;
+        emit_reply c ~seq:c.c_next_reply ~kind ~trace outcome;
         c.c_next_reply <- c.c_next_reply + 1;
         go ()
     | None -> ()
@@ -380,9 +418,9 @@ let driver_loop c sh =
      driver: any overlap in execution can scramble completion order, so
      replies go through the in-order parking table instead. *)
   let direct = t.t_ordered && t.t_shards = 1 in
-  let park_reply ~seq ~kind o =
+  let park_reply ~seq ~kind ~trace o =
     if not c.c_broken then begin
-      Hashtbl.replace c.c_done seq (kind, o);
+      Hashtbl.replace c.c_done seq (kind, trace, o);
       release_in_order c
     end
   in
@@ -395,18 +433,19 @@ let driver_loop c sh =
         (* A break is pending: work queued behind the in-flight calls
            is discarded, as it would be by the break itself. *)
         loop ()
-    | Exec { seq; cid; port; kind; args } when not t.t_ordered ->
-        exec_call c ~seq ~cid ~port ~kind ~args ~reply:(park_reply ~seq ~kind);
+    | Exec { seq; cid; trace; port; kind; args } when not t.t_ordered ->
+        exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply:(park_reply ~seq ~kind ~trace);
         loop ()
-    | Exec { seq; cid; port; kind; args } -> (
+    | Exec { seq; cid; trace; port; kind; args } -> (
         c.c_inflight <- c.c_inflight + 1;
         let outcome =
           S.suspend t.sched (fun w ->
-              exec_call c ~seq ~cid ~port ~kind ~args ~reply:(fun o ->
+              exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply:(fun o ->
                   ignore (S.wake w o : bool)))
         in
         c.c_inflight <- c.c_inflight - 1;
-        if direct then emit_reply c ~seq ~kind outcome else park_reply ~seq ~kind outcome;
+        if direct then emit_reply c ~seq ~kind ~trace outcome
+        else park_reply ~seq ~kind ~trace outcome;
         match c.c_breaking with
         | Some reason when c.c_inflight = 0 ->
             c.c_breaking <- None;
@@ -459,13 +498,17 @@ let accept t in_chan =
             if not c.c_broken then
               match Wire.parse_call item with
               | Ok (seq, cid, port, kind, args) ->
+                  let trace = Wire.item_trace item in
                   let s = shard_of t ~port args in
                   let lane = c.c_shards.(s) in
                   if not touched.(s) then begin
                     touched.(s) <- true;
                     Sched.Bqueue.enq lane.sh_work Overhead
                   end;
-                  Sched.Bqueue.enq lane.sh_work (Exec { seq; cid; port; kind; args });
+                  span t ~kind:Sim.Span.Dispatch ~trace ~stream:c.c_stable ~call:cid
+                    ~note:(Printf.sprintf "lane %d/%d" s t.t_shards)
+                    ();
+                  Sched.Bqueue.enq lane.sh_work (Exec { seq; cid; trace; port; kind; args });
                   if t.t_shards > 1 then begin
                     Sim.Stats.incr (counter t "shard_dispatches");
                     t.t_dispatch_counts.(s) <- t.t_dispatch_counts.(s) + 1;
@@ -486,25 +529,26 @@ let accept t in_chan =
       sh.sh_driver <- Some (S.spawn t.sched ~daemon:true ~name (fun () -> driver_loop c sh)))
     c.c_shards
 
-let create hub ~gid ?(reply_config = Chanhub.default_config) ?(ordered = true) ?(dedup = false)
-    ?(dedup_cache = 1024) ?(shards = 1) ?(shard_key = default_shard_key) ?pipeline dispatch =
-  if shards <= 0 then invalid_arg "Target.create: shards must be positive";
+let create hub ~gid ?(config = Group_config.default) dispatch =
+  if config.Group_config.shards <= 0 then
+    invalid_arg "Target.create: shards must be positive";
   let t =
     {
       hub;
       sched = Chanhub.hub_sched hub;
       t_gid = gid;
-      reply_config;
-      t_ordered = ordered;
-      t_dedup = dedup;
-      t_shards = shards;
-      t_shard_key = shard_key;
-      t_dispatch_counts = Array.make shards 0;
-      t_cache_cap = dedup_cache;
-      t_cache = Hashtbl.create (if dedup then 64 else 1);
+      reply_config = config.Group_config.reply_config;
+      t_ordered = config.Group_config.ordered;
+      t_dedup = config.Group_config.dedup;
+      t_shards = config.Group_config.shards;
+      t_shard_key =
+        Option.value config.Group_config.shard_key ~default:default_shard_key;
+      t_dispatch_counts = Array.make config.Group_config.shards 0;
+      t_cache_cap = config.Group_config.dedup_cache;
+      t_cache = Hashtbl.create (if config.Group_config.dedup then 64 else 1);
       t_done_order = Queue.create ();
       t_done_count = 0;
-      t_registry = pipeline;
+      t_registry = config.Group_config.pipeline;
       dispatch;
       conns = Hashtbl.create 8;
       closed = false;

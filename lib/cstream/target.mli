@@ -42,41 +42,33 @@ type dispatch =
     arrange for [reply] to be called exactly once. The next call on the
     stream is dispatched only after [reply] fires. *)
 
-val create :
-  Chanhub.hub ->
-  gid:string ->
-  ?reply_config:Chanhub.config ->
-  ?ordered:bool ->
-  ?dedup:bool ->
-  ?dedup_cache:int ->
-  ?shards:int ->
-  ?shard_key:(port:string -> Xdr.value -> int) ->
-  ?pipeline:Wire.routcome Pipeline.Registry.t ->
-  dispatch ->
-  t
-(** Register the port group [gid] on this hub. [ordered] (default
-    [true]) is the paper's semantics: the next call on a stream starts
-    only when the previous one has replied. [ordered:false] is the
-    "explicit override" hinted at in §2.1: calls on one stream execute
-    concurrently, while replies are still released in call order so the
-    stream's reply-ordering guarantee (and promise-readiness order)
-    is preserved. Used by the receiver-ordering ablation.
+val create : Chanhub.hub -> gid:string -> ?config:Group_config.t -> dispatch -> t
+(** Register the port group [gid] on this hub, configured by [config]
+    (default {!Group_config.default} — the paper's semantics). The
+    config's fields:
+
+    [ordered = true] is the paper's semantics: the next call on a
+    stream starts only when the previous one has replied. [false] is
+    the "explicit override" hinted at in §2.1: calls on one stream
+    execute concurrently, while replies are still released in call
+    order so the stream's reply-ordering guarantee (and
+    promise-readiness order) is preserved. Used by the
+    receiver-ordering ablation.
 
     [shards] (default 1) partitions each stream's execution across that
-    many concurrent lanes, keyed by [shard_key] (default: hash of the
-    first argument — the [a] of a [Pair (a, b)] argument, or the whole
-    value). The paper's in-order guarantee is relaxed to {e per-key}
-    order: two calls whose keys map to the same shard still execute
-    strictly in call order, while calls on different shards overlap
-    (docs/SHARDING.md). Replies are nevertheless released in call
-    order, so the stream's reply-order guarantee (and promise-readiness
-    order) is unchanged. [shard_key] must be a pure function of its
-    arguments: a resubmitted call re-hashes to the same shard, which is
-    what keeps dedup joins and per-key order stable across stream
-    incarnations. Sharded dispatch is counted in {!Sim.Stats} as
-    [shard_dispatches], with high-water marks [shard_queue_hwm] (lane
-    queue depth) and [shard_imbalance] (spread between the most- and
-    least-loaded lane's cumulative dispatches).
+    many concurrent lanes, keyed by [shard_key] (default
+    {!default_shard_key}). The paper's in-order guarantee is relaxed to
+    {e per-key} order: two calls whose keys map to the same shard still
+    execute strictly in call order, while calls on different shards
+    overlap (docs/SHARDING.md). Replies are nevertheless released in
+    call order, so the stream's reply-order guarantee (and
+    promise-readiness order) is unchanged. [shard_key] must be a pure
+    function of its arguments: a resubmitted call re-hashes to the same
+    shard, which is what keeps dedup joins and per-key order stable
+    across stream incarnations. Sharded dispatch is counted in
+    {!Sim.Stats} as [shard_dispatches], with high-water marks
+    [shard_queue_hwm] (lane queue depth) and [shard_imbalance] (spread
+    between the most- and least-loaded lane's cumulative dispatches).
 
     [dedup] (default [false]) enables the cross-incarnation outcome
     cache; [dedup_cache] (default 1024) bounds the number of retained
@@ -95,7 +87,12 @@ val create :
     executing the handler. Pass the {e same} registry to every group of
     one guardian so calls can reference results produced through other
     groups on the same node. Events are counted in {!Sim.Stats} as
-    [parked_calls], [ref_substitutions] and [ref_failures]. *)
+    [parked_calls], [ref_substitutions] and [ref_failures].
+
+    While the scheduler's {!Sim.Span} store is enabled, the target also
+    records the receiver half of each traced call's causal timeline —
+    dispatch (with its lane), park/substitute, execution begin/end,
+    dedup join/replay, and the reply (docs/TRACING.md). *)
 
 val gid : t -> string
 

@@ -46,15 +46,20 @@ let kind_of_tag = function
   | "s" -> Ok Send
   | other -> Error (Printf.sprintf "unknown call kind %S" other)
 
-let call_item ~seq ~cid ~port ~kind ~args =
+(* The optional "t" field carries the per-call trace id (docs/TRACING.md).
+   It is appended only when the sender's span store is enabled, so with
+   tracing off the encoding is byte-for-byte the pre-tracing format;
+   [parse_call] ignores unknown fields either way. *)
+let call_item ~seq ~cid ~trace ~port ~kind ~args =
   Xdr.Record
-    [
-      ("q", Xdr.Int seq);
-      ("i", Xdr.Int cid);
-      ("p", Xdr.Str port);
-      ("k", Xdr.Str (kind_tag kind));
-      ("a", args);
-    ]
+    ([
+       ("q", Xdr.Int seq);
+       ("i", Xdr.Int cid);
+       ("p", Xdr.Str port);
+       ("k", Xdr.Str (kind_tag kind));
+       ("a", args);
+     ]
+    @ match trace with Some tid -> [ ("t", Xdr.Int tid) ] | None -> [])
 
 (* Parse by field name, not position: a reordered-but-complete record
    (e.g. from a future encoder) must decode, and unknown extra fields
@@ -90,11 +95,32 @@ let outcome_of_value = function
   | Xdr.Tagged ("o", Xdr.Unit) -> Ok (W_normal Xdr.Unit)
   | v -> Error (Format.asprintf "malformed outcome: %a" Xdr.pp_value v)
 
-let reply_item ~seq outcome = Xdr.Pair (Xdr.Int seq, outcome_value outcome)
+(* Replies have two wire forms: the compact pair (tracing off — the
+   original format) and a field-named record carrying the call's trace
+   id (tracing on). [parse_reply] accepts both. *)
+let reply_value ~seq ~trace ov =
+  match trace with
+  | None -> Xdr.Pair (Xdr.Int seq, ov)
+  | Some tid -> Xdr.Record [ ("q", Xdr.Int seq); ("t", Xdr.Int tid); ("o", ov) ]
 
-let send_ok_item ~seq = Xdr.Pair (Xdr.Int seq, Xdr.Tagged ("o", Xdr.Unit))
+let reply_item ~seq ~trace outcome = reply_value ~seq ~trace (outcome_value outcome)
+
+let send_ok_item ~seq ~trace = reply_value ~seq ~trace (Xdr.Tagged ("o", Xdr.Unit))
 
 let parse_reply = function
   | Xdr.Pair (Xdr.Int seq, ov) -> (
       match outcome_of_value ov with Ok o -> Ok (seq, o) | Error e -> Error e)
+  | Xdr.Record fields as v -> (
+      match (List.assoc_opt "q" fields, List.assoc_opt "o" fields) with
+      | Some (Xdr.Int seq), Some ov -> (
+          match outcome_of_value ov with Ok o -> Ok (seq, o) | Error e -> Error e)
+      | _ -> Error (Format.asprintf "malformed reply item: %a" Xdr.pp_value v))
   | v -> Error (Format.asprintf "malformed reply item: %a" Xdr.pp_value v)
+
+(* The trace id of a call or (traced-form) reply item; [None] for the
+   compact forms, for untraced items and for anything malformed. Total:
+   the channel layer applies it to every item it moves. *)
+let item_trace = function
+  | Xdr.Record fields -> (
+      match List.assoc_opt "t" fields with Some (Xdr.Int tid) -> Some tid | _ -> None)
+  | _ -> None

@@ -40,12 +40,17 @@ val stream_id_group : string -> string option
 
 (** {1 Call items} *)
 
-val call_item : seq:int -> cid:int -> port:string -> kind:kind -> args:Xdr.value -> Xdr.value
+val call_item :
+  seq:int -> cid:int -> trace:int option -> port:string -> kind:kind -> args:Xdr.value ->
+  Xdr.value
 (** [seq] is the per-incarnation wire sequence (resets on restart);
     [cid] is the {e stable call-id}, monotonic over the whole life of
     the sending stream end — it never resets, so the receiver can
     deduplicate calls re-submitted after a reincarnation (see
-    [docs/FAULTS.md]). *)
+    [docs/FAULTS.md]). [trace] is the call's causal trace id
+    (docs/TRACING.md), carried in an extra field only when tracing is
+    enabled: with [trace:None] the encoding is byte-for-byte the
+    pre-tracing wire format. *)
 
 val parse_call : Xdr.value -> (int * int * string * kind * Xdr.value, string) result
 (** Inverse of {!call_item}: [(seq, cid, port, kind, args)]. *)
@@ -57,12 +62,20 @@ val outcome_value : routcome -> Xdr.value
     Exposed so byte budgets can size a stored outcome exactly as it
     would ship ([Xdr.Bin.size (outcome_value o)]). *)
 
-val reply_item : seq:int -> routcome -> Xdr.value
+val reply_item : seq:int -> trace:int option -> routcome -> Xdr.value
 (** Encodes the outcome; a [W_normal] reply to a [Send] should be
-    constructed with {!send_ok_item} instead. *)
+    constructed with {!send_ok_item} instead. With [trace:Some id] the
+    reply takes a record form carrying the call's trace id so the
+    return leg of the journey is traceable; [trace:None] is the
+    original compact pair. *)
 
-val send_ok_item : seq:int -> Xdr.value
+val send_ok_item : seq:int -> trace:int option -> Xdr.value
 (** Minimal "completed normally" reply for a [Send]. *)
 
 val parse_reply : Xdr.value -> (int * routcome, string) result
-(** [send_ok_item] parses as [W_normal Unit]. *)
+(** Accepts both reply forms; [send_ok_item] parses as [W_normal Unit]. *)
+
+val item_trace : Xdr.value -> int option
+(** The trace id carried by a call or reply item, if any. Total over
+    arbitrary values — the channel layer applies it to every item it
+    transmits, delivers or acknowledges (docs/TRACING.md). *)

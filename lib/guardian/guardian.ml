@@ -2,6 +2,7 @@ module S = Sched.Scheduler
 module CH = Cstream.Chanhub
 module T = Cstream.Target
 module W = Cstream.Wire
+module GC = Cstream.Group_config
 
 type t = {
   g_hub : CH.hub;
@@ -15,18 +16,11 @@ type t = {
   mutable destroyed : bool;
 }
 
-and group_state = { target : T.t; ports : (string, reg) Hashtbl.t; config : group_config }
-
-(* The configuration a group was created with, kept so a later
-   [get_group] with conflicting options fails loudly instead of
-   silently ignoring the new configuration. *)
-and group_config = {
-  gc_reply_config : CH.config;
-  gc_ordered : bool;
-  gc_dedup : bool;
-  gc_dedup_cache : int;
-  gc_shards : int;
-}
+and group_state = { target : T.t; ports : (string, reg) Hashtbl.t; config : GC.t }
+(* [config] is the configuration the group was {e registered} with (as
+   the caller supplied it, before the guardian substitutes its own
+   pipelining registry), kept so a later [get_group] with a conflicting
+   config fails loudly instead of silently ignoring it. *)
 
 and reg = Reg : ('a, 'r, 'e) Core.Sigs.hsig * (ctx -> 'a -> ('r, 'e) result) -> reg
 
@@ -96,73 +90,46 @@ let dispatch t ports ~dedup conn ~seq:_ ~port ~kind:_ ~args ~reply =
   | None -> reply (W.W_failure "handler does not exist")
   | Some reg -> run_handler t conn ~dedup ~reply reg ~args ~caller:(T.conn_src conn)
 
-let get_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache ?shards ?shard_key () =
+let get_group t ~group ?config () =
   match Hashtbl.find_opt t.groups group with
   | Some state ->
-      (* The group already exists: every option the caller passed
-         explicitly must match what the group was created with —
-         returning the existing group while silently dropping a
-         conflicting configuration hides real bugs (a dedup group that
-         is not deduplicating, a sharded group running on one lane). *)
-      let conflict what ~requested ~actual =
-        invalid_arg
-          (Printf.sprintf
-             "Guardian.get_group: group %S of guardian %S already exists with %s = %s; \
-              conflicting %s = %s requested"
-             group t.g_name what actual what requested)
-      in
-      let check what pp actual = function
-        | Some v when v <> actual -> conflict what ~requested:(pp v) ~actual:(pp actual)
-        | Some _ | None -> ()
-      in
-      let gc = state.config in
-      check "ordered" string_of_bool gc.gc_ordered ordered;
-      check "dedup" string_of_bool gc.gc_dedup dedup;
-      check "dedup_cache" string_of_int gc.gc_dedup_cache dedup_cache;
-      check "shards" string_of_int gc.gc_shards shards;
-      (match reply_config with
-      | Some rc when rc <> gc.gc_reply_config ->
-          conflict "reply_config" ~requested:"<given config>" ~actual:"<creation config>"
-      | Some _ | None -> ());
-      (match shard_key with
-      | Some _ ->
+      (* The group already exists: a config passed explicitly must be
+         the one the group was registered with — returning the existing
+         group while silently dropping a conflicting configuration
+         hides real bugs (a dedup group that is not deduplicating, a
+         sharded group running on one lane). Omitting [config] always
+         passes. *)
+      (match config with
+      | Some gc when not (GC.equal gc state.config) ->
           invalid_arg
             (Printf.sprintf
-               "Guardian.get_group: group %S of guardian %S already exists; a shard_key \
-                cannot be re-specified (functions are not comparable)"
-               group t.g_name)
-      | None -> ());
+               "Guardian.get_group: group %S of guardian %S already exists with a \
+                different configuration (fields: %s)"
+               group t.g_name
+               (String.concat ", " (GC.diff gc state.config)))
+      | Some _ | None -> ());
       state
   | None ->
-      let gc =
-        {
-          gc_reply_config = Option.value ~default:CH.default_config reply_config;
-          gc_ordered = Option.value ~default:true ordered;
-          gc_dedup = Option.value ~default:false dedup;
-          gc_dedup_cache = Option.value ~default:1024 dedup_cache;
-          gc_shards = Option.value ~default:1 shards;
-        }
-      in
+      let gc = Option.value ~default:GC.default config in
       let ports = Hashtbl.create 8 in
       (* Scope the shared registry to this guardian's groups: the
          receiver uses it to fail (not park) references to streams that
          feed another guardian's disjoint registry. *)
       Pipeline.Registry.add_scope t.g_pipeline group;
       let target =
-        T.create t.g_hub ~gid:group ~reply_config:gc.gc_reply_config ~ordered:gc.gc_ordered
-          ~dedup:gc.gc_dedup ~dedup_cache:gc.gc_dedup_cache ~shards:gc.gc_shards ?shard_key
-          ~pipeline:t.g_pipeline
+        (* The guardian always substitutes its own per-guardian
+           registry for the config's [pipeline] field — outcomes must be
+           visible across all of this guardian's groups. *)
+        T.create t.g_hub ~gid:group
+          ~config:{ gc with GC.pipeline = Some t.g_pipeline }
           (fun conn ~seq ~port ~kind ~args ~reply ->
-            dispatch t ports ~dedup:gc.gc_dedup conn ~seq ~port ~kind ~args ~reply)
+            dispatch t ports ~dedup:gc.GC.dedup conn ~seq ~port ~kind ~args ~reply)
       in
       let state = { target; ports; config = gc } in
       Hashtbl.replace t.groups group state;
       state
 
-let register_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache ?shards ?shard_key () =
-  ignore
-    (get_group t ~group ?reply_config ?ordered ?dedup ?dedup_cache ?shards ?shard_key ()
-      : group_state)
+let register_group t ~group ?config () = ignore (get_group t ~group ?config () : group_state)
 
 let register t ~group hs impl =
   let state = get_group t ~group () in

@@ -76,37 +76,26 @@ val register :
     handler (used by tests; real guardians create ports once). *)
 
 val register_group :
-  t ->
-  group:string ->
-  ?reply_config:Cstream.Chanhub.config ->
-  ?ordered:bool ->
-  ?dedup:bool ->
-  ?dedup_cache:int ->
-  ?shards:int ->
-  ?shard_key:(port:string -> Xdr.value -> int) ->
-  unit ->
-  unit
-(** Pre-create a group, fixing its reply-channel buffering config and
-    execution discipline ([ordered:false] is the §2.1 override: calls
-    on one stream run concurrently; replies stay in call order).
-    [dedup] (default [false]) enables the cross-incarnation outcome
-    cache of {!Cstream.Target.create} — required on the receiving side
-    for {!Core.Supervisor} exactly-once semantics — and [dedup_cache]
-    bounds it.
-
-    [shards] (default 1) partitions each stream's execution across that
-    many concurrent lanes keyed by [shard_key] (default: hash of the
-    first argument); see {!Cstream.Target.create} and docs/SHARDING.md.
-    Per-key call order and per-stream reply order are preserved;
-    independent keys execute in parallel.
+  t -> group:string -> ?config:Cstream.Group_config.t -> unit -> unit
+(** Pre-create a group with the given {!Cstream.Group_config.t}
+    (default {!Cstream.Group_config.default}): reply-channel buffering,
+    execution discipline ([ordered = false] is the §2.1 override: calls
+    on one stream run concurrently; replies stay in call order), the
+    cross-incarnation dedup cache (required on the receiving side for
+    {!Core.Supervisor} exactly-once semantics), and sharding
+    (docs/SHARDING.md — per-key call order and per-stream reply order
+    are preserved; independent keys execute in parallel). The config's
+    [pipeline] field is ignored: the guardian always installs its own
+    per-guardian registry so pipelined calls can reference outcomes
+    produced through any of its groups (docs/PIPELINE.md).
 
     If the group already exists (created by an earlier [register_group]
-    or first [register]), every option passed here must match the
-    group's creation configuration: a conflicting [ordered], [dedup],
-    [dedup_cache], [shards] or [reply_config] raises
-    [Invalid_argument] instead of being silently ignored, and a
-    [shard_key] can never be re-specified (functions cannot be
-    compared). Omitted options always pass. *)
+    or first [register]), a [config] passed here must equal the one the
+    group was registered with ({!Cstream.Group_config.equal} — whole
+    configs are compared, [shard_key] physically since functions cannot
+    be compared structurally): a conflicting config raises
+    [Invalid_argument] naming the differing fields instead of being
+    silently ignored. Omitting [config] always passes. *)
 
 val port_ref : t -> group:string -> port:string -> Core.Sigs.port_ref
 (** The transmissible reference to one of this guardian's ports. *)

@@ -14,6 +14,7 @@ type t = {
   sched_rng : Sim.Rng.t;
   sched_stats : Sim.Stats.t;
   sched_trace : Sim.Trace.t;
+  sched_spans : Sim.Span.t;
 }
 
 and fiber = {
@@ -63,6 +64,7 @@ let create ?(seed = 42) () =
     sched_rng = Sim.Rng.create ~seed;
     sched_stats = Sim.Stats.create ();
     sched_trace = Sim.Trace.create ();
+    sched_spans = Sim.Span.create ();
   }
 
 let now t = t.time
@@ -72,6 +74,8 @@ let rng t = t.sched_rng
 let stats t = t.sched_stats
 
 let trace t = t.sched_trace
+
+let spans t = t.sched_spans
 
 let current t = t.cur
 

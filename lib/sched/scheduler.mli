@@ -57,6 +57,12 @@ val stats : t -> Sim.Stats.t
 
 val trace : t -> Sim.Trace.t
 
+val spans : t -> Sim.Span.t
+(** The scheduler's causal-trace span store ({!Sim.Span},
+    docs/TRACING.md). One scheduler underlies every simulated node, so
+    enabling it turns on call-lifecycle tracing for the whole world —
+    and only then do call/reply wire items carry trace ids. *)
+
 val run : ?until:float -> t -> outcome
 (** [run t] executes fibers and events until quiescence. It may be
     called again after more fibers or events are added. *)

@@ -1,0 +1,252 @@
+type kind =
+  | Issue
+  | Enqueue
+  | Transmit
+  | Retransmit
+  | Deliver
+  | Dispatch
+  | Park
+  | Substitute
+  | Exec_begin
+  | Exec_end
+  | Reply
+  | Ack
+  | Claim
+  | Break
+  | Resubmit
+  | Dedup_join
+  | Dedup_replay
+
+let kind_label = function
+  | Issue -> "issue"
+  | Enqueue -> "enqueue"
+  | Transmit -> "transmit"
+  | Retransmit -> "retransmit"
+  | Deliver -> "deliver"
+  | Dispatch -> "dispatch"
+  | Park -> "park"
+  | Substitute -> "substitute"
+  | Exec_begin -> "exec-begin"
+  | Exec_end -> "exec-end"
+  | Reply -> "reply"
+  | Ack -> "ack"
+  | Claim -> "claim"
+  | Break -> "break"
+  | Resubmit -> "resubmit"
+  | Dedup_join -> "dedup-join"
+  | Dedup_replay -> "dedup-replay"
+
+(* One letter per kind for the Gantt rows. Mnemonic where possible;
+   lifecycle pairs use upper/lower case (X/x = execute begin/end,
+   T/t = transmit/retransmit). *)
+let kind_letter = function
+  | Issue -> 'I'
+  | Enqueue -> 'Q'
+  | Transmit -> 'T'
+  | Retransmit -> 't'
+  | Deliver -> 'D'
+  | Dispatch -> 'd'
+  | Park -> 'P'
+  | Substitute -> 'S'
+  | Exec_begin -> 'X'
+  | Exec_end -> 'x'
+  | Reply -> 'R'
+  | Ack -> 'A'
+  | Claim -> 'C'
+  | Break -> 'B'
+  | Resubmit -> 'r'
+  | Dedup_join -> 'J'
+  | Dedup_replay -> 'j'
+
+type event = {
+  ev_time : float;
+  ev_kind : kind;
+  ev_trace : int;
+  ev_node : int;
+  ev_stream : string;
+  ev_call : int;
+  ev_note : string;
+}
+
+let dummy =
+  { ev_time = 0.0; ev_kind = Issue; ev_trace = -1; ev_node = -1; ev_stream = ""; ev_call = -1; ev_note = "" }
+
+type t = {
+  mutable records : event array;  (* [||] until first enabled: pay nothing when off *)
+  capacity : int;
+  mutable next : int;
+  mutable filled : bool;
+  mutable on : bool;
+  mutable next_trace : int;  (* monotonic, never reset — ids stay unique across restarts *)
+}
+
+let create ?(capacity = 16384) () =
+  { records = [||]; capacity = max 1 capacity; next = 0; filled = false; on = false; next_trace = 0 }
+
+let enable t b =
+  if b && Array.length t.records = 0 then t.records <- Array.make t.capacity dummy;
+  t.on <- b
+
+let enabled t = t.on
+
+let next_trace t =
+  let id = t.next_trace in
+  t.next_trace <- id + 1;
+  id
+
+let record t ~time ~kind ~trace ?(node = -1) ?(stream = "") ?(call = -1) ?(note = "") () =
+  if t.on then begin
+    t.records.(t.next) <-
+      {
+        ev_time = time;
+        ev_kind = kind;
+        ev_trace = trace;
+        ev_node = node;
+        ev_stream = stream;
+        ev_call = call;
+        ev_note = note;
+      };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.next = 0 then t.filled <- true
+  end
+
+let events t =
+  if Array.length t.records = 0 then []
+  else if not t.filled then Array.to_list (Array.sub t.records 0 t.next)
+  else
+    let older = Array.sub t.records t.next (t.capacity - t.next) in
+    let newer = Array.sub t.records 0 t.next in
+    Array.to_list (Array.append older newer)
+
+let clear t =
+  t.next <- 0;
+  t.filled <- false
+
+let events_of t ~trace = List.filter (fun e -> e.ev_trace = trace) (events t)
+
+(* Distinct trace ids in order of first appearance (the order calls
+   were issued, ring truncation aside). *)
+let trace_ids t =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun e ->
+      if e.ev_trace < 0 || Hashtbl.mem seen e.ev_trace then None
+      else begin
+        Hashtbl.replace seen e.ev_trace ();
+        Some e.ev_trace
+      end)
+    (events t)
+
+let has t ~trace kind = List.exists (fun e -> e.ev_kind = kind) (events_of t ~trace)
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%12.6f] %-12s" e.ev_time (kind_label e.ev_kind);
+  if e.ev_node >= 0 then Format.fprintf ppf " n%d" e.ev_node else Format.fprintf ppf " --";
+  if e.ev_call >= 0 then Format.fprintf ppf " cid=%d" e.ev_call;
+  if e.ev_stream <> "" then Format.fprintf ppf " %s" e.ev_stream;
+  if e.ev_note <> "" then Format.fprintf ppf " (%s)" e.ev_note
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+(* The per-promise causal story: every event of one trace id, oldest
+   first, with the delta to the previous event so waits stand out. *)
+let timeline t ~trace =
+  let evs = events_of t ~trace in
+  let b = Buffer.create 256 in
+  let stream =
+    match List.find_opt (fun e -> e.ev_stream <> "") evs with
+    | Some e -> Printf.sprintf "  stream %s" e.ev_stream
+    | None -> ""
+  in
+  let call =
+    match List.find_opt (fun e -> e.ev_call >= 0) evs with
+    | Some e -> Printf.sprintf "  cid %d" e.ev_call
+    | None -> ""
+  in
+  Buffer.add_string b (Printf.sprintf "trace %d%s%s\n" trace stream call);
+  let prev = ref None in
+  List.iter
+    (fun e ->
+      let delta =
+        match !prev with
+        | None -> String.make 12 ' '
+        | Some p -> Printf.sprintf "+%9.6f  " (e.ev_time -. p)
+      in
+      prev := Some e.ev_time;
+      Buffer.add_string b (Format.asprintf "  %s%a\n" delta pp_event e))
+    evs;
+  Buffer.contents b
+
+(* Gantt-style text: one row per trace, grouped by sending stream,
+   events placed on a shared time axis. '-' fills a trace's live
+   interval; letters mark events (see {!kind_letter}). *)
+let gantt ?(width = 64) t =
+  let evs = events t in
+  let b = Buffer.create 1024 in
+  (match evs with
+  | [] -> Buffer.add_string b "(no spans recorded)\n"
+  | _ ->
+      let tmin = List.fold_left (fun a e -> Float.min a e.ev_time) infinity evs in
+      let tmax = List.fold_left (fun a e -> Float.max a e.ev_time) neg_infinity evs in
+      let span = Float.max (tmax -. tmin) 1e-12 in
+      let col time =
+        let c = int_of_float (float_of_int (width - 1) *. ((time -. tmin) /. span)) in
+        max 0 (min (width - 1) c)
+      in
+      (* trace -> stream it was issued on (first nonempty stream seen) *)
+      let stream_of = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          if e.ev_trace >= 0 && e.ev_stream <> "" && not (Hashtbl.mem stream_of e.ev_trace)
+          then Hashtbl.replace stream_of e.ev_trace e.ev_stream)
+        evs;
+      let ids = trace_ids t in
+      let by_stream = Hashtbl.create 8 in
+      let streams = ref [] in
+      List.iter
+        (fun id ->
+          let s =
+            match Hashtbl.find_opt stream_of id with Some s -> s | None -> "(no stream)"
+          in
+          if not (Hashtbl.mem by_stream s) then begin
+            Hashtbl.replace by_stream s [];
+            streams := s :: !streams
+          end;
+          Hashtbl.replace by_stream s (id :: Hashtbl.find by_stream s))
+        ids;
+      Buffer.add_string b
+        (Printf.sprintf "time axis: %.6fs .. %.6fs (%d cols)\n" tmin tmax width);
+      Buffer.add_string b
+        "legend: I issue  Q enqueue  T transmit  t retransmit  D deliver  d dispatch\n";
+      Buffer.add_string b
+        "        P park  S substitute  X/x exec  R reply  A ack  C claim  B break  \
+         r resubmit  J/j dedup join/replay\n";
+      List.iter
+        (fun s ->
+          Buffer.add_string b (Printf.sprintf "stream %s\n" s);
+          List.iter
+            (fun id ->
+              let row = Bytes.make width ' ' in
+              let tevs = events_of t ~trace:id in
+              (match tevs with
+              | [] -> ()
+              | _ ->
+                  let first = col (List.hd tevs).ev_time in
+                  let last =
+                    col (List.fold_left (fun a e -> Float.max a e.ev_time) neg_infinity tevs)
+                  in
+                  for i = first to last do
+                    Bytes.set row i '-'
+                  done;
+                  List.iter
+                    (fun e -> Bytes.set row (col e.ev_time) (kind_letter e.ev_kind))
+                    tevs);
+              Buffer.add_string b
+                (Printf.sprintf "  t%-4d |%s|\n" id (Bytes.to_string row)))
+            (List.rev (Hashtbl.find by_stream s)))
+        (List.rev !streams));
+  Buffer.contents b
+
+let dump ppf t =
+  List.iter (fun id -> Format.fprintf ppf "%s@." (timeline t ~trace:id)) (trace_ids t)

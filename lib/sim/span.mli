@@ -1,0 +1,104 @@
+(** Structured causal-trace events (spans) for call lifecycles.
+
+    Where {!Trace} is a ring of free-form strings, a span store keeps
+    {e typed} events — each tagged with a per-call trace id, the node
+    that emitted it, and optionally the sending stream's stable id and
+    stable call-id — so the full journey of one promise (issue →
+    transmit → deliver → dispatch → execute → reply → ack → claim,
+    docs/TRACING.md) can be reconstructed and rendered after a run.
+
+    Recording is off by default; when disabled the store allocates no
+    event buffer and {!record} costs one branch. Trace-id allocation
+    ({!next_trace}) works even while disabled so ids stay stable when
+    tracing is toggled mid-run. *)
+
+(** One lifecycle edge of a traced call. [Dispatch] notes the shard
+    lane; [Park]/[Substitute] are the pipelining edges; [Break],
+    [Resubmit], [Dedup_join] and [Dedup_replay] tell the
+    exactly-once-across-incarnations story (docs/FAULTS.md). *)
+type kind =
+  | Issue  (** trace id allocated; call accepted by the sending stream *)
+  | Enqueue  (** call item buffered into the out channel *)
+  | Transmit  (** item left the sending node in a Data packet *)
+  | Retransmit  (** item re-sent by the go-back-n timer *)
+  | Deliver  (** item arrived (fresh, in order) at the receiving hub *)
+  | Dispatch  (** call routed to an execution lane (note = lane) *)
+  | Park  (** pipelined call waiting on a not-yet-produced outcome *)
+  | Substitute  (** promise references replaced by produced values *)
+  | Exec_begin  (** handler dispatch started *)
+  | Exec_end  (** handler produced its outcome *)
+  | Reply  (** reply item sent toward the caller *)
+  | Ack  (** item acknowledged back to its sender *)
+  | Claim  (** a claimant obtained the promise's outcome *)
+  | Break  (** the call's stream broke while it was outstanding *)
+  | Resubmit  (** call replayed on a new incarnation (same trace id) *)
+  | Dedup_join  (** duplicate joined a still-running first execution *)
+  | Dedup_replay  (** duplicate answered from the outcome cache *)
+
+type event = {
+  ev_time : float;
+  ev_kind : kind;
+  ev_trace : int;
+  ev_node : int;  (** emitting node's address, [-1] if not node-bound *)
+  ev_stream : string;  (** stable stream id ({!Wire.stable_stream_id}-shaped), [""] unknown *)
+  ev_call : int;  (** stable call-id, [-1] unknown *)
+  ev_note : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] keeps the last [capacity] events (default
+    16384). No buffer is allocated until the store is first enabled. *)
+
+val enable : t -> bool -> unit
+
+val enabled : t -> bool
+
+val next_trace : t -> int
+(** Allocate a fresh per-call trace id. Monotonic and never reset, so a
+    resubmitted call keeps a globally unique id for its whole life. *)
+
+val record :
+  t ->
+  time:float ->
+  kind:kind ->
+  trace:int ->
+  ?node:int ->
+  ?stream:string ->
+  ?call:int ->
+  ?note:string ->
+  unit ->
+  unit
+(** Append an event when enabled; otherwise do nothing. *)
+
+val events : t -> event list
+(** All retained events, oldest first. *)
+
+val events_of : t -> trace:int -> event list
+
+val trace_ids : t -> int list
+(** Distinct trace ids, in order of first retained event. *)
+
+val has : t -> trace:int -> kind -> bool
+(** Whether the trace has at least one event of this kind. *)
+
+val clear : t -> unit
+
+val kind_label : kind -> string
+
+val kind_letter : kind -> char
+(** The one-character Gantt mark for this kind. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val timeline : t -> trace:int -> string
+(** The per-promise causal story: every event of one trace, oldest
+    first, with inter-event deltas. *)
+
+val gantt : ?width:int -> t -> string
+(** Gantt-style text: one row per trace, grouped by sending stream, on
+    a shared time axis (default 64 columns). *)
+
+val dump : Format.formatter -> t -> unit
+(** Every trace's {!timeline}, in first-appearance order. *)

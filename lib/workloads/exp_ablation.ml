@@ -20,7 +20,9 @@ let run_discipline ~ordered ~n =
   let chub = CH.create_hub net cnode in
   let shub = CH.create_hub net snode in
   let server = G.create shub ~name:"server" in
-  G.register_group server ~group:"main" ~reply_config:stream_cfg ~ordered ();
+  G.register_group server ~group:"main"
+    ~config:Cstream.Group_config.(default |> with_reply_config stream_cfg |> with_ordered ordered)
+    ();
   let executed = ref [] in
   G.register server ~group:"main" Fixtures.work_sig (fun ctx i ->
       S.sleep ctx.G.sched (service_of i);
@@ -99,7 +101,11 @@ let a2 ?(n = 200) () =
         (* The ablation varies the sender's call buffering only; replies
            use the default policy (a size-only reply buffer would hold
            the final partial batch forever and hang synch). *)
-        let pair = Fixtures.make_pair ~service:50e-6 ~reply_config:stream_cfg () in
+        let pair =
+          Fixtures.make_pair ~service:50e-6
+            ~group_config:Cstream.Group_config.(default |> with_reply_config stream_cfg)
+            ()
+        in
         let h = Fixtures.work_handle pair ~config:cfg ~agent:"bench" () in
         let time =
           Fixtures.timed_run pair.Fixtures.sched (fun () ->

@@ -50,15 +50,18 @@ type run_result = {
   r_restored : bool;  (* a probe call succeeded after the chaos, no manual restart *)
 }
 
-let run_one ~seed ~n ~horizon =
+let run_raw ~trace ~seed ~n ~horizon =
   let sched = S.create ~seed () in
+  if trace then Sim.Span.enable (S.spans sched) true;
   let net = Net.create sched (Net.lossy ~loss:0.01 ~dup:0.05 Net.default_config) in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
   let client_hub = CH.create_hub net client_node in
   let server_hub = CH.create_hub net server_node in
   let server = G.create server_hub ~name:"counter" in
-  G.register_group server ~group:"ctr" ~reply_config:chan_cfg ~dedup:true ();
+  G.register_group server ~group:"ctr"
+    ~config:Cstream.Group_config.(default |> with_reply_config chan_cfg |> with_dedup)
+    ();
   let counter = ref 0 in
   let app_counts : (int, int) Hashtbl.t = Hashtbl.create 512 in
   G.register server ~group:"ctr" inc_sig (fun ctx op ->
@@ -129,19 +132,59 @@ let run_one ~seed ~n ~horizon =
     | Some (P.Unavailable _) -> incr unavail
     | Some (P.Signal _ | P.Failure _) | None -> ()
   done;
-  {
-    r_accepted = !accepted;
-    r_rejected = !rejected;
-    r_normal = !normal;
-    r_unavail = !unavail;
-    r_unresolved = !unresolved;
-    r_doubly = doubly;
-    r_lost = !lost;
-    r_breaks = stat "stream_breaks";
-    r_restarts = stat "sup_restarts";
-    r_replays = stat "target_dedup_replays";
-    r_restored = !restored;
-  }
+  ( {
+      r_accepted = !accepted;
+      r_rejected = !rejected;
+      r_normal = !normal;
+      r_unavail = !unavail;
+      r_unresolved = !unresolved;
+      r_doubly = doubly;
+      r_lost = !lost;
+      r_breaks = stat "stream_breaks";
+      r_restarts = stat "sup_restarts";
+      r_replays = stat "target_dedup_replays";
+      r_restored = !restored;
+    },
+    sched )
+
+let run_one ~seed ~n ~horizon = fst (run_raw ~trace:false ~seed ~n ~horizon)
+
+(* The causal story of one chaos run (docs/TRACING.md): the same seed
+   re-run with the span store enabled, rendered as the timelines of the
+   calls that crossed an incarnation — resubmitted after a break,
+   joined onto an in-flight duplicate, or answered from the dedup
+   cache — followed by the per-stream gantt. This is what a failing
+   chaos gate prints: which call, on which incarnation, took which path
+   to its reply. *)
+let trace_story ?(max_timelines = 8) ~seed ~n ~horizon () =
+  let r, sched = run_raw ~trace:true ~seed ~n ~horizon in
+  let spans = S.spans sched in
+  let all = Sim.Span.trace_ids spans in
+  let crossed =
+    List.filter
+      (fun tid ->
+        Sim.Span.has spans ~trace:tid Sim.Span.Resubmit
+        || Sim.Span.has spans ~trace:tid Sim.Span.Dedup_join
+        || Sim.Span.has spans ~trace:tid Sim.Span.Dedup_replay)
+      all
+  in
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf
+    "== causal story: chaos seed %d (%d calls; lost=%d doubly=%d unresolved=%d breaks=%d \
+     restarts=%d replays=%d) ==\n\n"
+    seed n r.r_lost r.r_doubly r.r_unresolved r.r_breaks r.r_restarts r.r_replays;
+  Printf.bprintf buf
+    "%d of %d traced calls crossed an incarnation (resubmit / dedup join / dedup replay)"
+    (List.length crossed) (List.length all);
+  let shown = List.filteri (fun i _ -> i < max_timelines) crossed in
+  Printf.bprintf buf "; showing %d:\n\n" (List.length shown);
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf (Sim.Span.timeline spans ~trace:tid);
+      Buffer.add_char buf '\n')
+    shown;
+  Buffer.add_string buf (Sim.Span.gantt spans);
+  Buffer.contents buf
 
 let e7 ?(seeds = 10) ?(n = 200) ?(horizon = 2.0) () =
   let rows =
@@ -197,10 +240,21 @@ let e7 ?(seeds = 10) ?(n = 200) ?(horizon = 2.0) () =
     rows
 
 (* True iff every seed upholds the invariants — the @chaos alias and
-   test_chaos gate on this. *)
+   test_chaos gate on this. A failing seed re-runs with tracing on and
+   prints its causal story to stderr, so the assertion failure arrives
+   with the per-call timelines that explain it. *)
 let check ?(seeds = 10) ?(n = 200) ?(horizon = 2.0) () =
   List.for_all
     (fun i ->
-      let r = run_one ~seed:(1000 + (17 * i)) ~n ~horizon in
-      r.r_lost = 0 && r.r_doubly = 0 && r.r_unresolved = 0 && r.r_restored)
+      let seed = 1000 + (17 * i) in
+      let r = run_one ~seed ~n ~horizon in
+      let ok = r.r_lost = 0 && r.r_doubly = 0 && r.r_unresolved = 0 && r.r_restored in
+      if not ok then begin
+        Printf.eprintf
+          "chaos invariant violated at seed %d (lost=%d doubly=%d unresolved=%d \
+           restored=%b); re-running traced:\n%s\n%!"
+          seed r.r_lost r.r_doubly r.r_unresolved r.r_restored
+          (trace_story ~seed ~n ~horizon ())
+      end;
+      ok)
     (List.init seeds Fun.id)

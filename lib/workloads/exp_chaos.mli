@@ -31,4 +31,16 @@ val e7 : ?seeds:int -> ?n:int -> ?horizon:float -> unit -> Table.t
 
 val check : ?seeds:int -> ?n:int -> ?horizon:float -> unit -> bool
 (** [true] iff every seed upholds all four invariants; the [@chaos]
-    test alias gates on this. *)
+    test alias gates on this. A violated seed is re-run with the
+    {!Sim.Span} store enabled and its {!trace_story} printed to stderr,
+    so the failing assertion arrives with the causal timelines that
+    explain it. *)
+
+val trace_story :
+  ?max_timelines:int -> seed:int -> n:int -> horizon:float -> unit -> string
+(** Re-run one seed with causal tracing enabled (docs/TRACING.md) and
+    render the timelines of the calls that crossed an incarnation —
+    resubmitted after a break, dedup-joined onto an in-flight
+    duplicate, or replayed from the dedup cache — followed by the
+    per-stream gantt. [max_timelines] (default 8) bounds the timelines
+    shown. *)

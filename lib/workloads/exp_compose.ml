@@ -21,7 +21,11 @@ let stream_cfg = { CH.default_config with CH.max_batch = 8; flush_interval = 1e-
    storage — the incremental "elements" iterator of Figure 3-1. *)
 
 let grades_fig31 ~n ~svc ~produce_cost =
-  let w = Fixtures.make_grades_world ~db_service:svc ~print_service:svc ~reply_config:stream_cfg () in
+  let w =
+    Fixtures.make_grades_world ~db_service:svc ~print_service:svc
+      ~group_config:Cstream.Group_config.(default |> with_reply_config stream_cfg)
+      ()
+  in
   let students = Fixtures.students n in
   let time =
     Fixtures.timed_run w.Fixtures.g_sched (fun () ->
@@ -48,7 +52,11 @@ let grades_fig31 ~n ~svc ~produce_cost =
   (time, List.length !(w.Fixtures.g_printed))
 
 let grades_fig42 ~n ~svc ~produce_cost =
-  let w = Fixtures.make_grades_world ~db_service:svc ~print_service:svc ~reply_config:stream_cfg () in
+  let w =
+    Fixtures.make_grades_world ~db_service:svc ~print_service:svc
+      ~group_config:Cstream.Group_config.(default |> with_reply_config stream_cfg)
+      ()
+  in
   let students = Fixtures.students n in
   let time =
     Fixtures.timed_run w.Fixtures.g_sched (fun () ->
@@ -123,7 +131,8 @@ let compute_sig = Core.Sigs.hsig0 "compute" ~arg:Xdr.int ~res:Xdr.int
 
 let write_sig = Core.Sigs.hsig0 "write" ~arg:Xdr.int ~res:Xdr.unit
 
-let make_cascade ~svc ~cores () =
+let make_cascade ?group_config ~svc ~cores () =
+  let gc = Option.value group_config ~default:Cstream.Group_config.default in
   let sched = S.create () in
   let net = Net.create sched Net.default_config in
   let client = Net.add_node net ~name:"client" in
@@ -137,6 +146,9 @@ let make_cascade ~svc ~cores () =
   let cnode, computer = mk_server "computer" in
   let wnode, writer = mk_server "writer" in
   let written = ref 0 in
+  Argus.Guardian.register_group reader ~group:"io" ~config:gc ();
+  Argus.Guardian.register_group computer ~group:"calc" ~config:gc ();
+  Argus.Guardian.register_group writer ~group:"io" ~config:gc ();
   Argus.Guardian.register reader ~group:"io" read_sig (fun ctx i ->
       S.sleep ctx.Argus.Guardian.sched svc;
       Ok (i * 3));

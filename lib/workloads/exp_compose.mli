@@ -20,7 +20,10 @@ type cascade_world = {
   cw_written : int ref;
 }
 
-val make_cascade : svc:float -> cores:int -> unit -> cascade_world
+val make_cascade :
+  ?group_config:Cstream.Group_config.t -> svc:float -> cores:int -> unit -> cascade_world
+(** [group_config] configures all three server port groups (reply
+    buffering, dedup, …; default {!Cstream.Group_config.default}). *)
 
 val cascade_staged : cascade_world -> n:int -> filter_cost:float -> unit
 (** Staged loops: all reads, then all computes, then all writes. *)

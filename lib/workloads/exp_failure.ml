@@ -29,7 +29,9 @@ type result_row = { variant : string; outcome : string; cleanup : string }
 let run_variant ~variant ~n ~crash_at =
   let svc = 0.5e-3 in
   let w =
-    Fixtures.make_grades_world ~db_service:svc ~print_service:svc ~reply_config:stream_cfg ()
+    Fixtures.make_grades_world ~db_service:svc ~print_service:svc
+      ~group_config:Cstream.Group_config.(default |> with_reply_config stream_cfg)
+      ()
   in
   let students = Fixtures.students n in
   S.at w.Fixtures.g_sched crash_at (fun () -> Net.crash w.Fixtures.g_net w.Fixtures.g_db_node);

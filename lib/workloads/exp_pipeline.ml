@@ -38,7 +38,8 @@ let run_mode ~depth ~mode () =
   let pair =
     Fixtures.make_pair
       ~cfg:{ Net.default_config with Net.wire_latency = 1e-3 }
-      ~reply_config:chain_config ()
+      ~group_config:Cstream.Group_config.(default |> with_reply_config chain_config)
+      ()
   in
   (* Chain link: n -> n + 1, so a depth-k chain from 0 must claim k —
      proof every substitution carried the real produced value. *)

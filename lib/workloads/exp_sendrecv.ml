@@ -100,7 +100,11 @@ let run_raw ~n =
 
 (* The same workload through streams + promises. *)
 let run_promises ~n =
-  let pair = Fixtures.make_pair ~reply_config:chan_cfg () in
+  let pair =
+    Fixtures.make_pair
+      ~group_config:Cstream.Group_config.(default |> with_reply_config chan_cfg)
+      ()
+  in
   let h = Fixtures.work_handle pair ~config:chan_cfg ~agent:"bench" () in
   let time =
     Fixtures.timed_run pair.Fixtures.sched (fun () ->

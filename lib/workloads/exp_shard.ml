@@ -46,7 +46,9 @@ let run_one ~series ~shards ~cores ~n ~service ~keys () =
   let server_hub = CH.create_hub net server_node in
   let server = G.create server_hub ~name:"server" in
   let cpu = Cpu.create sched ~cores in
-  G.register_group server ~group:"hot" ~reply_config:chan_cfg ~shards ();
+  G.register_group server ~group:"hot"
+    ~config:Cstream.Group_config.(default |> with_reply_config chan_cfg |> with_shards shards)
+    ();
   (* Per-key order book: each handler call records its op under its
      key; the series is ordered iff every key's ops arrive increasing. *)
   let seen : (int, int list) Hashtbl.t = Hashtbl.create 64 in

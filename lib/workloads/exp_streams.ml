@@ -30,7 +30,11 @@ let chan_config = function
 let run_calls ~latency ~mode ~n ~service =
   let cfg = { Net.default_config with Net.wire_latency = latency } in
   let ccfg = chan_config mode in
-  let pair = Fixtures.make_pair ~cfg ~service ~reply_config:ccfg () in
+  let pair =
+    Fixtures.make_pair ~cfg ~service
+      ~group_config:Cstream.Group_config.(default |> with_reply_config ccfg)
+      ()
+  in
   let h = Fixtures.work_handle pair ~config:ccfg ~agent:"bench" () in
   let time =
     Fixtures.timed_run pair.Fixtures.sched (fun () ->
@@ -129,7 +133,11 @@ let e9 () =
           let ccfg =
             { CH.default_config with CH.max_batch = 1000; flush_interval }
           in
-          let pair = Fixtures.make_pair ~reply_config:CH.rpc_config () in
+          let pair =
+            Fixtures.make_pair
+              ~group_config:Cstream.Group_config.(default |> with_reply_config CH.rpc_config)
+              ()
+          in
           let h = Fixtures.work_handle pair ~config:ccfg ~agent:"bench" () in
           let ready_at = ref nan in
           let time =

@@ -1,0 +1,17 @@
+(** Causal trace dumps (docs/TRACING.md): deterministic scenarios run
+    with the scheduler's {!Sim.Span} store enabled, rendered as
+    per-promise timelines plus a per-stream gantt. Backing for the
+    [experiments --trace] flag and the CI trace artifact. *)
+
+val render_pipelined : ?depth:int -> unit -> string
+(** A pipelined dependent-call chain (default depth 4, as E13): one
+    trace per link; the dump asserts the last link traversed every
+    pipelined edge (issue → … → park → substitute → execute → reply →
+    claim) and says so in the output. *)
+
+val render_resubmit : ?seed:int -> ?n:int -> ?horizon:float -> unit -> string
+(** A small chaos run ({!Exp_chaos.trace_story}): the timelines of the
+    calls that crossed a stream incarnation. *)
+
+val dump : ?depth:int -> ?seed:int -> ?n:int -> ?horizon:float -> unit -> string
+(** Both scenarios, concatenated. *)

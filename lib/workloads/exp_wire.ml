@@ -48,7 +48,9 @@ let run_mode ?(n = 400) ~mode ~piggyback () =
   let pair =
     Fixtures.make_pair
       ~cfg:{ Net.default_config with Net.wire_latency = 1e-3 }
-      ~service:0.0 ~reply_config:ccfg ~ack_delay ()
+      ~service:0.0
+      ~group_config:Cstream.Group_config.(default |> with_reply_config ccfg)
+      ~ack_delay ()
   in
   let h = Fixtures.work_handle pair ~config:ccfg ~agent:"bench" () in
   let time =

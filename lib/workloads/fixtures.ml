@@ -14,7 +14,7 @@ type pair = {
 
 let work_sig = Core.Sigs.hsig0 "work" ~arg:Xdr.int ~res:Xdr.int
 
-let make_pair ?(cfg = Net.default_config) ?(seed = 42) ?(service = 0.0) ?reply_config
+let make_pair ?(cfg = Net.default_config) ?(seed = 42) ?(service = 0.0) ?group_config
     ?(ack_delay = 0.0) () =
   let sched = S.create ~seed () in
   let net = Net.create sched cfg in
@@ -23,8 +23,8 @@ let make_pair ?(cfg = Net.default_config) ?(seed = 42) ?(service = 0.0) ?reply_c
   let client_hub = CH.create_hub ~ack_delay net client_node in
   let server_hub = CH.create_hub ~ack_delay net server_node in
   let server = G.create server_hub ~name:"server" in
-  (match reply_config with
-  | Some rc -> G.register_group server ~group:"main" ~reply_config:rc ()
+  (match group_config with
+  | Some gc -> G.register_group server ~group:"main" ~config:gc ()
   | None -> ());
   G.register server ~group:"main" work_sig (fun ctx n ->
       if service > 0.0 then S.sleep ctx.G.sched service;
@@ -55,7 +55,7 @@ let record_grade_sig =
 let print_sig = Core.Sigs.hsig0 "print" ~arg:Xdr.string ~res:Xdr.unit
 
 let make_grades_world ?(cfg = Net.default_config) ?(seed = 42) ?(db_service = 0.0)
-    ?(print_service = 0.0) ?reply_config () =
+    ?(print_service = 0.0) ?group_config () =
   let sched = S.create ~seed () in
   let net = Net.create sched cfg in
   let g_client_node = Net.add_node net ~name:"client" in
@@ -66,10 +66,10 @@ let make_grades_world ?(cfg = Net.default_config) ?(seed = 42) ?(db_service = 0.
   let printer_hub = CH.create_hub net g_printer_node in
   let g_db = G.create db_hub ~name:"grades-db" in
   let g_printer = G.create printer_hub ~name:"printer" in
-  (match reply_config with
-  | Some rc ->
-      G.register_group g_db ~group:"grades" ~reply_config:rc ();
-      G.register_group g_printer ~group:"output" ~reply_config:rc ()
+  (match group_config with
+  | Some gc ->
+      G.register_group g_db ~group:"grades" ~config:gc ();
+      G.register_group g_printer ~group:"output" ~config:gc ()
   | None -> ());
   let totals : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
   let g_db_busy = ref [] and g_print_busy = ref [] in

@@ -18,14 +18,15 @@ val make_pair :
   ?cfg:Net.config ->
   ?seed:int ->
   ?service:float ->
-  ?reply_config:Cstream.Chanhub.config ->
+  ?group_config:Cstream.Group_config.t ->
   ?ack_delay:float ->
   unit ->
   pair
 (** Build the two-node world; [service] is the handler's per-call
-    compute time, [reply_config] the server's reply buffering,
-    [ack_delay] (default 0: disabled) enables ack piggybacking on both
-    hubs — see {!Cstream.Chanhub.create_hub}. *)
+    compute time, [group_config] the server group's whole
+    {!Cstream.Group_config.t} (reply buffering, ordering, dedup,
+    shards), [ack_delay] (default 0: disabled) enables ack piggybacking
+    on both hubs — see {!Cstream.Chanhub.create_hub}. *)
 
 val work_handle :
   pair -> ?config:Cstream.Chanhub.config -> agent:string -> unit ->
@@ -58,7 +59,7 @@ val make_grades_world :
   ?seed:int ->
   ?db_service:float ->
   ?print_service:float ->
-  ?reply_config:Cstream.Chanhub.config ->
+  ?group_config:Cstream.Group_config.t ->
   unit ->
   grades_world
 

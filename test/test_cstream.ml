@@ -6,6 +6,7 @@ module CH = Cstream.Chanhub
 module SE = Cstream.Stream_end
 module T = Cstream.Target
 module W = Cstream.Wire
+module GC = Cstream.Group_config
 
 let check = Alcotest.check
 
@@ -41,7 +42,9 @@ let ints_of_values vs =
 (* Wire encoding *)
 
 let test_wire_call_roundtrip () =
-  let item = W.call_item ~seq:7 ~cid:42 ~port:"record_grade" ~kind:W.Call ~args:(Xdr.Int 5) in
+  let item =
+    W.call_item ~seq:7 ~cid:42 ~trace:None ~port:"record_grade" ~kind:W.Call ~args:(Xdr.Int 5)
+  in
   match W.parse_call item with
   | Ok (seq, cid, port, kind, args) ->
       check Alcotest.int "seq" 7 seq;
@@ -52,7 +55,7 @@ let test_wire_call_roundtrip () =
   | Error e -> Alcotest.fail e
 
 let test_wire_send_kind_roundtrip () =
-  let item = W.call_item ~seq:0 ~cid:0 ~port:"p" ~kind:W.Send ~args:Xdr.Unit in
+  let item = W.call_item ~seq:0 ~cid:0 ~trace:None ~port:"p" ~kind:W.Send ~args:Xdr.Unit in
   match W.parse_call item with
   | Ok (_, _, _, kind, _) -> check Alcotest.bool "send kind" true (kind = W.Send)
   | Error e -> Alcotest.fail e
@@ -68,7 +71,7 @@ let test_wire_reply_roundtrips () =
   in
   List.iteri
     (fun i outcome ->
-      match W.parse_reply (W.reply_item ~seq:i outcome) with
+      match W.parse_reply (W.reply_item ~seq:i ~trace:None outcome) with
       | Ok (seq, got) ->
           check Alcotest.int "seq" i seq;
           check Alcotest.bool "outcome" true (got = outcome)
@@ -76,14 +79,16 @@ let test_wire_reply_roundtrips () =
     cases
 
 let test_wire_send_ok_parses_as_normal_unit () =
-  match W.parse_reply (W.send_ok_item ~seq:3) with
+  match W.parse_reply (W.send_ok_item ~seq:3 ~trace:None) with
   | Ok (3, W.W_normal Xdr.Unit) -> ()
   | Ok _ -> Alcotest.fail "wrong parse"
   | Error e -> Alcotest.fail e
 
 let test_wire_send_ok_is_small () =
-  let full = Xdr.wire_size (W.reply_item ~seq:0 (W.W_normal (Xdr.Str (String.make 100 'x')))) in
-  let compact = Xdr.wire_size (W.send_ok_item ~seq:0) in
+  let full =
+    Xdr.wire_size (W.reply_item ~seq:0 ~trace:None (W.W_normal (Xdr.Str (String.make 100 'x'))))
+  in
+  let compact = Xdr.wire_size (W.send_ok_item ~seq:0 ~trace:None) in
   check Alcotest.bool "compact reply much smaller" true (compact * 5 < full)
 
 let test_wire_malformed_rejected () =
@@ -266,7 +271,7 @@ let test_chan_send_after_break_errors () =
 
 (* A tiny arithmetic service: port "double" doubles ints after
    [service] seconds; port "fail" signals; port "boom" replies failure. *)
-let install_service ?(service = 0.0) ?reply_config w =
+let install_service ?(service = 0.0) ?config w =
   let log = ref [] in
   let dispatch conn ~seq:_ ~port ~kind:_ ~args ~reply =
     ignore conn;
@@ -280,7 +285,7 @@ let install_service ?(service = 0.0) ?reply_config w =
            | "boom", _ -> reply (W.W_failure "handler blew up")
            | _ -> reply (W.W_failure ("no such port: " ^ port))))
   in
-  let target = T.create w.hub_b ~gid:"svc" ?reply_config dispatch in
+  let target = T.create w.hub_b ~gid:"svc" ?config dispatch in
   (target, log)
 
 let test_stream_call_reply () =
@@ -761,7 +766,7 @@ let test_resubmit_dedups_already_executed_calls () =
            | _ -> ());
            reply (W.W_normal args)))
   in
-  ignore (T.create w.hub_b ~gid:"svc" ~dedup:true dispatch : T.t);
+  ignore (T.create w.hub_b ~gid:"svc" ~config:GC.(default |> with_dedup) dispatch : T.t);
   let stream =
     SE.create w.hub_a ~agent:"client" ~dst:(Net.address w.node_b) ~gid:"svc"
       ~config:fast_cfg ()
@@ -854,7 +859,7 @@ let test_unordered_target_overlaps_but_replies_in_order () =
            S.sleep w.sched (if seq = 0 then 10e-3 else 5e-3);
            reply (W.W_normal (Xdr.Int seq))))
   in
-  ignore (T.create w.hub_b ~gid:"svc" ~ordered:false dispatch : T.t);
+  ignore (T.create w.hub_b ~gid:"svc" ~config:GC.(default |> with_ordered false) dispatch : T.t);
   let stream = SE.create w.hub_a ~agent:"client" ~dst:(Net.address w.node_b) ~gid:"svc" () in
   let reply_order = ref [] in
   let done_at = ref 0.0 in

@@ -8,6 +8,7 @@ module P = Core.Promise
 module R = Core.Remote
 module CH = Cstream.Chanhub
 module G = Argus.Guardian
+module GC = Cstream.Group_config
 
 let check = Alcotest.check
 
@@ -332,7 +333,9 @@ let test_dedup_exactly_once_under_dup_and_crash () =
      observes each op at most once — and every op acknowledged Normal
      exactly once. *)
   let w = make_world ~cfg:(Net.lossy ~loss:0.0 ~dup:0.3 Net.default_config) () in
-  G.register_group w.db ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register_group w.db ~group:"ctr"
+    ~config:GC.(default |> with_reply_config fast_chan_cfg |> with_dedup)
+    ();
   let seen : (int, int) Hashtbl.t = Hashtbl.create 64 in
   G.register w.db ~group:"ctr" bump_sig (fun ctx op ->
       S.sleep ctx.G.sched 0.2e-3;
@@ -383,7 +386,9 @@ let test_dedup_exactly_once_under_dup_and_crash () =
 
 let test_supervisor_circuit_opens_then_recovers () =
   let w = make_world () in
-  G.register_group w.db ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register_group w.db ~group:"ctr"
+    ~config:GC.(default |> with_reply_config fast_chan_cfg |> with_dedup)
+    ();
   G.register w.db ~group:"ctr" bump_sig (fun _ op -> Ok op);
   let transitions = ref [] in
   ignore
@@ -473,7 +478,7 @@ let test_unordered_group_via_guardian () =
   (* register_group ~ordered:false: calls on ONE stream run
      concurrently (§2.1's footnoted override). *)
   let w = make_world () in
-  G.register_group w.db ~group:"par" ~ordered:false ();
+  G.register_group w.db ~group:"par" ~config:GC.(default |> with_ordered false) ();
   let slow_sig = Core.Sigs.hsig0 "job" ~arg:Xdr.int ~res:Xdr.int in
   G.register w.db ~group:"par" slow_sig (fun ctx n ->
       S.sleep ctx.G.sched 5e-3;

@@ -13,6 +13,7 @@ module R = Core.Remote
 module CH = Cstream.Chanhub
 module SE = Cstream.Stream_end
 module G = Argus.Guardian
+module GC = Cstream.Group_config
 
 let check = Alcotest.check
 
@@ -306,7 +307,9 @@ let fast_chan_cfg =
 let test_resubmit_dependent_exactly_once () =
   let w = make_world () in
   let executions : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  G.register_group w.server ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register_group w.server ~group:"ctr"
+    ~config:GC.(default |> with_reply_config fast_chan_cfg |> with_dedup)
+    ();
   G.register w.server ~group:"ctr" step_sig (fun ctx n ->
       S.sleep ctx.G.sched 2e-3;
       Hashtbl.replace executions n (1 + Option.value ~default:0 (Hashtbl.find_opt executions n));
@@ -366,12 +369,16 @@ let test_parked_dependent_conn_break_exactly_once () =
   let slow_execs : (int, int) Hashtbl.t = Hashtbl.create 4 in
   let ctr_execs : (int, int) Hashtbl.t = Hashtbl.create 4 in
   let bump tbl n = Hashtbl.replace tbl n (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n)) in
-  G.register_group w.server ~group:"slow" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register_group w.server ~group:"slow"
+    ~config:GC.(default |> with_reply_config fast_chan_cfg |> with_dedup)
+    ();
   G.register w.server ~group:"slow" step_sig (fun ctx n ->
       bump slow_execs n;
       S.sleep ctx.G.sched 30e-3;
       Ok (n * 2));
-  G.register_group w.server ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ();
+  G.register_group w.server ~group:"ctr"
+    ~config:GC.(default |> with_reply_config fast_chan_cfg |> with_dedup)
+    ();
   G.register w.server ~group:"ctr" step_sig (fun _ n ->
       bump ctr_execs n;
       Ok (n + 1));

@@ -13,6 +13,7 @@ module CH = Cstream.Chanhub
 module SE = Cstream.Stream_end
 module T = Cstream.Target
 module W = Cstream.Wire
+module GC = Cstream.Group_config
 module G = Argus.Guardian
 
 let check = Alcotest.check
@@ -82,8 +83,9 @@ let claim_normal p =
 
 let test_independent_keys_overlap () =
   let w = make_world () in
-  G.register_group w.server ~group:"hot" ~reply_config:batch_cfg ~shards:4
-    ~shard_key:(key_mod 4) ();
+  G.register_group w.server ~group:"hot"
+    ~config:GC.(default |> with_reply_config batch_cfg |> with_shards ~key:(key_mod 4) 4)
+    ();
   G.register w.server ~group:"hot" kv_sig (fun ctx (_, op) ->
       S.sleep ctx.G.sched 5e-3;
       Ok op);
@@ -111,8 +113,9 @@ let test_independent_keys_overlap () =
 
 let test_same_key_serialised_in_order () =
   let w = make_world () in
-  G.register_group w.server ~group:"hot" ~reply_config:batch_cfg ~shards:4
-    ~shard_key:(key_mod 4) ();
+  G.register_group w.server ~group:"hot"
+    ~config:GC.(default |> with_reply_config batch_cfg |> with_shards ~key:(key_mod 4) 4)
+    ();
   let executed = ref [] in
   G.register w.server ~group:"hot" kv_sig (fun ctx (_, op) ->
       S.sleep ctx.G.sched 2e-3;
@@ -158,7 +161,7 @@ let raw_reply_order ~seed ~shards =
            if d > 0.0 then S.sleep sched d;
            reply (W.W_normal args)))
   in
-  ignore (T.create hub_b ~gid:"svc" ~shards dispatch : T.t);
+  ignore (T.create hub_b ~gid:"svc" ~config:GC.(default |> with_shards shards) dispatch : T.t);
   let inj = Fault.create net ~nodes:[ node_a; node_b ] in
   Fault.schedule inj
     [
@@ -213,8 +216,12 @@ let test_sharded_dedup_crash_resubmit_exactly_once () =
   let executions : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let per_key : (int, int list) Hashtbl.t = Hashtbl.create 8 in
   let key_order_ok = ref true in
-  G.register_group w.server ~group:"ctr" ~reply_config:fast_chan_cfg ~dedup:true ~shards:4
-    ~shard_key:(key_mod 4) ();
+  G.register_group w.server ~group:"ctr"
+    ~config:
+      GC.(
+        default |> with_reply_config fast_chan_cfg |> with_dedup
+        |> with_shards ~key:(key_mod 4) 4)
+    ();
   G.register w.server ~group:"ctr" kv_sig (fun ctx (k, op) ->
       S.sleep ctx.G.sched 2e-3;
       Hashtbl.replace executions (k, op)
@@ -269,24 +276,33 @@ let expect_invalid what f =
 
 let test_group_reregistration_conflicts () =
   let w = make_world () in
-  G.register_group w.server ~group:"g" ~reply_config:fast_chan_cfg ~dedup:true ~shards:4
-    ~shard_key:(key_mod 4) ();
-  (* Omitted options are "don't care" (this is what [register] relies
-     on), and explicitly repeating the creation config is fine. *)
+  let key = key_mod 4 in
+  let cfg =
+    GC.(default |> with_reply_config fast_chan_cfg |> with_dedup |> with_shards ~key 4)
+  in
+  G.register_group w.server ~group:"g" ~config:cfg ();
+  (* An omitted config is "don't care" (this is what [register] relies
+     on); re-passing the registration config — or a structurally equal
+     rebuild sharing the same key function — is fine. *)
   G.register w.server ~group:"g" kv_sig (fun _ (_, op) -> Ok op);
-  G.register_group w.server ~group:"g" ~dedup:true ~shards:4 ();
+  G.register_group w.server ~group:"g" ~config:cfg ();
+  G.register_group w.server ~group:"g"
+    ~config:GC.(default |> with_reply_config fast_chan_cfg |> with_dedup |> with_shards ~key 4)
+    ();
   expect_invalid "conflicting shards" (fun () ->
-      G.register_group w.server ~group:"g" ~shards:2 ());
+      G.register_group w.server ~group:"g" ~config:GC.(cfg |> with_shards 2) ());
   expect_invalid "conflicting dedup" (fun () ->
-      G.register_group w.server ~group:"g" ~dedup:false ());
+      G.register_group w.server ~group:"g" ~config:GC.(cfg |> without_dedup) ());
   expect_invalid "conflicting ordered" (fun () ->
-      G.register_group w.server ~group:"g" ~ordered:false ());
+      G.register_group w.server ~group:"g" ~config:GC.(cfg |> with_ordered false) ());
   expect_invalid "conflicting dedup_cache" (fun () ->
-      G.register_group w.server ~group:"g" ~dedup_cache:7 ());
+      G.register_group w.server ~group:"g" ~config:GC.(cfg |> with_dedup ~cache:7) ());
   expect_invalid "conflicting reply_config" (fun () ->
-      G.register_group w.server ~group:"g" ~reply_config:batch_cfg ());
-  expect_invalid "shard_key cannot be re-specified" (fun () ->
-      G.register_group w.server ~group:"g" ~shard_key:(key_mod 4) ())
+      G.register_group w.server ~group:"g" ~config:GC.(cfg |> with_reply_config batch_cfg) ());
+  expect_invalid "a different shard_key function conflicts" (fun () ->
+      G.register_group w.server ~group:"g"
+        ~config:GC.(cfg |> with_shards ~key:(key_mod 4) 4)
+        ())
 
 (* ------------------------------------------------------------------ *)
 (* Registry byte budget: outcomes are sized on record, FIFO-evicted
@@ -336,8 +352,9 @@ let test_cross_shard_pipelining () =
   (* Ordinary ints go to lane 0; a promise-reference argument (not yet
      an int when the lane is chosen) goes to lane 1. *)
   let by_shape ~port:_ = function Xdr.Int _ -> 0 | _ -> 1 in
-  G.register_group w.server ~group:"hot" ~reply_config:batch_cfg ~shards:2
-    ~shard_key:by_shape ();
+  G.register_group w.server ~group:"hot"
+    ~config:GC.(default |> with_reply_config batch_cfg |> with_shards ~key:by_shape 2)
+    ();
   G.register w.server ~group:"hot" step_sig (fun ctx n ->
       S.sleep ctx.G.sched 5e-3;
       Ok (n * 2));

@@ -9,6 +9,7 @@ module CH = Cstream.Chanhub
 module SE = Cstream.Stream_end
 module T = Cstream.Target
 module W = Cstream.Wire
+module GC = Cstream.Group_config
 
 let check = Alcotest.check
 
@@ -240,7 +241,8 @@ let test_packet_roundtrips () =
           acks = [ (sample_key, -1); ({ sample_key with CH.idx = 8 }, 17) ];
           items =
             List.init 5 (fun i ->
-                W.call_item ~seq:(42 + i) ~cid:(100 + i) ~port:"record_grade" ~kind:W.Call
+                W.call_item ~seq:(42 + i) ~cid:(100 + i) ~trace:None ~port:"record_grade"
+                  ~kind:W.Call
                   ~args:(Xdr.Pair (Xdr.Str "stu00001", Xdr.Int 85)));
         };
       CH.Data { key = sample_key; first_seq = 0; acks = []; items = [] };
@@ -306,8 +308,9 @@ let run_ok w =
    scheduler stats after [n] calls. *)
 let run_echo ~w ~cfg ~n =
   let target =
-    T.create w.hub_b ~gid:"echo" ~reply_config:cfg (fun _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply ->
-        reply (W.W_normal args))
+    T.create w.hub_b ~gid:"echo"
+      ~config:GC.(default |> with_reply_config cfg)
+      (fun _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply -> reply (W.W_normal args))
   in
   ignore (target : T.t);
   let se = SE.create w.hub_a ~agent:"t" ~dst:(Net.address w.node_b) ~gid:"echo" ~config:cfg () in
@@ -452,7 +455,9 @@ let test_stream_call_window_preserves_order () =
   in
   let executed = ref [] in
   let target =
-    T.create w.hub_b ~gid:"echo" ~reply_config:cfg (fun _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply ->
+    T.create w.hub_b ~gid:"echo"
+      ~config:GC.(default |> with_reply_config cfg)
+      (fun _conn ~seq:_ ~port:_ ~kind:_ ~args ~reply ->
         (match args with Xdr.Int i -> executed := i :: !executed | _ -> ());
         reply (W.W_normal args))
   in
