@@ -164,13 +164,13 @@ module W = Cstream.Wire
    names repeat), and a bulky argument tree. *)
 let wire_payloads =
   let small =
-    W.call_item ~seq:12 ~cid:12 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42)
+    W.call_item ~seq:12 ~cid:12 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42) ()
   in
   let medium =
     Xdr.List
       (List.init 16 (fun i ->
            W.call_item ~seq:i ~cid:i ~trace:None ~port:"record_grade" ~kind:W.Call
-             ~args:(Xdr.Pair (Xdr.Str (Printf.sprintf "stu%05d" i), Xdr.Int (50 + i)))))
+             ~args:(Xdr.Pair (Xdr.Str (Printf.sprintf "stu%05d" i), Xdr.Int (50 + i))) ()))
   in
   let large =
     Xdr.List
@@ -265,7 +265,7 @@ let assert_untraced_bytes_unchanged () =
          ("k", Xdr.Str "c");
          ("a", Xdr.Int 42);
        ])
-    (W.call_item ~seq:12 ~cid:12 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42));
+    (W.call_item ~seq:12 ~cid:12 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42) ());
   expect "reply item"
     (Xdr.Pair (Xdr.Int 3, Xdr.Tagged ("n", Xdr.Int 7)))
     (W.reply_item ~seq:3 ~trace:None (W.W_normal (Xdr.Int 7)));
@@ -498,6 +498,92 @@ let run_shard () =
       ]
     table_rows
 
+(* --- overload bench + BENCH_overload.json --------------------------- *)
+
+(* Receiver/sender hot-path costs of overload survival
+   (docs/OVERLOAD.md): the per-event sampling filter every span record
+   pays, and the ack-tied [mark_releasable] bookkeeping the reply-ack
+   hook pays per acked call. The survival story itself is E15
+   (simulated time, deterministic); its static-vs-adaptive rows ride
+   along in the JSON so the comparison is machine-readable. *)
+
+let bench_span_sampled () =
+  let sp = Sim.Span.create () in
+  Sim.Span.enable sp true;
+  Sim.Span.set_sampling sp 8;
+  let next = ref 0 in
+  Staged.stage (fun () ->
+      incr next;
+      Sim.Span.sampled sp !next)
+
+let bench_mark_releasable () =
+  let reg : W.routcome Pipeline.Registry.t = Pipeline.Registry.create ~cap:4096 () in
+  for c = 0 to 2047 do
+    Pipeline.Registry.record reg ~stream:"bench" ~call:c (W.W_normal (Xdr.Int c))
+  done;
+  let next = ref 0 in
+  Staged.stage (fun () ->
+      next := (!next + 1) land 2047;
+      Pipeline.Registry.mark_releasable reg ~stream:"bench" ~call:!next)
+
+let overload_tests =
+  Test.make_grouped ~name:"overload"
+    [
+      Test.make ~name:"span sampling filter (1-in-8)" (bench_span_sampled ());
+      Test.make ~name:"registry mark_releasable" (bench_mark_releasable ());
+    ]
+
+let write_bench_overload_json ~subject_rows ~e15_rows path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"overload\",\n";
+  out "  \"units\": { \"subjects\": \"ns/op\", \"e15\": \"per run\" },\n";
+  out "  \"subjects\": [\n";
+  let n_subj = List.length subject_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"subject\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = n_subj - 1 then "" else ","))
+    subject_rows;
+  out "  ],\n";
+  out "  \"e15\": [\n";
+  let n_rows = List.length e15_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_overload.row) ->
+      out
+        "    { \"window\": \"%s\", \"calls\": %d, \"completion_ms\": %.3f, \
+         \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, \"sheds\": %d, \
+         \"retries\": %d, \"retry_successes\": %d, \"unavailable\": %d, \
+         \"window_cuts\": %d, \"window_min_bytes\": %d, \"window_max_bytes\": %d, \
+         \"lost\": %d, \"duplicates\": %d }%s\n"
+        (json_escape r.r_mode) r.r_calls (r.r_time *. 1e3) (r.r_p50 *. 1e3)
+        (r.r_p99 *. 1e3) (r.r_p999 *. 1e3) r.r_sheds r.r_retries r.r_retry_ok r.r_unavail
+        r.r_cuts r.r_win_min r.r_win_max r.r_lost r.r_dups
+        (if i = n_rows - 1 then "" else ","))
+    e15_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_overload () =
+  let subject_rows = measure_ns overload_tests in
+  let e15_rows = Workloads.Exp_overload.e15_rows () in
+  write_bench_overload_json ~subject_rows ~e15_rows "BENCH_overload.json";
+  let table_rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) subject_rows
+  in
+  Workloads.Table.make ~id:"overload"
+    ~title:"wall-clock: overload-survival hot-path machinery"
+    ~header:[ "subject"; "time/op" ]
+    ~notes:
+      [
+        "per-event cost of the span sampling filter and per-acked-call cost of the \
+         registry's ack-tied eviction marking (docs/OVERLOAD.md); results + E15 \
+         static-vs-adaptive figures written to BENCH_overload.json";
+      ]
+    table_rows
+
 (* --- main ---------------------------------------------------------- *)
 
 let () =
@@ -517,4 +603,8 @@ let () =
   print_endline "wall-clock sharded-dispatch machinery (Bechamel):";
   print_newline ();
   Workloads.Table.print (run_shard ());
-  print_endline "wrote BENCH_wire.json, BENCH_pipeline.json, BENCH_shard.json"
+  print_endline "wall-clock overload-survival machinery (Bechamel):";
+  print_newline ();
+  Workloads.Table.print (run_overload ());
+  print_endline
+    "wrote BENCH_wire.json, BENCH_pipeline.json, BENCH_shard.json, BENCH_overload.json"

@@ -46,7 +46,16 @@ let trace p = p.trace
 
 (* The claim edge closes a traced call's timeline: the moment some
    fiber actually obtained the outcome. The claimant's node is not
-   known at this layer, so the span carries none. *)
+   known at this layer, so the span carries none. The note names the
+   outcome's termination kind so post-run analysis (e.g. E15's latency
+   quantiles) can keep normal completions apart from [unavailable]
+   ones without re-running the claimants. *)
+let outcome_note = function
+  | Normal _ -> "normal"
+  | Signal _ -> "signal"
+  | Unavailable _ -> "unavailable"
+  | Failure _ -> "failure"
+
 let record_claim p ?note () =
   match p.trace with
   | None -> ()
@@ -74,19 +83,19 @@ let on_ready p hook =
 let claim p =
   match p.state with
   | Ready o ->
-      record_claim p ();
+      record_claim p ~note:(outcome_note o) ();
       o
   | Blocked _ ->
       let o =
         S.suspend p.sched (fun w -> on_ready p (fun o -> ignore (S.wake w o : bool)))
       in
-      record_claim p ();
+      record_claim p ~note:(outcome_note o) ();
       o
 
 let claim_deadline p ~deadline =
   match p.state with
   | Ready o ->
-      record_claim p ();
+      record_claim p ~note:(outcome_note o) ();
       o
   | Blocked _ ->
       if S.now p.sched >= deadline then
@@ -105,7 +114,7 @@ let claim_deadline p ~deadline =
                       : bool)))
         in
         (match p.state with
-        | Ready _ -> record_claim p ()
+        | Ready _ -> record_claim p ~note:(outcome_note o) ()
         | Blocked _ -> record_claim p ~note:"deadline exceeded" ());
         o
 

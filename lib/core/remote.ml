@@ -149,6 +149,87 @@ let stream_call_p h a =
 
 let flush h = SE.flush h.h_stream
 
+(* {2 Retry-on-unavailable (docs/OVERLOAD.md)} *)
+
+type retry_policy = {
+  retry_attempts : int;
+  retry_base : float;
+  retry_factor : float;
+  retry_max_delay : float;
+  retry_jitter : float;
+}
+
+let default_retry_policy =
+  {
+    retry_attempts = 4;
+    retry_base = 5e-3;
+    retry_factor = 2.0;
+    retry_max_delay = 0.5;
+    retry_jitter = 0.2;
+  }
+
+let retry_delay policy rng ~attempt =
+  let raw = policy.retry_base *. (policy.retry_factor ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw policy.retry_max_delay in
+  (* Jitter decorrelates callers shed by the same overloaded lane —
+     a synchronized retry herd would just be shed again. Drawn from an
+     RNG split off the scheduler's so runs replay from the seed. *)
+  let spread = policy.retry_jitter *. ((2.0 *. Sim.Rng.float rng 1.0) -. 1.0) in
+  Float.max 0.0 (capped *. (1.0 +. spread))
+
+let stream_call_retry ?(policy = default_retry_policy) ?deadline h arg =
+  if policy.retry_attempts <= 0 then
+    invalid_arg "Remote.stream_call_retry: retry_attempts must be positive";
+  let sched = h.h_sched in
+  let p = Promise.create sched in
+  let rng = Sim.Rng.split (S.rng sched) in
+  let counter name = Sim.Stats.counter (S.stats sched) name in
+  let resolve w = Promise.resolve p (decode_outcome h.h_sig w) in
+  (* Each attempt is a fresh call with a fresh stable call-id: a shed
+     call never executed, so this is retry, not resubmission — dedup is
+     not implicated and receiver-side at-most-once holds per attempt.
+     (Crash-driven [restart_resubmit] is the opposite: same cid,
+     because the original may have executed.) The promise carries the
+     first attempt's trace id but no origin: piping it would mint a
+     reference to a possibly-shed, never-executed call. *)
+  let rec attempt n =
+    let on_reply = function
+      | W.W_unavailable reason -> next n reason
+      | w ->
+          if n > 1 then Sim.Stats.incr (counter "remote_retry_successes");
+          resolve w
+    in
+    match
+      try `Issued (start_call h ~kind:W.Call arg ~on_reply)
+      with Promise.Unavailable_exn reason -> `Refused reason
+    with
+    | `Issued ((_ : int), tid) -> if n = 1 then Promise.set_trace p tid
+    | `Refused reason -> next n reason
+  and next n reason =
+    let give_up () =
+      Sim.Stats.incr (counter "remote_retry_exhausted");
+      resolve (W.W_unavailable reason)
+    in
+    if n >= policy.retry_attempts then give_up ()
+    else begin
+      let delay = retry_delay policy rng ~attempt:n in
+      let in_time =
+        match deadline with None -> true | Some d -> S.now sched +. delay < d
+      in
+      (* A retry that cannot land before the claimant's deadline is
+         pointless; surface [unavailable] now instead. *)
+      if not in_time then give_up ()
+      else begin
+        Sim.Stats.incr (counter "remote_unavailable_retries");
+        S.after sched delay (fun () ->
+            attempt (n + 1);
+            flush h)
+      end
+    end
+  in
+  attempt 1;
+  p
+
 let rpc h arg =
   let p = stream_call h arg in
   flush h;

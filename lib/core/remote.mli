@@ -53,6 +53,36 @@ val send : ('a, 'r, 'e) h -> 'a -> unit
 val rpc : ('a, 'r, 'e) h -> 'a -> ('r, 'e) Promise.outcome
 (** Flush and wait for this call's outcome (fiber context only). *)
 
+(** {1 Retry on [unavailable] (docs/OVERLOAD.md)} *)
+
+type retry_policy = {
+  retry_attempts : int;  (** total attempts, including the first *)
+  retry_base : float;  (** first backoff delay, seconds *)
+  retry_factor : float;  (** exponential growth per attempt *)
+  retry_max_delay : float;  (** backoff cap, seconds *)
+  retry_jitter : float;  (** +- fractional spread on each delay *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 attempts, 5 ms base, doubling, 500 ms cap, 20% jitter. *)
+
+val stream_call_retry :
+  ?policy:retry_policy -> ?deadline:float -> ('a, 'r, 'e) h -> 'a -> ('r, 'e) Promise.t
+(** {!stream_call} that retries [unavailable] outcomes — load sheds,
+    broken streams — with jittered exponential backoff, up to
+    [retry_attempts] total attempts. Each attempt is a {e fresh} call
+    (fresh stable call-id): a shed call never executed, so this is
+    retry, not crash-driven resubmission, and receiver-side
+    at-most-once holds per attempt. A retry whose earliest landing time
+    would pass [deadline] (absolute, for use with
+    {!Promise.claim_deadline}) is not sent; the promise resolves
+    [Unavailable] immediately. The promise carries the first attempt's
+    trace id but {e no} origin — piping it would reference a
+    possibly-never-executed call. Never raises
+    {!Promise.Unavailable_exn}; issue-time refusals feed the same
+    retry loop. Counted as [remote_unavailable_retries],
+    [remote_retry_successes] and [remote_retry_exhausted]. *)
+
 (** {1 Promise pipelining}
 
     Calling on a not-yet-ready result (docs/PIPELINE.md): {!pipe}

@@ -3,14 +3,23 @@ module B = Xdr.Bin
 
 type key = { src : Net.address; label : string; idx : int; meta : string }
 
+type ack_entry = {
+  a_key : key;
+  a_upto : int;  (* cumulative: everything up to this seq arrived *)
+  a_pressure : int;
+      (* receiver queue-depth signal for the acked channel: 0 = fine,
+         1 = approaching the shed mark, 2 = at/over it (load-shedding
+         imminent or underway). Senders treat >= 2 as congestion. *)
+}
+
 type packet =
   | Data of {
       key : key;
       first_seq : int;
-      acks : (key * int) list;  (* piggybacked cumulative acks *)
+      acks : ack_entry list;  (* piggybacked cumulative acks *)
       items : Xdr.value list;
     }
-  | Ack of { acks : (key * int) list }
+  | Ack of { acks : ack_entry list }
   | Reset of { key : key; reason : string }
 
 type frame = string
@@ -28,10 +37,11 @@ let encode_key e (k : key) =
   B.add_uvarint e k.idx;
   B.add_string e k.meta
 
-let encode_ack e ((k, upto) : key * int) =
-  encode_key e k;
+let encode_ack e (a : ack_entry) =
+  encode_key e a.a_key;
   (* upto is -1 for "nothing received yet", hence signed *)
-  B.add_varint e upto
+  B.add_varint e a.a_upto;
+  B.add_uvarint e a.a_pressure
 
 let encode_packet p =
   B.with_encoder (fun e ->
@@ -73,7 +83,8 @@ let decode_acks d =
       else
         let* key = decode_key d in
         let* upto = B.read_varint d in
-        go (k - 1) ((key, upto) :: acc)
+        let* pressure = B.read_uvarint d in
+        go (k - 1) ({ a_key = key; a_upto = upto; a_pressure = pressure } :: acc)
     in
     go n []
 
@@ -124,6 +135,11 @@ type config = {
   retransmit_timeout : float;
   max_retries : int;
   max_inflight_bytes : int;
+  adaptive_window : bool;
+  window_min_bytes : int;
+  window_increase : int;
+  window_decrease : float;
+  rtt_inflation : float;
 }
 
 let default_config =
@@ -135,20 +151,39 @@ let default_config =
     retransmit_timeout = 50e-3;
     max_retries = 10;
     max_inflight_bytes = max_int;
+    adaptive_window = false;
+    window_min_bytes = 512;
+    window_increase = 256;
+    window_decrease = 0.5;
+    rtt_inflation = 2.0;
   }
 
 let rpc_config = { default_config with max_batch = 1; flush_interval = 0.0 }
 
 let adaptive_config =
   {
+    default_config with
     max_batch = 64;
     max_batch_bytes = 1024;
     flush_interval = 2e-3;
     flush_on_idle = true;
-    retransmit_timeout = 50e-3;
-    max_retries = 10;
     max_inflight_bytes = 8192;
   }
+
+(* AIMD flow control (docs/OVERLOAD.md): the live window starts at
+   [window_min_bytes] and moves between the min clamp and
+   [max_inflight_bytes] under the controller in [handle_ack] /
+   [arm_retransmit]. *)
+let aimd_config =
+  { adaptive_config with adaptive_window = true; max_inflight_bytes = 64 * 1024 }
+
+type unacked = {
+  u_seq : int;
+  u_size : int;
+  u_item : Xdr.value;
+  mutable u_sent_at : float;  (* time of the most recent transmission *)
+  mutable u_retx : bool;  (* retransmitted at least once: no RTT sample (Karn) *)
+}
 
 type out_chan = {
   o_hub : hub;
@@ -159,12 +194,18 @@ type out_chan = {
   mutable o_buf : (Xdr.value * int) list;  (* reversed: newest first; item, encoded size *)
   mutable o_buf_len : int;
   mutable o_buf_bytes : int;
-  mutable o_unacked : (int * int * Xdr.value) list;  (* oldest first; seq, size, item *)
+  mutable o_unacked : unacked list;  (* oldest first *)
   mutable o_inflight_bytes : int;
   mutable o_acked_upto : int;
   mutable o_retries : int;
+  mutable o_window : int;  (* live AIMD window; pinned to max_inflight_bytes when static *)
+  mutable o_rtt_ewma : float;  (* 0.0 until the first clean sample *)
+  mutable o_cut_barrier : int;
+      (* seq outstanding at the last multiplicative decrease: no second
+         cut until it is acked, so one congested flight costs one cut *)
   mutable o_broken : string option;
   mutable o_on_break : (string -> unit) list;
+  mutable o_on_ack : (Xdr.value list -> unit) option;
   mutable o_flush_gen : int;
   mutable o_retx_gen : int;
   mutable o_retx_armed : bool;
@@ -176,12 +217,13 @@ and in_chan = {
   i_key : key;
   mutable i_expected : int;
   mutable i_deliver : (Xdr.value list -> unit) option;
+  mutable i_pressure : (unit -> int) option;  (* receiver queue-depth probe for acks *)
   mutable i_broken : string option;
   mutable i_on_break : (string -> unit) list;
 }
 
 and pending_acks = {
-  p_acks : (key, int) Hashtbl.t;  (* per reverse channel: max upto seen *)
+  p_acks : (key, int * int) Hashtbl.t;  (* per reverse channel: max upto, max pressure *)
   mutable p_armed : bool;  (* delayed standalone-Ack timer pending *)
 }
 
@@ -217,11 +259,21 @@ let unacked_count o = o.o_buf_len + List.length o.o_unacked
 
 let inflight_bytes o = o.o_buf_bytes + o.o_inflight_bytes
 
+let window_bytes o = o.o_window
+
+let rtt_ewma o = o.o_rtt_ewma
+
+let on_ack o f = o.o_on_ack <- Some f
+
 let in_key i = i.i_key
 
 let in_src i = i.i_key.src
 
 let set_deliver i f = i.i_deliver <- Some f
+
+let set_pressure i f = i.i_pressure <- Some f
+
+let probe_pressure i = match i.i_pressure with Some f -> max 0 (f ()) | None -> 0
 
 let in_broken i = i.i_broken
 
@@ -282,7 +334,12 @@ let drain_pending hub dst =
   match Hashtbl.find_opt hub.h_pending dst with
   | None -> []
   | Some p ->
-      let acks = Hashtbl.fold (fun k upto acc -> (k, upto) :: acc) p.p_acks [] in
+      let acks =
+        Hashtbl.fold
+          (fun k (upto, pressure) acc ->
+            { a_key = k; a_upto = upto; a_pressure = pressure } :: acc)
+          p.p_acks []
+      in
       Hashtbl.reset p.p_acks;
       acks
 
@@ -297,16 +354,17 @@ let take_piggyback hub ~dst =
    behaviour). With a delay, the ack is parked hoping a reverse-
    direction Data packet picks it up; a timer bounds how long the
    sender waits (it must come well under the retransmit timeout). *)
-let post_ack hub ~dst ~key ~upto =
+let post_ack hub ~dst ~key ~upto ~pressure =
   if hub.h_ack_delay <= 0.0 then begin
     Sim.Stats.incr (hub_counter hub "chan_standalone_acks");
-    transmit hub ~dst (Ack { acks = [ (key, upto) ] })
+    transmit hub ~dst (Ack { acks = [ { a_key = key; a_upto = upto; a_pressure = pressure } ] })
   end
   else begin
     let p = pending_for hub dst in
     (match Hashtbl.find_opt p.p_acks key with
-    | Some prev when prev >= upto -> ()
-    | _ -> Hashtbl.replace p.p_acks key upto);
+    | Some (prev_upto, prev_pressure) ->
+        Hashtbl.replace p.p_acks key (max prev_upto upto, max prev_pressure pressure)
+    | None -> Hashtbl.replace p.p_acks key (upto, pressure));
     if not p.p_armed then begin
       p.p_armed <- true;
       S.after hub.h_sched hub.h_ack_delay (fun () ->
@@ -357,6 +415,31 @@ let break_out o ~reason =
     mark_broken o reason
   end
 
+(* --- AIMD window controller (docs/OVERLOAD.md) -------------------- *)
+
+(* Multiplicative decrease, at most once per outstanding flight: after
+   a cut, everything that was in the air at cut time must be acked
+   before the next cut, so one congestion episode costs one halving
+   instead of collapsing the window to the floor. *)
+let cut_window o ~why =
+  if o.o_cfg.adaptive_window && o.o_acked_upto >= o.o_cut_barrier then begin
+    let next =
+      max o.o_cfg.window_min_bytes
+        (int_of_float (float_of_int o.o_window *. o.o_cfg.window_decrease))
+    in
+    if next < o.o_window then begin
+      o.o_window <- next;
+      Sim.Stats.incr (hub_counter o.o_hub "chan_window_cuts");
+      hub_trace o.o_hub "chan: out %s->%d window cut to %dB (%s)" o.o_key.label o.o_dst
+        o.o_window why
+    end;
+    o.o_cut_barrier <- o.o_next_seq - 1
+  end
+
+let grow_window o =
+  if o.o_cfg.adaptive_window && o.o_window < o.o_cfg.max_inflight_bytes then
+    o.o_window <- min o.o_cfg.max_inflight_bytes (o.o_window + o.o_cfg.window_increase)
+
 (* The timer is anchored to the oldest unacked item: further sends do
    not push it back, so a dead peer is detected after at most
    [retransmit_timeout * (max_retries + 1)] even under a continuous
@@ -375,8 +458,23 @@ let rec arm_retransmit o =
               mark_broken o "retransmit limit exceeded: peer unreachable"
             else begin
               Sim.Stats.incr (hub_counter o.o_hub "chan_retransmits");
-              let first_seq = match o.o_unacked with (s, _, _) :: _ -> s | [] -> assert false in
-              let items = List.map (fun (_, _, item) -> item) o.o_unacked in
+              cut_window o ~why:"retransmit";
+              let first_seq =
+                match o.o_unacked with u :: _ -> u.u_seq | [] -> assert false
+              in
+              (* Re-send only: the bytes are already counted in
+                 [o_inflight_bytes] from their first transmission, so a
+                 retransmit — including one racing a receiver shed —
+                 must not charge the window a second time. *)
+              let now = S.now o.o_hub.h_sched in
+              let items =
+                List.map
+                  (fun u ->
+                    u.u_retx <- true;
+                    u.u_sent_at <- now;
+                    u.u_item)
+                  o.o_unacked
+              in
               let acks = take_piggyback o.o_hub ~dst:o.o_dst in
               transmit o.o_hub ~dst:o.o_dst (Data { key = o.o_key; first_seq; acks; items });
               span_items o.o_hub Sim.Span.Retransmit
@@ -397,8 +495,13 @@ let flush_out o =
     o.o_buf_len <- 0;
     o.o_buf_bytes <- 0;
     o.o_flush_gen <- o.o_flush_gen + 1;
+    let now = S.now o.o_hub.h_sched in
     o.o_unacked <-
-      o.o_unacked @ List.mapi (fun i (item, size) -> (first_seq + i, size, item)) entries;
+      o.o_unacked
+      @ List.mapi
+          (fun i (item, size) ->
+            { u_seq = first_seq + i; u_size = size; u_item = item; u_sent_at = now; u_retx = false })
+          entries;
     o.o_inflight_bytes <- o.o_inflight_bytes + batch_bytes;
     let items = List.map fst entries in
     let acks = take_piggyback o.o_hub ~dst:o.o_dst in
@@ -409,9 +512,11 @@ let flush_out o =
 
 (* Window has room for [bytes] more. When nothing at all is pending the
    answer is always yes, so a single item larger than the whole window
-   still goes through (alone) instead of deadlocking. *)
+   still goes through (alone) instead of deadlocking. [o_window] is the
+   live bound: pinned to [max_inflight_bytes] for a static config,
+   moved by the AIMD controller for an adaptive one. *)
 let window_admits o bytes =
-  inflight_bytes o = 0 || inflight_bytes o + bytes <= o.o_cfg.max_inflight_bytes
+  inflight_bytes o = 0 || inflight_bytes o + bytes <= o.o_window
 
 let await_window o ~bytes =
   match o.o_broken with
@@ -453,24 +558,52 @@ let send o item =
       end;
       Ok ()
 
-let handle_ack o ~upto =
+let handle_ack o ~upto ~pressure =
   if o.o_broken = None && upto > o.o_acked_upto then begin
     o.o_acked_upto <- upto;
     let freed = ref 0 in
     let freed_items = ref [] in
+    let rtt_sample = ref nan in
+    let freed_retx = ref false in
+    let now = S.now o.o_hub.h_sched in
     o.o_unacked <-
       List.filter
-        (fun (s, size, item) ->
-          if s <= upto then begin
-            freed := !freed + size;
-            freed_items := item :: !freed_items;
+        (fun u ->
+          if u.u_seq <= upto then begin
+            freed := !freed + u.u_size;
+            freed_items := u.u_item :: !freed_items;
+            if u.u_retx then freed_retx := true
+            else rtt_sample := now -. u.u_sent_at;
             false
           end
           else true)
         o.o_unacked;
-    span_items o.o_hub Sim.Span.Ack (List.rev !freed_items);
+    let freed_items = List.rev !freed_items in
+    span_items o.o_hub Sim.Span.Ack freed_items;
     o.o_inflight_bytes <- o.o_inflight_bytes - !freed;
     o.o_retries <- 0;
+    (* AIMD step. The RTT sample comes from the newest freed item that
+       was never retransmitted (Karn: retransmitted items give no
+       sample — the ack could match either copy). Receiver pressure or
+       a clearly inflated RTT cuts the window; an unremarkable ack with
+       a relaxed receiver grows it by one additive step. *)
+    if o.o_cfg.adaptive_window then begin
+      let congested =
+        Float.is_nan !rtt_sample = false
+        && o.o_rtt_ewma > 0.0
+        && !rtt_sample > o.o_cfg.rtt_inflation *. o.o_rtt_ewma
+      in
+      if pressure >= 2 then cut_window o ~why:"receiver pressure"
+      else if congested then cut_window o ~why:"rtt inflation"
+      else if pressure = 0 && not !freed_retx then grow_window o;
+      if Float.is_nan !rtt_sample = false then begin
+        Sim.Stats.observe (Sim.Stats.summary (S.stats o.o_hub.h_sched) "chan_rtt") !rtt_sample;
+        o.o_rtt_ewma <-
+          (if o.o_rtt_ewma <= 0.0 then !rtt_sample
+           else (0.875 *. o.o_rtt_ewma) +. (0.125 *. !rtt_sample))
+      end
+    end;
+    (match o.o_on_ack with Some f -> f freed_items | None -> ());
     (* restart the timer for the (new) oldest unacked item *)
     o.o_retx_gen <- o.o_retx_gen + 1;
     o.o_retx_armed <- false;
@@ -511,6 +644,7 @@ let handle_data hub ~key ~first_seq ~items =
                     i_key = key;
                     i_expected = 0;
                     i_deliver = None;
+                    i_pressure = None;
                     i_broken = None;
                     i_on_break = [];
                   }
@@ -526,6 +660,7 @@ let handle_data hub ~key ~first_seq ~items =
           if first_seq > i.i_expected then
             (* Gap: go-back-n — drop and re-ack what we have. *)
             post_ack hub ~dst:key.src ~key ~upto:(i.i_expected - 1)
+              ~pressure:(probe_pressure i)
           else begin
             let skip = i.i_expected - first_seq in
             if skip > 0 then
@@ -539,6 +674,7 @@ let handle_data hub ~key ~first_seq ~items =
               | None -> ()
             end;
             post_ack hub ~dst:key.src ~key ~upto:(i.i_expected - 1)
+              ~pressure:(probe_pressure i)
           end
 
 let handle_reset hub ~key ~reason =
@@ -556,9 +692,9 @@ let handle_reset hub ~key ~reason =
 
 let handle_acks hub acks =
   List.iter
-    (fun (key, upto) ->
-      match Hashtbl.find_opt hub.h_outs key with
-      | Some o -> handle_ack o ~upto
+    (fun a ->
+      match Hashtbl.find_opt hub.h_outs a.a_key with
+      | Some o -> handle_ack o ~upto:a.a_upto ~pressure:a.a_pressure
       | None -> ())
     acks
 
@@ -602,6 +738,16 @@ let connect hub ~dst ~label ~meta cfg =
     invalid_arg "Chanhub.connect: max_batch_bytes must be positive";
   if cfg.max_inflight_bytes <= 0 then
     invalid_arg "Chanhub.connect: max_inflight_bytes must be positive";
+  if cfg.adaptive_window then begin
+    if cfg.window_min_bytes <= 0 || cfg.window_min_bytes > cfg.max_inflight_bytes then
+      invalid_arg "Chanhub.connect: window_min_bytes must be in (0, max_inflight_bytes]";
+    if cfg.window_increase <= 0 then
+      invalid_arg "Chanhub.connect: window_increase must be positive";
+    if cfg.window_decrease <= 0.0 || cfg.window_decrease >= 1.0 then
+      invalid_arg "Chanhub.connect: window_decrease must be in (0, 1)";
+    if cfg.rtt_inflation <= 1.0 then
+      invalid_arg "Chanhub.connect: rtt_inflation must exceed 1"
+  end;
   let key = { src = Net.address hub.h_node; label; idx = hub.h_next_idx; meta } in
   hub.h_next_idx <- hub.h_next_idx + 1;
   let o =
@@ -617,6 +763,10 @@ let connect hub ~dst ~label ~meta cfg =
       o_unacked = [];
       o_inflight_bytes = 0;
       o_acked_upto = -1;
+      o_window = (if cfg.adaptive_window then cfg.window_min_bytes else cfg.max_inflight_bytes);
+      o_rtt_ewma = 0.0;
+      o_cut_barrier = -1;
+      o_on_ack = None;
       o_retries = 0;
       o_broken = None;
       o_on_break = [];

@@ -43,16 +43,26 @@ type in_chan
 
 type key = { src : Net.address; label : string; idx : int; meta : string }
 
+type ack_entry = {
+  a_key : key;
+  a_upto : int;  (** cumulative: every seq [<= a_upto] is acknowledged *)
+  a_pressure : int;
+      (** receiver queue-depth signal riding on the ack: [0] relaxed,
+          [1] approaching the shed high-water mark, [2] at or over it.
+          Senders with an adaptive window treat [2] as congestion
+          (multiplicative decrease) and [1] as "hold growth". *)
+}
+
 type packet =
   | Data of {
       key : key;
       first_seq : int;
-      acks : (key * int) list;
+      acks : ack_entry list;
           (** cumulative acks for reverse-direction channels,
               piggybacked on this data packet *)
       items : Xdr.value list;
     }
-  | Ack of { acks : (key * int) list }
+  | Ack of { acks : ack_entry list }
   | Reset of { key : key; reason : string }
 
 type frame = string
@@ -82,7 +92,20 @@ type config = {
   max_retries : int;  (** consecutive unanswered retransmits before break *)
   max_inflight_bytes : int;
       (** sliding-window budget: {!await_window} blocks while this many
-          encoded bytes are buffered or unacked *)
+          encoded bytes are buffered or unacked. With
+          [adaptive_window] this is the window {e ceiling}. *)
+  adaptive_window : bool;
+      (** AIMD flow control (docs/OVERLOAD.md): the live window starts
+          at [window_min_bytes], grows by [window_increase] bytes per
+          clean ack round, and is cut multiplicatively on retransmit,
+          ack-RTT inflation, or receiver pressure — at most once per
+          outstanding flight. *)
+  window_min_bytes : int;  (** adaptive window floor (and start value) *)
+  window_increase : int;  (** additive increase per clean ack, bytes *)
+  window_decrease : float;  (** multiplicative cut factor, in (0, 1) *)
+  rtt_inflation : float;
+      (** an ack RTT above [rtt_inflation *. rtt_ewma] counts as
+          congestion; must exceed 1 *)
 }
 
 val default_config : config
@@ -99,7 +122,13 @@ val adaptive_config : config
 (** Nagle-style adaptive batching: [flush_on_idle = true] with
     [max_batch = 64], [max_batch_bytes = 1024] and an 8 KiB in-flight
     window — low latency when idle, aggressive coalescing under load.
-    Pair with a hub [ack_delay] to enable ack piggybacking. *)
+    Pair with a hub [ack_delay] to enable ack piggybacking. The window
+    is still static; see {!aimd_config} for the adaptive variant. *)
+
+val aimd_config : config
+(** {!adaptive_config} plus AIMD flow control: [adaptive_window = true]
+    with a 64 KiB ceiling, 512 B floor, +256 B additive increase and a
+    0.5 multiplicative cut (docs/OVERLOAD.md). *)
 
 (** {1 Hubs} *)
 
@@ -119,8 +148,9 @@ val hub_sched : hub -> Sched.Scheduler.t
     [chan_dup_items_suppressed], [chan_out_breaks], [chan_in_breaks],
     [chan_data_packets], [chan_ack_packets], [chan_reset_packets],
     [chan_wire_bytes], [chan_items_sent], [chan_piggybacked_acks],
-    [chan_standalone_acks], [chan_decode_errors] — and break events in
-    its {!Sim.Trace}. *)
+    [chan_standalone_acks], [chan_decode_errors],
+    [chan_window_cuts] — plus the [chan_rtt] summary of clean ack RTT
+    samples — and break events in its {!Sim.Trace}. *)
 
 val on_connect : hub -> label:string -> (in_chan -> unit) -> unit
 (** Register the acceptor for inbound channels labelled [label]. The
@@ -155,6 +185,22 @@ val await_window : out_chan -> bytes:int -> (unit, string) result
 val inflight_bytes : out_chan -> int
 (** Encoded bytes currently buffered plus sent-but-unacked. *)
 
+val window_bytes : out_chan -> int
+(** The live sender window. Equal to [max_inflight_bytes] for a static
+    config; moved between [window_min_bytes] and [max_inflight_bytes]
+    by the AIMD controller for an adaptive one. *)
+
+val rtt_ewma : out_chan -> float
+(** Exponentially weighted moving average of observed ack RTTs
+    (alpha 0.125, Karn-filtered: retransmitted items contribute no
+    sample). [0.] until the first clean sample. *)
+
+val on_ack : out_chan -> (Xdr.value list -> unit) -> unit
+(** Install a hook fired once per cumulative ack with the items the ack
+    freed, oldest first. The pipelining outcome registry uses this to
+    learn when a call item can no longer be retransmitted — its outcome
+    becomes safely evictable (docs/PIPELINE.md). At most one hook. *)
+
 val flush_out : out_chan -> unit
 (** Transmit everything buffered now. *)
 
@@ -185,6 +231,12 @@ val set_deliver : in_chan -> (Xdr.value list -> unit) -> unit
 val in_key : in_chan -> key
 
 val in_src : in_chan -> Net.address
+
+val set_pressure : in_chan -> (unit -> int) -> unit
+(** Install the receiver queue-depth probe sampled when this channel
+    acks: the probe returns [0] (relaxed), [1] (approaching the shed
+    mark) or [2] (at/over it), and the value rides on the ack as
+    {!ack_entry.a_pressure}. Without a probe every ack reports [0]. *)
 
 val break_in : in_chan -> reason:string -> unit
 (** Receiver-initiated break: discard further data and tell the sender

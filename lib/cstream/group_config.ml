@@ -8,6 +8,7 @@ type t = {
   shards : int;
   shard_key : shard_key option;
   pipeline : Wire.routcome Pipeline.Registry.t option;
+  shed_hwm : int option;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     shards = 1;
     shard_key = None;
     pipeline = None;
+    shed_hwm = None;
   }
 
 let with_reply_config reply_config t = { t with reply_config }
@@ -35,6 +37,10 @@ let with_shards ?key shards t =
 
 let with_pipeline reg t = { t with pipeline = Some reg }
 
+let with_shed hwm t =
+  if hwm <= 0 then invalid_arg "Group_config.with_shed: high-water mark must be positive";
+  { t with shed_hwm = Some hwm }
+
 (* Whole-config equality, used by {!Guardian.get_group} to detect a
    conflicting re-registration. The functional/abstract fields
    ([shard_key], [pipeline]) compare physically: re-passing the same
@@ -46,6 +52,7 @@ let equal a b =
   && a.dedup = b.dedup
   && a.dedup_cache = b.dedup_cache
   && a.shards = b.shards
+  && a.shed_hwm = b.shed_hwm
   && (match (a.shard_key, b.shard_key) with
      | None, None -> true
      | Some f, Some g -> f == g
@@ -67,6 +74,7 @@ let diff a b =
       ("dedup", a.dedup <> b.dedup);
       ("dedup_cache", a.dedup_cache <> b.dedup_cache);
       ("shards", a.shards <> b.shards);
+      ("shed_hwm", a.shed_hwm <> b.shed_hwm);
       ( "shard_key",
         match (a.shard_key, b.shard_key) with
         | None, None -> false
@@ -80,7 +88,9 @@ let diff a b =
     ]
 
 let pp ppf t =
-  Format.fprintf ppf "{ordered=%b; dedup=%b; dedup_cache=%d; shards=%d; shard_key=%s; pipeline=%s}"
+  Format.fprintf ppf
+    "{ordered=%b; dedup=%b; dedup_cache=%d; shards=%d; shard_key=%s; pipeline=%s; shed_hwm=%s}"
     t.ordered t.dedup t.dedup_cache t.shards
     (match t.shard_key with Some _ -> "<fn>" | None -> "default")
     (match t.pipeline with Some _ -> "<registry>" | None -> "none")
+    (match t.shed_hwm with Some h -> string_of_int h | None -> "off")

@@ -41,6 +41,12 @@ type t = {
       (** promise-pipelining outcome registry (docs/PIPELINE.md). The
           guardian layer always substitutes its own per-guardian
           registry; set this only when driving {!Target} directly. *)
+  shed_hwm : int option;
+      (** load-shedding high-water mark (docs/OVERLOAD.md): when a
+          lane's queue reaches this depth, new non-resubmit calls are
+          rejected with the paper's [unavailable] exception instead of
+          queued, and acks carry a pressure signal so adaptive senders
+          cut their window first. [None] (default) never sheds. *)
 }
 
 val default : t
@@ -63,6 +69,12 @@ val with_shards : ?key:shard_key -> int -> t -> t
     is kept. *)
 
 val with_pipeline : Wire.routcome Pipeline.Registry.t -> t -> t
+
+val with_shed : int -> t -> t
+(** Enable load-shedding at the given per-lane queue depth (raises
+    [Invalid_argument] on [<= 0]). Pick it relative to the lane's
+    [shard_queue_hwm] observations: sheds begin exactly at the mark,
+    and the ack pressure signal starts at half of it. *)
 
 val equal : t -> t -> bool
 (** Structural on the plain fields; {e physical} on [shard_key] and

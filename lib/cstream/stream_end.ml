@@ -72,7 +72,7 @@ let stable_id t =
 
 let span t ~kind ~trace ~call ?note () =
   let sp = spans t in
-  if Sim.Span.enabled sp then
+  if Sim.Span.sampled sp trace then
     Sim.Span.record sp ~time:(S.now t.sched) ~kind ~trace ~node:(node_addr t)
       ~stream:(stable_id t) ~call ?note ()
 
@@ -189,9 +189,11 @@ let call_traced t ~port ~kind ~args ~on_reply =
   | None -> (
       (* The trace id is allocated at issue and kept for the call's
          whole life, across resubmissions; it rides the wire only while
-         tracing is on, so the off-path encoding is unchanged. *)
+         tracing is on AND the id passes the 1-in-N sampling filter
+         (docs/TRACING.md), so the off-path encoding is unchanged and a
+         sampled-out call records nothing anywhere. *)
       let tid = Sim.Span.next_trace (spans t) in
-      let wire_trace = if Sim.Span.enabled (spans t) then Some tid else None in
+      let wire_trace = if Sim.Span.sampled (spans t) tid then Some tid else None in
       (* Reserve window space BEFORE claiming a sequence number: a fiber
          that blocked after taking its seq would let later calls enter
          the channel first and violate in-call-order delivery. The size
@@ -200,7 +202,7 @@ let call_traced t ~port ~kind ~args ~on_reply =
          may change its length by a byte or two). *)
       let probe_seq = t.next_seq and probe_cid = t.next_cid in
       let probe =
-        Wire.call_item ~seq:probe_seq ~cid:probe_cid ~trace:wire_trace ~port ~kind ~args
+        Wire.call_item ~seq:probe_seq ~cid:probe_cid ~trace:wire_trace ~port ~kind ~args ()
       in
       match Chanhub.await_window t.chan ~bytes:(Xdr.Bin.size probe) with
       | Error reason -> Error reason
@@ -222,7 +224,7 @@ let call_traced t ~port ~kind ~args ~on_reply =
         };
       let item =
         if seq = probe_seq then probe
-        else Wire.call_item ~seq ~cid ~trace:wire_trace ~port ~kind ~args
+        else Wire.call_item ~seq ~cid ~trace:wire_trace ~port ~kind ~args ()
       in
       span t ~kind:Sim.Span.Issue ~trace:tid ~call:cid ~note:port ();
       (match Chanhub.send t.chan item with
@@ -244,6 +246,12 @@ let call t ~port ~kind ~args ~on_reply =
   Result.map (fun (_ : int) -> ()) (call_cid t ~port ~kind ~args ~on_reply)
 
 let flush t = if t.s_broken = None then Chanhub.flush_out t.chan
+
+let window_bytes t = Chanhub.window_bytes t.chan
+
+let rtt_ewma t = Chanhub.rtt_ewma t.chan
+
+let inflight_bytes t = Chanhub.inflight_bytes t.chan
 
 let synch t =
   match t.s_broken with
@@ -317,15 +325,19 @@ let restart_resubmit t =
       trace t "stream %s->%s/%d resubmit restart: incarnation %d, %d calls replayed"
         t.s_agent t.s_gid t.s_dst (t.incarnation + 1) (List.length pend);
       reincarnate t;
-      let wire_trace p = if Sim.Span.enabled (spans t) then Some p.p_trace else None in
+      let wire_trace p =
+        if Sim.Span.sampled (spans t) p.p_trace then Some p.p_trace else None
+      in
       List.iteri
         (fun i (_, p) ->
           span t ~kind:Sim.Span.Resubmit ~trace:p.p_trace ~call:p.p_cid
             ~note:(Printf.sprintf "incarnation %d" t.incarnation) ();
+          (* Marked [resubmit] so a load-shedding receiver lets it
+             through to the dedup cache rather than rejecting it. *)
           ignore
             (Chanhub.send t.chan
-               (Wire.call_item ~seq:i ~cid:p.p_cid ~trace:(wire_trace p) ~port:p.p_port
-                  ~kind:p.p_kind ~args:p.p_args)
+               (Wire.call_item ~resubmit:true ~seq:i ~cid:p.p_cid ~trace:(wire_trace p)
+                  ~port:p.p_port ~kind:p.p_kind ~args:p.p_args ())
               : (unit, string) result))
         pend;
       if pend <> [] then Chanhub.flush_out t.chan;

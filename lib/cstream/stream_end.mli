@@ -88,6 +88,22 @@ val call_traced :
 val flush : t -> unit
 (** Transmit buffered call requests now (§2's [flush]). *)
 
+val window_bytes : t -> int
+(** Live sender window of the current incarnation's call channel
+    ({!Chanhub.window_bytes}): the AIMD-controlled bound when the
+    stream config sets [adaptive_window], else [max_inflight_bytes]. *)
+
+val rtt_ewma : t -> float
+(** Smoothed ack RTT of the current incarnation's call channel
+    ({!Chanhub.rtt_ewma}); [0.] until the first clean sample. *)
+
+val inflight_bytes : t -> int
+(** Unacked bytes charged against the window right now
+    ({!Chanhub.inflight_bytes}). Must return to [0] at quiescence —
+    retransmits (including ones racing a receiver shed) re-send items
+    without re-charging them, so a nonzero steady-state reading is a
+    window-accounting bug. *)
+
 val synch : t -> (unit, [ `Exception_reply | `Broken of string ]) result
 (** Flush, then park the calling fiber until every call made before
     this point has completed (§2's [synch]). [Ok] means they all

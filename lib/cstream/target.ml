@@ -27,6 +27,7 @@ type t = {
   t_ordered : bool;
   t_dedup : bool;
   t_shards : int;
+  t_shed : int option;  (* load-shed high-water mark on lane queue depth *)
   t_shard_key : port:string -> Xdr.value -> int;
   t_dispatch_counts : int array;
       (* cumulative calls routed to each shard, for the imbalance stat *)
@@ -55,6 +56,10 @@ and conn = {
   (* sharded/unordered modes: outcomes parked until all earlier replies went out *)
   c_done : (int, Wire.kind * int option * Wire.routcome) Hashtbl.t;
   mutable c_next_reply : int;
+  (* reply seq -> stable call-id, for ack-tied registry release: when the
+     reply channel's ack frees a reply item, the corresponding outcome can
+     no longer be claimed through this stream (docs/PIPELINE.md) *)
+  c_seq2cid : (int, int) Hashtbl.t;
 }
 
 and shard = {
@@ -416,8 +421,11 @@ let driver_loop c sh =
   let overhead = (Chanhub.hub_net_config t.hub).Net.kernel_overhead in
   (* Only the single-lane ordered mode may emit straight from the
      driver: any overlap in execution can scramble completion order, so
-     replies go through the in-order parking table instead. *)
-  let direct = t.t_ordered && t.t_shards = 1 in
+     replies go through the in-order parking table instead. Shedding
+     also forces the parking table — a shed outcome is produced at
+     delivery time, out of band of the driver, and must still leave in
+     call order. *)
+  let direct = t.t_ordered && t.t_shards = 1 && t.t_shed = None in
   let park_reply ~seq ~kind ~trace o =
     if not c.c_broken then begin
       Hashtbl.replace c.c_done seq (kind, trace, o);
@@ -475,6 +483,7 @@ let accept t in_chan =
       c_on_close = [];
       c_done = Hashtbl.create 8;
       c_next_reply = 0;
+      c_seq2cid = Hashtbl.create 8;
     }
   in
   Hashtbl.replace t.conns key c;
@@ -483,6 +492,36 @@ let accept t in_chan =
      sender side has already broken or forgotten the stream. *)
   Chanhub.on_in_break in_chan (fun _reason -> remove_conn c);
   Chanhub.on_out_break reply (fun _reason -> remove_conn c);
+  (* Overload signalling (docs/OVERLOAD.md): acks on the call channel
+     carry the deepest lane's queue depth relative to the shed mark, so
+     adaptive senders cut their window before sheds begin. *)
+  (match t.t_shed with
+  | None -> ()
+  | Some hwm ->
+      Chanhub.set_pressure in_chan (fun () ->
+          let depth =
+            Array.fold_left (fun acc sh -> max acc (Sched.Bqueue.length sh.sh_work)) 0 c.c_shards
+          in
+          if depth >= hwm then 2 else if 2 * depth >= hwm then 1 else 0));
+  (* Ack-tied registry release (docs/PIPELINE.md): once the reply
+     channel's cumulative ack covers a Call's reply item, no live
+     stream can still claim or reference that outcome through this
+     connection — mark it preferentially evictable. *)
+  (match t.t_registry with
+  | None -> ()
+  | Some reg ->
+      Chanhub.on_ack reply (fun items ->
+          List.iter
+            (fun item ->
+              match Wire.parse_reply item with
+              | Ok (seq, _) -> (
+                  match Hashtbl.find_opt c.c_seq2cid seq with
+                  | Some cid ->
+                      Hashtbl.remove c.c_seq2cid seq;
+                      Pipeline.Registry.mark_releasable reg ~stream:c.c_stable ~call:cid
+                  | None -> ())
+              | Error _ -> ())
+            items));
   Chanhub.set_deliver in_chan (fun items ->
       if not c.c_broken then begin
         (* The cost model charges kernel overhead once per arriving
@@ -501,6 +540,33 @@ let accept t in_chan =
                   let trace = Wire.item_trace item in
                   let s = shard_of t ~port args in
                   let lane = c.c_shards.(s) in
+                  let shed =
+                    (* Load-shedding (docs/OVERLOAD.md): a lane at its
+                       high-water mark rejects the call with the paper's
+                       [unavailable] — a typed, immediately-claimable
+                       failure instead of an unbounded queue. Resubmits
+                       are exempt: the original may already have
+                       executed, so the caller must reach the dedup
+                       cache, not be turned away. The call never touches
+                       exec_call — no cache entry, no registry record —
+                       so at-most-once execution is untouched. *)
+                    match t.t_shed with
+                    | Some hwm
+                      when Sched.Bqueue.length lane.sh_work >= hwm
+                           && not (Wire.item_resubmit item) ->
+                        true
+                    | Some _ | None -> false
+                  in
+                  if shed then begin
+                    Sim.Stats.incr (counter t "target_sheds");
+                    span t ~kind:Sim.Span.Shed ~trace ~stream:c.c_stable ~call:cid
+                      ~note:(Printf.sprintf "lane %d depth %d" s (Sched.Bqueue.length lane.sh_work))
+                      ();
+                    Hashtbl.replace c.c_done seq
+                      (kind, trace, Wire.W_unavailable "overloaded: call shed by receiver");
+                    release_in_order c
+                  end
+                  else begin
                   if not touched.(s) then begin
                     touched.(s) <- true;
                     Sched.Bqueue.enq lane.sh_work Overhead
@@ -508,6 +574,8 @@ let accept t in_chan =
                   span t ~kind:Sim.Span.Dispatch ~trace ~stream:c.c_stable ~call:cid
                     ~note:(Printf.sprintf "lane %d/%d" s t.t_shards)
                     ();
+                  if kind = Wire.Call && t.t_registry <> None then
+                    Hashtbl.replace c.c_seq2cid seq cid;
                   Sched.Bqueue.enq lane.sh_work (Exec { seq; cid; trace; port; kind; args });
                   if t.t_shards > 1 then begin
                     Sim.Stats.incr (counter t "shard_dispatches");
@@ -516,6 +584,7 @@ let accept t in_chan =
                     let mx = Array.fold_left max 0 t.t_dispatch_counts in
                     let mn = Array.fold_left min max_int t.t_dispatch_counts in
                     bump_hwm (counter t "shard_imbalance") (mx - mn)
+                  end
                   end
               | Error reason -> break_conn c ~reason)
           items
@@ -541,6 +610,7 @@ let create hub ~gid ?(config = Group_config.default) dispatch =
       t_ordered = config.Group_config.ordered;
       t_dedup = config.Group_config.dedup;
       t_shards = config.Group_config.shards;
+      t_shed = config.Group_config.shed_hwm;
       t_shard_key =
         Option.value config.Group_config.shard_key ~default:default_shard_key;
       t_dispatch_counts = Array.make config.Group_config.shards 0;

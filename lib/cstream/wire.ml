@@ -50,7 +50,11 @@ let kind_of_tag = function
    It is appended only when the sender's span store is enabled, so with
    tracing off the encoding is byte-for-byte the pre-tracing format;
    [parse_call] ignores unknown fields either way. *)
-let call_item ~seq ~cid ~trace ~port ~kind ~args =
+(* The optional "r" field marks a crash-recovery resubmit: load-shedding
+   receivers (docs/OVERLOAD.md) must never shed these — the original
+   attempt may already have executed, so the caller needs the deduped
+   outcome, not [unavailable]. *)
+let call_item ?(resubmit = false) ~seq ~cid ~trace ~port ~kind ~args () =
   Xdr.Record
     ([
        ("q", Xdr.Int seq);
@@ -59,7 +63,8 @@ let call_item ~seq ~cid ~trace ~port ~kind ~args =
        ("k", Xdr.Str (kind_tag kind));
        ("a", args);
      ]
-    @ match trace with Some tid -> [ ("t", Xdr.Int tid) ] | None -> [])
+    @ (match trace with Some tid -> [ ("t", Xdr.Int tid) ] | None -> [])
+    @ if resubmit then [ ("r", Xdr.Int 1) ] else [])
 
 (* Parse by field name, not position: a reordered-but-complete record
    (e.g. from a future encoder) must decode, and unknown extra fields
@@ -124,3 +129,7 @@ let item_trace = function
   | Xdr.Record fields -> (
       match List.assoc_opt "t" fields with Some (Xdr.Int tid) -> Some tid | _ -> None)
   | _ -> None
+
+let item_resubmit = function
+  | Xdr.Record fields -> List.assoc_opt "r" fields <> None
+  | _ -> false

@@ -41,8 +41,9 @@ val stream_id_group : string -> string option
 (** {1 Call items} *)
 
 val call_item :
+  ?resubmit:bool ->
   seq:int -> cid:int -> trace:int option -> port:string -> kind:kind -> args:Xdr.value ->
-  Xdr.value
+  unit -> Xdr.value
 (** [seq] is the per-incarnation wire sequence (resets on restart);
     [cid] is the {e stable call-id}, monotonic over the whole life of
     the sending stream end — it never resets, so the receiver can
@@ -50,7 +51,9 @@ val call_item :
     [docs/FAULTS.md]). [trace] is the call's causal trace id
     (docs/TRACING.md), carried in an extra field only when tracing is
     enabled: with [trace:None] the encoding is byte-for-byte the
-    pre-tracing wire format. *)
+    pre-tracing wire format. [resubmit] (default [false]) marks a
+    crash-recovery resubmission; a load-shedding receiver never sheds
+    such a call (docs/OVERLOAD.md). *)
 
 val parse_call : Xdr.value -> (int * int * string * kind * Xdr.value, string) result
 (** Inverse of {!call_item}: [(seq, cid, port, kind, args)]. *)
@@ -79,3 +82,7 @@ val item_trace : Xdr.value -> int option
 (** The trace id carried by a call or reply item, if any. Total over
     arbitrary values — the channel layer applies it to every item it
     transmits, delivers or acknowledges (docs/TRACING.md). *)
+
+val item_resubmit : Xdr.value -> bool
+(** Whether a call item carries the resubmit marker. Total over
+    arbitrary values; [false] for replies and malformed items. *)

@@ -84,6 +84,14 @@ module Registry = struct
        so parking on it would never return. *)
     evicted_hwm : (string, int) Hashtbl.t;
     scopes : (string, unit) Hashtbl.t;
+    (* Ack-tied release (docs/PIPELINE.md): outcomes whose reply item
+       was cumulatively acked — no live stream can retransmit a
+       reference to them — queued as preferred eviction victims, with
+       [released] deduplicating marks. Lazy deletion: either queue may
+       hold keys that already left [done_] through the other. *)
+    releasable : (string * int) Queue.t;
+    released : (string * int, unit) Hashtbl.t;
+    mutable acked_evictions : int;
   }
 
   let create ?(cap = 1024) ?(max_waiters = 4096) ?(max_bytes = max_int)
@@ -103,6 +111,9 @@ module Registry = struct
       next_waiter = 0;
       evicted_hwm = Hashtbl.create 8;
       scopes = Hashtbl.create 8;
+      releasable = Queue.create ();
+      released = Hashtbl.create 64;
+      acked_evictions = 0;
     }
 
   let known t = t.done_count
@@ -124,8 +135,35 @@ module Registry = struct
     | Some hwm -> call <= hwm
     | None -> false
 
+  let acked_evictions t = t.acked_evictions
+
+  let mark_releasable t ~stream ~call =
+    let key = (stream, call) in
+    if Hashtbl.mem t.done_ key && not (Hashtbl.mem t.released key) then begin
+      Hashtbl.replace t.released key ();
+      Queue.push key t.releasable
+    end
+
+  (* Pick the eviction victim: prefer an outcome whose reply ack proved
+     no live stream can still reference it ({!mark_releasable}) over
+     pure FIFO age. Stale keys — already gone from [done_] via the
+     other queue — are skipped. Termination: the caller only evicts
+     while [done_count > 0], and every live key sits in [done_order]. *)
+  let rec pop_victim t =
+    match Queue.take_opt t.releasable with
+    | Some key ->
+        Hashtbl.remove t.released key;
+        if Hashtbl.mem t.done_ key then begin
+          t.acked_evictions <- t.acked_evictions + 1;
+          key
+        end
+        else pop_victim t
+    | None ->
+        let key = Queue.pop t.done_order in
+        if Hashtbl.mem t.done_ key then key else pop_victim t
+
   let evict_one t =
-    let (vstream, vcall) as victim = Queue.pop t.done_order in
+    let (vstream, vcall) as victim = pop_victim t in
     let vbytes = match Hashtbl.find_opt t.done_ victim with Some (_, b) -> b | None -> 0 in
     Hashtbl.remove t.done_ victim;
     (match Hashtbl.find_opt t.evicted_hwm vstream with

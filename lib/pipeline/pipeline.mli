@@ -42,8 +42,11 @@ val substitute :
 
     [record] is called for every completed call; [await] is how a
     dependent call parks until the outcome it references lands. Both
-    sides are bounded: completed outcomes are evicted FIFO beyond
-    [cap], and at most [max_waiters] callbacks may be parked at once
+    sides are bounded: completed outcomes are evicted beyond [cap] —
+    preferring outcomes whose reply was acknowledged back to the
+    producer stream ({!mark_releasable}: no live stream can still
+    reference them), then FIFO age — and at most [max_waiters]
+    callbacks may be parked at once
     (beyond that {!await} refuses, and the caller fails the dependent
     call instead of queueing without limit). A parked waiter holds its
     slot until it fires or is {!cancel}led — callers that abandon a
@@ -95,6 +98,18 @@ module Registry : sig
   val cancel : 'o t -> waiter -> unit
   (** Release a parked waiter's slot without firing it. A no-op if the
       waiter already fired (or was cancelled before). *)
+
+  val mark_releasable : 'o t -> stream:string -> call:int -> unit
+  (** Declare that no live stream can still reference (stream, call) —
+      the receiver saw the cumulative ack covering its reply item — so
+      its outcome is a {e preferred} eviction victim. Eviction still
+      only runs when a budget ([cap] / [max_bytes]) is exceeded; acked
+      outcomes are simply chosen before un-acked FIFO victims. A no-op
+      for unknown keys. *)
+
+  val acked_evictions : 'o t -> int
+  (** How many evictions chose an acked ({!mark_releasable}) victim
+      rather than falling back to FIFO age. *)
 
   val evicted : 'o t -> stream:string -> call:int -> bool
   (** Whether (stream, call) is absent {e and} at or below the highest

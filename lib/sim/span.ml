@@ -16,6 +16,7 @@ type kind =
   | Resubmit
   | Dedup_join
   | Dedup_replay
+  | Shed
 
 let kind_label = function
   | Issue -> "issue"
@@ -35,6 +36,7 @@ let kind_label = function
   | Resubmit -> "resubmit"
   | Dedup_join -> "dedup-join"
   | Dedup_replay -> "dedup-replay"
+  | Shed -> "shed"
 
 (* One letter per kind for the Gantt rows. Mnemonic where possible;
    lifecycle pairs use upper/lower case (X/x = execute begin/end,
@@ -57,6 +59,7 @@ let kind_letter = function
   | Resubmit -> 'r'
   | Dedup_join -> 'J'
   | Dedup_replay -> 'j'
+  | Shed -> 'h'
 
 type event = {
   ev_time : float;
@@ -78,10 +81,19 @@ type t = {
   mutable filled : bool;
   mutable on : bool;
   mutable next_trace : int;  (* monotonic, never reset — ids stay unique across restarts *)
+  mutable sample_every : int;  (* 1-in-N trace sampling; 1 = record everything *)
 }
 
 let create ?(capacity = 16384) () =
-  { records = [||]; capacity = max 1 capacity; next = 0; filled = false; on = false; next_trace = 0 }
+  {
+    records = [||];
+    capacity = max 1 capacity;
+    next = 0;
+    filled = false;
+    on = false;
+    next_trace = 0;
+    sample_every = 1;
+  }
 
 let enable t b =
   if b && Array.length t.records = 0 then t.records <- Array.make t.capacity dummy;
@@ -94,8 +106,21 @@ let next_trace t =
   t.next_trace <- id + 1;
   id
 
+let set_sampling t n =
+  if n <= 0 then invalid_arg "Span.set_sampling: n must be positive";
+  t.sample_every <- n
+
+let sampling t = t.sample_every
+
+(* Deterministic 1-in-N filter keyed on the trace id: every layer that
+   sees the same call agrees on whether it is sampled, with no shared
+   state beyond the id itself. Events without a trace id (trace < 0)
+   only exist on already-sampled paths, so they pass. *)
+let sampled t trace =
+  t.on && (t.sample_every <= 1 || trace < 0 || trace mod t.sample_every = 0)
+
 let record t ~time ~kind ~trace ?(node = -1) ?(stream = "") ?(call = -1) ?(note = "") () =
-  if t.on then begin
+  if sampled t trace then begin
     t.records.(t.next) <-
       {
         ev_time = time;
@@ -221,7 +246,7 @@ let gantt ?(width = 64) t =
         "legend: I issue  Q enqueue  T transmit  t retransmit  D deliver  d dispatch\n";
       Buffer.add_string b
         "        P park  S substitute  X/x exec  R reply  A ack  C claim  B break  \
-         r resubmit  J/j dedup join/replay\n";
+         r resubmit  J/j dedup join/replay  h shed\n";
       List.iter
         (fun s ->
           Buffer.add_string b (Printf.sprintf "stream %s\n" s);

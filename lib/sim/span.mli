@@ -34,6 +34,8 @@ type kind =
   | Resubmit  (** call replayed on a new incarnation (same trace id) *)
   | Dedup_join  (** duplicate joined a still-running first execution *)
   | Dedup_replay  (** duplicate answered from the outcome cache *)
+  | Shed  (** receiver rejected the call with [unavailable] under load
+              (docs/OVERLOAD.md) *)
 
 type event = {
   ev_time : float;
@@ -59,6 +61,23 @@ val next_trace : t -> int
 (** Allocate a fresh per-call trace id. Monotonic and never reset, so a
     resubmitted call keeps a globally unique id for its whole life. *)
 
+val set_sampling : t -> int -> unit
+(** [set_sampling t n] records only traces whose id satisfies
+    [trace mod n = 0] — deterministic 1-in-N sampling so tracing stays
+    affordable at fan-in scale (docs/TRACING.md). Sampled-out calls
+    record nothing anywhere: the sending stream also omits the wire
+    trace field for them, so the receiver stays silent too. [n = 1]
+    (the default) records everything. Raises [Invalid_argument] on
+    [n <= 0]. *)
+
+val sampling : t -> int
+(** The current 1-in-N sampling divisor. *)
+
+val sampled : t -> int -> bool
+(** [sampled t trace]: the store is enabled and [trace] passes the
+    sampling filter. Events with no trace id ([trace < 0]) pass —
+    they only arise on paths already gated by a sampled call. *)
+
 val record :
   t ->
   time:float ->
@@ -70,7 +89,8 @@ val record :
   ?note:string ->
   unit ->
   unit
-(** Append an event when enabled; otherwise do nothing. *)
+(** Append an event when enabled and the trace is sampled; otherwise do
+    nothing. *)
 
 val events : t -> event list
 (** All retained events, oldest first. *)

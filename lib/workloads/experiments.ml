@@ -12,6 +12,7 @@ let registry : (string * (unit -> Table.t)) list =
     ("E12", fun () -> Exp_wire.e12 ());
     ("E13", fun () -> Exp_pipeline.e13 ());
     ("E14", fun () -> Exp_shard.e14 ());
+    ("E15", fun () -> Exp_overload.e15 ());
     ("A1", fun () -> Exp_ablation.a1 ());
     ("A2", fun () -> Exp_ablation.a2 ());
   ]

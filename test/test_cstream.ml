@@ -43,7 +43,7 @@ let ints_of_values vs =
 
 let test_wire_call_roundtrip () =
   let item =
-    W.call_item ~seq:7 ~cid:42 ~trace:None ~port:"record_grade" ~kind:W.Call ~args:(Xdr.Int 5)
+    W.call_item ~seq:7 ~cid:42 ~trace:None ~port:"record_grade" ~kind:W.Call ~args:(Xdr.Int 5) ()
   in
   match W.parse_call item with
   | Ok (seq, cid, port, kind, args) ->
@@ -55,7 +55,7 @@ let test_wire_call_roundtrip () =
   | Error e -> Alcotest.fail e
 
 let test_wire_send_kind_roundtrip () =
-  let item = W.call_item ~seq:0 ~cid:0 ~trace:None ~port:"p" ~kind:W.Send ~args:Xdr.Unit in
+  let item = W.call_item ~seq:0 ~cid:0 ~trace:None ~port:"p" ~kind:W.Send ~args:Xdr.Unit () in
   match W.parse_call item with
   | Ok (_, _, _, kind, _) -> check Alcotest.bool "send kind" true (kind = W.Send)
   | Error e -> Alcotest.fail e

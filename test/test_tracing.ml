@@ -269,7 +269,7 @@ let bin v = Xdr.Bin.to_string v
 
 let test_wire_identity_when_disabled () =
   let untraced =
-    W.call_item ~seq:5 ~cid:7 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42)
+    W.call_item ~seq:5 ~cid:7 ~trace:None ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42) ()
   in
   let compact =
     Xdr.Record
@@ -293,7 +293,7 @@ let test_wire_identity_when_disabled () =
   (* Traced forms carry the id, decode identically, and are the only
      forms that grow. *)
   let traced =
-    W.call_item ~seq:5 ~cid:7 ~trace:(Some 9) ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42)
+    W.call_item ~seq:5 ~cid:7 ~trace:(Some 9) ~port:"work" ~kind:W.Call ~args:(Xdr.Int 42) ()
   in
   check Alcotest.(option int) "traced call carries the id" (Some 9) (W.item_trace traced);
   check Alcotest.bool "trace field costs bytes only when present" true

@@ -214,8 +214,11 @@ let prop_random_bytes_never_raise =
 (* ------------------------------------------------------------------ *)
 (* Packet frame codec *)
 
+let ack ?(pressure = 0) key upto = { CH.a_key = key; a_upto = upto; a_pressure = pressure }
+
 let equal_acks a b =
-  List.length a = List.length b && List.for_all2 (fun (k1, u1) (k2, u2) -> k1 = k2 && u1 = u2) a b
+  List.length a = List.length b
+  && List.for_all2 (fun (x : CH.ack_entry) (y : CH.ack_entry) -> x = y) a b
 
 let equal_packet (a : CH.packet) (b : CH.packet) =
   match (a, b) with
@@ -238,15 +241,15 @@ let test_packet_roundtrips () =
         {
           key = sample_key;
           first_seq = 42;
-          acks = [ (sample_key, -1); ({ sample_key with CH.idx = 8 }, 17) ];
+          acks = [ ack sample_key (-1); ack ~pressure:2 { sample_key with CH.idx = 8 } 17 ];
           items =
             List.init 5 (fun i ->
                 W.call_item ~seq:(42 + i) ~cid:(100 + i) ~trace:None ~port:"record_grade"
                   ~kind:W.Call
-                  ~args:(Xdr.Pair (Xdr.Str "stu00001", Xdr.Int 85)));
+                  ~args:(Xdr.Pair (Xdr.Str "stu00001", Xdr.Int 85)) ());
         };
       CH.Data { key = sample_key; first_seq = 0; acks = []; items = [] };
-      CH.Ack { acks = [ (sample_key, 12) ] };
+      CH.Ack { acks = [ ack ~pressure:1 sample_key 12 ] };
       CH.Ack { acks = [] };
       CH.Reset { key = sample_key; reason = "no such port group" };
     ]
@@ -259,7 +262,7 @@ let test_packet_roundtrips () =
     packets
 
 let test_packet_bytes_is_actual_size () =
-  let p = CH.Ack { acks = [ (sample_key, 12) ] } in
+  let p = CH.Ack { acks = [ ack sample_key 12 ] } in
   check Alcotest.int "packet_bytes = encoded length"
     (String.length (CH.encode_packet p))
     (CH.packet_bytes p)
