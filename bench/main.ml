@@ -211,11 +211,22 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Wall-clock numbers are only interpretable against the hardware they
+   were taken on (the E16 fibers-vs-domains series most of all): every
+   BENCH_*.json carries the machine it ran on. *)
+let write_machine_stanza oc =
+  Printf.fprintf oc
+    "  \"machine\": { \"cores\": %d, \"ocaml\": \"%s\", \"word_size\": %d, \"os\": \"%s\" },\n"
+    (Domain.recommended_domain_count ())
+    (json_escape Sys.ocaml_version)
+    Sys.word_size (json_escape Sys.os_type)
+
 let write_bench_wire_json ~codec_rows ~e12_rows path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"wire\",\n";
+  write_machine_stanza oc;
   out "  \"units\": { \"codec\": \"ns/op\", \"e12\": \"per call\" },\n";
   out "  \"codec\": [\n";
   let n_codec = List.length codec_rows in
@@ -362,6 +373,7 @@ let write_bench_pipeline_json ~subject_rows ~e13_rows path =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"pipeline\",\n";
+  write_machine_stanza oc;
   out "  \"units\": { \"subjects\": \"ns/op\", \"e13\": \"per chain\" },\n";
   out "  \"subjects\": [\n";
   let n_subj = List.length subject_rows in
@@ -457,6 +469,7 @@ let write_bench_shard_json ~subject_rows ~e14_rows path =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"shard\",\n";
+  write_machine_stanza oc;
   out "  \"units\": { \"subjects\": \"ns/op\", \"e14\": \"per run\" },\n";
   out "  \"subjects\": [\n";
   let n_subj = List.length subject_rows in
@@ -538,6 +551,7 @@ let write_bench_overload_json ~subject_rows ~e15_rows path =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"overload\",\n";
+  write_machine_stanza oc;
   out "  \"units\": { \"subjects\": \"ns/op\", \"e15\": \"per run\" },\n";
   out "  \"subjects\": [\n";
   let n_subj = List.length subject_rows in
@@ -584,27 +598,150 @@ let run_overload () =
       ]
     table_rows
 
+(* --- domains bench + BENCH_domains.json ----------------------------- *)
+
+(* The machinery cost of the domain pool (docs/DOMAINS.md): a full
+   Pool.run round trip — suspend the calling fiber, ship the closure to
+   a worker domain, inject the wakeup back into the scheduler — next to
+   the calibrated spin kernel E16's handlers burn. The scaling story
+   itself is E16 (wall-clock, fibers vs pools of 1/2/4/8 domains); its
+   rows ride along in the JSON, where the machine stanza says how many
+   cores the numbers were taken on. *)
+
+let write_bench_domains_json ~subject_rows ~e16_rows path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"domains\",\n";
+  write_machine_stanza oc;
+  out "  \"units\": { \"subjects\": \"ns/op\", \"e16\": \"per run (wall-clock)\" },\n";
+  out "  \"subjects\": [\n";
+  let n_subj = List.length subject_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"subject\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = n_subj - 1 then "" else ","))
+    subject_rows;
+  out "  ],\n";
+  out "  \"e16\": [\n";
+  let n_rows = List.length e16_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_domains.row) ->
+      out
+        "    { \"mode\": \"%s\", \"pool\": %d, \"lanes\": %d, \"calls\": %d, \
+         \"completion_ms\": %.3f, \"calls_per_s\": %.1f, \"speedup\": %.3f, \
+         \"per_key_order\": %b, \"lost\": %d, \"dups\": %d }%s\n"
+        (json_escape r.r_mode) r.r_pool r.r_lanes r.r_calls (r.r_wall *. 1e3)
+        r.r_throughput r.r_speedup r.r_ordered r.r_lost r.r_dups
+        (if i = n_rows - 1 then "" else ","))
+    e16_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_domains () =
+  let sched = Sched.Scheduler.create () in
+  let pool = Sched.Pool.create sched ~domains:1 in
+  let rate = Workloads.Cpu.calibrate () in
+  let tests =
+    Test.make_grouped ~name:"domains"
+      [
+        Test.make ~name:"spin kernel (10us burn)"
+          (Staged.stage (fun () -> Workloads.Cpu.burn ~rate 10e-6));
+        Test.make ~name:"pool offload round-trip (1 domain)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Sched.Scheduler.spawn sched (fun () ->
+                      ignore (Sched.Pool.run pool (fun () -> 42) : int)));
+               ignore (Sched.Scheduler.run sched : Sched.Scheduler.outcome)));
+      ]
+  in
+  let subject_rows = measure_ns tests in
+  Sched.Pool.shutdown pool;
+  let e16_rows = Workloads.Exp_domains.e16_rows () in
+  write_bench_domains_json ~subject_rows ~e16_rows "BENCH_domains.json";
+  let table_rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) subject_rows
+  in
+  Workloads.Table.make ~id:"domains"
+    ~title:"wall-clock: domain-pool offload machinery"
+    ~header:[ "subject"; "time/op" ]
+    ~notes:
+      [
+        "the full Pool.run round trip (suspend fiber, ship closure to a worker domain, \
+         inject the wakeup back) next to the spin kernel it ships (docs/DOMAINS.md); \
+         results + E16 fibers-vs-domains figures written to BENCH_domains.json";
+      ]
+    table_rows
+
 (* --- main ---------------------------------------------------------- *)
 
+(* Named groups so CI and quick local runs can pick one with --only
+   instead of paying for the whole suite. *)
+let groups : (string * string * string option * (unit -> unit)) list =
+  [
+    ( "experiments",
+      "simulated-time experiments (deterministic)",
+      None,
+      fun () -> List.iter Workloads.Table.print (Workloads.Experiments.run_all ()) );
+    ( "e10",
+      "wall-clock microbenchmarks (E10, Bechamel)",
+      None,
+      fun () -> Workloads.Table.print (run_e10 ()) );
+    ( "wire",
+      "wall-clock wire codec (Bechamel)",
+      Some "BENCH_wire.json",
+      fun () -> Workloads.Table.print (run_wire ()) );
+    ( "pipeline",
+      "wall-clock pipelining machinery (Bechamel)",
+      Some "BENCH_pipeline.json",
+      fun () -> Workloads.Table.print (run_pipeline ()) );
+    ( "shard",
+      "wall-clock sharded-dispatch machinery (Bechamel)",
+      Some "BENCH_shard.json",
+      fun () -> Workloads.Table.print (run_shard ()) );
+    ( "overload",
+      "wall-clock overload-survival machinery (Bechamel)",
+      Some "BENCH_overload.json",
+      fun () -> Workloads.Table.print (run_overload ()) );
+    ( "domains",
+      "wall-clock domain-pool offload + E16 fibers vs domains (Bechamel)",
+      Some "BENCH_domains.json",
+      fun () -> Workloads.Table.print (run_domains ()) );
+  ]
+
 let () =
+  let selected = ref [] in
+  let group_names = List.map (fun (n, _, _, _) -> n) groups in
+  let spec =
+    [
+      ( "--only",
+        Arg.String (fun s -> selected := s :: !selected),
+        "GROUP run only the named group (repeatable); groups: "
+        ^ String.concat ", " group_names );
+    ]
+  in
+  Arg.parse spec
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "main.exe [--only GROUP]...";
+  List.iter
+    (fun n ->
+      if not (List.mem n group_names) then (
+        Printf.eprintf "unknown bench group %S (have: %s)\n" n
+          (String.concat ", " group_names);
+        exit 2))
+    !selected;
+  let want n = match !selected with [] -> true | l -> List.mem n l in
   print_endline "Promises (Liskov & Shrira, PLDI 1988) -- reproduction benchmarks";
-  print_endline "simulated-time experiments (deterministic):";
-  print_newline ();
-  List.iter Workloads.Table.print (Workloads.Experiments.run_all ());
-  print_endline "wall-clock microbenchmarks (E10, Bechamel):";
-  print_newline ();
-  Workloads.Table.print (run_e10 ());
-  print_endline "wall-clock wire codec (Bechamel):";
-  print_newline ();
-  Workloads.Table.print (run_wire ());
-  print_endline "wall-clock pipelining machinery (Bechamel):";
-  print_newline ();
-  Workloads.Table.print (run_pipeline ());
-  print_endline "wall-clock sharded-dispatch machinery (Bechamel):";
-  print_newline ();
-  Workloads.Table.print (run_shard ());
-  print_endline "wall-clock overload-survival machinery (Bechamel):";
-  print_newline ();
-  Workloads.Table.print (run_overload ());
-  print_endline
-    "wrote BENCH_wire.json, BENCH_pipeline.json, BENCH_shard.json, BENCH_overload.json"
+  List.iter
+    (fun (name, title, _, f) ->
+      if want name then (
+        print_endline (title ^ ":");
+        print_newline ();
+        f ()))
+    groups;
+  match
+    List.filter_map (fun (name, _, json, _) -> if want name then json else None) groups
+  with
+  | [] -> ()
+  | written -> print_endline ("wrote " ^ String.concat ", " written)

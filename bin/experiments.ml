@@ -3,19 +3,21 @@
    `dune exec bin/experiments.exe -- --trace` dumps causal timelines
    (docs/TRACING.md). *)
 
-(* [--trace] exits non-zero if the dump flags a missing edge, so the CI
-   step that archives it also gates on it. *)
-let run_ids trace ids =
-  if trace then begin
-    let out = Workloads.Exp_trace.dump () in
-    print_string out;
-    let warned =
-      let n = String.length "WARNING" and m = String.length out in
-      let rec go i = i + n <= m && (String.sub out i n = "WARNING" || go (i + 1)) in
-      go 0
-    in
-    if warned then 1 else 0
-  end
+(* [--trace] / [--trace-diff] exit non-zero if the dump flags a missing
+   edge or an unexpected delta, so the CI steps that archive them also
+   gate on them. *)
+let warning_gated out =
+  print_string out;
+  let warned =
+    let n = String.length "WARNING" and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = "WARNING" || go (i + 1)) in
+    go 0
+  in
+  if warned then 1 else 0
+
+let run_ids trace trace_diff ids =
+  if trace then warning_gated (Workloads.Exp_trace.dump ())
+  else if trace_diff then warning_gated (Workloads.Exp_trace.render_diff ())
   else begin
     let ids = if ids = [] then Workloads.Experiments.all_ids else ids in
     let ok = ref true in
@@ -48,9 +50,17 @@ let trace_arg =
   in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let trace_diff_arg =
+  let doc =
+    "Diff the causal edges of two runs (Sim.Span.diff, docs/TRACING.md): two same-seed \
+     pipelined chains (must be identical — the determinism regression) and pipelined vs \
+     claim-each-link (must differ by the park/substitute edges only pipelining takes)."
+  in
+  Arg.(value & flag & info [ "trace-diff" ] ~doc)
+
 let cmd =
   let doc = "run the Promises (PLDI 1988) reproduction experiments" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const run_ids $ trace_arg $ ids_arg)
+  Cmd.v info Term.(const run_ids $ trace_arg $ trace_diff_arg $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

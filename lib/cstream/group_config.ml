@@ -9,6 +9,7 @@ type t = {
   shard_key : shard_key option;
   pipeline : Wire.routcome Pipeline.Registry.t option;
   shed_hwm : int option;
+  offload : Sched.Pool.t option;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     shard_key = None;
     pipeline = None;
     shed_hwm = None;
+    offload = None;
   }
 
 let with_reply_config reply_config t = { t with reply_config }
@@ -41,6 +43,10 @@ let with_shed hwm t =
   if hwm <= 0 then invalid_arg "Group_config.with_shed: high-water mark must be positive";
   { t with shed_hwm = Some hwm }
 
+let with_offload pool t = { t with offload = Some pool }
+
+let without_offload t = { t with offload = None }
+
 (* Whole-config equality, used by {!Guardian.get_group} to detect a
    conflicting re-registration. The functional/abstract fields
    ([shard_key], [pipeline]) compare physically: re-passing the same
@@ -57,10 +63,14 @@ let equal a b =
      | None, None -> true
      | Some f, Some g -> f == g
      | None, Some _ | Some _, None -> false)
+  && (match (a.pipeline, b.pipeline) with
+     | None, None -> true
+     | Some r, Some s -> r == s
+     | None, Some _ | Some _, None -> false)
   &&
-  match (a.pipeline, b.pipeline) with
+  match (a.offload, b.offload) with
   | None, None -> true
-  | Some r, Some s -> r == s
+  | Some p, Some q -> p == q
   | None, Some _ | Some _, None -> false
 
 (* The field names on which two configs disagree — the payload of a
@@ -85,12 +95,21 @@ let diff a b =
         | None, None -> false
         | Some r, Some s -> not (r == s)
         | None, Some _ | Some _, None -> true );
+      ( "offload",
+        match (a.offload, b.offload) with
+        | None, None -> false
+        | Some p, Some q -> not (p == q)
+        | None, Some _ | Some _, None -> true );
     ]
 
 let pp ppf t =
   Format.fprintf ppf
-    "{ordered=%b; dedup=%b; dedup_cache=%d; shards=%d; shard_key=%s; pipeline=%s; shed_hwm=%s}"
+    "{ordered=%b; dedup=%b; dedup_cache=%d; shards=%d; shard_key=%s; pipeline=%s; \
+     shed_hwm=%s; offload=%s}"
     t.ordered t.dedup t.dedup_cache t.shards
     (match t.shard_key with Some _ -> "<fn>" | None -> "default")
     (match t.pipeline with Some _ -> "<registry>" | None -> "none")
     (match t.shed_hwm with Some h -> string_of_int h | None -> "off")
+    (match t.offload with
+    | Some p -> Printf.sprintf "<pool:%d>" (Sched.Pool.size p)
+    | None -> "off")

@@ -47,6 +47,15 @@ type t = {
           rejected with the paper's [unavailable] exception instead of
           queued, and acks carry a pressure signal so adaptive senders
           cut their window first. [None] (default) never sheds. *)
+  offload : Sched.Pool.t option;
+      (** domain pool for handler bodies (docs/DOMAINS.md): when set,
+          the group's handler implementations execute on real worker
+          domains via {!Sched.Pool.run} while dispatch, per-key call
+          order, per-stream reply order, dedup and pipelining stay on
+          the simulator domain. Offloaded handlers must follow the pool
+          rules (pure computation — no scheduler calls, no remote
+          calls). [None] (default) keeps everything on one domain and
+          the run fully deterministic. *)
 }
 
 val default : t
@@ -76,10 +85,18 @@ val with_shed : int -> t -> t
     [shard_queue_hwm] observations: sheds begin exactly at the mark,
     and the ack pressure signal starts at half of it. *)
 
+val with_offload : Sched.Pool.t -> t -> t
+(** Execute this group's handler bodies on the pool's worker domains
+    (docs/DOMAINS.md). Combine with {!with_shards}: each lane offloads
+    its current call and lanes overlap on real cores. *)
+
+val without_offload : t -> t
+
 val equal : t -> t -> bool
-(** Structural on the plain fields; {e physical} on [shard_key] and
-    [pipeline] (functions and registries have no structural equality) —
-    so re-passing the very same config value is always compatible. *)
+(** Structural on the plain fields; {e physical} on [shard_key],
+    [pipeline] and [offload] (functions, registries and pools have no
+    structural equality) — so re-passing the very same config value is
+    always compatible. *)
 
 val diff : t -> t -> string list
 (** Names of the fields on which the two configs disagree (empty iff

@@ -43,8 +43,12 @@ let port_ref t ~group ~port =
 
 (* Run one handler call in its own fiber; [reply] fires exactly once
    unless the execution is orphaned (its stream died, taking the reply
-   path with it). *)
-let run_handler t conn ~dedup ~reply (Reg (hs, impl)) ~args ~caller =
+   path with it). With [offload] set (docs/DOMAINS.md), the handler
+   {e body} runs on a pool worker domain — the fiber parks in
+   {!Sched.Pool.run} and everything around the body (decode, encode,
+   reply sequencing, dedup, pipelining) stays on the simulator
+   domain. *)
+let run_handler t conn ~dedup ~offload ~reply (Reg (hs, impl)) ~args ~caller =
   match Xdr.decode hs.Core.Sigs.arg_c args with
   | Error reason ->
       (* §3: decode failure => failure reply, then the stream breaks. *)
@@ -57,7 +61,12 @@ let run_handler t conn ~dedup ~reply (Reg (hs, impl)) ~args ~caller =
           ~daemon:true
           (fun () ->
             let ctx = { caller; sched = t.g_sched; guardian = t } in
-            match impl ctx arg with
+            let invoke () =
+              match offload with
+              | None -> impl ctx arg
+              | Some pool -> Sched.Pool.run pool (fun () -> impl ctx arg)
+            in
+            match invoke () with
             | Ok r -> (
                 match Xdr.encode hs.Core.Sigs.res_c r with
                 | Ok v -> reply (W.W_normal v)
@@ -85,10 +94,11 @@ let run_handler t conn ~dedup ~reply (Reg (hs, impl)) ~args ~caller =
       if not dedup then
         T.on_conn_close conn (fun () -> if S.alive fiber then S.kill t.g_sched fiber)
 
-let dispatch t ports ~dedup conn ~seq:_ ~port ~kind:_ ~args ~reply =
+let dispatch t ports ~dedup ~offload conn ~seq:_ ~port ~kind:_ ~args ~reply =
   match Hashtbl.find_opt ports port with
   | None -> reply (W.W_failure "handler does not exist")
-  | Some reg -> run_handler t conn ~dedup ~reply reg ~args ~caller:(T.conn_src conn)
+  | Some reg ->
+      run_handler t conn ~dedup ~offload ~reply reg ~args ~caller:(T.conn_src conn)
 
 let get_group t ~group ?config () =
   match Hashtbl.find_opt t.groups group with
@@ -123,7 +133,8 @@ let get_group t ~group ?config () =
         T.create t.g_hub ~gid:group
           ~config:{ gc with GC.pipeline = Some t.g_pipeline }
           (fun conn ~seq ~port ~kind ~args ~reply ->
-            dispatch t ports ~dedup:gc.GC.dedup conn ~seq ~port ~kind ~args ~reply)
+            dispatch t ports ~dedup:gc.GC.dedup ~offload:gc.GC.offload conn ~seq ~port
+              ~kind ~args ~reply)
       in
       let state = { target; ports; config = gc } in
       Hashtbl.replace t.groups group state;

@@ -1,0 +1,125 @@
+(* A pool of OCaml 5 worker domains under the simulator's scheduler
+   (docs/DOMAINS.md). Fibers ship CPU-bound closures to real cores with
+   {!run}; completions come back through the scheduler's injection
+   queue, so all scheduler state stays on its own domain. *)
+
+type job = Job : { work : unit -> 'a; deliver : ('a, exn) result -> unit } -> job
+
+type t = {
+  p_sched : Scheduler.t;
+  jobs : job Queue.t;  (* guarded by [m] *)
+  m : Stdlib.Mutex.t;
+  cv : Stdlib.Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  p_size : int;
+}
+
+let size t = t.p_size
+
+let sched t = t.p_sched
+
+(* Take jobs until [stopping] with the queue empty; a closing pool
+   still finishes every job already submitted (fibers are parked on
+   them). The closure runs outside the lock; its result — value or
+   exception, [Terminated] included, workers have no kill path — is
+   shipped back whole and re-raised (or returned) at the fiber's
+   suspension point. *)
+let worker_loop t =
+  let rec next () =
+    Stdlib.Mutex.lock t.m;
+    let rec take () =
+      match Queue.take_opt t.jobs with
+      | Some j ->
+          Stdlib.Mutex.unlock t.m;
+          Some j
+      | None ->
+          if t.stopping then begin
+            Stdlib.Mutex.unlock t.m;
+            None
+          end
+          else begin
+            Stdlib.Condition.wait t.cv t.m;
+            take ()
+          end
+    in
+    match take () with
+    | None -> ()
+    | Some (Job { work; deliver }) ->
+        let res = match work () with v -> Ok v | exception e -> Error e in
+        Scheduler.inject t.p_sched (fun () -> deliver res);
+        next ()
+  in
+  next ()
+
+let create sched ~domains =
+  if domains <= 0 then invalid_arg "Pool.create: domains must be positive";
+  let t =
+    {
+      p_sched = sched;
+      jobs = Queue.create ();
+      m = Stdlib.Mutex.create ();
+      cv = Stdlib.Condition.create ();
+      stopping = false;
+      workers = [];
+      p_size = domains;
+    }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t job =
+  Stdlib.Mutex.lock t.m;
+  if t.stopping then begin
+    Stdlib.Mutex.unlock t.m;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  Queue.push job t.jobs;
+  Stdlib.Condition.signal t.cv;
+  Stdlib.Mutex.unlock t.m
+
+let run t work =
+  (match Scheduler.current t.p_sched with
+  | None -> invalid_arg "Pool.run: not in fiber context"
+  | Some _ -> ());
+  (* Checked here, in fiber context, so the caller sees the exception at
+     its own call site — not from inside the suspend callback on the
+     scheduler loop. [shutdown] runs on this same domain, so the flag
+     cannot flip between this check and the submit below. *)
+  let stopping =
+    Stdlib.Mutex.lock t.m;
+    let s = t.stopping in
+    Stdlib.Mutex.unlock t.m;
+    s
+  in
+  if stopping then invalid_arg "Pool.run: pool is shut down";
+  (* The hold keeps the main loop listening for our completion (and
+     freezes virtual time around the offload); it is released by the
+     injected thunk below, on the scheduler domain, whether the closure
+     returned, raised, or the fiber was killed while parked (wake then
+     returns false — the result is dropped, the hold is not). *)
+  Scheduler.hold_external t.p_sched;
+  Scheduler.suspend t.p_sched (fun w ->
+      submit t
+        (Job
+           {
+             work;
+             deliver =
+               (fun res ->
+                 Scheduler.release_external t.p_sched;
+                 match res with
+                 | Ok v -> ignore (Scheduler.wake w v : bool)
+                 | Error e -> ignore (Scheduler.wake_exn w e : bool));
+           }))
+
+let shutdown t =
+  Stdlib.Mutex.lock t.m;
+  if t.stopping then Stdlib.Mutex.unlock t.m
+  else begin
+    t.stopping <- true;
+    Stdlib.Condition.broadcast t.cv;
+    Stdlib.Mutex.unlock t.m;
+    let workers = t.workers in
+    t.workers <- [];
+    List.iter Domain.join workers
+  end

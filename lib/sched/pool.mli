@@ -1,0 +1,47 @@
+(** A pool of OCaml 5 worker domains under the simulator
+    (docs/DOMAINS.md).
+
+    Shard lanes are cooperative fibers multiplexed on one OS thread, so
+    their concurrency is simulated. A pool turns CPU-bound pieces of a
+    handler into {e physical} parallelism: {!run} suspends the calling
+    fiber, ships the closure to a worker domain, and resumes the fiber
+    through the scheduler's thread-safe injection queue
+    ({!Scheduler.inject}) when the closure finishes. Scheduler state is
+    only ever touched on the scheduler's own domain.
+
+    Rules for offloaded closures (docs/DOMAINS.md): they run outside
+    fiber context on another domain, so they must not call the
+    scheduler (no [sleep]/[suspend]/[spawn]), claim promises, issue
+    remote calls, or touch simulator state. Pure computation plus
+    domain-safe telemetry ({!Sim.Stats} counters are atomic) only.
+
+    While any offload is in flight the simulated clock is frozen:
+    offloaded work is instantaneous in virtual time. A simulation that
+    never touches a pool never pays for one (and stays byte-for-byte
+    deterministic — the injection queue is provably empty). *)
+
+type t
+
+val create : Scheduler.t -> domains:int -> t
+(** [create sched ~domains] spawns [domains] worker domains ready to
+    take work. Raises [Invalid_argument] on [domains <= 0]. Workers
+    live until {!shutdown}. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run pool f] executes [f ()] on a worker domain while the calling
+    fiber is parked; returns [f]'s value, or re-raises its exception,
+    at the suspension point. Must be called from fiber context on the
+    pool's scheduler. If the fiber is killed while parked, the
+    closure's result is dropped (the closure itself is not stopped).
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val size : t -> int
+(** The number of worker domains. *)
+
+val sched : t -> Scheduler.t
+
+val shutdown : t -> unit
+(** Finish jobs already submitted, then stop and join every worker.
+    Idempotent. Call from outside fiber context (or from a fiber that
+    is not itself offloading); blocks the whole domain until workers
+    exit. *)

@@ -15,6 +15,16 @@ type t = {
   sched_stats : Sim.Stats.t;
   sched_trace : Sim.Trace.t;
   sched_spans : Sim.Span.t;
+  (* External-wakeup path (docs/DOMAINS.md): thunks pushed by worker
+     domains, drained by the main loop on the scheduler's own domain so
+     no scheduler state is ever touched from another domain. The mutex
+     guards only [injected]; [external_held] is read and written on the
+     scheduler domain alone (holds are taken in fiber context and
+     released from an injected thunk). *)
+  inj_m : Stdlib.Mutex.t;
+  inj_cv : Stdlib.Condition.t;
+  injected : (unit -> unit) Queue.t;
+  mutable external_held : int;
 }
 
 and fiber = {
@@ -65,6 +75,10 @@ let create ?(seed = 42) () =
     sched_stats = Sim.Stats.create ();
     sched_trace = Sim.Trace.create ();
     sched_spans = Sim.Span.create ();
+    inj_m = Stdlib.Mutex.create ();
+    inj_cv = Stdlib.Condition.create ();
+    injected = Queue.create ();
+    external_held = 0;
   }
 
 let now t = t.time
@@ -293,12 +307,69 @@ let in_critical t = match t.cur with None -> false | Some f -> f.fcritical > 0
 let live_fibers t =
   Hashtbl.fold (fun _ f acc -> if f.fdaemon then acc else f :: acc) t.live_tbl []
 
+(* ------------------------------------------------------------------ *)
+(* External wakeups (docs/DOMAINS.md). [inject] is the only scheduler
+   entry point that may be called from another domain: it enqueues a
+   thunk under the injection mutex and signals the main loop, which
+   runs the thunk on the scheduler's own domain — so an injected thunk
+   may call [wake]/[wake_exn] and touch any scheduler state. *)
+
+let inject t thunk =
+  Stdlib.Mutex.lock t.inj_m;
+  Queue.push thunk t.injected;
+  Stdlib.Condition.signal t.inj_cv;
+  Stdlib.Mutex.unlock t.inj_m
+
+let hold_external t = t.external_held <- t.external_held + 1
+
+let release_external t =
+  assert (t.external_held > 0);
+  t.external_held <- t.external_held - 1
+
+let external_held t = t.external_held
+
+(* Pop every pending injected thunk (under the mutex), run them outside
+   it. Returns whether anything ran. *)
+let drain_injected t =
+  Stdlib.Mutex.lock t.inj_m;
+  let n = Queue.length t.injected in
+  let thunks = if n = 0 then [] else List.of_seq (Queue.to_seq t.injected) in
+  Queue.clear t.injected;
+  Stdlib.Mutex.unlock t.inj_m;
+  List.iter
+    (fun thunk ->
+      thunk ();
+      t.cur <- None)
+    thunks;
+  n > 0
+
+(* Nothing runnable but external work is outstanding: block (no busy
+   wait) until a worker domain injects its completion. *)
+let wait_injected t =
+  Stdlib.Mutex.lock t.inj_m;
+  while Queue.is_empty t.injected do
+    Stdlib.Condition.wait t.inj_cv t.inj_m
+  done;
+  Stdlib.Mutex.unlock t.inj_m
+
 let run ?until t =
   let rec loop () =
+    (* Worker-domain completions interleave with the run queue; with no
+       external holds outstanding the queue is provably empty and this
+       is one uncontended lock per iteration. *)
+    if t.external_held > 0 then ignore (drain_injected t : bool);
     if not (Queue.is_empty t.run_q) then begin
       let thunk = Queue.pop t.run_q in
       thunk ();
       t.cur <- None;
+      loop ()
+    end
+    else if t.external_held > 0 then begin
+      (* Virtual time never advances while an offloaded closure is in
+         flight: offloaded work is instantaneous on the simulated clock
+         (docs/DOMAINS.md), and timers (retransmission, flush) must not
+         fire "during" it. Block until a completion arrives. *)
+      wait_injected t;
       loop ()
     end
     else

@@ -137,6 +137,36 @@ val at : t -> float -> (unit -> unit) -> unit
 val after : t -> float -> (unit -> unit) -> unit
 (** [after t dt f] is [at t (now t +. dt) f]. *)
 
+(** {1 External wakeups (worker domains)}
+
+    The one thread-safe door into the scheduler (docs/DOMAINS.md): a
+    worker domain never touches scheduler state directly; it hands a
+    thunk to {!inject} and the main loop runs it on the scheduler's own
+    domain, where it may freely call {!wake}/{!wake_exn}. {!Pool} is
+    the intended client. *)
+
+val inject : t -> (unit -> unit) -> unit
+(** [inject t thunk] enqueues [thunk] to run in scheduler context on
+    the scheduler's domain. Safe to call from any domain. The main loop
+    only polls the injection queue while at least one external hold is
+    outstanding — pair every cross-domain completion with
+    {!hold_external}/{!release_external}, as {!Pool.run} does. *)
+
+val hold_external : t -> unit
+(** Declare one outstanding external completion. While holds are
+    outstanding the main loop drains injected thunks, and when it runs
+    out of runnable fibers it {e blocks} for the next injection instead
+    of advancing virtual time or declaring deadlock — offloaded work is
+    instantaneous on the simulated clock. Scheduler-domain only. *)
+
+val release_external : t -> unit
+(** Drop one hold; call from the injected completion thunk (hence on
+    the scheduler domain). *)
+
+val external_held : t -> int
+(** Outstanding external holds; 0 whenever no pool is in use — and then
+    the run loop is exactly the deterministic single-domain loop. *)
+
 (** {1 Critical sections (wounding)} *)
 
 val enter_critical : t -> unit

@@ -74,37 +74,45 @@ type event = {
 let dummy =
   { ev_time = 0.0; ev_kind = Issue; ev_trace = -1; ev_node = -1; ev_stream = ""; ev_call = -1; ev_note = "" }
 
+(* Per-domain ring buffer (docs/DOMAINS.md): every domain that records
+   gets its own ring, written without any lock, so offloaded handler
+   bodies on pool worker domains never contend with the simulator
+   domain's hot path. Each record carries a ticket from one shared
+   atomic sequence; {!events} merges the rings in ticket order, which
+   on a single domain is exactly insertion order — the pre-domain
+   behaviour, byte for byte. *)
+type ring = {
+  mutable r_records : (event * int) array;  (* (event, global ticket) *)
+  mutable r_next : int;
+  mutable r_filled : bool;
+}
+
 type t = {
-  mutable records : event array;  (* [||] until first enabled: pay nothing when off *)
   capacity : int;
-  mutable next : int;
-  mutable filled : bool;
+  mutable rings : ring option array;  (* index = domain id; grown under [rings_m] *)
+  rings_m : Mutex.t;
   mutable on : bool;
-  mutable next_trace : int;  (* monotonic, never reset — ids stay unique across restarts *)
+  seq : int Atomic.t;  (* merge tickets *)
+  trace_ctr : int Atomic.t;  (* monotonic, never reset — ids stay unique across restarts *)
   mutable sample_every : int;  (* 1-in-N trace sampling; 1 = record everything *)
 }
 
 let create ?(capacity = 16384) () =
   {
-    records = [||];
     capacity = max 1 capacity;
-    next = 0;
-    filled = false;
+    rings = [||];
+    rings_m = Mutex.create ();
     on = false;
-    next_trace = 0;
+    seq = Atomic.make 0;
+    trace_ctr = Atomic.make 0;
     sample_every = 1;
   }
 
-let enable t b =
-  if b && Array.length t.records = 0 then t.records <- Array.make t.capacity dummy;
-  t.on <- b
+let enable t b = t.on <- b
 
 let enabled t = t.on
 
-let next_trace t =
-  let id = t.next_trace in
-  t.next_trace <- id + 1;
-  id
+let next_trace t = Atomic.fetch_and_add t.trace_ctr 1
 
 let set_sampling t n =
   if n <= 0 then invalid_arg "Span.set_sampling: n must be positive";
@@ -119,33 +127,82 @@ let sampling t = t.sample_every
 let sampled t trace =
   t.on && (t.sample_every <= 1 || trace < 0 || trace mod t.sample_every = 0)
 
+(* This domain's ring, creating (and growing the index array) on first
+   use. A slot is only ever written by its own domain; the array itself
+   is copied/replaced under the mutex, and a stale read of the old
+   array still finds the same rings in the slots it covers. *)
+let rec ring_for t =
+  let d = (Domain.self () :> int) in
+  let arr = t.rings in
+  if d < Array.length arr then
+    match arr.(d) with Some r -> r | None -> install t d
+  else install t d
+
+and install t d =
+  Mutex.lock t.rings_m;
+  let arr = t.rings in
+  if d >= Array.length arr then begin
+    let grown = Array.make (d + 8) None in
+    Array.blit arr 0 grown 0 (Array.length arr);
+    t.rings <- grown
+  end;
+  (match t.rings.(d) with
+  | None ->
+      t.rings.(d) <- Some { r_records = Array.make t.capacity (dummy, 0); r_next = 0; r_filled = false }
+  | Some _ -> ());
+  Mutex.unlock t.rings_m;
+  ring_for t
+
 let record t ~time ~kind ~trace ?(node = -1) ?(stream = "") ?(call = -1) ?(note = "") () =
   if sampled t trace then begin
-    t.records.(t.next) <-
-      {
-        ev_time = time;
-        ev_kind = kind;
-        ev_trace = trace;
-        ev_node = node;
-        ev_stream = stream;
-        ev_call = call;
-        ev_note = note;
-      };
-    t.next <- (t.next + 1) mod t.capacity;
-    if t.next = 0 then t.filled <- true
+    let r = ring_for t in
+    let ticket = Atomic.fetch_and_add t.seq 1 in
+    r.r_records.(r.r_next) <-
+      ( {
+          ev_time = time;
+          ev_kind = kind;
+          ev_trace = trace;
+          ev_node = node;
+          ev_stream = stream;
+          ev_call = call;
+          ev_note = note;
+        },
+        ticket );
+    r.r_next <- (r.r_next + 1) mod t.capacity;
+    if r.r_next = 0 then r.r_filled <- true
   end
 
-let events t =
-  if Array.length t.records = 0 then []
-  else if not t.filled then Array.to_list (Array.sub t.records 0 t.next)
+let ring_events r =
+  if not r.r_filled then Array.to_list (Array.sub r.r_records 0 r.r_next)
   else
-    let older = Array.sub t.records t.next (t.capacity - t.next) in
-    let newer = Array.sub t.records 0 t.next in
+    let cap = Array.length r.r_records in
+    let older = Array.sub r.r_records r.r_next (cap - r.r_next) in
+    let newer = Array.sub r.r_records 0 r.r_next in
     Array.to_list (Array.append older newer)
 
+(* Merge every domain's ring in ticket order. Reading while another
+   domain is still recording is safe but not linearizable — call it
+   after the offloaded work has quiesced (experiments read after the
+   run completes). *)
+let events t =
+  Mutex.lock t.rings_m;
+  let rings = Array.to_list t.rings in
+  Mutex.unlock t.rings_m;
+  let all =
+    List.concat_map (function None -> [] | Some r -> ring_events r) rings
+  in
+  List.sort (fun (_, s1) (_, s2) -> compare s1 s2) all |> List.map fst
+
 let clear t =
-  t.next <- 0;
-  t.filled <- false
+  Mutex.lock t.rings_m;
+  Array.iter
+    (function
+      | None -> ()
+      | Some r ->
+          r.r_next <- 0;
+          r.r_filled <- false)
+    t.rings;
+  Mutex.unlock t.rings_m
 
 let events_of t ~trace = List.filter (fun e -> e.ev_trace = trace) (events t)
 
@@ -275,3 +332,50 @@ let gantt ?(width = 64) t =
 
 let dump ppf t =
   List.iter (fun id -> Format.fprintf ppf "%s@." (timeline t ~trace:id)) (trace_ids t)
+
+(* ------------------------------------------------------------------ *)
+(* Two-run diff (docs/TRACING.md): which edges did one run take that
+   the other did not? Events are compared as a multiset on their causal
+   identity — kind, trace, node, stream, call — ignoring timestamps
+   (two runs never agree on those) and notes (they embed depths and
+   lane loads). Trace ids are allocated deterministically in issue
+   order, so same-workload runs line up trace-for-trace. *)
+
+type side = [ `Left | `Right ]
+
+let diff_key e = (e.ev_kind, e.ev_trace, e.ev_node, e.ev_stream, e.ev_call)
+
+(* Events of [main] not matched by an event of [other], in [main]'s
+   order; multiplicity counts (three retransmits vs one leaves two). *)
+let unmatched main other =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let k = diff_key e in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    other;
+  List.filter
+    (fun e ->
+      let k = diff_key e in
+      match Hashtbl.find_opt tbl k with
+      | Some n when n > 0 ->
+          Hashtbl.replace tbl k (n - 1);
+          false
+      | Some _ | None -> true)
+    main
+
+let diff a b =
+  let ea = events a and eb = events b in
+  List.map (fun e -> (`Left, e)) (unmatched ea eb)
+  @ List.map (fun e -> (`Right, e)) (unmatched eb ea)
+
+let pp_diff ppf entries =
+  match entries with
+  | [] -> Format.fprintf ppf "no differences: both runs took the same edges@."
+  | _ ->
+      List.iter
+        (fun ((side : side), e) ->
+          Format.fprintf ppf "%s %a@."
+            (match side with `Left -> "left-only " | `Right -> "right-only")
+            pp_event e)
+        entries

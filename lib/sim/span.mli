@@ -10,7 +10,13 @@
     Recording is off by default; when disabled the store allocates no
     event buffer and {!record} costs one branch. Trace-id allocation
     ({!next_trace}) works even while disabled so ids stay stable when
-    tracing is toggled mid-run. *)
+    tracing is toggled mid-run.
+
+    Domain-safe (docs/DOMAINS.md): each recording domain gets its own
+    lock-free ring buffer, created on first use; {!events} merges the
+    rings on a shared atomic ticket order. On a single domain that
+    order {e is} insertion order, so deterministic runs render
+    identically to the pre-domain store. *)
 
 (** One lifecycle edge of a traced call. [Dispatch] notes the shard
     lane; [Park]/[Substitute] are the pipelining edges; [Break],
@@ -50,8 +56,9 @@ type event = {
 type t
 
 val create : ?capacity:int -> unit -> t
-(** [create ~capacity ()] keeps the last [capacity] events (default
-    16384). No buffer is allocated until the store is first enabled. *)
+(** [create ~capacity ()] keeps the last [capacity] events {e per
+    recording domain} (default 16384). No buffer is allocated until a
+    domain first records. *)
 
 val enable : t -> bool -> unit
 
@@ -122,3 +129,24 @@ val gantt : ?width:int -> t -> string
 
 val dump : Format.formatter -> t -> unit
 (** Every trace's {!timeline}, in first-appearance order. *)
+
+(** {1 Two-run diff}
+
+    Which edges did one run take that the other did not
+    (docs/TRACING.md)? Because trace ids are allocated
+    deterministically in issue order, two runs of the same workload
+    line up trace-for-trace, and the diff of their span stores is the
+    causal delta — e.g. the [break]/[resubmit]/[dedup-replay] edges
+    only the chaos run took. *)
+
+type side = [ `Left | `Right ]
+
+val diff : t -> t -> (side * event) list
+(** [diff a b] compares the two stores as multisets keyed on
+    (kind, trace, node, stream, call) — timestamps and notes are
+    ignored, multiplicity counts (three retransmits against one leaves
+    two). Returns [a]'s unmatched events tagged [`Left] in [a]'s order,
+    then [b]'s tagged [`Right]; empty iff the runs took identical
+    edges. *)
+
+val pp_diff : Format.formatter -> (side * event) list -> unit

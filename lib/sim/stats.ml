@@ -1,6 +1,15 @@
-type counter = { mutable value : int }
+(* Counters are [Atomic.t] so offloaded handler bodies running on pool
+   worker domains (docs/DOMAINS.md) can bump them concurrently with the
+   simulator domain; on a single domain the atomic ops are equivalent
+   to the old plain mutations, so deterministic runs are unchanged.
+   Registration tables and summaries (which mutate several fields per
+   observation) are guarded by a per-registry / per-summary mutex —
+   uncontended in the pool-off case. *)
+
+type counter = int Atomic.t
 
 type summary = {
+  s_m : Mutex.t;
   mutable samples : float list;
   mutable count : int;
   mutable total : float;
@@ -10,31 +19,52 @@ type summary = {
 }
 
 type t = {
+  t_m : Mutex.t;
   counters_tbl : (string, counter) Hashtbl.t;
   summaries_tbl : (string, summary) Hashtbl.t;
 }
 
-let create () = { counters_tbl = Hashtbl.create 16; summaries_tbl = Hashtbl.create 16 }
+let locked m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let create () =
+  {
+    t_m = Mutex.create ();
+    counters_tbl = Hashtbl.create 16;
+    summaries_tbl = Hashtbl.create 16;
+  }
 
 let counter t name =
-  match Hashtbl.find_opt t.counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { value = 0 } in
-      Hashtbl.add t.counters_tbl name c;
-      c
+  locked t.t_m (fun () ->
+      match Hashtbl.find_opt t.counters_tbl name with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add t.counters_tbl name c;
+          c)
 
-let incr c = c.value <- c.value + 1
+let incr c = Atomic.incr c
 
-let add c k = c.value <- c.value + k
+let add c k = ignore (Atomic.fetch_and_add c k : int)
 
-let count c = c.value
+let count c = Atomic.get c
 
 let peek t name =
-  match Hashtbl.find_opt t.counters_tbl name with Some c -> c.value | None -> 0
+  locked t.t_m (fun () ->
+      match Hashtbl.find_opt t.counters_tbl name with
+      | Some c -> Atomic.get c
+      | None -> 0)
 
 let fresh_summary () =
   {
+    s_m = Mutex.create ();
     samples = [];
     count = 0;
     total = 0.0;
@@ -44,20 +74,22 @@ let fresh_summary () =
   }
 
 let summary t name =
-  match Hashtbl.find_opt t.summaries_tbl name with
-  | Some s -> s
-  | None ->
-      let s = fresh_summary () in
-      Hashtbl.add t.summaries_tbl name s;
-      s
+  locked t.t_m (fun () ->
+      match Hashtbl.find_opt t.summaries_tbl name with
+      | Some s -> s
+      | None ->
+          let s = fresh_summary () in
+          Hashtbl.add t.summaries_tbl name s;
+          s)
 
 let observe s x =
-  s.samples <- x :: s.samples;
-  s.count <- s.count + 1;
-  s.total <- s.total +. x;
-  if x < s.min_v then s.min_v <- x;
-  if x > s.max_v then s.max_v <- x;
-  s.sorted_cache <- None
+  locked s.s_m (fun () ->
+      s.samples <- x :: s.samples;
+      s.count <- s.count + 1;
+      s.total <- s.total +. x;
+      if x < s.min_v then s.min_v <- x;
+      if x > s.max_v then s.max_v <- x;
+      s.sorted_cache <- None)
 
 let n s = s.count
 
@@ -68,13 +100,14 @@ let min_value s = if s.count = 0 then nan else s.min_v
 let max_value s = if s.count = 0 then nan else s.max_v
 
 let sorted s =
-  match s.sorted_cache with
-  | Some a -> a
-  | None ->
-      let a = Array.of_list s.samples in
-      Array.sort compare a;
-      s.sorted_cache <- Some a;
-      a
+  locked s.s_m (fun () ->
+      match s.sorted_cache with
+      | Some a -> a
+      | None ->
+          let a = Array.of_list s.samples in
+          Array.sort compare a;
+          s.sorted_cache <- Some a;
+          a)
 
 let quantile s q =
   if s.count = 0 then nan
@@ -87,24 +120,28 @@ let quantile s q =
   end
 
 let counters t =
-  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) t.counters_tbl []
+  locked t.t_m (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) t.counters_tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let summaries t =
-  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.summaries_tbl []
+  locked t.t_m (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.summaries_tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t =
-  Hashtbl.iter (fun _ c -> c.value <- 0) t.counters_tbl;
-  Hashtbl.iter
-    (fun _ s ->
-      s.samples <- [];
-      s.count <- 0;
-      s.total <- 0.0;
-      s.min_v <- infinity;
-      s.max_v <- neg_infinity;
-      s.sorted_cache <- None)
-    t.summaries_tbl
+  locked t.t_m (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) t.counters_tbl;
+      Hashtbl.iter
+        (fun _ s ->
+          locked s.s_m (fun () ->
+              s.samples <- [];
+              s.count <- 0;
+              s.total <- 0.0;
+              s.min_v <- infinity;
+              s.max_v <- neg_infinity;
+              s.sorted_cache <- None))
+        t.summaries_tbl)
 
 let pp ppf t =
   List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters t);

@@ -1,10 +1,16 @@
 (** Counters and summary statistics collected during a simulation run.
 
     Experiments report message counts, bytes on wire and latency
-    distributions; this module is the common sink for all of them. *)
+    distributions; this module is the common sink for all of them.
+
+    Domain-safe (docs/DOMAINS.md): counters are atomic, registration
+    and summaries are mutex-guarded, so offloaded handler bodies on
+    pool worker domains may record concurrently with the simulator
+    domain. Single-domain runs behave exactly as before. *)
 
 type counter
-(** Monotonic integer counter. *)
+(** Monotonic integer counter ([Atomic.t] underneath — safe to bump
+    from any domain). *)
 
 type summary
 (** Streaming summary of float samples (count/mean/min/max plus the raw

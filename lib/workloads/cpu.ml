@@ -1,11 +1,60 @@
-type t = { sched : Sched.Scheduler.t; sem : Sched.Semaphore.t; n : int }
+type mode = Virtual | Real of float
 
-let create sched ~cores =
+type t = {
+  sched : Sched.Scheduler.t;
+  sem : Sched.Semaphore.t;
+  n : int;
+  mode : mode;
+}
+
+(* The calibrated kernel: a branch-free integer LCG the optimizer
+   cannot remove or vectorize away, ~1ns/iteration. Returning the final
+   state keeps the loop observable. *)
+let spin iters =
+  let x = ref 1 in
+  for _ = 1 to iters do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  !x
+
+let calibrate ?(budget = 0.05) () =
+  if budget <= 0.0 then invalid_arg "Cpu.calibrate: budget must be positive";
+  let chunk = 200_000 in
+  (* Warm up out of the measurement so the first chunk's page faults
+     and frequency ramp don't depress the rate. *)
+  ignore (spin chunk : int);
+  let t0 = Unix.gettimeofday () in
+  let sink = ref 0 in
+  let iters = ref 0 in
+  while Unix.gettimeofday () -. t0 < budget do
+    sink := !sink lxor spin chunk;
+    iters := !iters + chunk
+  done;
+  ignore !sink;
+  float_of_int !iters /. (Unix.gettimeofday () -. t0)
+
+let burn ~rate dt =
+  if rate <= 0.0 then invalid_arg "Cpu.burn: rate must be positive";
+  if dt > 0.0 then ignore (spin (int_of_float (rate *. dt)) : int)
+
+let create ?(mode = Virtual) sched ~cores =
   if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
-  { sched; sem = Sched.Semaphore.create sched cores; n = cores }
+  (match mode with
+  | Real rate when rate <= 0.0 -> invalid_arg "Cpu.create: calibrated rate must be positive"
+  | Real _ | Virtual -> ());
+  { sched; sem = Sched.Semaphore.create sched cores; n = cores; mode }
 
 let consume t dt =
-  if dt > 0.0 then
-    Sched.Semaphore.with_permit t.sem (fun () -> Sched.Scheduler.sleep t.sched dt)
+  match t.mode with
+  | Virtual ->
+      if dt > 0.0 then
+        Sched.Semaphore.with_permit t.sem (fun () -> Sched.Scheduler.sleep t.sched dt)
+  | Real rate ->
+      (* Physical computation: no permits, no virtual time — the only
+         limit is the hardware, which is the point. Safe on any domain,
+         so offloaded handlers (docs/DOMAINS.md) can call it. *)
+      burn ~rate dt
 
 let cores t = t.n
+
+let mode t = t.mode

@@ -1,19 +1,49 @@
 (** A machine with [k] processors, for experiments that distinguish
     sequential machines from multiprocessors (§4.3, §3.2).
 
-    Fibers "compute" by holding one of [k] permits for a stretch of
-    virtual time; with one permit the machine serialises all
-    computation, with many it runs them in parallel. Communication
-    costs are charged elsewhere (the network model); this is only for
-    local computation such as the filters of a cascade. *)
+    Two modes. [Virtual] (the default): fibers "compute" by holding one
+    of [k] permits for a stretch of {e virtual} time; with one permit
+    the machine serialises all computation, with many it runs them in
+    parallel — deterministic, free, and only as parallel as the model
+    says. [Real rate]: {!consume} spins a calibrated integer kernel for
+    the equivalent {e wall-clock} time instead — physical computation
+    that scales only with actual cores, built for the fibers-vs-domains
+    comparison (E16, docs/DOMAINS.md). Real-mode consumption touches no
+    scheduler state, so offloaded handlers may call it from pool worker
+    domains. *)
 
 type t
 
-val create : Sched.Scheduler.t -> cores:int -> t
+type mode =
+  | Virtual  (** charge virtual time under a [k]-permit semaphore *)
+  | Real of float
+      (** spin the calibrated kernel at this many iterations/second
+          (from {!calibrate}); no virtual time is charged *)
+
+val create : ?mode:mode -> Sched.Scheduler.t -> cores:int -> t
 
 val consume : t -> float -> unit
 (** [consume cpu dt] occupies one core for [dt] seconds of virtual
-    time (parks while all cores are busy). Zero or negative [dt] is a
-    no-op. *)
+    time (parks while all cores are busy) — or, in [Real] mode, burns
+    [dt] seconds worth of calibrated real work on the calling domain.
+    Zero or negative [dt] is a no-op. *)
 
 val cores : t -> int
+
+val mode : t -> mode
+
+(** {1 The real-work kernel} *)
+
+val calibrate : ?budget:float -> unit -> float
+(** Measure the spin kernel's iterations/second on this machine by
+    running it for [budget] wall-clock seconds (default 50 ms). Pass
+    the result to [Real] / {!burn}. *)
+
+val burn : rate:float -> float -> unit
+(** [burn ~rate dt] spins [rate *. dt] kernel iterations — [dt] seconds
+    of real CPU work at calibration [rate]. Pure computation: safe on
+    any domain, no scheduler interaction. *)
+
+val spin : int -> int
+(** The kernel itself: [spin n] runs [n] LCG iterations and returns the
+    final state (so the work cannot be optimized away). *)

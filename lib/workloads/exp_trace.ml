@@ -97,3 +97,74 @@ let render_resubmit ?(seed = 1000) ?(n = 40) ?(horizon = 0.6) () =
 
 let dump ?depth ?seed ?n ?horizon () =
   render_pipelined ?depth () ^ "\n" ^ render_resubmit ?seed ?n ?horizon ()
+
+(* --- two-run diff (Sim.Span.diff, `experiments --trace-diff`) ------- *)
+
+(* The same chain with every link claimed before the next is issued: no
+   references cross the wire, so dependents never park or substitute at
+   the receiver. Diffed against the pipelined run, those are exactly
+   the edges that should show up left-only. *)
+let claim_each_chain ?(depth = 4) () =
+  let pair =
+    Fixtures.make_pair
+      ~cfg:{ Net.default_config with Net.wire_latency = 1e-3 }
+      ~group_config:
+        Cstream.Group_config.(
+          default |> with_reply_config chain_config |> with_ordered false)
+      ()
+  in
+  let spans = S.spans pair.Fixtures.sched in
+  Sim.Span.enable spans true;
+  G.register pair.Fixtures.server ~group:"main" Fixtures.work_sig (fun ctx n ->
+      S.sleep ctx.G.sched 2e-3;
+      Ok (n + 1));
+  ignore
+    (Fixtures.timed_run pair.Fixtures.sched (fun () ->
+         let h = Fixtures.work_handle pair ~config:chain_config ~agent:"tracer" () in
+         let v = ref 0 in
+         for _ = 1 to depth do
+           let p = R.stream_call h !v in
+           R.flush h;
+           match P.claim p with
+           | P.Normal r -> v := r
+           | P.Signal _ | P.Unavailable _ | P.Failure _ ->
+               failwith "claim-each chain failed"
+         done;
+         if !v <> depth then
+           failwith (Printf.sprintf "chain returned %d, wanted %d" !v depth))
+      : float);
+  spans
+
+(* Both demonstrations of the diff tool, WARNING-gated like the dump:
+   two same-seed runs of the pipelined chain must take identical edges
+   (the determinism story, the same property test/test_domains.ml
+   regresses), and pipelined-vs-claim-each must differ by at least the
+   park/substitute edges only the pipelined run takes. *)
+let render_diff ?(depth = 4) () =
+  let buf = Buffer.create 4096 in
+  let spans_a, _ = pipelined_chain ~depth () in
+  let spans_b, _ = pipelined_chain ~depth () in
+  let same = Sim.Span.diff spans_a spans_b in
+  Buffer.add_string buf
+    "== trace diff: pipelined chain vs itself (same seed, run twice) ==\n\n";
+  Printf.bprintf buf "%s\n" (Format.asprintf "%a" Sim.Span.pp_diff same);
+  if same <> [] then
+    Buffer.add_string buf "WARNING: two same-seed runs took different edges\n";
+  let spans_claim = claim_each_chain ~depth () in
+  let delta = Sim.Span.diff spans_a spans_claim in
+  Buffer.add_string buf
+    "\n== trace diff: pipelined chain (left) vs claim-each-link chain (right) ==\n\n";
+  Printf.bprintf buf "%s\n" (Format.asprintf "%a" Sim.Span.pp_diff delta);
+  let left_has kind =
+    List.exists
+      (fun (side, e) -> side = `Left && e.Sim.Span.ev_kind = kind)
+      delta
+  in
+  if left_has Sim.Span.Park && left_has Sim.Span.Substitute then
+    Buffer.add_string buf
+      "pipelined-only edges present: dependents park and substitute at the receiver; \
+       the claim-each run round-trips instead\n"
+  else
+    Buffer.add_string buf
+      "WARNING: expected left-only park/substitute edges in the pipelined run\n";
+  Buffer.contents buf

@@ -15,3 +15,11 @@ val render_resubmit : ?seed:int -> ?n:int -> ?horizon:float -> unit -> string
 
 val dump : ?depth:int -> ?seed:int -> ?n:int -> ?horizon:float -> unit -> string
 (** Both scenarios, concatenated. *)
+
+val render_diff : ?depth:int -> unit -> string
+(** The {!Sim.Span.diff} tool demonstrated twice, backing
+    [experiments --trace-diff] (docs/TRACING.md): two same-seed runs of
+    the pipelined chain diff empty (determinism), and pipelined vs
+    claim-each-link differ by the park/substitute edges only the
+    pipelined run takes. Emits a WARNING line (the CI gate) if either
+    expectation fails. *)

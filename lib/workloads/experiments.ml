@@ -13,6 +13,7 @@ let registry : (string * (unit -> Table.t)) list =
     ("E13", fun () -> Exp_pipeline.e13 ());
     ("E14", fun () -> Exp_shard.e14 ());
     ("E15", fun () -> Exp_overload.e15 ());
+    ("E16", fun () -> Exp_domains.e16 ());
     ("A1", fun () -> Exp_ablation.a1 ());
     ("A2", fun () -> Exp_ablation.a2 ());
   ]
