@@ -674,6 +674,184 @@ let run_domains () =
       ]
     table_rows
 
+(* --- transport bench + BENCH_transport.json ------------------------- *)
+
+(* Round-trip cost over each transport backend (docs/TRANSPORT.md): a
+   raw frame echo (transport machinery only) and a full typed RPC
+   (codec + stream layer + guardian dispatch on top), over the
+   simulated net and over a real loopback TCP socket. The sim subjects
+   cost no wall-clock wire time — they price the scheduler + stream
+   machinery itself; the tcp subjects add two real kernel crossings per
+   hop. E17's prediction-vs-measurement rows ride along in the JSON. *)
+
+module Tr = Transport_tcp
+
+let tcp_available =
+  lazy
+    (match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> false
+    | fd -> (
+        match
+          Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+          Unix.listen fd 1
+        with
+        | () ->
+            Unix.close fd;
+            true
+        | exception Unix.Unix_error _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            false))
+
+(* One raw frame to the echoing peer and back, per run. *)
+let bench_echo ~sched ~(a : Transport.t) ~(b : Transport.t) =
+  let waiter = ref None in
+  b.Transport.set_receiver (fun ~src frame -> b.Transport.send ~dst:src frame);
+  a.Transport.set_receiver (fun ~src:_ _ ->
+      match !waiter with Some w -> ignore (Sched.Scheduler.wake w () : bool) | None -> ());
+  Staged.stage (fun () ->
+      ignore
+        (Sched.Scheduler.spawn sched (fun () ->
+             a.Transport.send ~dst:b.Transport.addr "ping-frame";
+             Sched.Scheduler.suspend sched (fun w -> waiter := Some w)));
+      ignore (Sched.Scheduler.run sched : Sched.Scheduler.outcome))
+
+(* One typed RPC through the full stack, per run. *)
+let bench_rpc ~sched ~client_hub ~server_addr =
+  let ag =
+    Core.Agent.create client_hub ~name:"bench-rpc" ~config:Cstream.Chanhub.rpc_config ()
+  in
+  let h = Core.Remote.bind ag ~dst:server_addr ~gid:"main" Workloads.Fixtures.work_sig in
+  Staged.stage (fun () ->
+      ignore
+        (Sched.Scheduler.spawn sched (fun () ->
+             ignore (Core.Remote.rpc h 41 : (int, Core.Sigs.nothing) P.outcome)));
+      ignore (Sched.Scheduler.run sched : Sched.Scheduler.outcome))
+
+let transport_group_cfg =
+  Cstream.Group_config.(default |> with_reply_config Cstream.Chanhub.rpc_config)
+
+let make_transport_tests () =
+  (* sim worlds: zero wire latency so the subjects price machinery, not
+     modelled (virtual) waiting *)
+  let echo_sim =
+    let sched = Sched.Scheduler.create () in
+    let net = Net.create sched { Net.default_config with Net.wire_latency = 0.0 } in
+    let a = Transport_sim.endpoint net (Net.add_node net ~name:"a") in
+    let b = Transport_sim.endpoint net (Net.add_node net ~name:"b") in
+    bench_echo ~sched ~a ~b
+  in
+  let rpc_sim =
+    let sched = Sched.Scheduler.create () in
+    let net = Net.create sched { Net.default_config with Net.wire_latency = 0.0 } in
+    let cn = Net.add_node net ~name:"client" in
+    let sn = Net.add_node net ~name:"server" in
+    let client_hub = Cstream.Chanhub.create_hub net cn in
+    let server = Argus.Guardian.create (Cstream.Chanhub.create_hub net sn) ~name:"server" in
+    Argus.Guardian.register_group server ~group:"main" ~config:transport_group_cfg ();
+    Argus.Guardian.register server ~group:"main" Workloads.Fixtures.work_sig (fun _ctx n ->
+        Ok (n + 1));
+    bench_rpc ~sched ~client_hub ~server_addr:(Net.address sn)
+  in
+  let sim_tests =
+    [
+      Test.make ~name:"frame echo round-trip (sim)" echo_sim;
+      Test.make ~name:"typed RPC round-trip (sim)" rpc_sim;
+    ]
+  in
+  if not (Lazy.force tcp_available) then (sim_tests, [], fun () -> ())
+  else
+    let echo_fab =
+      let sched = Sched.Scheduler.create () in
+      let fab = Tr.create sched in
+      let a = Tr.endpoint fab ~addr:0 ~name:"a" () in
+      let b = Tr.endpoint fab ~addr:1 ~name:"b" () in
+      Tr.set_peer fab ~addr:0 (Tr.listen_loopback fab ~addr:0);
+      Tr.set_peer fab ~addr:1 (Tr.listen_loopback fab ~addr:1);
+      (fab, bench_echo ~sched ~a ~b)
+    in
+    let rpc_fab =
+      let sched = Sched.Scheduler.create () in
+      let fab = Tr.create sched in
+      let client_tr = Tr.endpoint fab ~addr:0 ~name:"client" () in
+      let server_tr = Tr.endpoint fab ~addr:1 ~name:"server" () in
+      let client_hub = Cstream.Chanhub.create_hub_tr client_tr in
+      let server =
+        Argus.Guardian.create (Cstream.Chanhub.create_hub_tr server_tr) ~name:"server"
+      in
+      Argus.Guardian.register_group server ~group:"main" ~config:transport_group_cfg ();
+      Argus.Guardian.register server ~group:"main" Workloads.Fixtures.work_sig (fun _ctx n ->
+          Ok (n + 1));
+      Tr.set_peer fab ~addr:1 (Tr.listen_loopback fab ~addr:1);
+      (fab, bench_rpc ~sched ~client_hub ~server_addr:1)
+    in
+    let tcp_tests =
+      [
+        Test.make ~name:"frame echo round-trip (loopback tcp)" (snd echo_fab);
+        Test.make ~name:"typed RPC round-trip (loopback tcp)" (snd rpc_fab);
+      ]
+    in
+    ( sim_tests,
+      tcp_tests,
+      fun () ->
+        Tr.close (fst echo_fab);
+        Tr.close (fst rpc_fab) )
+
+let write_bench_transport_json ~tcp_ok ~subject_rows ~e17_rows path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"transport\",\n";
+  write_machine_stanza oc;
+  out "  \"tcp_available\": %b,\n" tcp_ok;
+  out "  \"units\": { \"subjects\": \"ns/op\", \"e17\": \"per run\" },\n";
+  out "  \"subjects\": [\n";
+  let n_subj = List.length subject_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"subject\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = n_subj - 1 then "" else ","))
+    subject_rows;
+  out "  ],\n";
+  out "  \"e17\": [\n";
+  let n_rows = List.length e17_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_transport.row) ->
+      out
+        "    { \"workload\": \"%s\", \"backend\": \"%s\", \"calls\": %d, \"ok\": %b, \
+         \"completion_ms\": %s, \"msgs\": %d, \"bytes\": %d }%s\n"
+        (json_escape r.r_workload) (json_escape r.r_backend) r.r_calls r.r_ok
+        (if r.r_ok then Printf.sprintf "%.3f" (r.r_time *. 1e3) else "null")
+        r.r_msgs r.r_bytes
+        (if i = n_rows - 1 then "" else ","))
+    e17_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_transport () =
+  let sim_tests, tcp_tests, cleanup = make_transport_tests () in
+  let tcp_ok = tcp_tests <> [] in
+  if not tcp_ok then
+    print_endline "note: loopback sockets unavailable here; tcp subjects skipped";
+  let subject_rows = measure_ns (Test.make_grouped ~name:"transport" (sim_tests @ tcp_tests)) in
+  cleanup ();
+  let e17_rows = Workloads.Exp_transport.e17_rows () in
+  write_bench_transport_json ~tcp_ok ~subject_rows ~e17_rows "BENCH_transport.json";
+  let table_rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) subject_rows
+  in
+  Workloads.Table.make ~id:"transport"
+    ~title:"wall-clock: round trips over the simulated and real transports"
+    ~header:[ "subject"; "time/op" ]
+    ~notes:
+      [
+        "one round trip per op: a raw frame echo (transport machinery only) and a typed RPC \
+         (codec + stream layer + guardian dispatch), over the simulated net and over a real \
+         loopback TCP socket (docs/TRANSPORT.md); results + E17's \
+         prediction-vs-measurement figures written to BENCH_transport.json";
+      ]
+    table_rows
+
 (* --- main ---------------------------------------------------------- *)
 
 (* Named groups so CI and quick local runs can pick one with --only
@@ -708,6 +886,10 @@ let groups : (string * string * string option * (unit -> unit)) list =
       "wall-clock domain-pool offload + E16 fibers vs domains (Bechamel)",
       Some "BENCH_domains.json",
       fun () -> Workloads.Table.print (run_domains ()) );
+    ( "transport",
+      "wall-clock sim-vs-loopback-TCP round trips + E17 (Bechamel)",
+      Some "BENCH_transport.json",
+      fun () -> Workloads.Table.print (run_transport ()) );
   ]
 
 let () =

@@ -209,6 +209,9 @@ type out_chan = {
   mutable o_flush_gen : int;
   mutable o_retx_gen : int;
   mutable o_retx_armed : bool;
+  mutable o_retx_timer : S.timer option;
+      (* heap handle for the armed timer: cancelled eagerly on disarm so
+         a realtime run never waits out a timer that can only no-op *)
   o_waiters : unit S.waker Queue.t;  (* fibers parked in await_window *)
 }
 
@@ -228,8 +231,7 @@ and pending_acks = {
 }
 
 and hub = {
-  h_net : frame Net.t;
-  h_node : Net.node;
+  h_tr : Transport.t;
   h_sched : S.t;
   h_ack_delay : float;
   h_outs : (key, out_chan) Hashtbl.t;
@@ -240,7 +242,7 @@ and hub = {
   mutable h_next_idx : int;
 }
 
-let hub_node h = h.h_node
+let hub_addr h = h.h_tr.Transport.addr
 
 let hub_sched h = h.h_sched
 
@@ -304,7 +306,7 @@ let span_items hub kind ?note items =
         match Wire.item_trace item with
         | Some tid ->
             Sim.Span.record spans ~time:(S.now hub.h_sched) ~kind ~trace:tid
-              ~node:(Net.address hub.h_node) ?note ()
+              ~node:hub.h_tr.Transport.addr ?note ()
         | None -> ())
       items
 
@@ -318,7 +320,7 @@ let transmit hub ~dst packet =
       Sim.Stats.add (hub_counter hub "chan_items_sent") (List.length items)
   | Ack _ -> Sim.Stats.incr (hub_counter hub "chan_ack_packets")
   | Reset _ -> Sim.Stats.incr (hub_counter hub "chan_reset_packets"));
-  Net.send hub.h_net ~src:hub.h_node ~dst ~bytes_:bytes frame
+  hub.h_tr.Transport.send ~dst frame
 
 (* --- delayed acks and piggybacking -------------------------------- *)
 
@@ -399,6 +401,8 @@ let mark_broken o reason =
     o.o_flush_gen <- o.o_flush_gen + 1;
     o.o_retx_gen <- o.o_retx_gen + 1;
     o.o_retx_armed <- false;
+    (match o.o_retx_timer with Some tm -> S.cancel_timer tm | None -> ());
+    o.o_retx_timer <- None;
     wake_waiters o;
     let hooks = o.o_on_break in
     o.o_on_break <- [];
@@ -449,9 +453,11 @@ let rec arm_retransmit o =
     o.o_retx_armed <- true;
     o.o_retx_gen <- o.o_retx_gen + 1;
     let gen = o.o_retx_gen in
-    S.after o.o_hub.h_sched o.o_cfg.retransmit_timeout (fun () ->
+    let tm =
+      S.after_cancellable o.o_hub.h_sched o.o_cfg.retransmit_timeout (fun () ->
         if gen = o.o_retx_gen then begin
           o.o_retx_armed <- false;
+          o.o_retx_timer <- None;
           if o.o_broken = None && o.o_unacked <> [] then begin
             o.o_retries <- o.o_retries + 1;
             if o.o_retries > o.o_cfg.max_retries then
@@ -484,6 +490,8 @@ let rec arm_retransmit o =
             end
           end
         end)
+    in
+    o.o_retx_timer <- Some tm
   end
 
 let flush_out o =
@@ -607,6 +615,8 @@ let handle_ack o ~upto ~pressure =
     (* restart the timer for the (new) oldest unacked item *)
     o.o_retx_gen <- o.o_retx_gen + 1;
     o.o_retx_armed <- false;
+    (match o.o_retx_timer with Some tm -> S.cancel_timer tm | None -> ());
+    o.o_retx_timer <- None;
     if o.o_unacked <> [] then arm_retransmit o;
     if !freed > 0 then wake_waiters o;
     (* Nagle release: the wire went idle — ship what accumulated while
@@ -710,12 +720,37 @@ let receive hub ~src:_ frame =
   | Ok (Ack { acks }) -> handle_acks hub acks
   | Ok (Reset { key; reason }) -> handle_reset hub ~key ~reason
 
-let create_hub ?(ack_delay = 0.0) net node =
+(* The transport told us every connection to [peer] is gone: break each
+   channel touching it so supervision (stream restart + resubmit) takes
+   over. Incoming ends are tombstoned exactly as a Reset would, so a
+   stale retransmit arriving over a fresh connection is answered with
+   Reset rather than resurrecting the old incarnation. Only real
+   transports fire this; the simulated net has no connections. *)
+let peer_down hub ~peer ~reason =
+  let reason = Printf.sprintf "connection to n%d lost: %s" peer reason in
+  let outs =
+    Hashtbl.fold (fun _ o acc -> if o.o_dst = peer then o :: acc else acc) hub.h_outs []
+  in
+  List.iter
+    (fun o ->
+      Hashtbl.remove hub.h_outs o.o_key;
+      mark_broken o reason)
+    outs;
+  let ins =
+    Hashtbl.fold (fun _ i acc -> if i.i_key.src = peer then i :: acc else acc) hub.h_ins []
+  in
+  List.iter
+    (fun i ->
+      Hashtbl.remove hub.h_ins i.i_key;
+      Hashtbl.replace hub.h_dead i.i_key reason;
+      mark_in_broken i reason)
+    ins
+
+let create_hub_tr ?(ack_delay = 0.0) tr =
   let hub =
     {
-      h_net = net;
-      h_node = node;
-      h_sched = Net.sched net;
+      h_tr = tr;
+      h_sched = tr.Transport.sched;
       h_ack_delay = ack_delay;
       h_outs = Hashtbl.create 16;
       h_ins = Hashtbl.create 16;
@@ -725,8 +760,11 @@ let create_hub ?(ack_delay = 0.0) net node =
       h_next_idx = 0;
     }
   in
-  Net.set_receiver net node (fun ~src frame -> receive hub ~src frame);
+  tr.Transport.set_receiver (fun ~src frame -> receive hub ~src frame);
+  tr.Transport.set_peer_watch (fun ~peer ~reason -> peer_down hub ~peer ~reason);
   hub
+
+let create_hub ?ack_delay net node = create_hub_tr ?ack_delay (Transport_sim.endpoint net node)
 
 let on_connect hub ~label acceptor = Hashtbl.replace hub.h_acceptors label acceptor
 
@@ -748,7 +786,7 @@ let connect hub ~dst ~label ~meta cfg =
     if cfg.rtt_inflation <= 1.0 then
       invalid_arg "Chanhub.connect: rtt_inflation must exceed 1"
   end;
-  let key = { src = Net.address hub.h_node; label; idx = hub.h_next_idx; meta } in
+  let key = { src = hub.h_tr.Transport.addr; label; idx = hub.h_next_idx; meta } in
   hub.h_next_idx <- hub.h_next_idx + 1;
   let o =
     {
@@ -773,10 +811,13 @@ let connect hub ~dst ~label ~meta cfg =
       o_flush_gen = 0;
       o_retx_gen = 0;
       o_retx_armed = false;
+      o_retx_timer = None;
       o_waiters = Queue.create ();
     }
   in
   Hashtbl.replace hub.h_outs key o;
   o
 
-let hub_net_config h = Net.config h.h_net
+let hub_recv_overhead h = h.h_tr.Transport.recv_overhead ()
+
+let hub_transport h = h.h_tr

@@ -132,15 +132,25 @@ val aimd_config : config
 
 (** {1 Hubs} *)
 
-val create_hub : ?ack_delay:float -> frame Net.t -> Net.node -> hub
-(** Create the hub for [node] and install it as the node's receiver.
-    [ack_delay] (default [0.], i.e. disabled) holds acks back for that
-    many seconds hoping a reverse-direction Data packet will carry
-    them; whatever is still pending when the timer fires goes out as
-    one standalone Ack packet. Keep it well under the senders'
-    [retransmit_timeout]. *)
+val create_hub_tr : ?ack_delay:float -> Transport.t -> hub
+(** Create a hub on a transport endpoint (docs/TRANSPORT.md) and
+    install it as the endpoint's receiver and peer watch. [ack_delay]
+    (default [0.], i.e. disabled) holds acks back for that many seconds
+    hoping a reverse-direction Data packet will carry them; whatever is
+    still pending when the timer fires goes out as one standalone Ack
+    packet. Keep it well under the senders' [retransmit_timeout]. A
+    transport peer-down breaks every channel to or from that peer, with
+    the incoming ends tombstoned exactly as a [Reset] would be — so a
+    retransmit arriving over a fresh connection is refused rather than
+    resurrecting the old incarnation. *)
 
-val hub_node : hub -> Net.node
+val create_hub : ?ack_delay:float -> frame Net.t -> Net.node -> hub
+(** [create_hub net node] is
+    [create_hub_tr (Transport_sim.endpoint net node)]: the hub for a
+    simulated node, byte-identical to the pre-transport behavior. *)
+
+val hub_addr : hub -> Net.address
+(** This hub's transport address (the node address in sim mode). *)
 
 val hub_sched : hub -> Sched.Scheduler.t
 (** The hub's scheduler. Channel-layer counters are recorded in this
@@ -249,9 +259,15 @@ val on_in_break : in_chan -> (string -> unit) -> unit
     {!break_in} locally or by a [Reset] from the sender (e.g. a stream
     restart). Fires immediately if already broken. *)
 
-(** {1 Network access} *)
+(** {1 Transport access} *)
 
-val hub_net_config : hub -> Net.config
-(** The cost model of the network this hub sends on — the receiver
-    layer uses it to charge per-message kernel overhead as processing
-    time. *)
+val hub_recv_overhead : hub -> float
+(** Seconds of kernel overhead to charge per received message — the
+    receiver layer bills it as processing time. Reads the transport's
+    live cost model at call time: the simulated backend reports the
+    current {!Net.config}'s [kernel_overhead] (the fault layer mutates
+    it mid-run), a real backend reports [0.] because its costs are
+    already wall-clock. *)
+
+val hub_transport : hub -> Transport.t
+(** The transport endpoint this hub multiplexes. *)

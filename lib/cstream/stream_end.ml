@@ -54,7 +54,7 @@ let trace t fmt = Sim.Trace.recordf (S.trace t.sched) ~time:(S.now t.sched) fmt
 
 let spans t = S.spans t.sched
 
-let node_addr t = Net.address (Chanhub.hub_node t.hub)
+let node_addr t = Chanhub.hub_addr t.hub
 
 let reply_label_for ~agent ~gid ~dst ~incarnation =
   Printf.sprintf "~r/%s/%s/%d/%d" agent gid dst incarnation
@@ -67,7 +67,7 @@ let reply_label t =
    incarnation suffix, so the id survives restarts. *)
 let stable_id t =
   Wire.stable_stream_id
-    ~src:(Net.address (Chanhub.hub_node t.hub))
+    ~src:(Chanhub.hub_addr t.hub)
     ~reply_label:(reply_label t)
 
 let span t ~kind ~trace ~call ?note () =

@@ -113,7 +113,7 @@ let span t ~kind ~trace ?stream ?call ?note () =
       let sp = S.spans t.sched in
       if Sim.Span.enabled sp then
         Sim.Span.record sp ~time:(S.now t.sched) ~kind ~trace:tid
-          ~node:(Net.address (Chanhub.hub_node t.hub))
+          ~node:(Chanhub.hub_addr t.hub)
           ?stream ?call ?note ()
 
 (* Raise a counter to a new high-water mark (counters only add). *)
@@ -418,7 +418,7 @@ let release_in_order c =
    arrive and run concurrently; only the replies are sequenced. *)
 let driver_loop c sh =
   let t = c.c_target in
-  let overhead = (Chanhub.hub_net_config t.hub).Net.kernel_overhead in
+  let overhead = Chanhub.hub_recv_overhead t.hub in
   (* Only the single-lane ordered mode may emit straight from the
      driver: any overlap in execution can scramble completion order, so
      replies go through the in-order parking table instead. Shedding

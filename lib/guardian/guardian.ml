@@ -28,7 +28,7 @@ and ctx = { caller : Net.address; sched : S.t; guardian : t }
 
 let name t = t.g_name
 
-let address t = Net.address (CH.hub_node t.g_hub)
+let address t = CH.hub_addr t.g_hub
 
 let sched t = t.g_sched
 

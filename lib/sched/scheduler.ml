@@ -2,10 +2,33 @@ exception Terminated
 
 type fiber_result = Finished | Failed of exn | Killed
 
+(* Real-time driver (docs/TRANSPORT.md): when a real transport is
+   attached the wall clock replaces virtual time. [rt_clock] reads the
+   wall clock in scheduler-time seconds; [rt_wait (Some d)] blocks at
+   most [d] seconds servicing real I/O (it may deliver frames, i.e.
+   call receive callbacks, in scheduler context); [rt_wait None] blocks
+   until some real event arrives; [rt_wakeup] is thread-safe and breaks
+   a concurrent [rt_wait] (the transport's self-pipe). *)
+type realtime_driver = {
+  rt_clock : unit -> float;
+  rt_wait : float option -> unit;
+  rt_wakeup : unit -> unit;
+}
+
+(* Heap entries carry a liveness flag so a cancelled timer can be
+   skipped instead of waited for. Virtual time never cared (a stale
+   no-op firing is free), but in realtime mode the run loop would
+   otherwise block for the full wall-clock delay of a timer whose
+   purpose has already passed — e.g. a retransmit timer for a batch
+   that was acked microseconds after it was armed. *)
+type event = { mutable ev_alive : bool; ev_fn : unit -> unit }
+
+type timer = event
+
 type t = {
   mutable time : float;
   run_q : (unit -> unit) Queue.t;
-  events : (unit -> unit) Sim.Heap.t;
+  events : event Sim.Heap.t;
   mutable cur : fiber option;
   mutable live : int;
   live_tbl : (int, fiber) Hashtbl.t;
@@ -25,6 +48,10 @@ type t = {
   inj_cv : Stdlib.Condition.t;
   injected : (unit -> unit) Queue.t;
   mutable external_held : int;
+  (* Written under [inj_m] so that [inject], which may run on another
+     thread, reads a consistent value when deciding whether to kick the
+     transport's wakeup pipe as well as the condition variable. *)
+  mutable rt_driver : realtime_driver option;
 }
 
 and fiber = {
@@ -79,6 +106,7 @@ let create ?(seed = 42) () =
     inj_cv = Stdlib.Condition.create ();
     injected = Queue.create ();
     external_held = 0;
+    rt_driver = None;
   }
 
 let now t = t.time
@@ -267,11 +295,30 @@ let kill _t fiber =
 
 let yield t = suspend t (fun w -> ignore (wake w () : bool))
 
-let at t time f =
+let at_cancellable t time f =
   let time = if time < t.time then t.time else time in
-  Sim.Heap.push t.events ~prio:time f
+  let ev = { ev_alive = true; ev_fn = f } in
+  Sim.Heap.push t.events ~prio:time ev;
+  ev
+
+let at t time f = ignore (at_cancellable t time f : timer)
 
 let after t dt f = at t (t.time +. dt) f
+
+let after_cancellable t dt f = at_cancellable t (t.time +. dt) f
+
+let cancel_timer tm = tm.ev_alive <- false
+
+let timer_alive tm = tm.ev_alive
+
+(* Pop any leading cancelled events so peek-based decisions (horizon
+   waits, deadlock detection, completion) never key off a dead timer. *)
+let rec drop_cancelled t =
+  match Sim.Heap.peek t.events with
+  | Some (_, ev) when not ev.ev_alive ->
+      ignore (Sim.Heap.pop t.events : (float * event) option);
+      drop_cancelled t
+  | _ -> ()
 
 let sleep t dt = suspend t (fun w -> after t dt (fun () -> ignore (wake w () : bool)))
 
@@ -318,7 +365,12 @@ let inject t thunk =
   Stdlib.Mutex.lock t.inj_m;
   Queue.push thunk t.injected;
   Stdlib.Condition.signal t.inj_cv;
-  Stdlib.Mutex.unlock t.inj_m
+  let rt = t.rt_driver in
+  Stdlib.Mutex.unlock t.inj_m;
+  (* In realtime mode the main loop blocks in the transport's [rt_wait]
+     (a select), not on [inj_cv]; kick its self-pipe so the injection is
+     noticed promptly. *)
+  match rt with None -> () | Some rt -> rt.rt_wakeup ()
 
 let hold_external t = t.external_held <- t.external_held + 1
 
@@ -352,6 +404,87 @@ let wait_injected t =
   done;
   Stdlib.Mutex.unlock t.inj_m
 
+(* ------------------------------------------------------------------ *)
+(* Real-time mode (docs/TRANSPORT.md). Attaching a driver swaps the
+   event loop: instead of jumping the virtual clock to the next timer,
+   the loop reads the wall clock, fires timers that have come due, and
+   otherwise parks inside the driver's [rt_wait] — which is where real
+   I/O (TCP frames) is serviced and delivered. Deadlock detection is
+   necessarily lost: a parked fiber may always be woken by the network,
+   so quiescence with live fibers just blocks. The virtual-time loop
+   below is untouched when no driver is attached. *)
+
+let set_realtime_driver t ~clock ~wait ~wakeup =
+  Stdlib.Mutex.lock t.inj_m;
+  t.rt_driver <- Some { rt_clock = clock; rt_wait = wait; rt_wakeup = wakeup };
+  Stdlib.Mutex.unlock t.inj_m
+
+let clear_realtime_driver t =
+  Stdlib.Mutex.lock t.inj_m;
+  t.rt_driver <- None;
+  Stdlib.Mutex.unlock t.inj_m
+
+let realtime t = t.rt_driver <> None
+
+(* How many run-queue thunks may execute between zero-timeout I/O
+   polls, so a busy run queue cannot starve the sockets. *)
+let rt_poll_budget = 64
+
+let run_realtime ?until t rt =
+  let rec loop budget =
+    ignore (drain_injected t : bool);
+    let wall = rt.rt_clock () in
+    if wall > t.time then t.time <- wall;
+    match until with
+    | Some u when t.time >= u -> Time_limit
+    | _ ->
+        if not (Queue.is_empty t.run_q) then begin
+          let thunk = Queue.pop t.run_q in
+          thunk ();
+          t.cur <- None;
+          if budget <= 1 then begin
+            rt.rt_wait (Some 0.0);
+            loop rt_poll_budget
+          end
+          else loop (budget - 1)
+        end
+        else begin
+          drop_cancelled t;
+          match Sim.Heap.peek t.events with
+          | Some (time, _) when time <= t.time ->
+              (match Sim.Heap.pop t.events with
+              | Some (time, ev) ->
+                  if time > t.time then t.time <- time;
+                  ev.ev_alive <- false;
+                  ev.ev_fn ()
+              | None -> assert false);
+              t.cur <- None;
+              loop rt_poll_budget
+          | next ->
+              let next_ev = match next with Some (tm, _) -> Some tm | None -> None in
+              let horizon =
+                match (next_ev, until) with
+                | Some a, Some b -> Some (Float.min a b)
+                | (Some _ as h), None | None, (Some _ as h) -> h
+                | None, None -> None
+              in
+              (match horizon with
+              | Some h ->
+                  rt.rt_wait (Some (Float.max 0.0 (h -. t.time)));
+                  loop rt_poll_budget
+              | None ->
+                  if t.live > 0 || t.external_held > 0 then begin
+                    (* Parked fibers can still be woken by the network
+                       or a worker domain: block in the driver until
+                       either says so. *)
+                    rt.rt_wait None;
+                    loop rt_poll_budget
+                  end
+                  else Completed)
+        end
+  in
+  loop rt_poll_budget
+
 let run ?until t =
   let rec loop () =
     (* Worker-domain completions interleave with the run queue; with no
@@ -372,7 +505,8 @@ let run ?until t =
       wait_injected t;
       loop ()
     end
-    else
+    else begin
+      drop_cancelled t;
       match Sim.Heap.peek t.events with
       | None -> if t.live > 0 then Deadlocked (live_fibers t) else Completed
       | Some (time, _) -> (
@@ -384,12 +518,14 @@ let run ?until t =
               (match Sim.Heap.pop t.events with
               | Some (time, ev) ->
                   if time > t.time then t.time <- time;
-                  ev ()
+                  ev.ev_alive <- false;
+                  ev.ev_fn ()
               | None -> assert false);
               t.cur <- None;
               loop ())
+    end
   in
-  loop ()
+  match t.rt_driver with Some rt -> run_realtime ?until t rt | None -> loop ()
 
 module Group = struct
   let create t =

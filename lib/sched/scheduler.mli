@@ -137,6 +137,26 @@ val at : t -> float -> (unit -> unit) -> unit
 val after : t -> float -> (unit -> unit) -> unit
 (** [after t dt f] is [at t (now t +. dt) f]. *)
 
+type timer
+(** A handle to a scheduled event that can be cancelled. *)
+
+val at_cancellable : t -> float -> (unit -> unit) -> timer
+(** Like {!at}, returning a handle. *)
+
+val after_cancellable : t -> float -> (unit -> unit) -> timer
+(** Like {!after}, returning a handle. *)
+
+val cancel_timer : timer -> unit
+(** Prevent the event from firing (idempotent; a no-op once it has
+    fired). Cancellation is immediate for scheduling decisions: the run
+    loops skip dead entries, so in realtime mode a cancelled timer no
+    longer holds the horizon — without this, an acked retransmit timer
+    would make the scheduler wait out its full wall-clock delay before
+    quiescing. *)
+
+val timer_alive : timer -> bool
+(** [false] once cancelled or fired. *)
+
 (** {1 External wakeups (worker domains)}
 
     The one thread-safe door into the scheduler (docs/DOMAINS.md): a
@@ -166,6 +186,38 @@ val release_external : t -> unit
 val external_held : t -> int
 (** Outstanding external holds; 0 whenever no pool is in use — and then
     the run loop is exactly the deterministic single-domain loop. *)
+
+(** {1 Real-time driver (real transports)}
+
+    A real transport (docs/TRANSPORT.md) replaces virtual time with the
+    wall clock: {!run} stops jumping the clock to the next timer and
+    instead reads [clock], fires timers that have come due, and parks in
+    [wait] — the transport's poll/select loop — whenever nothing is
+    runnable. [wait] runs in scheduler context and may deliver received
+    frames (i.e. invoke receive callbacks that {!wake} fibers) before
+    returning. [wakeup] must be thread-safe; {!inject} calls it so
+    cross-domain completions break a concurrent [wait]. Deadlock
+    detection is disabled while a driver is attached — a parked fiber
+    may always be woken by the network — so bound server-style runs with
+    [?until]. Virtual-time semantics are byte-identical when no driver
+    is attached. *)
+
+val set_realtime_driver :
+  t ->
+  clock:(unit -> float) ->
+  wait:(float option -> unit) ->
+  wakeup:(unit -> unit) ->
+  unit
+(** Attach a driver. [clock ()] is the wall clock expressed in
+    scheduler-time seconds (it must be [>= now t] at attach time so the
+    clock never runs backwards). [wait (Some d)] services I/O for at
+    most [d] seconds; [wait None] blocks until some external event. *)
+
+val clear_realtime_driver : t -> unit
+(** Detach; {!run} returns to the deterministic virtual-time loop. *)
+
+val realtime : t -> bool
+(** Whether a real-time driver is currently attached. *)
 
 (** {1 Critical sections (wounding)} *)
 

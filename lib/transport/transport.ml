@@ -1,0 +1,24 @@
+type address = int
+
+type frame = string
+
+type t = {
+  addr : address;
+  node_name : string;
+  backend : string;
+  sched : Sched.Scheduler.t;
+  stats : Sim.Stats.t;
+  send : dst:address -> frame -> unit;
+  set_receiver : (src:address -> frame -> unit) -> unit;
+  set_peer_watch : (peer:address -> reason:string -> unit) -> unit;
+  recv_overhead : unit -> float;
+  realtime : bool;
+}
+
+let account_send t bytes =
+  Sim.Stats.incr (Sim.Stats.counter t.stats "transport_frames_sent");
+  Sim.Stats.add (Sim.Stats.counter t.stats "transport_bytes_sent") bytes
+
+let account_recv t bytes =
+  Sim.Stats.incr (Sim.Stats.counter t.stats "transport_frames_received");
+  Sim.Stats.add (Sim.Stats.counter t.stats "transport_bytes_received") bytes

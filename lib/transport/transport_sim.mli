@@ -1,0 +1,16 @@
+(** The simulated backend: {!Transport.t} over {!Net}.
+
+    A thin adapter — [send] is exactly the [Net.send] call `Chanhub`
+    used to make (same [bytes_], same frame value), the receiver is the
+    node's {!Net.set_receiver} upcall, and [recv_overhead] reads the
+    live config's [kernel_overhead] at call time so fault-layer config
+    mutations keep working. Byte counts, delivery order, loss, and
+    virtual-time costs are identical to the pre-seam behavior; the
+    regression in test/test_transport.ml holds E12's published figures
+    to the digit. *)
+
+val endpoint : Transport.frame Net.t -> Net.node -> Transport.t
+(** [endpoint net node] wraps [node] as a transport endpoint. Installs
+    the net receiver for [node]; frames arrive at whatever receiver the
+    endpoint's [set_receiver] installed last. [set_peer_watch] is a
+    no-op: the simulated net has no connections to lose. *)

@@ -1,0 +1,19 @@
+(** E17: the simulator as predictor — the E12/E13 workloads over the
+    simulated net and over real loopback TCP, side by side
+    (docs/TRANSPORT.md). *)
+
+type row = {
+  r_workload : string;
+  r_backend : string;  (** ["sim"] or ["tcp"] *)
+  r_calls : int;
+  r_ok : bool;  (** [false]: TCP unavailable (sandbox), row is a skip *)
+  r_time : float;  (** completion, seconds: sim = predicted, tcp = measured *)
+  r_msgs : int;
+  r_bytes : int;
+}
+
+val e17_rows : ?n:int -> ?depth:int -> unit -> row list
+(** Four rows: stream batch (sim, tcp), pipelined chain (sim, tcp).
+    [n] stream calls (default 400), chain depth [depth] (default 4). *)
+
+val e17 : ?n:int -> ?depth:int -> unit -> Table.t
