@@ -185,6 +185,47 @@ let wire_payloads =
   in
   [ ("small", small); ("medium", medium); ("large", large) ]
 
+(* Lazy views (docs/WIRE.md): the wire path hands each arriving call a
+   validated view over the frame bytes, so "consume one field of a
+   large frame" splits into an arrival cost and a projection cost.
+   "view scan" is the arrival cost under the new path (structural
+   validation, no tree); plain "decode large" above is the arrival cost
+   under the old one (full tree). "view project" is what a consumer
+   then pays to pull one field out of one element by slicing; its
+   honest baseline is "decode project", which is what projection cost
+   before views existed — build the whole tree, walk to the field. The
+   acceptance gate (ISSUE 9) is view project >= 2x faster than decode
+   project. *)
+let wire_view_tests =
+  let large = List.assoc "large" wire_payloads in
+  let encoded = Xdr.Bin.to_string large in
+  let sz = String.length encoded in
+  let exn = function Ok x -> x | Error e -> failwith e in
+  let view = exn (Xdr.View.of_string encoded) in
+  [
+    Test.make
+      ~name:(Printf.sprintf "view scan large (%dB)" sz)
+      (Staged.stage (fun () -> exn (Xdr.View.of_string encoded)));
+    Test.make
+      ~name:(Printf.sprintf "view project large.(32).mean (%dB)" sz)
+      (Staged.stage (fun () ->
+           match exn (Xdr.View.list_item view 32) with
+           | None -> failwith "item missing"
+           | Some item -> (
+               match exn (Xdr.View.record_field item "mean") with
+               | Some f -> exn (Xdr.View.materialize f)
+               | None -> failwith "field missing")));
+    Test.make
+      ~name:(Printf.sprintf "decode project large.(32).mean (%dB)" sz)
+      (Staged.stage (fun () ->
+           match Xdr.Bin.of_string encoded with
+           | Ok (Xdr.List items) -> (
+               match List.nth items 32 with
+               | Xdr.Record fields -> List.assoc "mean" fields
+               | _ -> failwith "not a record")
+           | _ -> failwith "decode failed"));
+  ]
+
 let wire_tests =
   Test.make_grouped ~name:"wire"
     (List.concat_map
@@ -198,7 +239,8 @@ let wire_tests =
              ~name:(Printf.sprintf "decode %s (%dB)" label (String.length encoded))
              (Staged.stage (fun () -> Xdr.Bin.of_string encoded));
          ])
-       wire_payloads)
+       wire_payloads
+    @ wire_view_tests)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -221,13 +263,13 @@ let write_machine_stanza oc =
     (json_escape Sys.ocaml_version)
     Sys.word_size (json_escape Sys.os_type)
 
-let write_bench_wire_json ~codec_rows ~e12_rows path =
+let write_bench_wire_json ~codec_rows ~e12_rows ~e18_rows path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"wire\",\n";
   write_machine_stanza oc;
-  out "  \"units\": { \"codec\": \"ns/op\", \"e12\": \"per call\" },\n";
+  out "  \"units\": { \"codec\": \"ns/op\", \"e12\": \"per call\", \"e18\": \"per call\" },\n";
   out "  \"codec\": [\n";
   let n_codec = List.length codec_rows in
   List.iteri
@@ -253,6 +295,22 @@ let write_bench_wire_json ~codec_rows ~e12_rows path =
         (r.r_time *. 1e3)
         (if i = n_rows - 1 then "" else ","))
     e12_rows;
+  out "  ],\n";
+  out "  \"e18\": [\n";
+  let n_e18 = List.length e18_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_dict.row) ->
+      out
+        "    { \"mode\": \"%s\", \"dict\": %b, \"calls\": %d, \"msgs\": %d, \"bytes\": %d, \
+         \"bytes_per_call\": %.2f, \"dict_defines\": %d, \"dict_refs\": %d, \
+         \"lazy_args\": %d, \"args_decoded\": %d, \"sheds\": %d, \"completion_ms\": %.3f \
+         }%s\n"
+        (json_escape r.r_mode) r.r_dict r.r_calls r.r_msgs r.r_bytes
+        (float_of_int r.r_bytes /. float_of_int r.r_calls)
+        r.r_defines r.r_refs r.r_lazy r.r_forced r.r_sheds
+        (r.r_time *. 1e3)
+        (if i = n_e18 - 1 then "" else ","))
+    e18_rows;
   out "  ]\n";
   out "}\n";
   close_out oc
@@ -284,11 +342,47 @@ let assert_untraced_bytes_unchanged () =
     (Xdr.Pair (Xdr.Int 3, Xdr.Tagged ("o", Xdr.Unit)))
     (W.send_ok_item ~seq:3 ~trace:None)
 
+(* E12 golden gate: the experiments never enable the connection
+   dictionary, so their wire must be digit-for-digit the pre-dictionary
+   tables — any drift means the dictionary-off path changed bytes. *)
+let e12_goldens =
+  [
+    ("RPC", false, 1600, 68098);
+    ("RPC", true, 801, 51319);
+    ("stream B=16", false, 100, 14833);
+    ("stream B=16", true, 52, 13361);
+    ("send B=16", false, 100, 14096);
+    ("send B=16", true, 52, 12624);
+    ("stream adaptive", false, 48, 13077);
+    ("stream adaptive", true, 29, 12520);
+  ]
+
+let assert_e12_goldens rows =
+  List.iter
+    (fun (mode, piggyback, msgs, bytes) ->
+      match
+        List.find_opt
+          (fun (r : Workloads.Exp_wire.row) ->
+            r.r_mode = mode && r.r_piggyback = piggyback)
+          rows
+      with
+      | Some r when r.r_msgs = msgs && r.r_bytes = bytes -> ()
+      | Some r ->
+          failwith
+            (Printf.sprintf
+               "dictionary-off wire regression: E12 %s piggyback=%b moved to %d msgs / %d B \
+                (golden: %d / %d)"
+               mode piggyback r.r_msgs r.r_bytes msgs bytes)
+      | None -> failwith (Printf.sprintf "E12 golden row missing: %s" mode))
+    e12_goldens
+
 let run_wire () =
   assert_untraced_bytes_unchanged ();
   let codec_rows = measure_ns wire_tests in
   let e12_rows = Workloads.Exp_wire.e12_rows () in
-  write_bench_wire_json ~codec_rows ~e12_rows "BENCH_wire.json";
+  assert_e12_goldens e12_rows;
+  let e18_rows = Workloads.Exp_dict.e18_rows () in
+  write_bench_wire_json ~codec_rows ~e12_rows ~e18_rows "BENCH_wire.json";
   let table_rows =
     List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) codec_rows
   in

@@ -43,26 +43,58 @@ let encode_ack e (a : ack_entry) =
   B.add_varint e a.a_upto;
   B.add_uvarint e a.a_pressure
 
+(* One pooled encoder per frame: the whole batch — envelope, acks and
+   every item — shares a buffer and intern table, so a multi-item
+   flush costs one encoder, not one per item. *)
+let encode_packet_body e p =
+  match p with
+  | Data { key; first_seq; acks; items } ->
+      B.add_byte e 1;
+      encode_key e key;
+      B.add_uvarint e first_seq;
+      B.add_uvarint e (List.length acks);
+      List.iter (encode_ack e) acks;
+      B.add_uvarint e (List.length items);
+      List.iter (B.add_value e) items
+  | Ack { acks } ->
+      B.add_byte e 2;
+      B.add_uvarint e (List.length acks);
+      List.iter (encode_ack e) acks
+  | Reset { key; reason } ->
+      B.add_byte e 3;
+      encode_key e key;
+      B.add_raw_string e reason
+
 let encode_packet p =
   B.with_encoder (fun e ->
       B.add_byte e B.version;
-      (match p with
-      | Data { key; first_seq; acks; items } ->
-          B.add_byte e 1;
-          encode_key e key;
-          B.add_uvarint e first_seq;
-          B.add_uvarint e (List.length acks);
-          List.iter (encode_ack e) acks;
-          B.add_uvarint e (List.length items);
-          List.iter (B.add_value e) items
-      | Ack { acks } ->
-          B.add_byte e 2;
-          B.add_uvarint e (List.length acks);
-          List.iter (encode_ack e) acks
-      | Reset { key; reason } ->
-          B.add_byte e 3;
-          encode_key e key;
-          B.add_raw_string e reason);
+      encode_packet_body e p;
+      B.contents e)
+
+(* v2 frames: same packet grammar, but the header carries the
+   dictionary epoch and every interned string uses the shifted marker
+   scheme (docs/WIRE.md §Connection dictionary). Only emitted to a
+   peer that answered our dict-hello. *)
+let dict_version = 2
+
+let encode_packet_dict dc p =
+  B.with_encoder (fun e ->
+      B.use_dict e dc;
+      B.add_byte e dict_version;
+      B.add_uvarint e (B.dict_epoch dc);
+      encode_packet_body e p;
+      B.contents e)
+
+(* Dictionary negotiation control frames, always v1-encoded: tag 4 is
+   hello (sender offers epoch), tag 5 welcome (receiver accepts). A
+   pre-dictionary peer answers a hello with a decode error on its own
+   side and never welcomes, so the sender keeps speaking v1 — old
+   peers see byte-identical Data frames. *)
+let encode_dict_ctrl ~tag ~epoch =
+  B.with_encoder (fun e ->
+      B.add_byte e B.version;
+      B.add_byte e tag;
+      B.add_uvarint e epoch;
       B.contents e)
 
 let ( let* ) = Result.bind
@@ -215,11 +247,15 @@ type out_chan = {
   o_waiters : unit S.waker Queue.t;  (* fibers parked in await_window *)
 }
 
+and deliver =
+  | Deliver_values of (Xdr.value list -> unit)
+  | Deliver_views of (Xdr.View.t list -> unit)
+
 and in_chan = {
   i_hub : hub;
   i_key : key;
   mutable i_expected : int;
-  mutable i_deliver : (Xdr.value list -> unit) option;
+  mutable i_deliver : deliver option;
   mutable i_pressure : (unit -> int) option;  (* receiver queue-depth probe for acks *)
   mutable i_broken : string option;
   mutable i_on_break : (string -> unit) list;
@@ -230,15 +266,24 @@ and pending_acks = {
   mutable p_armed : bool;  (* delayed standalone-Ack timer pending *)
 }
 
+and out_dict = {
+  od_dict : B.dict;
+  mutable od_on : bool;  (* peer welcomed the current epoch: emit v2 *)
+  mutable od_helloed : bool;  (* hello sent for the current epoch *)
+}
+
 and hub = {
   h_tr : Transport.t;
   h_sched : S.t;
   h_ack_delay : float;
+  h_dict : bool;  (* offer the connection dictionary to peers *)
   h_outs : (key, out_chan) Hashtbl.t;
   h_ins : (key, in_chan) Hashtbl.t;
   h_acceptors : (string, in_chan -> unit) Hashtbl.t;
   h_dead : (key, string) Hashtbl.t;
   h_pending : (Net.address, pending_acks) Hashtbl.t;
+  h_dict_out : (Net.address, out_dict) Hashtbl.t;  (* sender state per peer *)
+  h_dict_in : (Net.address, int * B.dict_table) Hashtbl.t;  (* (epoch, table) per peer *)
   mutable h_next_idx : int;
 }
 
@@ -271,7 +316,9 @@ let in_key i = i.i_key
 
 let in_src i = i.i_key.src
 
-let set_deliver i f = i.i_deliver <- Some f
+let set_deliver i f = i.i_deliver <- Some (Deliver_values f)
+
+let set_deliver_views i f = i.i_deliver <- Some (Deliver_views f)
 
 let set_pressure i f = i.i_pressure <- Some f
 
@@ -310,8 +357,57 @@ let span_items hub kind ?note items =
         | None -> ())
       items
 
+(* Receive-path twin of [span_items]: the trace id is projected out of
+   the slice without materialising the item. *)
+let span_views hub kind ?note items =
+  let spans = S.spans hub.h_sched in
+  if Sim.Span.enabled spans then
+    List.iter
+      (fun vw ->
+        match Wire.item_trace_view vw with
+        | Some tid ->
+            Sim.Span.record spans ~time:(S.now hub.h_sched) ~kind ~trace:tid
+              ~node:hub.h_tr.Transport.addr ?note ()
+        | None -> ())
+      items
+
+(* Sender dictionary state for [dst]; created lazily on first use.
+   Dictionaries need cross-frame agreement, so hubs only offer them on
+   a reliable transport (see {!Transport.t.reliable}) — [h_dict]
+   already folds that in. *)
+let dict_out hub dst =
+  if not hub.h_dict then None
+  else
+    match Hashtbl.find_opt hub.h_dict_out dst with
+    | Some od -> Some od
+    | None ->
+        let od = { od_dict = B.create_dict (); od_on = false; od_helloed = false } in
+        Hashtbl.replace hub.h_dict_out dst od;
+        Some od
+
 let transmit hub ~dst packet =
-  let frame = encode_packet packet in
+  let frame =
+    match dict_out hub dst with
+    | None -> encode_packet packet
+    | Some od ->
+        if not od.od_helloed then begin
+          (* Offer once per epoch, ahead of the first frame so the
+             welcome can only refer to state the peer has seen. *)
+          od.od_helloed <- true;
+          Sim.Stats.incr (hub_counter hub "chan_dict_hellos");
+          let hf = encode_dict_ctrl ~tag:4 ~epoch:(B.dict_epoch od.od_dict) in
+          Sim.Stats.add (hub_counter hub "chan_wire_bytes") (String.length hf);
+          hub.h_tr.Transport.send ~dst hf
+        end;
+        if od.od_on then begin
+          let d0 = B.dict_defines od.od_dict and r0 = B.dict_refs od.od_dict in
+          let f = encode_packet_dict od.od_dict packet in
+          Sim.Stats.add (hub_counter hub "chan_dict_defines") (B.dict_defines od.od_dict - d0);
+          Sim.Stats.add (hub_counter hub "chan_dict_refs") (B.dict_refs od.od_dict - r0);
+          f
+        end
+        else encode_packet packet
+  in
   let bytes = String.length frame in
   Sim.Stats.add (hub_counter hub "chan_wire_bytes") bytes;
   (match packet with
@@ -633,6 +729,18 @@ let break_in i ~reason =
   end;
   mark_in_broken i reason
 
+(* Items arrive as validated views; a value-based consumer gets them
+   materialised here, a view-based one (the zero-copy target/stream
+   paths) receives the slices untouched. Materialisation of a
+   scan-validated slice cannot fail — [filter_map] only guards against
+   memory corruption. *)
+let deliver_fresh i fresh =
+  match i.i_deliver with
+  | Some (Deliver_views f) -> f fresh
+  | Some (Deliver_values f) ->
+      f (List.filter_map (fun vw -> Result.to_option (Xdr.View.materialize vw)) fresh)
+  | None -> ()
+
 let handle_data hub ~key ~first_seq ~items =
   match Hashtbl.find_opt hub.h_dead key with
   | Some reason ->
@@ -678,10 +786,8 @@ let handle_data hub ~key ~first_seq ~items =
             let fresh = if skip >= count then [] else List.filteri (fun idx _ -> idx >= skip) items in
             if fresh <> [] then begin
               i.i_expected <- i.i_expected + List.length fresh;
-              span_items hub Sim.Span.Deliver ~note:(Printf.sprintf "from n%d" key.src) fresh;
-              match i.i_deliver with
-              | Some f -> f fresh
-              | None -> ()
+              span_views hub Sim.Span.Deliver ~note:(Printf.sprintf "from n%d" key.src) fresh;
+              deliver_fresh i fresh
             end;
             post_ack hub ~dst:key.src ~key ~upto:(i.i_expected - 1)
               ~pressure:(probe_pressure i)
@@ -708,17 +814,97 @@ let handle_acks hub acks =
       | None -> ())
     acks
 
-let receive hub ~src:_ frame =
-  match decode_packet frame with
+(* Inbound frames, decoded lazily: Data items become views, not trees.
+   The variant is internal — the public {!decode_packet} (v1, fully
+   materialised) is unchanged for tools and tests. *)
+type inbound =
+  | I_data of { key : key; first_seq : int; acks : ack_entry list; items : Xdr.View.t list }
+  | I_ack of ack_entry list
+  | I_reset of { key : key; reason : string }
+  | I_hello of int  (* peer offers its dictionary, payload = epoch *)
+  | I_welcome of int  (* peer accepted ours *)
+
+(* Receiver dictionary table for [(src, epoch)]; an epoch change swaps
+   in a fresh table (views over old frames keep the old one alive). *)
+let dict_in hub src epoch =
+  match Hashtbl.find_opt hub.h_dict_in src with
+  | Some (e, dt) when e = epoch -> dt
+  | _ ->
+      let dt = B.create_dict_table () in
+      Hashtbl.replace hub.h_dict_in src (epoch, dt);
+      dt
+
+let decode_inbound hub ~src frame =
+  let d = B.decoder frame in
+  let* v = B.read_byte d in
+  let* () =
+    if v = B.version then Ok ()
+    else if v = dict_version then
+      let* epoch = B.read_uvarint d in
+      Ok (B.use_dict_table d (dict_in hub src epoch))
+    else Error (Printf.sprintf "unsupported wire version %d" v)
+  in
+  let* tag = B.read_byte d in
+  let* p =
+    match tag with
+    | 1 ->
+        let* key = decode_key d in
+        let* first_seq = B.read_uvarint d in
+        let* acks = decode_acks d in
+        let* n = B.read_uvarint d in
+        if n < 0 || n > B.remaining d then Error "item count overruns input"
+        else
+          let rec go k acc =
+            if k = 0 then Ok (List.rev acc)
+            else
+              let* item = Xdr.View.read d in
+              go (k - 1) (item :: acc)
+          in
+          let* items = go n [] in
+          Ok (I_data { key; first_seq; acks; items })
+    | 2 ->
+        let* acks = decode_acks d in
+        Ok (I_ack acks)
+    | 3 ->
+        let* key = decode_key d in
+        let* reason = B.read_raw_string d in
+        Ok (I_reset { key; reason })
+    | 4 ->
+        let* epoch = B.read_uvarint d in
+        Ok (I_hello epoch)
+    | 5 ->
+        let* epoch = B.read_uvarint d in
+        Ok (I_welcome epoch)
+    | t -> Error (Printf.sprintf "unknown packet tag %d" t)
+  in
+  let* () = B.expect_end d in
+  Ok p
+
+let receive hub ~src frame =
+  match decode_inbound hub ~src frame with
   | Error _ ->
       (* Corrupt frame: drop it; go-back-n retransmission recovers. *)
       Sim.Stats.incr (hub_counter hub "chan_decode_errors")
-  | Ok (Data { key; first_seq; acks; items }) ->
+  | Ok (I_data { key; first_seq; acks; items }) ->
       (* Acks ride in front of the data they share a packet with. *)
       handle_acks hub acks;
       handle_data hub ~key ~first_seq ~items
-  | Ok (Ack { acks }) -> handle_acks hub acks
-  | Ok (Reset { key; reason }) -> handle_reset hub ~key ~reason
+  | Ok (I_ack acks) -> handle_acks hub acks
+  | Ok (I_reset { key; reason }) -> handle_reset hub ~key ~reason
+  | Ok (I_hello epoch) ->
+      (* Any hub can decode v2 frames; accepting costs one table. *)
+      ignore (dict_in hub src epoch : B.dict_table);
+      let f = encode_dict_ctrl ~tag:5 ~epoch in
+      Sim.Stats.add (hub_counter hub "chan_wire_bytes") (String.length f);
+      hub.h_tr.Transport.send ~dst:src f
+  | Ok (I_welcome epoch) -> (
+      match Hashtbl.find_opt hub.h_dict_out src with
+      | Some od when od.od_helloed && B.dict_epoch od.od_dict = epoch ->
+          if not od.od_on then begin
+            od.od_on <- true;
+            Sim.Stats.incr (hub_counter hub "chan_dict_negotiated")
+          end
+      | _ -> ())
 
 (* The transport told us every connection to [peer] is gone: break each
    channel touching it so supervision (stream restart + resubmit) takes
@@ -728,6 +914,17 @@ let receive hub ~src:_ frame =
    transports fire this; the simulated net has no connections. *)
 let peer_down hub ~peer ~reason =
   let reason = Printf.sprintf "connection to n%d lost: %s" peer reason in
+  (* Dictionary state is connection-scoped: the next incarnation must
+     start from an empty table on both ends, so reset (epoch bump) on
+     our sending side and drop the peer's receive table — resubmitted
+     calls then decode against a fresh dictionary. *)
+  (match Hashtbl.find_opt hub.h_dict_out peer with
+  | Some od ->
+      B.reset_dict od.od_dict;
+      od.od_on <- false;
+      od.od_helloed <- false
+  | None -> ());
+  Hashtbl.remove hub.h_dict_in peer;
   let outs =
     Hashtbl.fold (fun _ o acc -> if o.o_dst = peer then o :: acc else acc) hub.h_outs []
   in
@@ -746,17 +943,23 @@ let peer_down hub ~peer ~reason =
       mark_in_broken i reason)
     ins
 
-let create_hub_tr ?(ack_delay = 0.0) tr =
+let create_hub_tr ?(ack_delay = 0.0) ?(dict = false) tr =
   let hub =
     {
       h_tr = tr;
       h_sched = tr.Transport.sched;
       h_ack_delay = ack_delay;
+      (* Dictionary frames need every frame delivered exactly once and
+         in order; on an unreliable endpoint the request is dropped
+         rather than negotiated. *)
+      h_dict = dict && tr.Transport.reliable;
       h_outs = Hashtbl.create 16;
       h_ins = Hashtbl.create 16;
       h_acceptors = Hashtbl.create 16;
       h_dead = Hashtbl.create 16;
       h_pending = Hashtbl.create 4;
+      h_dict_out = Hashtbl.create 4;
+      h_dict_in = Hashtbl.create 4;
       h_next_idx = 0;
     }
   in
@@ -764,7 +967,8 @@ let create_hub_tr ?(ack_delay = 0.0) tr =
   tr.Transport.set_peer_watch (fun ~peer ~reason -> peer_down hub ~peer ~reason);
   hub
 
-let create_hub ?ack_delay net node = create_hub_tr ?ack_delay (Transport_sim.endpoint net node)
+let create_hub ?ack_delay ?dict net node =
+  create_hub_tr ?ack_delay ?dict (Transport_sim.endpoint net node)
 
 let on_connect hub ~label acceptor = Hashtbl.replace hub.h_acceptors label acceptor
 

@@ -132,7 +132,7 @@ val aimd_config : config
 
 (** {1 Hubs} *)
 
-val create_hub_tr : ?ack_delay:float -> Transport.t -> hub
+val create_hub_tr : ?ack_delay:float -> ?dict:bool -> Transport.t -> hub
 (** Create a hub on a transport endpoint (docs/TRANSPORT.md) and
     install it as the endpoint's receiver and peer watch. [ack_delay]
     (default [0.], i.e. disabled) holds acks back for that many seconds
@@ -142,9 +142,21 @@ val create_hub_tr : ?ack_delay:float -> Transport.t -> hub
     transport peer-down breaks every channel to or from that peer, with
     the incoming ends tombstoned exactly as a [Reset] would be — so a
     retransmit arriving over a fresh connection is refused rather than
-    resurrecting the old incarnation. *)
+    resurrecting the old incarnation.
 
-val create_hub : ?ack_delay:float -> frame Net.t -> Net.node -> hub
+    [dict] (default [false]) opts this hub's {e sending} side into the
+    per-connection interning dictionary (docs/WIRE.md §Connection
+    dictionary): strings recurring across frames to one peer are
+    promoted into a shared table and thereafter cost a short
+    reference. The feature is negotiated — a hello/welcome exchange
+    per peer — so a peer that predates it keeps receiving
+    byte-identical v1 frames; receiving v2 frames needs no opt-in.
+    Requires a {!Transport.t.reliable} endpoint (exactly-once, FIFO);
+    on an unreliable one the flag is ignored. A transport peer-down
+    resets the dictionary (epoch bump), so calls resubmitted after an
+    incarnation change decode against a fresh table. *)
+
+val create_hub : ?ack_delay:float -> ?dict:bool -> frame Net.t -> Net.node -> hub
 (** [create_hub net node] is
     [create_hub_tr (Transport_sim.endpoint net node)]: the hub for a
     simulated node, byte-identical to the pre-transport behavior. *)
@@ -159,8 +171,10 @@ val hub_sched : hub -> Sched.Scheduler.t
     [chan_data_packets], [chan_ack_packets], [chan_reset_packets],
     [chan_wire_bytes], [chan_items_sent], [chan_piggybacked_acks],
     [chan_standalone_acks], [chan_decode_errors],
-    [chan_window_cuts] — plus the [chan_rtt] summary of clean ack RTT
-    samples — and break events in its {!Sim.Trace}. *)
+    [chan_window_cuts], [chan_dict_hellos], [chan_dict_negotiated],
+    [chan_dict_defines], [chan_dict_refs] — plus the [chan_rtt]
+    summary of clean ack RTT samples — and break events in its
+    {!Sim.Trace}. *)
 
 val on_connect : hub -> label:string -> (in_chan -> unit) -> unit
 (** Register the acceptor for inbound channels labelled [label]. The
@@ -236,7 +250,17 @@ val set_deliver : in_chan -> (Xdr.value list -> unit) -> unit
 (** Install the in-order delivery callback. Each invocation passes the
     items of one arriving network message (so the receiver can charge
     per-message costs); concatenated across calls the items appear
-    exactly once, in send order. *)
+    exactly once, in send order. Items are materialised from their
+    frame slices for this callback; use {!set_deliver_views} for the
+    zero-copy path. *)
+
+val set_deliver_views : in_chan -> (Xdr.View.t list -> unit) -> unit
+(** Like {!set_deliver}, but items arrive as validated
+    {!Xdr.View.t} slices of the frame buffer — nothing is decoded
+    until the callback asks for it (docs/WIRE.md §Lazy views). The
+    views borrow frame state and are not domain-safe: materialise
+    before offloading. The last [set_deliver]/[set_deliver_views]
+    call wins. *)
 
 val in_key : in_chan -> key
 

@@ -130,17 +130,24 @@ let handle_break t reason =
     List.iter (fun f -> f reason) hooks
   end
 
+(* Replies arrive as lazy views: the cheap envelope scan yields the
+   seq, and the outcome bytes are only decoded when that seq is still
+   pending. Stale replies (after a break resolved everything, or a
+   resubmit raced a late original) cost an integer read, not a full
+   outcome materialisation. *)
 let deliver_replies t items =
   List.iter
-    (fun item ->
-      match Wire.parse_reply item with
-      | Ok (seq, outcome) ->
-          let was_pending = Hashtbl.mem t.pending seq in
-          complete t seq outcome;
-          if was_pending then
-            (* A reply made it back: the stream demonstrably works.
-               Supervisors use this to close their circuit breaker. *)
-            (match t.progress_hook with Some f -> f () | None -> ())
+    (fun vw ->
+      match Wire.parse_reply_view vw with
+      | Ok (seq, ovw) ->
+          if Hashtbl.mem t.pending seq then (
+            match Wire.outcome_of_view ovw with
+            | Ok outcome ->
+                complete t seq outcome;
+                (* A reply made it back: the stream demonstrably works.
+                   Supervisors use this to close their circuit breaker. *)
+                (match t.progress_hook with Some f -> f () | None -> ())
+            | Error _ -> handle_break t "malformed reply from receiver")
       | Error _ ->
           (* A malformed reply means our peer is garbage; break. *)
           handle_break t "malformed reply from receiver")
@@ -151,7 +158,7 @@ let deliver_replies t items =
 let attach t chan =
   let label = reply_label t in
   Chanhub.on_connect t.hub ~label (fun in_chan ->
-      Chanhub.set_deliver in_chan (fun items -> deliver_replies t items));
+      Chanhub.set_deliver_views in_chan (fun items -> deliver_replies t items));
   Chanhub.on_out_break chan (fun reason -> handle_break t reason);
   t.chan <- chan
 

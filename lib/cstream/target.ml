@@ -1,5 +1,15 @@
 module S = Sched.Scheduler
 
+(* A call's arguments ride the work queue still encoded whenever
+   nothing on the way to the handler needs their structure: dedup
+   replays, sheds and joins then never pay the decode. [Materialized]
+   appears when the shard router had to hash the first argument, or
+   once the handler is about to run. Views are bound to the arrival
+   frame's intern state and are not domain-safe, so an [Encoded]
+   payload is always forced on the scheduler's domain before dispatch
+   (which may hand the value to a worker domain). *)
+type lazy_args = Materialized of Xdr.value | Encoded of Xdr.View.t
+
 type work =
   | Overhead  (** one arriving network message: charge kernel overhead *)
   | Exec of {
@@ -8,7 +18,7 @@ type work =
       trace : int option;  (* causal trace id carried by the call item *)
       port : string;
       kind : Wire.kind;
-      args : Xdr.value;
+      args : lazy_args;
     }
 
 (* Cross-incarnation dedup cache entry, keyed by (stable stream id,
@@ -119,6 +129,20 @@ let span t ~kind ~trace ?stream ?call ?note () =
 (* Raise a counter to a new high-water mark (counters only add). *)
 let bump_hwm c v = if v > Sim.Stats.count c then Sim.Stats.add c (v - Sim.Stats.count c)
 
+let materialize_view t vw =
+  Sim.Stats.incr (counter t "target_args_materialized");
+  Xdr.View.materialize vw
+
+let force_args t = function
+  | Materialized v -> Ok v
+  | Encoded vw -> materialize_view t vw
+
+(* Whether any argument is a pipelined reference — answered on the
+   encoded bytes (a tag-byte scan) when the args are still lazy. *)
+let args_have_refs = function
+  | Materialized v -> Pipeline.has_refs v
+  | Encoded vw -> Xdr.View.has_prefs vw
+
 let flush_replies c = if Chanhub.out_broken c.c_reply = None then Chanhub.flush_out c.c_reply
 
 (* Tear down the connection without notifying the sender — used when
@@ -206,8 +230,19 @@ let remember t id outcome =
    with the corresponding abnormal outcome and [k] never runs. *)
 let resolve_refs c ~cid ~trace ~args ~reply k =
   let t = c.c_target in
-  if not (Pipeline.has_refs args) then k args
-  else begin
+  if not (args_have_refs args) then (
+    (* The hot path: nothing before the handler needed the decoded
+       structure, so it is forced only now, immediately before
+       dispatch — and on this (scheduler) domain, never a worker's. *)
+    match force_args t args with
+    | Ok v -> k v
+    | Error reason -> reply (Wire.W_failure ("malformed call arguments: " ^ reason)))
+  else
+    (* Enumerating and substituting refs needs the full value. *)
+    match force_args t args with
+    | Error reason -> reply (Wire.W_failure ("malformed call arguments: " ^ reason))
+    | Ok args ->
+    begin
     let fail reason =
       Sim.Stats.incr (counter t "ref_failures");
       reply (Wire.W_failure reason)
@@ -522,7 +557,7 @@ let accept t in_chan =
                   | None -> ())
               | Error _ -> ())
             items));
-  Chanhub.set_deliver in_chan (fun items ->
+  Chanhub.set_deliver_views in_chan (fun items ->
       if not c.c_broken then begin
         (* The cost model charges kernel overhead once per arriving
            network message; every lane the message feeds charges it
@@ -535,10 +570,27 @@ let accept t in_chan =
         List.iter
           (fun item ->
             if not c.c_broken then
-              match Wire.parse_call item with
-              | Ok (seq, cid, port, kind, args) ->
-                  let trace = Wire.item_trace item in
-                  let s = shard_of t ~port args in
+              match Wire.parse_call_view item with
+              | Ok cv -> (
+                  let seq = cv.Wire.cv_seq and cid = cv.Wire.cv_cid in
+                  let port = cv.Wire.cv_port and kind = cv.Wire.cv_kind in
+                  let trace = cv.Wire.cv_trace in
+                  (* The shard router hashes the first argument, so with
+                     several lanes the value is materialised here; on a
+                     single lane the arguments stay encoded and ride the
+                     work queue as a view. *)
+                  let routed =
+                    if t.t_shards = 1 then (
+                      Sim.Stats.incr (counter t "target_lazy_args");
+                      Ok (Encoded cv.Wire.cv_args, 0))
+                    else
+                      match materialize_view t cv.Wire.cv_args with
+                      | Ok v -> Ok (Materialized v, shard_of t ~port v)
+                      | Error reason -> Error reason
+                  in
+                  match routed with
+                  | Error reason -> break_conn c ~reason
+                  | Ok (args, s) ->
                   let lane = c.c_shards.(s) in
                   let shed =
                     (* Load-shedding (docs/OVERLOAD.md): a lane at its
@@ -553,7 +605,7 @@ let accept t in_chan =
                     match t.t_shed with
                     | Some hwm
                       when Sched.Bqueue.length lane.sh_work >= hwm
-                           && not (Wire.item_resubmit item) ->
+                           && not cv.Wire.cv_resubmit ->
                         true
                     | Some _ | None -> false
                   in
@@ -585,7 +637,7 @@ let accept t in_chan =
                     let mn = Array.fold_left min max_int t.t_dispatch_counts in
                     bump_hwm (counter t "shard_imbalance") (mx - mn)
                   end
-                  end
+                  end)
               | Error reason -> break_conn c ~reason)
           items
       end);

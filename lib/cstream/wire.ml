@@ -133,3 +133,89 @@ let item_trace = function
 let item_resubmit = function
   | Xdr.Record fields -> List.assoc_opt "r" fields <> None
   | _ -> false
+
+(* --- lazy (view-based) parsing ------------------------------------ *)
+
+(* The zero-copy receive path (docs/WIRE.md §Lazy views): envelope
+   fields are tiny and are materialised individually; the argument —
+   the only part that can be large — stays an un-decoded slice until a
+   handler actually consumes it. *)
+
+module V = Xdr.View
+
+type call_view = {
+  cv_seq : int;
+  cv_cid : int;
+  cv_port : string;
+  cv_kind : kind;
+  cv_args : V.t;
+  cv_trace : int option;
+  cv_resubmit : bool;
+}
+
+let parse_call_view vw =
+  match V.record_fields vw with
+  | Error e -> Error ("malformed call item: " ^ e)
+  | Ok fields -> (
+      let field name = List.assoc_opt name fields in
+      let int_field name =
+        match field name with
+        | Some f -> ( match V.as_int f with Ok i -> Some i | Error _ -> None)
+        | None -> None
+      in
+      let str_field name =
+        match field name with
+        | Some f -> ( match V.as_string f with Ok s -> Some s | Error _ -> None)
+        | None -> None
+      in
+      match (int_field "q", int_field "i", str_field "p", str_field "k", field "a") with
+      | Some seq, Some cid, Some port, Some k, Some args -> (
+          match kind_of_tag k with
+          | Ok kind ->
+              Ok
+                {
+                  cv_seq = seq;
+                  cv_cid = cid;
+                  cv_port = port;
+                  cv_kind = kind;
+                  cv_args = args;
+                  cv_trace = int_field "t";
+                  cv_resubmit = field "r" <> None;
+                }
+          | Error e -> Error e)
+      | _ -> Error "malformed call item: missing or mistyped envelope field")
+
+(* Reply parsing pulls only the sequence number out of the bytes; the
+   outcome slice is returned unmaterialised so stale replies (already
+   completed, e.g. after a resubmit race) cost no decode at all. *)
+let parse_reply_view vw =
+  match V.shape vw with
+  | V.Vpair -> (
+      match V.pair_parts vw with
+      | Error e -> Error ("malformed reply item: " ^ e)
+      | Ok (s, ov) -> (
+          match V.as_int s with
+          | Ok seq -> Ok (seq, ov)
+          | Error e -> Error ("malformed reply item: " ^ e)))
+  | V.Vrecord -> (
+      match V.record_fields vw with
+      | Error e -> Error ("malformed reply item: " ^ e)
+      | Ok fields -> (
+          match (List.assoc_opt "q" fields, List.assoc_opt "o" fields) with
+          | Some q, Some ov -> (
+              match V.as_int q with
+              | Ok seq -> Ok (seq, ov)
+              | Error e -> Error ("malformed reply item: " ^ e))
+          | _ -> Error "malformed reply item: missing q/o field"))
+  | _ -> Error "malformed reply item: not a pair or record"
+
+let outcome_of_view vw =
+  match V.materialize vw with Ok v -> outcome_of_value v | Error e -> Error e
+
+let item_trace_view vw =
+  match V.shape vw with
+  | V.Vrecord -> (
+      match V.record_field vw "t" with
+      | Ok (Some f) -> ( match V.as_int f with Ok tid -> Some tid | Error _ -> None)
+      | _ -> None)
+  | _ -> None

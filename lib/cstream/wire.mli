@@ -86,3 +86,35 @@ val item_trace : Xdr.value -> int option
 val item_resubmit : Xdr.value -> bool
 (** Whether a call item carries the resubmit marker. Total over
     arbitrary values; [false] for replies and malformed items. *)
+
+(** {1 Lazy (view-based) parsing}
+
+    The zero-copy receive path (docs/WIRE.md §Lazy views): the same
+    item grammars, parsed over {!Xdr.View.t} slices so the argument or
+    outcome payload is never decoded unless a consumer asks for it. *)
+
+(** A parsed call envelope whose argument is still an encoded slice. *)
+type call_view = {
+  cv_seq : int;
+  cv_cid : int;
+  cv_port : string;
+  cv_kind : kind;
+  cv_args : Xdr.View.t;
+  cv_trace : int option;
+  cv_resubmit : bool;
+}
+
+val parse_call_view : Xdr.View.t -> (call_view, string) result
+(** View counterpart of {!parse_call}: materialises only the small
+    envelope fields; [cv_args] stays lazy. *)
+
+val parse_reply_view : Xdr.View.t -> (int * Xdr.View.t, string) result
+(** View counterpart of {!parse_reply}: [(seq, outcome slice)]. The
+    outcome is left encoded so a stale reply costs no decode; pass it
+    to {!outcome_of_view} when the call is actually pending. *)
+
+val outcome_of_view : Xdr.View.t -> (routcome, string) result
+(** Materialise an outcome slice returned by {!parse_reply_view}. *)
+
+val item_trace_view : Xdr.View.t -> int option
+(** View counterpart of {!item_trace}; equally total. *)

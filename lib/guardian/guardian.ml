@@ -156,6 +156,8 @@ let create ?(pipeline_cache = 1024) ?(pipeline_bytes = max_int) hub ~name =
     groups = Hashtbl.create 8;
     g_pipeline =
       Pipeline.Registry.create ~cap:pipeline_cache ~max_bytes:pipeline_bytes
+        (* Xdr.Bin.size is a counting pass — no encode buffer is built
+           to price an outcome for the byte budget. *)
         ~bytes_of:(fun o -> Xdr.Bin.size (W.outcome_value o))
         ~on_evict:(fun ~bytes -> Sim.Stats.add bytes_evicted bytes)
         ();

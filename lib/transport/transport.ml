@@ -13,6 +13,7 @@ type t = {
   set_peer_watch : (peer:address -> reason:string -> unit) -> unit;
   recv_overhead : unit -> float;
   realtime : bool;
+  reliable : bool;
 }
 
 let account_send t bytes =

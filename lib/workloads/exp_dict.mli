@@ -1,0 +1,32 @@
+(** Experiment E18 — the zero-copy wire path: the per-connection
+    interning dictionary (bytes/call for repeated-string workloads) and
+    lazy frame views (arguments decoded only when a handler consumes
+    them; shed calls never decoded). See docs/WIRE.md. *)
+
+type row = {
+  r_mode : string;  (** "serve" or "shed" *)
+  r_dict : bool;  (** connection dictionary negotiated *)
+  r_calls : int;
+  r_time : float;  (** completion, simulated seconds *)
+  r_msgs : int;  (** network messages of any kind *)
+  r_bytes : int;  (** actual encoded bytes on the wire *)
+  r_defines : int;  (** strings promoted into dictionary slots *)
+  r_refs : int;  (** dictionary slot references emitted *)
+  r_lazy : int;  (** calls whose args arrived as an encoded view *)
+  r_forced : int;  (** argument views materialized into trees *)
+  r_sheds : int;  (** calls rejected [unavailable] by the receiver *)
+  r_unavail : int;  (** calls surfaced [unavailable] to the claimant *)
+  r_decode_errors : int;  (** frames a receiver could not decode *)
+}
+
+val run_one :
+  ?n:int -> mode:[ `Serve | `Shed ] -> dict:bool -> unit -> row
+(** One (workload, dictionary) cell. Raises [Failure] if a receiver
+    hit decode errors, or if [dict] was requested but never
+    negotiated. *)
+
+val e18_rows : ?n:int -> unit -> row list
+(** Every (mode × dict on/off) combination, [n] calls each (default
+    400). Used by the bench JSON emitter. *)
+
+val e18 : ?n:int -> unit -> Table.t

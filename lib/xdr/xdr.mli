@@ -178,8 +178,54 @@ module Bin : sig
   (** One-shot encode using the pool. *)
 
   val size : value -> int
-  (** Actual encoded byte count: encodes into a pooled buffer and
-      returns its length without materialising the string. *)
+  (** Actual encoded byte count (dictionary-off / v1 semantics),
+      computed by a counting-only mirror of the encoder — no buffer is
+      filled and nothing is allocated beyond a pooled intern table.
+      Always equals [String.length (to_string v)]. *)
+
+  (** {2 Connection dictionary}
+
+      A sender-owned string table that persists across the frames of
+      one connection. Strings recurring across frames are promoted
+      (dict-define on second sighting) and thereafter cost a 2–3 byte
+      shared-slot reference. Attaching a dictionary switches the
+      encoder to the v2 string-marker scheme — both ends must agree,
+      which {!Cstream.Chanhub} negotiates per connection. [reset_dict]
+      bumps the epoch (sent in every v2 frame header) so receivers
+      discard stale state after an incarnation change. *)
+
+  type dict
+
+  val create_dict : ?cap:int -> unit -> dict
+  (** [cap] bounds the number of promoted entries (default 1024). *)
+
+  val reset_dict : dict -> unit
+  (** Forget all promotions and bump the epoch. *)
+
+  val dict_epoch : dict -> int
+
+  val dict_size : dict -> int
+  (** Currently promoted entry count. *)
+
+  val dict_defines : dict -> int
+  (** Lifetime promotion count (across resets). *)
+
+  val dict_refs : dict -> int
+  (** Lifetime shared-slot reference count (across resets). *)
+
+  val use_dict : encoder -> dict -> unit
+  (** Attach for the current frame. [reset] (and hence
+      {!with_encoder}) detaches, so a pooled encoder never leaks a
+      dictionary into an unrelated frame. *)
+
+  type dict_table
+  (** Receiver half: an append-only table fed by dict-defines. Keep one
+      per (peer, epoch); on an epoch change, swap in a fresh table —
+      never clear in place, so views over old frames stay valid. *)
+
+  val create_dict_table : unit -> dict_table
+
+  val dict_table_size : dict_table -> int
 
   (** {2 Decoding}
 
@@ -201,6 +247,11 @@ module Bin : sig
 
   val read_varint : decoder -> (int, string) result
 
+  val use_dict_table : decoder -> dict_table -> unit
+  (** Switch this decoder to the v2 string-marker scheme, resolving and
+      feeding the given connection table. Must mirror the sender's
+      {!use_dict} decision frame-for-frame. *)
+
   val read_string : decoder -> (string, string) result
   (** Interned reference (shares the decoder's growing table). *)
 
@@ -212,4 +263,78 @@ module Bin : sig
 
   val of_string : string -> (value, string) result
   (** Decode exactly one value; trailing bytes are an error. *)
+end
+
+(** {1 Lazy frame views}
+
+    Zero-copy read path over {!Bin}-encoded bytes. {!View.read} scans
+    one value — full structural validation, cursor left after it — but
+    allocates no value tree; the result is a slice that can be
+    navigated (pair/list/record/tagged sub-views, one-field
+    projection) or materialised into a {!value} only where a consumer
+    actually needs the data. Envelope parsing, routing and
+    [pipe_field] projection touch a few bytes of a large frame instead
+    of decoding all of it.
+
+    Views borrow their frame's buffer and mutable intern tables: they
+    are cheap, but not safe to share across domains — call
+    {!View.materialize} before handing data to a worker pool. *)
+module View : sig
+  type t
+
+  type shape =
+    | Vunit
+    | Vbool
+    | Vint
+    | Vreal
+    | Vstr
+    | Vpair
+    | Vlist
+    | Vrecord
+    | Vtagged
+    | Vpref
+
+  val read : Bin.decoder -> (t, string) result
+  (** Scan and validate one value where the cursor stands; on success
+      the cursor is past it and the slice is captured. Works with or
+      without a connection dictionary attached to the decoder. *)
+
+  val of_string : string -> (t, string) result
+  (** View over a standalone encoding (trailing bytes are an error). *)
+
+  val byte_length : t -> int
+  (** Encoded size of the slice in bytes. *)
+
+  val shape : t -> shape
+  (** Top-level constructor, from the head tag byte alone. *)
+
+  val materialize : t -> (value, string) result
+  (** Decode the whole slice into a tree. A scan-validated slice only
+      fails here if the process memory was corrupted — treat [Error]
+      as a bug, not as input garbage. *)
+
+  val as_int : t -> (int, string) result
+
+  val as_string : t -> (string, string) result
+
+  val pair_parts : t -> (t * t, string) result
+
+  val list_items : t -> (t list, string) result
+
+  val list_item : t -> int -> (t option, string) result
+  (** One-item projection: items before index [i] are skipped by
+      structure, items after it never scanned. [Ok None] when the list
+      is shorter than [i + 1]. *)
+
+  val record_fields : t -> ((string * t) list, string) result
+
+  val record_field : t -> string -> (t option, string) result
+  (** One-field projection: earlier fields are skipped by structure,
+      later fields never scanned. [Ok None] when the field is absent. *)
+
+  val tagged_parts : t -> (string * t, string) result
+
+  val has_prefs : t -> bool
+  (** Whether the slice contains any {!Pref}. A byte-level pre-filter
+      makes the common pref-free case O(memchr). *)
 end

@@ -492,6 +492,265 @@ let test_stream_call_window_preserves_order () =
   check Alcotest.int "nothing lost or duplicated" 30 (List.length executed)
 
 (* ------------------------------------------------------------------ *)
+(* Lazy views (docs/WIRE.md §Lazy views): a scan-validated slice must
+   be interchangeable with the tree it covers. *)
+
+let prop_view_materialize_equiv =
+  QCheck.Test.make ~name:"materialize (view (encode v)) = v" ~count:500 arb_value (fun v ->
+      match Xdr.View.of_string (B.to_string v) with
+      | Error e -> QCheck.Test.fail_reportf "scan failed: %s" e
+      | Ok vw -> (
+          match Xdr.View.materialize vw with
+          | Ok v' -> Xdr.equal_value v v'
+          | Error e -> QCheck.Test.fail_reportf "materialize failed: %s" e))
+
+let prop_view_navigation_equiv =
+  QCheck.Test.make ~name:"view slicing = tree navigation" ~count:300 arb_value (fun v ->
+      match Xdr.View.of_string (B.to_string v) with
+      | Error e -> QCheck.Test.fail_reportf "scan failed: %s" e
+      | Ok vw -> (
+          let mat sub =
+            match Xdr.View.materialize sub with
+            | Ok x -> x
+            | Error e -> QCheck.Test.fail_reportf "materialize failed: %s" e
+          in
+          match v with
+          | Xdr.Pair (a, b) -> (
+              match Xdr.View.pair_parts vw with
+              | Ok (va, vb) -> Xdr.equal_value a (mat va) && Xdr.equal_value b (mat vb)
+              | Error e -> QCheck.Test.fail_reportf "pair_parts: %s" e)
+          | Xdr.List items -> (
+              match (Xdr.View.list_items vw, Xdr.View.list_item vw (List.length items)) with
+              | Ok subs, Ok None ->
+                  List.length subs = List.length items
+                  && List.for_all2 (fun x s -> Xdr.equal_value x (mat s)) items subs
+                  && (items = []
+                     ||
+                     let k = List.length items / 2 in
+                     match Xdr.View.list_item vw k with
+                     | Ok (Some s) -> Xdr.equal_value (List.nth items k) (mat s)
+                     | _ -> false)
+              | _ -> false)
+          | Xdr.Record fields -> (
+              match Xdr.View.record_fields vw with
+              | Ok subs ->
+                  List.length subs = List.length fields
+                  && List.for_all2
+                       (fun (n, x) (n', s) -> String.equal n n' && Xdr.equal_value x (mat s))
+                       fields subs
+                  && (fields = []
+                     ||
+                     (* both sides resolve a duplicate name to its first
+                        occurrence *)
+                     let n, _ = List.hd fields in
+                     match Xdr.View.record_field vw n with
+                     | Ok (Some s) -> Xdr.equal_value (List.assoc n fields) (mat s)
+                     | _ -> false)
+              | Error e -> QCheck.Test.fail_reportf "record_fields: %s" e)
+          | Xdr.Tagged (t, inner) -> (
+              match Xdr.View.tagged_parts vw with
+              | Ok (t', s) -> String.equal t t' && Xdr.equal_value inner (mat s)
+              | Error e -> QCheck.Test.fail_reportf "tagged_parts: %s" e)
+          | leaf -> Xdr.equal_value leaf (mat vw)))
+
+let rec tree_has_prefs = function
+  | Xdr.Pref _ -> true
+  | Xdr.Pair (a, b) -> tree_has_prefs a || tree_has_prefs b
+  | Xdr.List vs -> List.exists tree_has_prefs vs
+  | Xdr.Record fs -> List.exists (fun (_, x) -> tree_has_prefs x) fs
+  | Xdr.Tagged (_, x) -> tree_has_prefs x
+  | Xdr.Unit | Xdr.Bool _ | Xdr.Int _ | Xdr.Real _ | Xdr.Str _ -> false
+
+let prop_has_prefs_matches_tree =
+  QCheck.Test.make ~name:"View.has_prefs = tree walk" ~count:300 arb_value (fun v ->
+      match Xdr.View.of_string (B.to_string v) with
+      | Error e -> QCheck.Test.fail_reportf "scan failed: %s" e
+      | Ok vw -> Bool.equal (Xdr.View.has_prefs vw) (tree_has_prefs v))
+
+let view_of v =
+  match Xdr.View.of_string (B.to_string v) with
+  | Ok vw -> vw
+  | Error e -> Alcotest.failf "view scan failed: %s" e
+
+let materialize_ok vw =
+  match Xdr.View.materialize vw with Ok v -> v | Error e -> Alcotest.failf "materialize: %s" e
+
+let test_view_projection_units () =
+  let l = Xdr.List [ Xdr.Int 10; Xdr.Str "x"; Xdr.Real 2.5 ] in
+  let lw = view_of l in
+  (match Xdr.View.list_item lw 1 with
+  | Ok (Some it) -> check Alcotest.bool "item 1" true (Xdr.equal_value (Xdr.Str "x") (materialize_ok it))
+  | _ -> Alcotest.fail "list_item 1 missing");
+  (match Xdr.View.list_item lw 3 with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "index past the end must be Ok None");
+  (match Xdr.View.list_item lw (-1) with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "negative index must be an error");
+  let r = Xdr.Record [ ("a", Xdr.Int 1); ("b", Xdr.Str "bee") ] in
+  let rw = view_of r in
+  (match Xdr.View.record_field rw "b" with
+  | Ok (Some f) -> check Alcotest.bool "field b" true (Xdr.equal_value (Xdr.Str "bee") (materialize_ok f))
+  | _ -> Alcotest.fail "record_field b missing");
+  (match Xdr.View.record_field rw "zz" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "absent field must be Ok None");
+  (* Pipeline's one-field projection rides the same slicing. *)
+  (match Pipeline.project_view ~field:(Some "b") rw with
+  | Ok v -> check Alcotest.bool "project_view field" true (Xdr.equal_value (Xdr.Str "bee") v)
+  | Error e -> Alcotest.fail e);
+  (match Pipeline.project_view ~field:None rw with
+  | Ok v -> check Alcotest.bool "project_view whole" true (Xdr.equal_value r v)
+  | Error e -> Alcotest.fail e);
+  match Pipeline.project_view ~field:(Some "b") lw with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "field projection of a non-record must be an error"
+
+(* ------------------------------------------------------------------ *)
+(* Connection dictionary (docs/WIRE.md §Connection dictionary) *)
+
+let dict_frame dict v =
+  B.with_encoder (fun e ->
+      B.use_dict e dict;
+      B.add_value e v;
+      B.contents e)
+
+let dict_decode dt s =
+  let d = B.decoder s in
+  B.use_dict_table d dt;
+  match B.read_value d with
+  | Error _ as e -> e
+  | Ok v -> ( match B.expect_end d with Ok () -> Ok v | Error _ as e -> e)
+
+let prop_dict_cross_frame_roundtrip =
+  (* One dictionary, one table, a sequence of frames: every frame must
+     decode back to its value, in order — defines land in the shared
+     table exactly once and later refs resolve against it. *)
+  QCheck.Test.make ~name:"dict frames roundtrip in sequence" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 5) arb_value)
+    (fun vs ->
+      let dict = B.create_dict () in
+      let frames = List.map (dict_frame dict) vs in
+      let dt = B.create_dict_table () in
+      List.for_all2
+        (fun v s ->
+          match dict_decode dt s with
+          | Ok v' -> Xdr.equal_value v v'
+          | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+        vs frames)
+
+let prop_dict_view_cross_frame =
+  (* Same, through views: scan every frame first (defines feed the
+     shared table during the scan), materialize afterwards — and twice,
+     because replays of an already-scanned slice must not re-append to
+     the connection table. *)
+  QCheck.Test.make ~name:"dict frames: scan all, then materialize = originals" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 5) arb_value)
+    (fun vs ->
+      let dict = B.create_dict () in
+      let frames = List.map (dict_frame dict) vs in
+      let dt = B.create_dict_table () in
+      let views =
+        List.map
+          (fun s ->
+            let d = B.decoder s in
+            B.use_dict_table d dt;
+            match Xdr.View.read d with
+            | Ok vw -> vw
+            | Error e -> QCheck.Test.fail_reportf "scan failed: %s" e)
+          frames
+      in
+      List.for_all2
+        (fun v vw ->
+          match (Xdr.View.materialize vw, Xdr.View.materialize vw) with
+          | Ok a, Ok b -> Xdr.equal_value v a && Xdr.equal_value v b
+          | _ -> false)
+        vs views)
+
+let test_dict_compresses_across_frames () =
+  let frame i = Xdr.Record [ ("host", Xdr.Str "shard-host-03.internal"); ("seq", Xdr.Int i) ] in
+  let frames = List.init 10 frame in
+  let plain = List.map B.to_string frames in
+  let dict = B.create_dict () in
+  let promoted = List.map (dict_frame dict) frames in
+  (* First sighting stays an inline define: frame 1 is byte-identical
+     to the dictionary-less encoding. *)
+  check Alcotest.string "first frame unchanged" (List.nth plain 0) (List.nth promoted 0);
+  let total l = List.fold_left (fun a s -> a + String.length s) 0 l in
+  check Alcotest.bool
+    (Printf.sprintf "promoted %dB < plain %dB" (total promoted) (total plain))
+    true
+    (total promoted < total plain);
+  check Alcotest.bool "strings were promoted" true (B.dict_defines dict > 0);
+  check Alcotest.bool "refs replaced re-sends" true (B.dict_refs dict > 0);
+  let dt = B.create_dict_table () in
+  List.iteri
+    (fun i s ->
+      match dict_decode dt s with
+      | Ok v -> check Alcotest.bool "frame decodes" true (Xdr.equal_value (frame i) v)
+      | Error e -> Alcotest.failf "frame %d failed: %s" i e)
+    promoted
+
+let test_dict_reset_bumps_epoch_and_redefines () =
+  let dict = B.create_dict () in
+  let v = Xdr.Str "shard-host-01.internal" in
+  let f1 = dict_frame dict v in
+  let _f2 = dict_frame dict v in
+  let f3 = dict_frame dict v in
+  check Alcotest.bool "steady state is a short slot ref" true
+    (String.length f3 < String.length f1);
+  let e0 = B.dict_epoch dict in
+  B.reset_dict dict;
+  check Alcotest.bool "epoch bumped" true (B.dict_epoch dict > e0);
+  check Alcotest.int "promotions forgotten" 0 (B.dict_size dict);
+  (* The incarnation's first frame looks exactly like a fresh
+     connection's, and decodes against a fresh table. *)
+  let g1 = dict_frame dict v in
+  check Alcotest.string "first frame after reset re-defines" f1 g1;
+  let _g2 = dict_frame dict v in
+  let g3 = dict_frame dict v in
+  let dt = B.create_dict_table () in
+  List.iter
+    (fun s ->
+      match dict_decode dt s with
+      | Ok v' -> check Alcotest.bool "new-epoch frame decodes" true (Xdr.equal_value v v')
+      | Error e -> Alcotest.failf "new-epoch frame failed: %s" e)
+    [ g1; _g2; g3 ];
+  (* A stale ref frame against a fresh table must be refused, not
+     crash — this is why receivers swap tables on an epoch change. *)
+  match dict_decode (B.create_dict_table ()) f3 with
+  | Error _ -> ()
+  | Ok got -> Alcotest.failf "stale dict ref decoded as %a" Xdr.pp_value got
+
+(* ------------------------------------------------------------------ *)
+(* Golden wire bytes: with the dictionary off, every E12 cell must stay
+   digit-for-digit on the pre-dictionary numbers (the same table the
+   bench runner gates on before writing BENCH_wire.json). *)
+
+let e12_goldens =
+  [
+    ("RPC", false, 1600, 68098);
+    ("RPC", true, 801, 51319);
+    ("stream B=16", false, 100, 14833);
+    ("stream B=16", true, 52, 13361);
+    ("send B=16", false, 100, 14096);
+    ("send B=16", true, 52, 12624);
+    ("stream adaptive", false, 48, 13077);
+    ("stream adaptive", true, 29, 12520);
+  ]
+
+let test_e12_golden_bytes () =
+  let rows = Workloads.Exp_wire.e12_rows () in
+  check Alcotest.int "row count" (List.length e12_goldens) (List.length rows);
+  List.iter2
+    (fun (mode, pb, msgs, bytes) (r : Workloads.Exp_wire.row) ->
+      check Alcotest.string "mode" mode r.Workloads.Exp_wire.r_mode;
+      check Alcotest.bool (mode ^ " piggyback") pb r.Workloads.Exp_wire.r_piggyback;
+      check Alcotest.int (mode ^ " msgs") msgs r.Workloads.Exp_wire.r_msgs;
+      check Alcotest.int (mode ^ " bytes") bytes r.Workloads.Exp_wire.r_bytes)
+    e12_goldens rows
+
+(* ------------------------------------------------------------------ *)
 (* Satellite regressions: field-order tolerant parse, NaN equality *)
 
 let test_parse_call_field_order_insensitive () =
@@ -570,6 +829,23 @@ let () =
           Alcotest.test_case "window preserves call order" `Quick
             test_stream_call_window_preserves_order;
         ] );
+      ( "lazy views",
+        [
+          QCheck_alcotest.to_alcotest prop_view_materialize_equiv;
+          QCheck_alcotest.to_alcotest prop_view_navigation_equiv;
+          QCheck_alcotest.to_alcotest prop_has_prefs_matches_tree;
+          Alcotest.test_case "projection units" `Quick test_view_projection_units;
+        ] );
+      ( "connection dictionary",
+        [
+          QCheck_alcotest.to_alcotest prop_dict_cross_frame_roundtrip;
+          QCheck_alcotest.to_alcotest prop_dict_view_cross_frame;
+          Alcotest.test_case "compresses across frames" `Quick test_dict_compresses_across_frames;
+          Alcotest.test_case "reset bumps epoch and redefines" `Quick
+            test_dict_reset_bumps_epoch_and_redefines;
+        ] );
+      ( "golden wire",
+        [ Alcotest.test_case "E12 dictionary-off bytes" `Quick test_e12_golden_bytes ] );
       ( "satellites",
         [
           Alcotest.test_case "parse_call ignores field order" `Quick
