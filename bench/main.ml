@@ -462,13 +462,15 @@ let pipeline_tests =
       Test.make ~name:"registry await+record (parked)" (bench_registry_await_cycle ());
     ]
 
-let write_bench_pipeline_json ~subject_rows ~e13_rows path =
+let write_bench_pipeline_json ~subject_rows ~e13_rows ~e19_rows path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"pipeline\",\n";
   write_machine_stanza oc;
-  out "  \"units\": { \"subjects\": \"ns/op\", \"e13\": \"per chain\" },\n";
+  out
+    "  \"units\": { \"subjects\": \"ns/op\", \"e13\": \"per chain\", \"e19\": \"per \
+     delegation loop\" },\n";
   out "  \"subjects\": [\n";
   let n_subj = List.length subject_rows in
   List.iteri
@@ -489,6 +491,22 @@ let write_bench_pipeline_json ~subject_rows ~e13_rows path =
         r.r_pipelined r.r_substitutions
         (if i = n_rows - 1 then "" else ","))
     e13_rows;
+  out "  ],\n";
+  (* handoff vs proxy (E19): the third-party delegation A->B->C both
+     ways, on both backends; skipped TCP rows record ok=false *)
+  out "  \"e19\": [\n";
+  let n_e19 = List.length e19_rows in
+  List.iteri
+    (fun i (r : Workloads.Exp_handoff.row) ->
+      out
+        "    { \"mode\": \"%s\", \"backend\": \"%s\", \"calls\": %d, \"ok\": %b, \
+         \"completion_ms\": %.3f, \"msgs\": %d, \"bytes\": %d, \"forwards\": %d, \
+         \"fallbacks\": %d, \"dup_execs\": %d }%s\n"
+        (json_escape r.r_mode) (json_escape r.r_backend) r.r_calls r.r_ok
+        (if r.r_ok then r.r_time *. 1e3 else 0.0)
+        r.r_msgs r.r_bytes r.r_forwards r.r_fallbacks r.r_dup_execs
+        (if i = n_e19 - 1 then "" else ","))
+    e19_rows;
   out "  ]\n";
   out "}\n";
   close_out oc
@@ -496,7 +514,22 @@ let write_bench_pipeline_json ~subject_rows ~e13_rows path =
 let run_pipeline () =
   let subject_rows = measure_ns pipeline_tests in
   let e13_rows = Workloads.Exp_pipeline.e13_rows () in
-  write_bench_pipeline_json ~subject_rows ~e13_rows "BENCH_pipeline.json";
+  let e19_rows = Workloads.Exp_handoff.e19_rows () in
+  (* the acceptance inequality behind E19, asserted on every bench run:
+     handing off must strictly beat proxying on wire bytes *)
+  (let find mode =
+     List.find_opt
+       (fun (r : Workloads.Exp_handoff.row) -> r.r_mode = mode && r.r_backend = "sim")
+       e19_rows
+   in
+   match (find "proxy", find "handoff") with
+   | Some proxy, Some handoff ->
+       if handoff.r_bytes >= proxy.r_bytes then
+         failwith
+           (Printf.sprintf "E19 regression: handoff bytes %d >= proxy bytes %d"
+              handoff.r_bytes proxy.r_bytes)
+   | _ -> failwith "E19 regression: sim rows missing");
+  write_bench_pipeline_json ~subject_rows ~e13_rows ~e19_rows "BENCH_pipeline.json";
   let table_rows =
     List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns" ns ]) subject_rows
   in
@@ -839,8 +872,8 @@ let make_transport_tests () =
     let net = Net.create sched { Net.default_config with Net.wire_latency = 0.0 } in
     let cn = Net.add_node net ~name:"client" in
     let sn = Net.add_node net ~name:"server" in
-    let client_hub = Cstream.Chanhub.create_hub net cn in
-    let server = Argus.Guardian.create (Cstream.Chanhub.create_hub net sn) ~name:"server" in
+    let client_hub = Cstream.Chanhub.create_hub ~net:(net, cn) () in
+    let server = Argus.Guardian.create (Cstream.Chanhub.create_hub ~net:(net, sn) ()) ~name:"server" in
     Argus.Guardian.register_group server ~group:"main" ~config:transport_group_cfg ();
     Argus.Guardian.register server ~group:"main" Workloads.Fixtures.work_sig (fun _ctx n ->
         Ok (n + 1));
@@ -868,9 +901,9 @@ let make_transport_tests () =
       let fab = Tr.create sched in
       let client_tr = Tr.endpoint fab ~addr:0 ~name:"client" () in
       let server_tr = Tr.endpoint fab ~addr:1 ~name:"server" () in
-      let client_hub = Cstream.Chanhub.create_hub_tr client_tr in
+      let client_hub = Cstream.Chanhub.create_hub ~transport:client_tr () in
       let server =
-        Argus.Guardian.create (Cstream.Chanhub.create_hub_tr server_tr) ~name:"server"
+        Argus.Guardian.create (Cstream.Chanhub.create_hub ~transport:server_tr ()) ~name:"server"
       in
       Argus.Guardian.register_group server ~group:"main" ~config:transport_group_cfg ();
       Argus.Guardian.register server ~group:"main" Workloads.Fixtures.work_sig (fun _ctx n ->

@@ -36,14 +36,14 @@ let figure_3_1 () =
           List.map
             (fun s ->
               S.sleep w.W.g_sched produce_cost;
-              R.stream_call record_grade s)
+              R.Call.(submit (make record_grade s)))
             students
         in
         R.flush record_grade;
         List.iter2
           (fun (stu, _) avg_p ->
             let avg = P.claim_normal avg_p ~on_signal:(fun _ -> nan) in
-            R.stream_call_ print (Printf.sprintf "%s: %.1f" stu avg))
+            R.Call.(detach (make print (Printf.sprintf "%s: %.1f" stu avg))))
           students averages;
         match R.synch print with
         | Ok () -> ()
@@ -67,7 +67,7 @@ let figure_4_2 () =
             List.iter
               (fun (stu, g) ->
                 S.sleep w.W.g_sched produce_cost;
-                emit (stu, R.stream_call record_grade (stu, g)))
+                emit (stu, R.Call.(submit (make record_grade (stu, g)))))
               students;
             R.flush record_grade;
             match R.synch record_grade with
@@ -75,7 +75,7 @@ let figure_4_2 () =
             | Error _ -> failwith "cannot_record")
           ~consume:(fun (stu, avg_p) ->
             let avg = P.claim_normal avg_p ~on_signal:(fun _ -> nan) in
-            R.stream_call_ print (Printf.sprintf "%s: %.1f" stu avg))
+            R.Call.(detach (make print (Printf.sprintf "%s: %.1f" stu avg))))
           ();
         match R.synch print with
         | Ok () -> ()

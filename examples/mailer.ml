@@ -38,9 +38,9 @@ let () =
   let c1_node = Net.add_node net ~name:"c1" in
   let c2_node = Net.add_node net ~name:"c2" in
   let mailer_node = Net.add_node net ~name:"mailer" in
-  let c1_hub = Cstream.Chanhub.create_hub net c1_node in
-  let c2_hub = Cstream.Chanhub.create_hub net c2_node in
-  let mailer_hub = Cstream.Chanhub.create_hub net mailer_node in
+  let c1_hub = Cstream.Chanhub.create_hub ~net:(net, c1_node) () in
+  let c2_hub = Cstream.Chanhub.create_hub ~net:(net, c2_node) () in
+  let mailer_hub = Cstream.Chanhub.create_hub ~net:(net, mailer_node) () in
 
   (* The mailer guardian: mailboxes keyed by user. *)
   let mailer = G.create mailer_hub ~name:"mailer" in
@@ -72,8 +72,8 @@ let () =
          let read_mail = R.bind agent ~dst ~gid:"mail" read_mail_sig in
          Printf.printf "[%5.2f ms] C1: streaming send_mail(ben) then read_mail(ben)\n"
            (S.now sched *. 1e3);
-         let sent = R.stream_call send_mail ("ben", "lunch at noon?") in
-         let inbox = R.stream_call read_mail "ben" in
+         let sent = R.Call.(submit (make send_mail ("ben", "lunch at noon?"))) in
+         let inbox = R.Call.(submit (make read_mail "ben")) in
          R.flush read_mail;
          (match P.claim sent with
          | P.Normal () -> ()
@@ -86,7 +86,7 @@ let () =
          | P.Signal (No_such_user u) -> Printf.printf "C1: no such user %s\n" u
          | P.Unavailable r | P.Failure r -> Printf.printf "C1: %s\n" r);
          (* An unknown user signals the declared exception. *)
-         match R.rpc send_mail ("zeke", "hello?") with
+         match R.Call.(sync (make send_mail ("zeke", "hello?"))) with
          | P.Signal (No_such_user u) ->
              Printf.printf "[%5.2f ms] C1: mail to unknown user signalled no_such_user(%s)\n"
                (S.now sched *. 1e3) u
@@ -98,7 +98,7 @@ let () =
     (S.spawn sched ~name:"C2" (fun () ->
          let agent = Core.Agent.create c2_hub ~name:"c2-agent" () in
          let read_mail = R.bind agent ~dst ~gid:"mail" read_mail_sig in
-         match R.rpc read_mail "alice" with
+         match R.Call.(sync (make read_mail "alice")) with
          | P.Normal msgs ->
              Printf.printf "[%5.2f ms] C2: alice's mail (concurrent with C1): [%s]\n"
                (S.now sched *. 1e3) (String.concat "; " msgs)

@@ -31,8 +31,8 @@ let () =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = Cstream.Chanhub.create_hub net client_node in
-  let server_hub = Cstream.Chanhub.create_hub net server_node in
+  let client_hub = Cstream.Chanhub.create_hub ~net:(net, client_node) () in
+  let server_hub = Cstream.Chanhub.create_hub ~net:(net, server_node) () in
 
   (* 2. A guardian with one typed handler. The port group's behavior —
      reply buffering, ordering, duplicate suppression, sharding — is one
@@ -53,13 +53,13 @@ let () =
          let square = R.bind agent ~dst:(Net.address server_node) ~gid:"ops" square_sig in
 
          (* --- RPC: send now, wait for the outcome. --- *)
-         (match R.rpc square 12 with
+         (match R.Call.(sync (make square 12)) with
          | P.Normal v -> Printf.printf "[%.2f ms] rpc: square 12 = %d\n" (S.now sched *. 1e3) v
          | P.Signal (Too_big l) -> Printf.printf "rpc: signalled too_big(%d)\n" l
          | P.Unavailable r | P.Failure r -> Printf.printf "rpc failed: %s\n" r);
 
          (* --- Stream calls: fire off many, claim later. --- *)
-         let promises = List.init 10 (fun i -> R.stream_call square i) in
+         let promises = List.init 10 (fun i -> R.Call.(submit (make square i))) in
          Printf.printf "[%.2f ms] 10 stream calls issued; caller keeps running\n"
            (S.now sched *. 1e3);
          R.flush square;
@@ -76,7 +76,7 @@ let () =
            promises;
 
          (* --- A declared exception comes back typed. --- *)
-         (match R.rpc square 5000 with
+         (match R.Call.(sync (make square 5000)) with
          | P.Signal (Too_big limit) ->
              Printf.printf "[%.2f ms] square 5000 signalled too_big(limit=%d)\n"
                (S.now sched *. 1e3) limit
@@ -91,7 +91,7 @@ let () =
 
          (* --- Sends: result value discarded, errors via synch. --- *)
          for i = 1 to 5 do
-           R.send square i
+           R.Call.(detach (as_send (make square i)))
          done;
          (match R.synch square with
          | Ok () -> Printf.printf "[%.2f ms] synch: all sends completed normally\n"

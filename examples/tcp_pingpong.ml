@@ -71,7 +71,7 @@ let run_child ~listen_fd ~parent_sockaddr =
   let tr = T.endpoint fab ~addr:pong_addr ~name:"pong" () in
   T.listen_fd fab ~addr:pong_addr listen_fd;
   T.set_peer fab ~addr:parent_addr parent_sockaddr;
-  let hub = CH.create_hub_tr tr in
+  let hub = CH.create_hub ~transport:tr () in
   let pong = G.create hub ~name:"pong" in
   let execs : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let finished = ref None in
@@ -99,7 +99,7 @@ let run_child ~listen_fd ~parent_sockaddr =
          let violations = S.suspend sched (fun w -> finished := Some w) in
          let ag = Core.Agent.create hub ~name:"pong-done" ~config:chan_cfg () in
          let d = R.bind ag ~dst:parent_addr ~gid:"ctl" done_sig in
-         (match R.rpc d () with
+         (match R.Call.(sync (make d ())) with
          | P.Normal () -> ()
          | P.Signal _ | P.Unavailable _ | P.Failure _ ->
              print_endline "pong: done call failed");
@@ -119,7 +119,7 @@ let run_parent ~listen_fd ~pong_sockaddr ~child_pid =
   let tr = T.endpoint fab ~addr:parent_addr ~name:"ping" () in
   T.listen_fd fab ~addr:parent_addr listen_fd;
   T.set_peer fab ~addr:pong_addr pong_sockaddr;
-  let hub = CH.create_hub_tr tr in
+  let hub = CH.create_hub ~transport:tr () in
   (* the parent's own guardian: the child calls done() on it *)
   let ping = G.create hub ~name:"ping" in
   (* level-triggered: the done() call may beat the main fiber to the
@@ -141,8 +141,8 @@ let run_parent ~listen_fd ~pong_sockaddr ~child_pid =
             is on the wire before its argument exists. *)
          let chains =
            List.init n_chains (fun i ->
-               let first = R.stream_call h (2 * i) in
-               R.stream_call_p h (R.pipe first))
+               let first = R.Call.(submit (make h (2 * i))) in
+               R.Call.(submit (piped h (R.pipe first))))
          in
          R.flush h;
          if Sys.getenv_opt "PP_DEBUG" <> None then print_endline "ping: flushed";
@@ -166,7 +166,7 @@ let run_parent ~listen_fd ~pong_sockaddr ~child_pid =
          Printf.printf "ping: all %d pipelined chains claimed across the break\n%!" n_chains;
          let rep = R.bind ag ~dst:pong_addr ~gid:"main" report_sig in
          if Sys.getenv_opt "PP_DEBUG" <> None then print_endline "ping: sending report";
-         (match R.rpc rep (2 * n_chains) with
+         (match R.Call.(sync (make rep (2 * n_chains))) with
          | P.Normal 0 -> print_endline "pong reports: every call executed exactly once"
          | P.Normal v ->
              incr failures;

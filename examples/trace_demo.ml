@@ -31,8 +31,8 @@ let () =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = Cstream.Chanhub.create_hub net client_node in
-  let server_hub = Cstream.Chanhub.create_hub net server_node in
+  let client_hub = Cstream.Chanhub.create_hub ~net:(net, client_node) () in
+  let server_hub = Cstream.Chanhub.create_hub ~net:(net, server_node) () in
 
   (* The group executes unordered so a pipelined dependent can dispatch
      — and park — while its producer is still running. *)
@@ -51,14 +51,14 @@ let () =
          let step = R.bind agent ~dst:(Net.address server_node) ~gid:"steps" step_sig in
 
          (* A plain call: issue -> ... -> execute -> reply -> claim. *)
-         let p = R.stream_call step 10 in
+         let p = R.Call.(submit (make step 10)) in
          R.flush step;
          assert (P.claim p = P.Normal 11);
 
          (* A pipelined pair: the dependent call ships immediately with
             a promise reference and parks at the receiver. *)
-         let q1 = R.stream_call step 20 in
-         let q2 = R.stream_call_p step (R.pipe q1) in
+         let q1 = R.Call.(submit (make step 20)) in
+         let q2 = R.Call.(submit (piped step (R.pipe q1))) in
          R.flush step;
          assert (P.claim q2 = P.Normal 22);
 

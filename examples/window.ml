@@ -27,8 +27,8 @@ let () =
   let net = Net.create sched Net.default_config in
   let app_node = Net.add_node net ~name:"app" in
   let ws_node = Net.add_node net ~name:"window-system" in
-  let app_hub = Cstream.Chanhub.create_hub net app_node in
-  let ws_hub = Cstream.Chanhub.create_hub net ws_node in
+  let app_hub = Cstream.Chanhub.create_hub ~net:(net, app_node) () in
+  let ws_hub = Cstream.Chanhub.create_hub ~net:(net, ws_node) () in
 
   let ws = G.create ws_hub ~name:"window-system" in
   let next_window = ref 0 in
@@ -59,7 +59,7 @@ let () =
            R.bind agent ~dst:(Net.address ws_node) ~gid:"control" create_window_sig
          in
          let open_window title =
-           match R.rpc create_window title with
+           match R.Call.(sync (make create_window title)) with
            | P.Normal (puts_ref, color_ref) ->
                (R.bind_ref agent puts_ref puts_sig, R.bind_ref agent color_ref change_color_sig)
            | P.Signal _ | P.Unavailable _ | P.Failure _ -> failwith "create_window failed"
@@ -70,11 +70,11 @@ let () =
          (* Writes to the two windows go on different streams (different
             groups), so they interleave; writes to ONE window stay in
             order. *)
-         R.stream_call_ log_puts "booting";
-         R.stream_call_ chat_puts "hello from chat";
-         R.stream_call_ log_color "green";
-         R.stream_call_ log_puts "ready";
-         R.stream_call_ chat_puts "anyone here?";
+         R.Call.(detach (make log_puts "booting"));
+         R.Call.(detach (make chat_puts "hello from chat"));
+         R.Call.(detach (make log_color "green"));
+         R.Call.(detach (make log_puts "ready"));
+         R.Call.(detach (make chat_puts "anyone here?"));
          Core.Agent.flush_all agent;
          (* Wait for both windows to finish their work. *)
          (match R.synch log_puts with Ok () -> () | Error _ -> failwith "log window");

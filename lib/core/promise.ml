@@ -23,15 +23,47 @@ type ('a, 'e) t = {
   mutable origin : origin option;
   mutable trace : int option;
       (* causal trace id of the producing call (docs/TRACING.md) *)
+  mutable wire : Cstream.Wire.routcome option;
+      (* the producing call's outcome as it arrived on the wire, kept
+         apart from [state]: the typed state is a decode of this — or a
+         deferred-result marker when the reply was elided
+         (docs/HANDOFF.md) *)
+  mutable wire_hooks : (Cstream.Wire.routcome -> unit) list;  (* newest first *)
+  mutable home : Cstream.Stream_end.t option;
+      (* the stream the producing call went out on *)
+  mutable elided : bool;
+      (* the producer was asked to strip the normal result from its
+         reply: [state] never holds the real value, only the registry
+         at the producer does *)
 }
 
 exception Unavailable_exn of string
 
 exception Failure_exn of string
 
-let create sched = { sched; state = Blocked []; origin = None; trace = None }
+let create sched =
+  {
+    sched;
+    state = Blocked [];
+    origin = None;
+    trace = None;
+    wire = None;
+    wire_hooks = [];
+    home = None;
+    elided = false;
+  }
 
-let resolved sched outcome = { sched; state = Ready outcome; origin = None; trace = None }
+let resolved sched outcome =
+  {
+    sched;
+    state = Ready outcome;
+    origin = None;
+    trace = None;
+    wire = None;
+    wire_hooks = [];
+    home = None;
+    elided = false;
+  }
 
 let set_origin p origin =
   match p.origin with
@@ -43,6 +75,31 @@ let origin p = p.origin
 let set_trace p tid = p.trace <- Some tid
 
 let trace p = p.trace
+
+let set_home p se = p.home <- Some se
+
+let home p = p.home
+
+let set_elided p = p.elided <- true
+
+let elided p = p.elided
+
+let wire p = p.wire
+
+(* First arrival wins, like [resolve] — but duplicates are ignored
+   rather than rejected: a handoff fallback path may race the real
+   reply for the same call. *)
+let put_wire p w =
+  match p.wire with
+  | Some _ -> ()
+  | None ->
+      p.wire <- Some w;
+      let hooks = p.wire_hooks in
+      p.wire_hooks <- [];
+      List.iter (fun hook -> hook w) (List.rev hooks)
+
+let on_wire p hook =
+  match p.wire with Some w -> hook w | None -> p.wire_hooks <- hook :: p.wire_hooks
 
 (* The claim edge closes a traced call's timeline: the moment some
    fiber actually obtained the outcome. The claimant's node is not

@@ -126,3 +126,38 @@ val set_trace : ('a, 'e) t -> int -> unit
 
 val trace : ('a, 'e) t -> int option
 (** [None] for promises not born from a stream call. *)
+
+(** {1 Wire face (third-party handoff, docs/HANDOFF.md)}
+
+    A promise born from a stream call also keeps its producer's
+    {e wire-level} face: the raw {!Cstream.Wire.routcome} as it arrived
+    (the typed outcome above is its decode), the home stream the call
+    went out on, and whether the reply was elided. {!Remote.Call} uses
+    these to forward a pipelined result to the node that consumes it —
+    the claimant-side machinery never needs them. *)
+
+val set_home : ('a, 'e) t -> Cstream.Stream_end.t -> unit
+(** Stamp the stream the producing call went out on (done by {!Remote}
+    at issue). *)
+
+val home : ('a, 'e) t -> Cstream.Stream_end.t option
+(** [None] for promises not born from a stream call. *)
+
+val set_elided : ('a, 'e) t -> unit
+(** Mark the producer's reply as elided ({!Remote.Call.defer_result}):
+    the typed state will never hold the real value — only the
+    producer's registry does, reachable by handoff or redeem. *)
+
+val elided : ('a, 'e) t -> bool
+
+val put_wire : ('a, 'e) t -> Cstream.Wire.routcome -> unit
+(** Deposit the producer's wire outcome and fire {!on_wire} hooks in
+    registration order. Unlike {!resolve}, duplicates are silently
+    dropped (first wins) — a handoff fallback path may race the real
+    reply. *)
+
+val on_wire : ('a, 'e) t -> (Cstream.Wire.routcome -> unit) -> unit
+(** Run a callback when the wire outcome is known; immediately if it
+    already is. *)
+
+val wire : ('a, 'e) t -> Cstream.Wire.routcome option

@@ -35,32 +35,38 @@ let decode_outcome (hs : ('a, 'r, 'e) Sigs.hsig) (w : W.routcome) : ('r, 'e) Pro
 (* Put one already-encoded call on the stream: wounded-fiber check,
    stream-broken check. On success returns the stable call-id and the
    call's causal trace id, and [on_reply] will fire exactly once. *)
-let start_encoded h ~kind ~args ~on_reply =
+let start_encoded ?handoff ?elide h ~kind ~args ~on_reply =
   if S.wounded h.h_sched then
     (* "It cannot make any remote calls at such a point" (§4.2). *)
     raise S.Terminated;
-  match SE.call_traced h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply with
+  match
+    SE.call_traced ?handoff ?elide h.h_stream ~port:h.h_sig.Sigs.hname ~kind ~args ~on_reply
+  with
   | Ok ids -> ids
   | Error reason -> raise (Promise.Unavailable_exn reason)
 
 (* Shared front half of the typed call forms: encode, then transmit. *)
-let start_call h ~kind arg ~on_reply =
+let start_call ?elide h ~kind arg ~on_reply =
   match Xdr.encode h.h_sig.Sigs.arg_c arg with
   | Error reason -> raise (Promise.Failure_exn ("encoding failed: " ^ reason))
-  | Ok args -> start_encoded h ~kind ~args ~on_reply
+  | Ok args -> start_encoded ?elide h ~kind ~args ~on_reply
 
 (* A promise born here can be piped into a later call on the same node
-   (remember which call produces it) and claimed under tracing (stamp
-   the call's trace id so the claim edge lands in its timeline). *)
+   (remember which call produces it), forwarded to another node
+   (remember the home stream), and claimed under tracing (stamp the
+   call's trace id so the claim edge lands in its timeline). *)
 let stamp_origin h p (cid, tid) =
   Promise.set_origin p
     { Promise.og_stream = SE.stable_id h.h_stream; og_call = cid; og_dst = SE.dst h.h_stream };
-  Promise.set_trace p tid
+  Promise.set_trace p tid;
+  Promise.set_home p h.h_stream
 
 let stream_call h arg =
   let p = Promise.create h.h_sched in
   let ids =
-    start_call h ~kind:W.Call arg ~on_reply:(fun w -> Promise.resolve p (decode_outcome h.h_sig w))
+    start_call h ~kind:W.Call arg ~on_reply:(fun w ->
+        Promise.put_wire p w;
+        Promise.resolve p (decode_outcome h.h_sig w))
   in
   stamp_origin h p ids;
   p
@@ -76,40 +82,91 @@ let send h arg = ignore (start_call h ~kind:W.Send arg ~on_reply:(fun _ -> ()) :
 
 (* {2 Promise pipelining (docs/PIPELINE.md)} *)
 
+type ref_arg = {
+  ar_origin : Promise.origin;
+  ar_field : string option;
+  ar_home : SE.t option;  (* the stream the producing call went out on *)
+  ar_watch : (W.routcome -> unit) -> unit;
+      (* register for the producer's wire outcome — the handoff
+         machinery's hook for pushing it to a foreign owner *)
+  ar_elided : bool;  (* the producer's reply carries no value *)
+}
+
 type 'a arg =
   | Arg_now of 'a  (* ordinary by-value argument *)
-  | Arg_ref of { ar_origin : Promise.origin; ar_field : string option }
+  | Arg_ref of ref_arg
   | Arg_dead of W.routcome
       (* the producer already terminated abnormally: the dependent call
          completes with the same outcome without ever being sent *)
 
 let arg v = Arg_now v
 
+let ref_of_promise ~what p ~field =
+  match Promise.origin p with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Remote.%s: promise was not born from a stream call (no origin to reference)" what)
+  | Some og ->
+      Arg_ref
+        {
+          ar_origin = og;
+          ar_field = field;
+          ar_home = Promise.home p;
+          ar_watch = Promise.on_wire p;
+          ar_elided = Promise.elided p;
+        }
+
 let pipe p =
-  match Promise.peek p with
-  | Some (Promise.Normal v) -> Arg_now v
-  | Some (Promise.Unavailable r) -> Arg_dead (W.W_unavailable r)
-  | Some (Promise.Failure r) -> Arg_dead (W.W_failure r)
-  | Some (Promise.Signal _) | None -> (
-      (* A ready signal still goes by reference: its wire encoding was
-         recorded at the receiver, which propagates it to the dependent
-         call — we cannot re-encode a decoded ['e] here. *)
-      match Promise.origin p with
-      | None ->
-          invalid_arg
-            "Remote.pipe: promise was not born from a stream call (no origin to reference)"
-      | Some og -> Arg_ref { ar_origin = og; ar_field = None })
+  if Promise.elided p then
+    (* A deferred result never has a local value; its typed state is a
+       marker, so only a real abnormal wire outcome short-circuits. *)
+    match Promise.wire p with
+    | Some ((W.W_unavailable _ | W.W_failure _) as w) -> Arg_dead w
+    | Some (W.W_normal _ | W.W_signal _) | None -> ref_of_promise ~what:"pipe" p ~field:None
+  else
+    match Promise.peek p with
+    | Some (Promise.Normal v) -> Arg_now v
+    | Some (Promise.Unavailable r) -> Arg_dead (W.W_unavailable r)
+    | Some (Promise.Failure r) -> Arg_dead (W.W_failure r)
+    | Some (Promise.Signal _) | None ->
+        (* A ready signal still goes by reference: its wire encoding was
+           recorded at the receiver, which propagates it to the dependent
+           call — we cannot re-encode a decoded ['e] here. *)
+        ref_of_promise ~what:"pipe" p ~field:None
 
 let pipe_field (p : _ Promise.t) ~field =
-  match Promise.peek p with
-  | Some (Promise.Unavailable r) -> Arg_dead (W.W_unavailable r)
-  | Some (Promise.Failure r) -> Arg_dead (W.W_failure r)
-  | Some (Promise.Normal _ | Promise.Signal _) | None -> (
-      match Promise.origin p with
-      | None ->
-          invalid_arg
-            "Remote.pipe_field: promise was not born from a stream call (no origin to reference)"
-      | Some og -> Arg_ref { ar_origin = og; ar_field = Some field })
+  if Promise.elided p then
+    match Promise.wire p with
+    | Some ((W.W_unavailable _ | W.W_failure _) as w) -> Arg_dead w
+    | Some (W.W_normal _ | W.W_signal _) | None ->
+        ref_of_promise ~what:"pipe_field" p ~field:(Some field)
+  else
+    match Promise.peek p with
+    | Some (Promise.Unavailable r) -> Arg_dead (W.W_unavailable r)
+    | Some (Promise.Failure r) -> Arg_dead (W.W_failure r)
+    | Some (Promise.Normal _ | Promise.Signal _) | None ->
+        ref_of_promise ~what:"pipe_field" p ~field:(Some field)
+
+(* The dependent call of a same-node pipelined reference. *)
+let issue_ref ?handoff h ~origin ~field =
+  let args =
+    Xdr.Pref
+      {
+        Xdr.ps_stream = origin.Promise.og_stream;
+        ps_call = origin.Promise.og_call;
+        ps_field = field;
+      }
+  in
+  let p = Promise.create h.h_sched in
+  let ids =
+    start_encoded ?handoff h ~kind:W.Call ~args ~on_reply:(fun w ->
+        Promise.put_wire p w;
+        Promise.resolve p (decode_outcome h.h_sig w))
+  in
+  stamp_origin h p ids;
+  Sim.Stats.incr (Sim.Stats.counter (S.stats h.h_sched) "pipelined_calls");
+  p
 
 let stream_call_p h a =
   match a with
@@ -118,7 +175,7 @@ let stream_call_p h a =
       (* "The producer's fate is the dependent's fate": complete
          abnormally right here, transmitting nothing. *)
       Promise.resolved h.h_sched (decode_outcome h.h_sig w)
-  | Arg_ref { ar_origin; ar_field } ->
+  | Arg_ref { ar_origin; ar_field; _ } ->
       (* The sender can only validate the node: which guardian a group
          belongs to is receiver-local knowledge. A same-node reference
          that crosses guardians (disjoint registries) is rejected by
@@ -128,24 +185,7 @@ let stream_call_p h a =
         raise
           (Promise.Failure_exn
              "pipelined argument references a call on a different node; claim it instead")
-      else begin
-        let args =
-          Xdr.Pref
-            {
-              Xdr.ps_stream = ar_origin.Promise.og_stream;
-              ps_call = ar_origin.Promise.og_call;
-              ps_field = ar_field;
-            }
-        in
-        let p = Promise.create h.h_sched in
-        let ids =
-          start_encoded h ~kind:W.Call ~args ~on_reply:(fun w ->
-              Promise.resolve p (decode_outcome h.h_sig w))
-        in
-        stamp_origin h p ids;
-        Sim.Stats.incr (Sim.Stats.counter (S.stats h.h_sched) "pipelined_calls");
-        p
-      end
+      else issue_ref h ~origin:ar_origin ~field:ar_field
 
 let flush h = SE.flush h.h_stream
 
@@ -236,3 +276,170 @@ let rpc h arg =
   Promise.claim p
 
 let synch h = SE.synch h.h_stream
+
+(* {2 The unified call builder (docs/HANDOFF.md)} *)
+
+module CH = Cstream.Chanhub
+
+(* A call issued with reply elision: the receiver strips the normal
+   result from the reply, so the promise's typed state is only ever a
+   deferred-result marker (or a real abnormal outcome). *)
+let issue_elided h v =
+  let p = Promise.create h.h_sched in
+  Promise.set_elided p;
+  let ids =
+    start_call ~elide:true h ~kind:W.Call v ~on_reply:(fun w ->
+        match w with
+        | W.W_normal _ ->
+            (* the elision marker, not a value — the real result lives
+               only in the producer's registry *)
+            Promise.resolve p
+              (Promise.Failure
+                 "result deferred (Remote.Call.defer_result): pipe it, do not claim")
+        | W.W_signal _ | W.W_unavailable _ | W.W_failure _ ->
+            Promise.put_wire p w;
+            Promise.resolve p (decode_outcome h.h_sig w))
+  in
+  stamp_origin h p ids;
+  p
+
+module Call = struct
+  type ('a, 'r, 'e) plan = {
+    c_h : ('a, 'r, 'e) h;
+    c_arg : 'a arg;
+    c_kind : W.kind;
+    c_retry : (retry_policy option * float option) option;
+    c_handoff : bool;
+    c_elide : bool;
+  }
+
+  let piped h a =
+    { c_h = h; c_arg = a; c_kind = W.Call; c_retry = None; c_handoff = true; c_elide = false }
+
+  let make h v = piped h (Arg_now v)
+
+  let as_send b = { b with c_kind = W.Send }
+
+  let with_retry ?policy ?deadline b = { b with c_retry = Some (policy, deadline) }
+
+  let allow_handoff flag b = { b with c_handoff = flag }
+
+  let defer_result b = { b with c_elide = true }
+
+  (* Third-party handoff (docs/HANDOFF.md): the dependent call goes
+     straight to the node that will consume the result — the owner —
+     with its foreign reference annotated; the producer is told (the
+     notice) to push the outcome to the owner directly; and if anything
+     on that path refuses, this node falls back to relaying the outcome
+     itself, which is exactly the proxy the handoff replaced. *)
+  let submit_handoff b r home =
+    let h = b.c_h in
+    let sched = h.h_sched in
+    let counter name = Sim.Stats.counter (S.stats sched) name in
+    let hub = SE.hub home in
+    let owner = SE.dst h.h_stream in
+    let stream = r.ar_origin.Promise.og_stream and call = r.ar_origin.Promise.og_call in
+    let ann =
+      { W.ho_owner = owner; ho_stream = stream; ho_call = call; ho_epoch = CH.handoff_epoch hub }
+    in
+    let p = issue_ref ~handoff:[ ann ] h ~origin:r.ar_origin ~field:r.ar_field in
+    Sim.Stats.incr (counter "handoff_calls");
+    (match Promise.trace p with
+    | Some tid ->
+        let sp = S.spans sched in
+        if Sim.Span.enabled sp then
+          Sim.Span.record sp ~time:(S.now sched) ~kind:Sim.Span.Handoff ~trace:tid ~stream
+            ~call
+            ~note:(Printf.sprintf "forward -> n%d" owner)
+            ()
+    | None -> ());
+    (* At most one outcome crosses to the owner from this node; the
+       owner's registry also dedups, so racing the producer's own push
+       is harmless. *)
+    let pushed = ref false in
+    let push w =
+      if not !pushed then begin
+        pushed := true;
+        CH.handoff_push hub ~dst:owner ~stream ~call (W.outcome_value w)
+      end
+    in
+    (* If the producer's stream dies, nobody else can tell the owner —
+       always relay abnormal outcomes from here so the forwarded call
+       inherits the producer's fate instead of parking forever. *)
+    r.ar_watch (function
+      | (W.W_unavailable _ | W.W_failure _) as w -> push w
+      | W.W_normal _ | W.W_signal _ -> ());
+    let fall_back () =
+      Sim.Stats.incr (counter "handoff_fallbacks");
+      if r.ar_elided then
+        (* the value exists only in the producer's registry: redeem it
+           by reference — the proxy-equivalent round trip — and relay *)
+        match
+          SE.call_traced home ~port:W.handoff_redeem_port ~kind:W.Call
+            ~args:(W.handoff_value ann) ~on_reply:push
+        with
+        | Ok _ -> SE.flush home
+        | Error reason -> push (W.W_unavailable ("handoff fallback: " ^ reason))
+      else
+        (* the producer's reply still comes here: relay it on arrival *)
+        r.ar_watch push
+    in
+    (match
+       SE.call_traced home ~port:W.handoff_notice_port ~kind:W.Send
+         ~args:(W.handoff_value ann)
+         ~on_reply:(function
+           | W.W_normal _ -> () (* accepted: the producer's node pushes *)
+           | W.W_signal _ | W.W_unavailable _ | W.W_failure _ -> fall_back ())
+     with
+    | Ok _ ->
+        (* the notice must not sit in the buffer behind nothing: the
+           owner is already parked on it *)
+        SE.flush home
+    | Error _ ->
+        (* home stream already broken: the producer's outcome can only
+           be what the break resolved it to *)
+        r.ar_watch push);
+    p
+
+  let submit b =
+    match b.c_kind with
+    | W.Send -> invalid_arg "Remote.Call.submit: a send has no promise; use detach"
+    | W.Call -> (
+        match b.c_retry with
+        | Some (policy, deadline) -> (
+            match b.c_arg with
+            | Arg_now v when not b.c_elide -> stream_call_retry ?policy ?deadline b.c_h v
+            | Arg_now _ | Arg_ref _ | Arg_dead _ ->
+                invalid_arg "Remote.Call.submit: with_retry applies only to plain by-value calls")
+        | None -> (
+            match b.c_arg with
+            | Arg_now v when b.c_elide -> issue_elided b.c_h v
+            | Arg_now v -> stream_call b.c_h v
+            | Arg_dead w -> Promise.resolved b.c_h.h_sched (decode_outcome b.c_h.h_sig w)
+            | Arg_ref r ->
+                if r.ar_origin.Promise.og_dst = SE.dst b.c_h.h_stream then
+                  stream_call_p b.c_h b.c_arg
+                else (
+                  match (b.c_handoff, r.ar_home) with
+                  | true, Some home -> submit_handoff b r home
+                  | false, _ | true, None ->
+                      (* same failure the pre-handoff API raised *)
+                      stream_call_p b.c_h b.c_arg)))
+
+  let detach b =
+    match b.c_retry with
+    | Some _ -> invalid_arg "Remote.Call.detach: with_retry needs a promise; use submit"
+    | None -> (
+        match (b.c_kind, b.c_arg) with
+        | W.Send, Arg_now v -> send b.c_h v
+        | W.Send, Arg_dead _ -> ()
+        | W.Send, Arg_ref _ ->
+            invalid_arg "Remote.Call.detach: a send cannot take a pipelined argument"
+        | W.Call, Arg_now v when not b.c_elide -> stream_call_ b.c_h v
+        | W.Call, _ -> ignore (submit b : _ Promise.t))
+
+  let sync b =
+    let p = submit b in
+    flush b.c_h;
+    Promise.claim p
+end

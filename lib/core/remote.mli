@@ -137,3 +137,80 @@ val synch : ('a, 'r, 'e) h -> (unit, [ `Exception_reply | `Broken of string ]) r
 (** §2's [synch h]: flush, wait for all earlier calls on the stream to
     complete, and report whether any of them (since the last synch)
     terminated with an exception. *)
+
+(** {1 The unified call builder}
+
+    One entry point subsuming the per-variant functions above — build a
+    plan, refine it, submit it:
+
+    {[
+      (* stream_call h v *)        Call.(submit (make h v))
+      (* stream_call_ h v *)       Call.(detach (make h v))
+      (* send h v *)               Call.(detach (as_send (make h v)))
+      (* rpc h v *)                Call.(sync (make h v))
+      (* stream_call_retry h v *)  Call.(submit (with_retry (make h v)))
+      (* stream_call_p h a *)      Call.(submit (piped h a))
+    ]}
+
+    The builder is also where {b third-party handoff}
+    (docs/HANDOFF.md) lives, on by default: submitting a plan whose
+    {!pipe}d argument references a call on a {e different} node no
+    longer raises — the dependent call is forwarded to that node with
+    its reference annotated, the producer is told to push the outcome
+    there directly, and one full proxy hop of latency and bytes
+    disappears. If the producer's node refuses (epoch mismatch, no
+    registry, table full) or its stream breaks, this node falls back to
+    relaying the outcome itself — the exactly-once and
+    abnormal-propagation semantics are those of the proxy it replaces.
+    Counted in {!Sim.Stats} as [handoff_calls] (forwarded plans) and
+    [handoff_fallbacks] (refusals that fell back); producer/owner-side
+    events appear as [handoff_forwards], [handoff_streams_opened],
+    [handoff_dedup_joins] and [handoff_refusals]. *)
+
+module Call : sig
+  type ('a, 'r, 'e) plan
+  (** An unsent call: handle + argument + delivery refinements. Plans
+      are immutable values — refining one returns a new plan, so a
+      partially-applied plan can be reused. *)
+
+  val make : ('a, 'r, 'e) h -> 'a -> ('a, 'r, 'e) plan
+  (** A plan for an ordinary by-value call. *)
+
+  val piped : ('a, 'r, 'e) h -> 'a arg -> ('a, 'r, 'e) plan
+  (** A plan whose argument may be a {!pipe}d promise reference. *)
+
+  val as_send : ('a, 'r, 'e) plan -> ('a, 'r, 'e) plan
+  (** Deliver as a send: no result, abnormal termination observable
+      through {!synch}. Submit with {!detach}. *)
+
+  val with_retry :
+    ?policy:retry_policy -> ?deadline:float -> ('a, 'r, 'e) plan -> ('a, 'r, 'e) plan
+  (** Retry [unavailable] outcomes as {!stream_call_retry} does.
+      Applies only to plain by-value call plans ({!submit} raises
+      [Invalid_argument] otherwise): each attempt is a fresh call, so a
+      piped, deferred or send plan cannot be retried. *)
+
+  val allow_handoff : bool -> ('a, 'r, 'e) plan -> ('a, 'r, 'e) plan
+  (** Enable ([true], the default) or disable third-party handoff for
+      this plan. With [false], a cross-node reference raises
+      {!Promise.Failure_exn} exactly as the pre-handoff API did. *)
+
+  val defer_result : ('a, 'r, 'e) plan -> ('a, 'r, 'e) plan
+  (** Ask the receiver to strip the normal result from the reply
+      (docs/HANDOFF.md): the promise can be {!pipe}d — and handed off
+      without this node ever carrying the value — but {e not} claimed
+      for it; claiming yields a [Failure] marker. Abnormal outcomes
+      still arrive in full. *)
+
+  val submit : ('a, 'r, 'e) plan -> ('r, 'e) Promise.t
+  (** Issue the call; the promise resolves as the plan dictates. Raises
+      [Invalid_argument] for a send plan (no promise — use {!detach}). *)
+
+  val detach : ('a, 'r, 'e) plan -> unit
+  (** Issue without a promise: the statement form for calls, the only
+      form for sends. *)
+
+  val sync : ('a, 'r, 'e) plan -> ('r, 'e) Promise.outcome
+  (** {!submit}, {!flush}, {!Promise.claim} — the RPC form (fiber
+      context only). *)
+end

@@ -285,6 +285,17 @@ and hub = {
   h_dict_out : (Net.address, out_dict) Hashtbl.t;  (* sender state per peer *)
   h_dict_in : (Net.address, int * B.dict_table) Hashtbl.t;  (* (epoch, table) per peer *)
   mutable h_next_idx : int;
+  (* Third-party handoff state (docs/HANDOFF.md): outcome pushes travel
+     on dedicated "~handoff"-labelled channels, one per destination
+     peer, opened lazily. Pushes that arrive before anyone expects them
+     wait in a bounded early buffer (they double as the dedup record
+     for replayed pushes). *)
+  mutable h_ho_epoch : int;
+  h_ho_pushes : (Net.address, out_chan) Hashtbl.t;
+  h_ho_expect : (string * int, (Xdr.value -> unit) list) Hashtbl.t;
+  h_ho_early : (string * int, Xdr.value) Hashtbl.t;
+  h_ho_order : (string * int) Queue.t;
+  mutable h_ho_listening : bool;
 }
 
 let hub_addr h = h.h_tr.Transport.addr
@@ -943,7 +954,7 @@ let peer_down hub ~peer ~reason =
       mark_in_broken i reason)
     ins
 
-let create_hub_tr ?(ack_delay = 0.0) ?(dict = false) tr =
+let create_hub_on ?(ack_delay = 0.0) ?(dict = false) tr =
   let hub =
     {
       h_tr = tr;
@@ -961,14 +972,26 @@ let create_hub_tr ?(ack_delay = 0.0) ?(dict = false) tr =
       h_dict_out = Hashtbl.create 4;
       h_dict_in = Hashtbl.create 4;
       h_next_idx = 0;
+      h_ho_epoch = 0;
+      h_ho_pushes = Hashtbl.create 4;
+      h_ho_expect = Hashtbl.create 16;
+      h_ho_early = Hashtbl.create 16;
+      h_ho_order = Queue.create ();
+      h_ho_listening = false;
     }
   in
   tr.Transport.set_receiver (fun ~src frame -> receive hub ~src frame);
   tr.Transport.set_peer_watch (fun ~peer ~reason -> peer_down hub ~peer ~reason);
   hub
 
-let create_hub ?ack_delay ?dict net node =
-  create_hub_tr ?ack_delay ?dict (Transport_sim.endpoint net node)
+let create_hub ?ack_delay ?dict ?transport ?net () =
+  match (transport, net) with
+  | Some tr, None -> create_hub_on ?ack_delay ?dict tr
+  | None, Some (n, node) -> create_hub_on ?ack_delay ?dict (Transport_sim.endpoint n node)
+  | Some _, Some _ | None, None ->
+      invalid_arg "Chanhub.create_hub: pass exactly one of ~transport / ~net"
+
+let create_hub_tr ?ack_delay ?dict tr = create_hub ?ack_delay ?dict ~transport:tr ()
 
 let on_connect hub ~label acceptor = Hashtbl.replace hub.h_acceptors label acceptor
 
@@ -1025,3 +1048,86 @@ let connect hub ~dst ~label ~meta cfg =
 let hub_recv_overhead h = h.h_tr.Transport.recv_overhead ()
 
 let hub_transport h = h.h_tr
+
+(* --- third-party handoff (docs/HANDOFF.md) ------------------------ *)
+
+(* How many unclaimed early pushes a hub keeps. Entries also serve as
+   the push dedup record, so the cap bounds both memory and the window
+   in which a replayed push is recognised as a duplicate. *)
+let handoff_early_cap = 4096
+
+let handoff_label = "~handoff"
+
+let handoff_epoch hub = hub.h_ho_epoch
+
+let set_handoff_epoch hub e = hub.h_ho_epoch <- e
+
+(* One pushed outcome landed (or was replayed). First sighting is
+   buffered and wakes whoever already expects the key; a repeat is the
+   exactly-once machinery absorbing a replay. *)
+let handle_push hub (stream, call, ov) =
+  let key = (stream, call) in
+  if Hashtbl.mem hub.h_ho_early key then
+    Sim.Stats.incr (hub_counter hub "handoff_dedup_joins")
+  else begin
+    if Queue.length hub.h_ho_order >= handoff_early_cap then begin
+      let victim = Queue.pop hub.h_ho_order in
+      Hashtbl.remove hub.h_ho_early victim
+    end;
+    Hashtbl.replace hub.h_ho_early key ov;
+    Queue.push key hub.h_ho_order;
+    match Hashtbl.find_opt hub.h_ho_expect key with
+    | None -> ()
+    | Some ks ->
+        Hashtbl.remove hub.h_ho_expect key;
+        List.iter (fun k -> k ov) (List.rev ks)
+  end
+
+let handoff_listen hub =
+  if not hub.h_ho_listening then begin
+    hub.h_ho_listening <- true;
+    on_connect hub ~label:handoff_label (fun i ->
+        set_deliver i (fun items ->
+            List.iter
+              (fun item ->
+                match Wire.parse_handoff_push item with
+                | Ok push -> handle_push hub push
+                | Error e -> hub_trace hub "handoff: malformed push dropped: %s" e)
+              items))
+  end
+
+let handoff_expect hub ~stream ~call k =
+  match Hashtbl.find_opt hub.h_ho_early (stream, call) with
+  | Some ov -> k ov
+  | None ->
+      let key = (stream, call) in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt hub.h_ho_expect key) in
+      Hashtbl.replace hub.h_ho_expect key (k :: existing)
+
+let handoff_push hub ~dst ~stream ~call ov =
+  Sim.Stats.incr (hub_counter hub "handoff_forwards");
+  if dst = hub_addr hub then
+    (* Producer and forwarded call share a node: no wire leg. *)
+    handle_push hub (stream, call, ov)
+  else begin
+    let o =
+      match Hashtbl.find_opt hub.h_ho_pushes dst with
+      | Some o when o.o_broken = None -> o
+      | _ ->
+          let o = connect hub ~dst ~label:handoff_label ~meta:"" rpc_config in
+          Sim.Stats.incr (hub_counter hub "handoff_streams_opened");
+          Hashtbl.replace hub.h_ho_pushes dst o;
+          on_out_break o (fun _ ->
+              match Hashtbl.find_opt hub.h_ho_pushes dst with
+              | Some o' when o' == o -> Hashtbl.remove hub.h_ho_pushes dst
+              | _ -> ());
+          o
+    in
+    (* A send on a just-broken channel is lost with the peer it was for;
+       exactly-once is preserved by the fallback pushes the claimant's
+       side makes on abnormal outcomes. *)
+    (match send o (Wire.handoff_push_item ~stream ~call ov) with
+    | Ok () -> ()
+    | Error _ -> ());
+    flush_out o
+  end

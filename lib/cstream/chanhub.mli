@@ -132,17 +132,27 @@ val aimd_config : config
 
 (** {1 Hubs} *)
 
-val create_hub_tr : ?ack_delay:float -> ?dict:bool -> Transport.t -> hub
-(** Create a hub on a transport endpoint (docs/TRANSPORT.md) and
-    install it as the endpoint's receiver and peer watch. [ack_delay]
-    (default [0.], i.e. disabled) holds acks back for that many seconds
-    hoping a reverse-direction Data packet will carry them; whatever is
-    still pending when the timer fires goes out as one standalone Ack
-    packet. Keep it well under the senders' [retransmit_timeout]. A
-    transport peer-down breaks every channel to or from that peer, with
-    the incoming ends tombstoned exactly as a [Reset] would be — so a
-    retransmit arriving over a fresh connection is refused rather than
-    resurrecting the old incarnation.
+val create_hub :
+  ?ack_delay:float ->
+  ?dict:bool ->
+  ?transport:Transport.t ->
+  ?net:frame Net.t * Net.node ->
+  unit ->
+  hub
+(** Create a hub on an endpoint and install it as the endpoint's
+    receiver and peer watch. Pass {e exactly one} of [~transport] (any
+    {!Transport.t} — docs/TRANSPORT.md) or [~net] (a simulated node:
+    shorthand for [~transport:(Transport_sim.endpoint net node)]);
+    anything else raises [Invalid_argument].
+
+    [ack_delay] (default [0.], i.e. disabled) holds acks back for that
+    many seconds hoping a reverse-direction Data packet will carry
+    them; whatever is still pending when the timer fires goes out as
+    one standalone Ack packet. Keep it well under the senders'
+    [retransmit_timeout]. A transport peer-down breaks every channel to
+    or from that peer, with the incoming ends tombstoned exactly as a
+    [Reset] would be — so a retransmit arriving over a fresh connection
+    is refused rather than resurrecting the old incarnation.
 
     [dict] (default [false]) opts this hub's {e sending} side into the
     per-connection interning dictionary (docs/WIRE.md §Connection
@@ -156,10 +166,9 @@ val create_hub_tr : ?ack_delay:float -> ?dict:bool -> Transport.t -> hub
     resets the dictionary (epoch bump), so calls resubmitted after an
     incarnation change decode against a fresh table. *)
 
-val create_hub : ?ack_delay:float -> ?dict:bool -> frame Net.t -> Net.node -> hub
-(** [create_hub net node] is
-    [create_hub_tr (Transport_sim.endpoint net node)]: the hub for a
-    simulated node, byte-identical to the pre-transport behavior. *)
+val create_hub_tr : ?ack_delay:float -> ?dict:bool -> Transport.t -> hub
+  [@@deprecated "use create_hub ~transport instead"]
+(** Thin alias for [create_hub ~transport]. *)
 
 val hub_addr : hub -> Net.address
 (** This hub's transport address (the node address in sim mode). *)
@@ -282,6 +291,43 @@ val on_in_break : in_chan -> (string -> unit) -> unit
 (** Register a callback fired when this receiving end is broken — by
     {!break_in} locally or by a [Reset] from the sender (e.g. a stream
     restart). Fires immediately if already broken. *)
+
+(** {1 Third-party handoff (docs/HANDOFF.md)}
+
+    When a call is forwarded to the node that will consume a pipelined
+    result, the result's producer pushes the outcome {e directly} to
+    that node on a dedicated ["~handoff"]-labelled channel (one per
+    destination peer, opened lazily over the transport's usual dial
+    path). The receiving hub buffers pushes that arrive before anyone
+    expects them — the buffer doubles as the dedup record, so a push
+    replayed after a crash joins the first copy instead of
+    re-resolving. Counters: [handoff_forwards] (outcomes pushed),
+    [handoff_streams_opened] (push channels dialled),
+    [handoff_dedup_joins] (replayed pushes absorbed). *)
+
+val handoff_epoch : hub -> int
+(** This hub's handoff protocol epoch, stamped into every handoff
+    annotation it forwards. A producer refuses an annotation whose
+    epoch differs from its own ({!set_handoff_epoch} simulates an
+    upgraded/downgraded peer in tests), and the forwarder falls back
+    to proxying the value itself. *)
+
+val set_handoff_epoch : hub -> int -> unit
+
+val handoff_listen : hub -> unit
+(** Accept outcome pushes on this hub (idempotent). {!Guardian.create}
+    calls this, so any node that hosts handlers can be the target of a
+    forwarded call. *)
+
+val handoff_push : hub -> dst:Net.address -> stream:string -> call:int -> Xdr.value -> unit
+(** Push the encoded outcome ({!Wire.outcome_value}) of [(stream,
+    call)] to the hub at [dst], dialling the push channel if needed. A
+    push to this hub's own address is delivered locally. *)
+
+val handoff_expect : hub -> stream:string -> call:int -> (Xdr.value -> unit) -> unit
+(** Register interest in a pushed outcome: the callback fires with the
+    encoded outcome as soon as it is available — immediately, when a
+    push already arrived. *)
 
 (** {1 Transport access} *)
 

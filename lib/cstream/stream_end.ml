@@ -6,6 +6,8 @@ type pending = {
   p_port : string;
   p_kind : Wire.kind;
   p_args : Xdr.value;
+  p_handoff : Wire.handoff list;  (* annotations replayed verbatim on resubmit *)
+  p_elide : bool;
   p_on_reply : Wire.routcome -> unit;
 }
 
@@ -55,6 +57,8 @@ let trace t fmt = Sim.Trace.recordf (S.trace t.sched) ~time:(S.now t.sched) fmt
 let spans t = S.spans t.sched
 
 let node_addr t = Chanhub.hub_addr t.hub
+
+let hub t = t.hub
 
 let reply_label_for ~agent ~gid ~dst ~incarnation =
   Printf.sprintf "~r/%s/%s/%d/%d" agent gid dst incarnation
@@ -190,7 +194,7 @@ let create hub ~agent ~dst ~gid ?(config = Chanhub.default_config) () =
   attach t chan;
   t
 
-let call_traced t ~port ~kind ~args ~on_reply =
+let call_traced ?(handoff = []) ?(elide = false) t ~port ~kind ~args ~on_reply =
   match t.s_broken with
   | Some reason -> Error reason
   | None -> (
@@ -209,7 +213,8 @@ let call_traced t ~port ~kind ~args ~on_reply =
          may change its length by a byte or two). *)
       let probe_seq = t.next_seq and probe_cid = t.next_cid in
       let probe =
-        Wire.call_item ~seq:probe_seq ~cid:probe_cid ~trace:wire_trace ~port ~kind ~args ()
+        Wire.call_item ~handoff ~elide ~seq:probe_seq ~cid:probe_cid ~trace:wire_trace ~port
+          ~kind ~args ()
       in
       match Chanhub.await_window t.chan ~bytes:(Xdr.Bin.size probe) with
       | Error reason -> Error reason
@@ -227,11 +232,13 @@ let call_traced t ~port ~kind ~args ~on_reply =
           p_port = port;
           p_kind = kind;
           p_args = args;
+          p_handoff = handoff;
+          p_elide = elide;
           p_on_reply = on_reply;
         };
       let item =
         if seq = probe_seq then probe
-        else Wire.call_item ~seq ~cid ~trace:wire_trace ~port ~kind ~args ()
+        else Wire.call_item ~handoff ~elide ~seq ~cid ~trace:wire_trace ~port ~kind ~args ()
       in
       span t ~kind:Sim.Span.Issue ~trace:tid ~call:cid ~note:port ();
       (match Chanhub.send t.chan item with
@@ -343,8 +350,9 @@ let restart_resubmit t =
              through to the dedup cache rather than rejecting it. *)
           ignore
             (Chanhub.send t.chan
-               (Wire.call_item ~resubmit:true ~seq:i ~cid:p.p_cid ~trace:(wire_trace p)
-                  ~port:p.p_port ~kind:p.p_kind ~args:p.p_args ())
+               (Wire.call_item ~resubmit:true ~handoff:p.p_handoff ~elide:p.p_elide ~seq:i
+                  ~cid:p.p_cid ~trace:(wire_trace p) ~port:p.p_port ~kind:p.p_kind
+                  ~args:p.p_args ())
               : (unit, string) result))
         pend;
       if pend <> [] then Chanhub.flush_out t.chan;

@@ -53,6 +53,10 @@ val stable_id : t -> string
 
 val sched : t -> Sched.Scheduler.t
 
+val hub : t -> Chanhub.hub
+(** The hub this stream's channels run over — the language layer uses
+    it to reach the handoff push/expect machinery (docs/HANDOFF.md). *)
+
 val broken : t -> string option
 (** Why the stream is broken, or [None] while it is usable. *)
 
@@ -76,6 +80,8 @@ val call_cid :
     docs/PIPELINE.md). *)
 
 val call_traced :
+  ?handoff:Wire.handoff list ->
+  ?elide:bool ->
   t -> port:string -> kind:Wire.kind -> args:Xdr.value ->
   on_reply:(Wire.routcome -> unit) -> (int * int, string) result
 (** {!call_cid}, additionally returning the call's causal trace id
@@ -83,7 +89,12 @@ val call_traced :
     ({!Sim.Span.next_trace}), kept across {!restart_resubmit}, and
     carried in the wire item while the scheduler's span store is
     enabled (docs/TRACING.md) — the language layer stamps it on the
-    promise so {!Core.Promise} can record the claim edge. *)
+    promise so {!Core.Promise} can record the claim edge.
+
+    [handoff] annotates foreign [Pref]s in [args] and [elide] asks the
+    receiver to strip a normal result from the reply (third-party
+    handoff, docs/HANDOFF.md); both ride every resubmission of the
+    call, so a replay re-forwards to the same owner. *)
 
 val flush : t -> unit
 (** Transmit buffered call requests now (§2's [flush]). *)

@@ -19,6 +19,8 @@ type work =
       port : string;
       kind : Wire.kind;
       args : lazy_args;
+      handoff : Wire.handoff list;  (* annotations for foreign Prefs in args *)
+      elide : bool;  (* strip a normal result from the reply (docs/HANDOFF.md) *)
     }
 
 (* Cross-incarnation dedup cache entry, keyed by (stable stream id,
@@ -64,7 +66,8 @@ and conn = {
   mutable c_breaking : string option;  (* break requested mid-call *)
   mutable c_on_close : (unit -> unit) list;
   (* sharded/unordered modes: outcomes parked until all earlier replies went out *)
-  c_done : (int, Wire.kind * int option * Wire.routcome) Hashtbl.t;
+  c_done : (int, Wire.kind * int option * bool * Wire.routcome) Hashtbl.t;
+      (* (kind, trace, elide, outcome) *)
   mutable c_next_reply : int;
   (* reply seq -> stable call-id, for ack-tied registry release: when the
      reply channel's ack frees a reply item, the corresponding outcome can
@@ -184,7 +187,7 @@ let break_conn c ~reason =
   end
   else do_break c reason
 
-let emit_reply c ~seq ~kind ~trace outcome =
+let emit_reply c ~seq ~kind ~trace ~elide outcome =
   if not c.c_broken then begin
     let t = c.c_target in
     (* The reply carries the call's trace id only while tracing is on,
@@ -193,6 +196,13 @@ let emit_reply c ~seq ~kind ~trace outcome =
     let item =
       match (kind, outcome) with
       | Wire.Send, Wire.W_normal _ -> Wire.send_ok_item ~seq ~trace:wire_trace
+      | Wire.Call, Wire.W_normal _ when elide ->
+          (* The value travels by handoff push (docs/HANDOFF.md); the
+             reply only needs to preserve stream ordering and synch.
+             Abnormal outcomes always ship in full — the caller turns
+             them into its fallback push. *)
+          Sim.Stats.incr (counter t "handoff_elided_replies");
+          Wire.send_ok_item ~seq ~trace:wire_trace
       | (Wire.Call | Wire.Send), _ -> Wire.reply_item ~seq ~trace:wire_trace outcome
     in
     span t ~kind:Sim.Span.Reply ~trace ~stream:c.c_stable ();
@@ -228,7 +238,7 @@ let remember t id outcome =
    has landed. [k] receives the fully substituted arguments; if any
    producer terminated abnormally the call completes through [reply]
    with the corresponding abnormal outcome and [k] never runs. *)
-let resolve_refs c ~cid ~trace ~args ~reply k =
+let resolve_refs c ~cid ~trace ~args ~handoffs ~reply k =
   let t = c.c_target in
   if not (args_have_refs args) then (
     (* The hot path: nothing before the handler needed the decoded
@@ -251,15 +261,48 @@ let resolve_refs c ~cid ~trace ~args ~reply k =
     | None -> fail "promise pipelining is not enabled at this port group"
     | Some reg ->
         let refs = Pipeline.refs args in
+        (* Third-party handoff (docs/HANDOFF.md): a reference covered by
+           a handoff annotation names an outcome another node owns and
+           will push to this hub. Mark such keys foreign — waiters may
+           park on them — and arrange for the pushed outcome to land in
+           the registry, firing those waiters. Re-registration after a
+           resubmit is harmless: [record] is idempotent. *)
+        List.iter
+          (fun (h : Wire.handoff) ->
+            if Pipeline.Registry.find reg ~stream:h.Wire.ho_stream ~call:h.Wire.ho_call = None
+            then begin
+              Pipeline.Registry.mark_foreign reg ~stream:h.Wire.ho_stream ~call:h.Wire.ho_call;
+              Chanhub.handoff_expect t.hub ~stream:h.Wire.ho_stream ~call:h.Wire.ho_call
+                (fun ov ->
+                  match Wire.outcome_of_value ov with
+                  | Ok o ->
+                      Pipeline.Registry.record reg ~stream:h.Wire.ho_stream
+                        ~call:h.Wire.ho_call o
+                  | Error _ -> ())
+            end)
+          handoffs;
+        if handoffs <> [] then
+          span t ~kind:Sim.Span.Handoff ~trace ~stream:c.c_stable ~call:cid
+            ~note:(Printf.sprintf "%d foreign ref(s) accepted" (List.length handoffs))
+            ();
         (* Outcomes are only observable within one guardian's registry.
            A reference to a stream that feeds a different guardian on
            this node (its group is outside our registry's scope) could
            park forever — the producing call's outcome lands in a
            disjoint table. The producing group is embedded in the
-           stable stream id; reject anything out of scope. *)
+           stable stream id; reject anything out of scope — unless the
+           key is foreign-owned (or its pushed outcome already landed):
+           then another node feeds it and the scope argument does not
+           apply. *)
+        let foreign (r : Xdr.promise_ref) =
+          Pipeline.Registry.is_foreign reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call
+          || Pipeline.Registry.find reg ~stream:r.Xdr.ps_stream ~call:r.Xdr.ps_call <> None
+        in
         if
           List.exists
             (fun (r : Xdr.promise_ref) ->
+              (not (foreign r))
+              &&
               match Wire.stream_id_group r.Xdr.ps_stream with
               | Some g -> not (Pipeline.Registry.in_scope reg g)
               | None -> true)
@@ -377,6 +420,83 @@ let resolve_refs c ~cid ~trace ~args ~reply k =
         end
   end
 
+(* Reserved ports of the third-party handoff protocol
+   (docs/HANDOFF.md). Both are handled here, inside the normal work
+   path — so they keep their place in the stream's reply order — and
+   {e before} the dedup cache, so a resubmitted notice re-runs and
+   re-forwards (the push side absorbs the duplicate). *)
+let handoff_notice_port = Wire.handoff_notice_port
+
+let handoff_redeem_port = Wire.handoff_redeem_port
+
+(* Validate a notice/redeem item and hand the producer's registry to
+   [k]. The registry checks mirror resolve_refs: an absent registry, an
+   out-of-scope stream or an evicted outcome can never be served. *)
+let with_handoff_target c ~what ~check_epoch ~args ~reply k =
+  let t = c.c_target in
+  match force_args t args with
+  | Error reason -> reply (Wire.W_failure (Printf.sprintf "malformed %s: %s" what reason))
+  | Ok v -> (
+      match Wire.parse_handoff v with
+      | Error e -> reply (Wire.W_failure e)
+      | Ok ho ->
+          let refuse reason =
+            Sim.Stats.incr (counter t "handoff_refusals");
+            reply (Wire.W_unavailable (Printf.sprintf "%s refused: %s" what reason))
+          in
+          if check_epoch && ho.Wire.ho_epoch <> Chanhub.handoff_epoch t.hub then
+            refuse
+              (Printf.sprintf "epoch mismatch (theirs %d, ours %d)" ho.Wire.ho_epoch
+                 (Chanhub.handoff_epoch t.hub))
+          else
+            match t.t_registry with
+            | None -> refuse "pipelining is not enabled at this port group"
+            | Some reg ->
+                if
+                  match Wire.stream_id_group ho.Wire.ho_stream with
+                  | Some g -> not (Pipeline.Registry.in_scope reg g)
+                  | None -> true
+                then refuse "stream feeds a different guardian"
+                else if
+                  Pipeline.Registry.evicted reg ~stream:ho.Wire.ho_stream
+                    ~call:ho.Wire.ho_call
+                then refuse "outcome already evicted"
+                else k reg ho)
+
+(* "The call at (stream, call) on your node was forwarded to [owner]:
+   push its outcome there." Accepting replies normally (a [Send]'s ok
+   marker); the push fires as soon as the outcome exists. *)
+let handle_handoff_notice c ~trace ~args ~reply =
+  let t = c.c_target in
+  with_handoff_target c ~what:"handoff" ~check_epoch:true ~args ~reply (fun reg ho ->
+      let push o =
+        span t ~kind:Sim.Span.Handoff ~trace ~stream:ho.Wire.ho_stream ~call:ho.Wire.ho_call
+          ~note:(Printf.sprintf "push -> n%d" ho.Wire.ho_owner)
+          ();
+        Chanhub.handoff_push t.hub ~dst:ho.Wire.ho_owner ~stream:ho.Wire.ho_stream
+          ~call:ho.Wire.ho_call (Wire.outcome_value o)
+      in
+      match
+        Pipeline.Registry.await reg ~stream:ho.Wire.ho_stream ~call:ho.Wire.ho_call push
+      with
+      | `Fired | `Parked _ -> reply (Wire.W_normal Xdr.Unit)
+      | `Refused ->
+          Sim.Stats.incr (counter t "handoff_refusals");
+          reply (Wire.W_unavailable "handoff refused: dependency table full"))
+
+(* Claim-by-reference: reply with the outcome of (stream, call) itself.
+   The proxy-equivalent fallback a caller uses when its handoff was
+   refused after the producer's reply was already elided. *)
+let handle_handoff_redeem c ~trace:_ ~args ~reply =
+  with_handoff_target c ~what:"redeem" ~check_epoch:false ~args ~reply (fun reg ho ->
+      match
+        Pipeline.Registry.await reg ~stream:ho.Wire.ho_stream ~call:ho.Wire.ho_call reply
+      with
+      | `Fired | `Parked _ -> ()
+      | `Refused ->
+          Sim.Stats.incr (counter (c.c_target) "handoff_refusals");
+          reply (Wire.W_unavailable "redeem refused: dependency table full"))
+
 (* Execute one call, or don't: with dedup on, a call-id already seen is
    never re-executed — its recorded outcome is replayed (or joined, if
    the first execution is still in flight). This is what turns the
@@ -384,8 +504,12 @@ let resolve_refs c ~cid ~trace ~args ~reply k =
    execution. Pipelined arguments are substituted (parking the call if
    needed) before the handler dispatches; every Call outcome is
    recorded in the pipelining registry for later dependents. *)
-let exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply =
+let exec_call c ~seq ~cid ~trace ~port ~kind ~args ~handoff ~reply =
   let t = c.c_target in
+  if String.equal port handoff_notice_port then handle_handoff_notice c ~trace ~args ~reply
+  else if String.equal port handoff_redeem_port then
+    handle_handoff_redeem c ~trace ~args ~reply
+  else begin
   let reply =
     match t.t_registry with
     | Some reg when kind = Wire.Call ->
@@ -395,7 +519,7 @@ let exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply =
     | Some _ | None -> reply
   in
   let run ~reply =
-    resolve_refs c ~cid ~trace ~args ~reply (fun args ->
+    resolve_refs c ~cid ~trace ~args ~handoffs:handoff ~reply (fun args ->
         span t ~kind:Sim.Span.Exec_begin ~trace ~stream:c.c_stable ~call:cid ~note:port ();
         t.dispatch c ~seq ~port ~kind ~args
           ~reply:(fun outcome ->
@@ -427,6 +551,7 @@ let exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply =
             List.iter (fun r -> r outcome) waiters;
             reply outcome)
   end
+  end
 
 (* Unordered mode keeps the stream's reply-order guarantee: outcomes
    are released strictly by call sequence even though execution
@@ -434,9 +559,9 @@ let exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply =
 let release_in_order c =
   let rec go () =
     match Hashtbl.find_opt c.c_done c.c_next_reply with
-    | Some (kind, trace, outcome) ->
+    | Some (kind, trace, elide, outcome) ->
         Hashtbl.remove c.c_done c.c_next_reply;
-        emit_reply c ~seq:c.c_next_reply ~kind ~trace outcome;
+        emit_reply c ~seq:c.c_next_reply ~kind ~trace ~elide outcome;
         c.c_next_reply <- c.c_next_reply + 1;
         go ()
     | None -> ()
@@ -461,9 +586,9 @@ let driver_loop c sh =
      delivery time, out of band of the driver, and must still leave in
      call order. *)
   let direct = t.t_ordered && t.t_shards = 1 && t.t_shed = None in
-  let park_reply ~seq ~kind ~trace o =
+  let park_reply ~seq ~kind ~trace ~elide o =
     if not c.c_broken then begin
-      Hashtbl.replace c.c_done seq (kind, trace, o);
+      Hashtbl.replace c.c_done seq (kind, trace, elide, o);
       release_in_order c
     end
   in
@@ -476,19 +601,20 @@ let driver_loop c sh =
         (* A break is pending: work queued behind the in-flight calls
            is discarded, as it would be by the break itself. *)
         loop ()
-    | Exec { seq; cid; trace; port; kind; args } when not t.t_ordered ->
-        exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply:(park_reply ~seq ~kind ~trace);
+    | Exec { seq; cid; trace; port; kind; args; handoff; elide } when not t.t_ordered ->
+        exec_call c ~seq ~cid ~trace ~port ~kind ~args ~handoff
+          ~reply:(park_reply ~seq ~kind ~trace ~elide);
         loop ()
-    | Exec { seq; cid; trace; port; kind; args } -> (
+    | Exec { seq; cid; trace; port; kind; args; handoff; elide } -> (
         c.c_inflight <- c.c_inflight + 1;
         let outcome =
           S.suspend t.sched (fun w ->
-              exec_call c ~seq ~cid ~trace ~port ~kind ~args ~reply:(fun o ->
+              exec_call c ~seq ~cid ~trace ~port ~kind ~args ~handoff ~reply:(fun o ->
                   ignore (S.wake w o : bool)))
         in
         c.c_inflight <- c.c_inflight - 1;
-        if direct then emit_reply c ~seq ~kind ~trace outcome
-        else park_reply ~seq ~kind ~trace outcome;
+        if direct then emit_reply c ~seq ~kind ~trace ~elide outcome
+        else park_reply ~seq ~kind ~trace ~elide outcome;
         match c.c_breaking with
         | Some reason when c.c_inflight = 0 ->
             c.c_breaking <- None;
@@ -615,7 +741,7 @@ let accept t in_chan =
                       ~note:(Printf.sprintf "lane %d depth %d" s (Sched.Bqueue.length lane.sh_work))
                       ();
                     Hashtbl.replace c.c_done seq
-                      (kind, trace, Wire.W_unavailable "overloaded: call shed by receiver");
+                      (kind, trace, false, Wire.W_unavailable "overloaded: call shed by receiver");
                     release_in_order c
                   end
                   else begin
@@ -626,9 +752,23 @@ let accept t in_chan =
                   span t ~kind:Sim.Span.Dispatch ~trace ~stream:c.c_stable ~call:cid
                     ~note:(Printf.sprintf "lane %d/%d" s t.t_shards)
                     ();
-                  if kind = Wire.Call && t.t_registry <> None then
+                  (* Elided calls skip the ack-tied release map: the
+                     reply carries no outcome, so its ack proves
+                     nothing about who may still redeem the result. *)
+                  if kind = Wire.Call && t.t_registry <> None && not cv.Wire.cv_elide then
                     Hashtbl.replace c.c_seq2cid seq cid;
-                  Sched.Bqueue.enq lane.sh_work (Exec { seq; cid; trace; port; kind; args });
+                  Sched.Bqueue.enq lane.sh_work
+                    (Exec
+                       {
+                         seq;
+                         cid;
+                         trace;
+                         port;
+                         kind;
+                         args;
+                         handoff = cv.Wire.cv_handoff;
+                         elide = cv.Wire.cv_elide;
+                       });
                   if t.t_shards > 1 then begin
                     Sim.Stats.incr (counter t "shard_dispatches");
                     t.t_dispatch_counts.(s) <- t.t_dispatch_counts.(s) + 1;
@@ -676,6 +816,10 @@ let create hub ~gid ?(config = Group_config.default) dispatch =
       closed = false;
     }
   in
+  (* Receiving a handoff push needs no per-group state, but the hub
+     only listens once someone on this node can be an owner — any port
+     group (or guardian) being created is that signal. *)
+  Chanhub.handoff_listen hub;
   Chanhub.on_connect hub ~label:gid (fun in_chan -> accept t in_chan);
   t
 

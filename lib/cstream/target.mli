@@ -21,7 +21,19 @@
     already executed — typically resubmitted by a supervisor after a
     stream break — is answered from the cache instead of being run
     again, giving exactly-once {e execution} across stream
-    incarnations. *)
+    incarnations.
+
+    {b Third-party handoff} (docs/HANDOFF.md): a group with pipelining
+    enabled also serves two reserved ports. ["~handoff"] (a [Send])
+    asks it to push the outcome of one of its recorded calls to a
+    foreign owner node; ["~redeem"] (a [Call]) replies with that
+    outcome directly — the claim-by-reference fallback. Both run in the
+    stream's normal work order and {e ahead} of the dedup cache, so a
+    resubmitted notice re-forwards to the same owner. On the owner
+    side, an arriving call whose [Pref] arguments carry handoff
+    annotations registers those foreign outcomes with the group's
+    registry (bypassing the single-guardian scope check) and parks
+    until the pushes arrive. *)
 
 type t
 

@@ -39,6 +39,63 @@ let stream_id_group id =
       | "~r" :: rest when List.length rest >= 3 -> Some (List.nth rest (List.length rest - 2))
       | _ -> None)
 
+(* --- third-party handoff (docs/HANDOFF.md) ------------------------ *)
+
+(* A handoff annotation rides on a call item whose arguments reference
+   a result produced on another node: it tells the receiver which node
+   owns the referenced outcome so the receiver can accept the foreign
+   [Pref] and wait for the owner to push the value, instead of
+   rejecting the reference. [ho_epoch] is the forwarding sender's
+   handoff epoch — a receiver whose notion of the protocol has moved on
+   refuses mismatched epochs and the sender falls back to proxying. *)
+type handoff = { ho_owner : int; ho_stream : string; ho_call : int; ho_epoch : int }
+
+let handoff_value h =
+  Xdr.Record
+    [
+      ("o", Xdr.Int h.ho_owner);
+      ("s", Xdr.Str h.ho_stream);
+      ("c", Xdr.Int h.ho_call);
+      ("e", Xdr.Int h.ho_epoch);
+    ]
+
+let parse_handoff v =
+  let malformed () = Error (Format.asprintf "malformed handoff: %a" Xdr.pp_value v) in
+  match v with
+  | Xdr.Record fields -> (
+      let field name = List.assoc_opt name fields in
+      match (field "o", field "s", field "c", field "e") with
+      | Some (Xdr.Int owner), Some (Xdr.Str stream), Some (Xdr.Int call), Some (Xdr.Int epoch)
+        ->
+          Ok { ho_owner = owner; ho_stream = stream; ho_call = call; ho_epoch = epoch }
+      | _ -> malformed ())
+  | _ -> malformed ()
+
+(* The outcome-push item the result's producer sends directly to the
+   forwarded call's new home: "(stream, call) produced this outcome".
+   Carried on the reserved "~handoff" channel label. *)
+let handoff_push_item ~stream ~call ov =
+  Xdr.Record [ ("s", Xdr.Str stream); ("c", Xdr.Int call); ("v", ov) ]
+
+(* The two reserved ports every pipelining-enabled port group serves:
+   "push the outcome of one of your calls to a foreign owner" and
+   "reply with that outcome directly" (the fallback round trip). *)
+let handoff_notice_port = "~handoff"
+
+let handoff_redeem_port = "~redeem"
+
+let parse_handoff_push v =
+  let malformed () =
+    Error (Format.asprintf "malformed handoff push: %a" Xdr.pp_value v)
+  in
+  match v with
+  | Xdr.Record fields -> (
+      let field name = List.assoc_opt name fields in
+      match (field "s", field "c", field "v") with
+      | Some (Xdr.Str stream), Some (Xdr.Int call), Some ov -> Ok (stream, call, ov)
+      | _ -> malformed ())
+  | _ -> malformed ()
+
 let kind_tag = function Call -> "c" | Send -> "s"
 
 let kind_of_tag = function
@@ -54,7 +111,13 @@ let kind_of_tag = function
    receivers (docs/OVERLOAD.md) must never shed these — the original
    attempt may already have executed, so the caller needs the deduped
    outcome, not [unavailable]. *)
-let call_item ?(resubmit = false) ~seq ~cid ~trace ~port ~kind ~args () =
+(* The optional "h" field lists handoff annotations (one per foreign
+   [Pref] in the arguments) and the optional "y" field asks the
+   receiver to elide a normal result from the reply (the value will
+   travel by handoff push instead). Both are appended only when used,
+   so handoff-free frames stay byte-identical to the prior format. *)
+let call_item ?(resubmit = false) ?(handoff = []) ?(elide = false) ~seq ~cid ~trace ~port
+    ~kind ~args () =
   Xdr.Record
     ([
        ("q", Xdr.Int seq);
@@ -64,7 +127,11 @@ let call_item ?(resubmit = false) ~seq ~cid ~trace ~port ~kind ~args () =
        ("a", args);
      ]
     @ (match trace with Some tid -> [ ("t", Xdr.Int tid) ] | None -> [])
-    @ if resubmit then [ ("r", Xdr.Int 1) ] else [])
+    @ (if resubmit then [ ("r", Xdr.Int 1) ] else [])
+    @ (match handoff with
+      | [] -> []
+      | hs -> [ ("h", Xdr.List (List.map handoff_value hs)) ])
+    @ if elide then [ ("y", Xdr.Int 1) ] else [])
 
 (* Parse by field name, not position: a reordered-but-complete record
    (e.g. from a future encoder) must decode, and unknown extra fields
@@ -151,6 +218,8 @@ type call_view = {
   cv_args : V.t;
   cv_trace : int option;
   cv_resubmit : bool;
+  cv_handoff : handoff list;
+  cv_elide : bool;
 }
 
 let parse_call_view vw =
@@ -168,10 +237,32 @@ let parse_call_view vw =
         | Some f -> ( match V.as_string f with Ok s -> Some s | Error _ -> None)
         | None -> None
       in
+      (* Handoff annotations are tiny envelope data: materialise the
+         "h" slice (when present) and decode each entry eagerly. An
+         unparsable annotation fails the whole item — the receiver
+         would otherwise mis-route a foreign reference. *)
+      let handoffs () =
+        match field "h" with
+        | None -> Ok []
+        | Some hv -> (
+            match V.materialize hv with
+            | Error e -> Error ("malformed call item: " ^ e)
+            | Ok (Xdr.List items) ->
+                List.fold_left
+                  (fun acc item ->
+                    match (acc, parse_handoff item) with
+                    | Error e, _ -> Error e
+                    | Ok hs, Ok h -> Ok (h :: hs)
+                    | Ok _, Error e -> Error e)
+                  (Ok []) items
+                |> Result.map List.rev
+            | Ok v ->
+                Error (Format.asprintf "malformed call item: handoff field %a" Xdr.pp_value v))
+      in
       match (int_field "q", int_field "i", str_field "p", str_field "k", field "a") with
       | Some seq, Some cid, Some port, Some k, Some args -> (
-          match kind_of_tag k with
-          | Ok kind ->
+          match (kind_of_tag k, handoffs ()) with
+          | Ok kind, Ok hs ->
               Ok
                 {
                   cv_seq = seq;
@@ -181,8 +272,10 @@ let parse_call_view vw =
                   cv_args = args;
                   cv_trace = int_field "t";
                   cv_resubmit = field "r" <> None;
+                  cv_handoff = hs;
+                  cv_elide = field "y" <> None;
                 }
-          | Error e -> Error e)
+          | Error e, _ | _, Error e -> Error e)
       | _ -> Error "malformed call item: missing or mistyped envelope field")
 
 (* Reply parsing pulls only the sequence number out of the bytes; the

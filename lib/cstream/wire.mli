@@ -38,10 +38,44 @@ val stream_id_group : string -> string option
     promise reference naming a stream that feeds a different guardian
     (whose registry is disjoint; docs/PIPELINE.md). *)
 
+(** {1 Third-party handoff (docs/HANDOFF.md)} *)
+
+(** An annotation riding on a call whose arguments contain a [Pref]
+    produced on {e another} node: [ho_owner] is the address of the
+    node that will produce the referenced outcome, [ho_stream] /
+    [ho_call] identify it (stable stream id + stable call id), and
+    [ho_epoch] is the forwarder's handoff protocol epoch — a receiver
+    refuses a mismatched epoch and the sender falls back to proxying. *)
+type handoff = { ho_owner : int; ho_stream : string; ho_call : int; ho_epoch : int }
+
+val handoff_value : handoff -> Xdr.value
+
+val parse_handoff : Xdr.value -> (handoff, string) result
+
+val handoff_push_item : stream:string -> call:int -> Xdr.value -> Xdr.value
+(** The outcome push the producing node sends directly to the node a
+    call was forwarded to: the encoded outcome ({!outcome_value}) of
+    [(stream, call)]. Carried on the reserved ["~handoff"] label. *)
+
+val parse_handoff_push : Xdr.value -> (string * int * Xdr.value, string) result
+
+val handoff_notice_port : string
+(** ["~handoff"] — reserved port on every pipelining-enabled port
+    group: a [Send] of a {!handoff_value} asking the group to push the
+    identified outcome to [ho_owner]. A normal reply means accepted; an
+    [unavailable] reply is a refusal and the sender proxies instead. *)
+
+val handoff_redeem_port : string
+(** ["~redeem"] — reserved port replying with the identified outcome
+    itself: the claim-by-reference fallback for a refused handoff whose
+    producer's reply was elided. *)
+
 (** {1 Call items} *)
 
 val call_item :
   ?resubmit:bool ->
+  ?handoff:handoff list ->
+  ?elide:bool ->
   seq:int -> cid:int -> trace:int option -> port:string -> kind:kind -> args:Xdr.value ->
   unit -> Xdr.value
 (** [seq] is the per-incarnation wire sequence (resets on restart);
@@ -53,7 +87,13 @@ val call_item :
     enabled: with [trace:None] the encoding is byte-for-byte the
     pre-tracing wire format. [resubmit] (default [false]) marks a
     crash-recovery resubmission; a load-shedding receiver never sheds
-    such a call (docs/OVERLOAD.md). *)
+    such a call (docs/OVERLOAD.md). [handoff] (default [[]]) lists the
+    handoff annotations for foreign [Pref]s in [args]; [elide]
+    (default [false]) asks the receiver to reply to a normal outcome
+    with a value-free completion marker because the value travels by
+    handoff push instead (docs/HANDOFF.md). All optional fields are
+    omitted when unused, keeping handoff-free frames byte-identical to
+    the prior format. *)
 
 val parse_call : Xdr.value -> (int * int * string * kind * Xdr.value, string) result
 (** Inverse of {!call_item}: [(seq, cid, port, kind, args)]. *)
@@ -64,6 +104,11 @@ val outcome_value : routcome -> Xdr.value
 (** The encodable form of one outcome (the payload of {!reply_item}).
     Exposed so byte budgets can size a stored outcome exactly as it
     would ship ([Xdr.Bin.size (outcome_value o)]). *)
+
+val outcome_of_value : Xdr.value -> (routcome, string) result
+(** Inverse of {!outcome_value} — a handoff push carries a bare
+    outcome payload outside any reply item, so the receiving hub
+    decodes it with this. *)
 
 val reply_item : seq:int -> trace:int option -> routcome -> Xdr.value
 (** Encodes the outcome; a [W_normal] reply to a [Send] should be
@@ -102,6 +147,8 @@ type call_view = {
   cv_args : Xdr.View.t;
   cv_trace : int option;
   cv_resubmit : bool;
+  cv_handoff : handoff list;
+  cv_elide : bool;
 }
 
 val parse_call_view : Xdr.View.t -> (call_view, string) result

@@ -149,6 +149,10 @@ let register t ~group hs impl =
 let create ?(pipeline_cache = 1024) ?(pipeline_bytes = max_int) hub ~name =
   let g_sched = CH.hub_sched hub in
   let bytes_evicted = Sim.Stats.counter (S.stats g_sched) "registry_bytes_evicted" in
+  (* A guardian's node can own forwarded calls (docs/HANDOFF.md):
+     start accepting outcome pushes as soon as the guardian exists,
+     not only once its first port group is registered. *)
+  CH.handoff_listen hub;
   {
     g_hub = hub;
     g_name = name;

@@ -456,14 +456,14 @@ let run_program ?(config = Net.default_config) ?chan_config ?(seed = 42) ?(echo 
       (fun tg ->
         let node = Net.add_node net ~name:tg.tg_name in
         Hashtbl.replace world.guardian_addr tg.tg_name (Net.address node);
-        (tg, CH.create_hub net node))
+        (tg, CH.create_hub ~net:(net, node) ()))
       prog.prog_guardians
   in
   let process_hubs =
     List.map
       (fun tpr ->
         let node = Net.add_node net ~name:tpr.tpr_name in
-        (tpr, CH.create_hub net node))
+        (tpr, CH.create_hub ~net:(net, node) ()))
       prog.prog_processes
   in
   (* Fault injection: crash / recover guardian nodes at given times. *)

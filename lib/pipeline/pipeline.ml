@@ -115,6 +115,12 @@ module Registry = struct
     releasable : (string * int) Queue.t;
     released : (string * int, unit) Hashtbl.t;
     mutable acked_evictions : int;
+    (* Foreign-owned entries (docs/HANDOFF.md): the outcome will be
+       produced on another node and pushed here over a third-party
+       stream. Waiters may park on such keys even though no local
+       producer stream feeds them; the mark is cleared when the pushed
+       outcome is recorded. *)
+    foreign : (string * int, unit) Hashtbl.t;
   }
 
   let create ?(cap = 1024) ?(max_waiters = 4096) ?(max_bytes = max_int)
@@ -137,6 +143,7 @@ module Registry = struct
       releasable = Queue.create ();
       released = Hashtbl.create 64;
       acked_evictions = 0;
+      foreign = Hashtbl.create 8;
     }
 
   let known t = t.done_count
@@ -150,6 +157,10 @@ module Registry = struct
   let add_scope t name = Hashtbl.replace t.scopes name ()
 
   let in_scope t name = Hashtbl.mem t.scopes name
+
+  let mark_foreign t ~stream ~call = Hashtbl.replace t.foreign (stream, call) ()
+
+  let is_foreign t ~stream ~call = Hashtbl.mem t.foreign (stream, call)
 
   let evicted t ~stream ~call =
     (not (Hashtbl.mem t.done_ (stream, call)))
@@ -198,6 +209,7 @@ module Registry = struct
 
   let record t ~stream ~call outcome =
     let key = (stream, call) in
+    Hashtbl.remove t.foreign key;
     if not (Hashtbl.mem t.done_ key) then begin
       let size = t.bytes_of outcome in
       Hashtbl.replace t.done_ key (outcome, size);

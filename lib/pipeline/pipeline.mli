@@ -136,6 +136,15 @@ module Registry : sig
       producers outside every declared scope can never resolve here and
       should be failed rather than parked. *)
 
+  val mark_foreign : 'o t -> stream:string -> call:int -> unit
+  (** Declare (stream, call) {e foreign-owned} (docs/HANDOFF.md): its
+      outcome will be produced on another node and pushed into this
+      registry over a third-party stream, so waiters may park on it
+      even though no local producer feeds the key. The mark is cleared
+      when the outcome is {!record}ed. *)
+
+  val is_foreign : 'o t -> stream:string -> call:int -> bool
+
   val known : 'o t -> int
   (** Outcomes currently remembered. *)
 

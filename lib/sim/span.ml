@@ -17,6 +17,7 @@ type kind =
   | Dedup_join
   | Dedup_replay
   | Shed
+  | Handoff
 
 let kind_label = function
   | Issue -> "issue"
@@ -37,6 +38,7 @@ let kind_label = function
   | Dedup_join -> "dedup-join"
   | Dedup_replay -> "dedup-replay"
   | Shed -> "shed"
+  | Handoff -> "handoff"
 
 (* One letter per kind for the Gantt rows. Mnemonic where possible;
    lifecycle pairs use upper/lower case (X/x = execute begin/end,
@@ -60,6 +62,7 @@ let kind_letter = function
   | Dedup_join -> 'J'
   | Dedup_replay -> 'j'
   | Shed -> 'h'
+  | Handoff -> 'H'
 
 type event = {
   ev_time : float;
@@ -303,7 +306,7 @@ let gantt ?(width = 64) t =
         "legend: I issue  Q enqueue  T transmit  t retransmit  D deliver  d dispatch\n";
       Buffer.add_string b
         "        P park  S substitute  X/x exec  R reply  A ack  C claim  B break  \
-         r resubmit  J/j dedup join/replay  h shed\n";
+         r resubmit  J/j dedup join/replay  h shed  H handoff\n";
       List.iter
         (fun s ->
           Buffer.add_string b (Printf.sprintf "stream %s\n" s);

@@ -42,6 +42,10 @@ type kind =
   | Dedup_replay  (** duplicate answered from the outcome cache *)
   | Shed  (** receiver rejected the call with [unavailable] under load
               (docs/OVERLOAD.md) *)
+  | Handoff
+      (** third-party handoff edge: the call (or its outcome) was
+          forwarded toward the node that owns the pipelined result
+          (docs/HANDOFF.md) *)
 
 type event = {
   ev_time : float;

@@ -17,8 +17,8 @@ let run_discipline ~ordered ~n =
   let net = Net.create sched Net.default_config in
   let cnode = Net.add_node net ~name:"client" in
   let snode = Net.add_node net ~name:"server" in
-  let chub = CH.create_hub net cnode in
-  let shub = CH.create_hub net snode in
+  let chub = CH.create_hub ~net:(net, cnode) () in
+  let shub = CH.create_hub ~net:(net, snode) () in
   let server = G.create shub ~name:"server" in
   G.register_group server ~group:"main"
     ~config:Cstream.Group_config.(default |> with_reply_config stream_cfg |> with_ordered ordered)

@@ -56,8 +56,8 @@ let run_raw ~trace ~seed ~n ~horizon =
   let net = Net.create sched (Net.lossy ~loss:0.01 ~dup:0.05 Net.default_config) in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"counter" in
   G.register_group server ~group:"ctr"
     ~config:Cstream.Group_config.(default |> with_reply_config chan_cfg |> with_dedup)

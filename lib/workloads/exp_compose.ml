@@ -136,10 +136,10 @@ let make_cascade ?group_config ~svc ~cores () =
   let sched = S.create () in
   let net = Net.create sched Net.default_config in
   let client = Net.add_node net ~name:"client" in
-  let client_hub = CH.create_hub net client in
+  let client_hub = CH.create_hub ~net:(net, client) () in
   let mk_server name =
     let node = Net.add_node net ~name in
-    let hub = CH.create_hub net node in
+    let hub = CH.create_hub ~net:(net, node) () in
     (node, Argus.Guardian.create hub ~name)
   in
   let rnode, reader = mk_server "reader" in

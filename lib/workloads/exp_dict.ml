@@ -50,8 +50,8 @@ let run_one ?(n = 400) ~mode ~dict () =
   let net = Net.create sched { Net.default_config with Net.wire_latency = 1e-3 } in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub ~dict net client_node in
-  let server_hub = CH.create_hub ~dict net server_node in
+  let client_hub = CH.create_hub ~dict ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~dict ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   let service, gcfg =
     match mode with

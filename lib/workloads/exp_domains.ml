@@ -52,8 +52,8 @@ let run_one ~mode ~pool ~lanes ~n ~keys ~service ~rate () =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   let cpu = Cpu.create ~mode:(Cpu.Real rate) sched ~cores:lanes in
   let pool_t = Option.map (fun p -> Sched.Pool.create sched ~domains:p) pool in

@@ -115,8 +115,8 @@ let run_one ~mode ~(p : params) () =
   let net = Net.create sched { Net.default_config with Net.wire_latency = 2e-3 } in
   let server_node = Net.add_node net ~name:"server" in
   let client_node = Net.add_node net ~name:"clients" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   let cpu = Cpu.create sched ~cores:p.cores in
   (* Both rows share one config except the controller switch; the

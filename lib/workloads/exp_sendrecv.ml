@@ -24,8 +24,8 @@ let run_raw ~n =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   (* server: echo each (seq, value) back on its own channel. Like the
      stream receiver, it pays kernel overhead per inbound message (so
      the comparison is about the mechanism, not the cost model). *)

@@ -42,8 +42,8 @@ let run_one ~series ~shards ~cores ~n ~service ~keys () =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   let cpu = Cpu.create sched ~cores in
   G.register_group server ~group:"hot"

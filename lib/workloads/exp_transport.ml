@@ -48,8 +48,8 @@ let make_sim_world () =
   let net = Net.create sched { Net.default_config with Net.wire_latency = 1e-3 } in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   register_server (G.create server_hub ~name:"server");
   let stats = Net.stats net in
   {
@@ -69,8 +69,8 @@ let make_tcp_world () =
   match
     let client_tr = T.endpoint fab ~addr:0 ~name:"client" () in
     let server_tr = T.endpoint fab ~addr:1 ~name:"server" () in
-    let client_hub = CH.create_hub_tr client_tr in
-    let server_hub = CH.create_hub_tr server_tr in
+    let client_hub = CH.create_hub ~transport:client_tr () in
+    let server_hub = CH.create_hub ~transport:server_tr () in
     register_server (G.create server_hub ~name:"server");
     let sa = T.listen_loopback fab ~addr:1 in
     T.set_peer fab ~addr:1 sa;

@@ -20,8 +20,8 @@ let make_pair ?(cfg = Net.default_config) ?(seed = 42) ?(service = 0.0) ?group_c
   let net = Net.create sched cfg in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub ~ack_delay net client_node in
-  let server_hub = CH.create_hub ~ack_delay net server_node in
+  let client_hub = CH.create_hub ~ack_delay ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~ack_delay ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   (match group_config with
   | Some gc -> G.register_group server ~group:"main" ~config:gc ()
@@ -61,9 +61,9 @@ let make_grades_world ?(cfg = Net.default_config) ?(seed = 42) ?(db_service = 0.
   let g_client_node = Net.add_node net ~name:"client" in
   let g_db_node = Net.add_node net ~name:"db" in
   let g_printer_node = Net.add_node net ~name:"printer" in
-  let g_client_hub = CH.create_hub net g_client_node in
-  let db_hub = CH.create_hub net g_db_node in
-  let printer_hub = CH.create_hub net g_printer_node in
+  let g_client_hub = CH.create_hub ~net:(net, g_client_node) () in
+  let db_hub = CH.create_hub ~net:(net, g_db_node) () in
+  let printer_hub = CH.create_hub ~net:(net, g_printer_node) () in
   let g_db = G.create db_hub ~name:"grades-db" in
   let g_printer = G.create printer_hub ~name:"printer" in
   (match group_config with

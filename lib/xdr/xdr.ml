@@ -1050,6 +1050,22 @@ module View = struct
 
   let byte_length v = v.v_stop - v.v_start
 
+  (* An immutable copy of the view's mutable surroundings: the intern
+     and dictionary tables are snapshotted (their strings are immutable
+     and safely shared), so the result can cross to a pool worker
+     domain while the connection keeps appending to the originals.
+     O(table size) pointer copies, no byte copying. *)
+  let snapshot v =
+    {
+      v with
+      v_table = Array.copy v.v_table;
+      v_dict =
+        Option.map
+          (fun dt ->
+            { Bin.dt_arr = Array.copy dt.Bin.dt_arr; dt_count = dt.Bin.dt_count })
+          v.v_dict;
+    }
+
   let replay v =
     {
       Bin.d_src = v.v_src;

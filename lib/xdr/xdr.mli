@@ -305,6 +305,13 @@ module View : sig
   val byte_length : t -> int
   (** Encoded size of the slice in bytes. *)
 
+  val snapshot : t -> t
+  (** A view safe to hand to another domain (docs/DOMAINS.md): the
+      mutable intern and dictionary tables are copied as they stand, so
+      later traffic on the connection cannot race a worker's
+      projections. The frame bytes and table strings are shared —
+      both are immutable — so the cost is two array copies. *)
+
   val shape : t -> shape
   (** Top-level constructor, from the head tag byte alone. *)
 

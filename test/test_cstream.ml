@@ -24,8 +24,8 @@ let make_world ?(cfg = Net.default_config) ?(seed = 42) () =
   let net = Net.create sched cfg in
   let node_a = Net.add_node net ~name:"a" in
   let node_b = Net.add_node net ~name:"b" in
-  let hub_a = CH.create_hub net node_a in
-  let hub_b = CH.create_hub net node_b in
+  let hub_a = CH.create_hub ~net:(net, node_a) () in
+  let hub_b = CH.create_hub ~net:(net, node_b) () in
   { sched; net; node_a; node_b; hub_a; hub_b }
 
 let run_ok w =

@@ -104,8 +104,8 @@ let make_world ?(seed = 42) () =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   { sched; server_node; client_hub; server }
 
@@ -270,6 +270,71 @@ let span_diff () =
     (List.for_all (fun (_, e) -> e.Sim.Span.ev_kind = Sim.Span.Claim) rights)
 
 (* ------------------------------------------------------------------ *)
+(* Xdr.View.snapshot: a frame view handed to a worker domain stays
+   valid while the connection's mutable intern and dictionary tables
+   keep growing under later frames (docs/DOMAINS.md). *)
+
+let view_snapshot_cross_domain () =
+  let open Xdr in
+  let record =
+    Record [ ("grade", Str "alpha"); ("score", Int 17); ("again", Str "alpha") ]
+  in
+  let dict = Bin.create_dict () in
+  let frame v =
+    let enc = Bin.create_encoder () in
+    Bin.use_dict enc dict;
+    Bin.add_value enc v;
+    Bin.contents enc
+  in
+  let f1 = frame record in
+  (* second sighting promotes the repeated strings into the dict *)
+  let f2 = frame record in
+  let f3 = frame (Record [ ("grade", Str "beta"); ("later", Str "later") ]) in
+  let table = Bin.create_dict_table () in
+  let read_frame f =
+    let d = Bin.decoder f in
+    Bin.use_dict_table d table;
+    match View.read d with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "view read: %s" e
+  in
+  ignore (read_frame f1 : View.t);
+  let v2 = read_frame f2 in
+  let snap = View.snapshot v2 in
+  (* keep the connection busy: more defines land in the shared table *)
+  ignore (read_frame f3 : View.t);
+  let sched = S.create () in
+  let pool = Sched.Pool.create sched ~domains:2 in
+  let got = ref None in
+  ignore
+    (S.spawn sched (fun () ->
+         got :=
+           Some
+             (Sched.Pool.run pool (fun () ->
+                  let grade =
+                    match View.record_field snap "grade" with
+                    | Ok (Some sub) -> (
+                        match View.as_string sub with
+                        | Ok s -> s
+                        | Error e -> Alcotest.failf "as_string: %s" e)
+                    | Ok None -> Alcotest.fail "field grade missing"
+                    | Error e -> Alcotest.failf "record_field: %s" e
+                  in
+                  let whole =
+                    match View.materialize snap with
+                    | Ok m -> m
+                    | Error e -> Alcotest.failf "materialize: %s" e
+                  in
+                  (grade, whole)))));
+  run_ok sched;
+  Sched.Pool.shutdown pool;
+  match !got with
+  | None -> Alcotest.fail "worker did not run"
+  | Some (grade, whole) ->
+      check Alcotest.string "projected field across domains" "alpha" grade;
+      check Alcotest.bool "materialized equals the original" true (equal_value record whole)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "domains"
@@ -291,6 +356,11 @@ let () =
         [
           Alcotest.test_case "pool off: same-seed runs byte-identical" `Quick
             determinism_pool_off;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "View.snapshot safe across domains" `Quick
+            view_snapshot_cross_domain;
         ] );
       ( "telemetry",
         [

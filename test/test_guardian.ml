@@ -59,9 +59,9 @@ let make_world ?(cfg = Net.default_config) ?(db_service = 0.0) ?(print_service =
   let client_node = Net.add_node net ~name:"client" in
   let db_node = Net.add_node net ~name:"db" in
   let printer_node = Net.add_node net ~name:"printer" in
-  let client_hub = CH.create_hub net client_node in
-  let db_hub = CH.create_hub net db_node in
-  let printer_hub = CH.create_hub net printer_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let db_hub = CH.create_hub ~net:(net, db_node) () in
+  let printer_hub = CH.create_hub ~net:(net, printer_node) () in
   let db = G.create db_hub ~name:"grades-db" in
   let printer = G.create printer_hub ~name:"printer" in
   let recorded : (string, int list) Hashtbl.t = Hashtbl.create 16 in

@@ -47,8 +47,8 @@ let make_world ?(seed = 42) ?(cfg = Net.default_config) () =
   let net = Net.create sched cfg in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   let fault = Fault.create net ~nodes:[ client_node; server_node ] in
   { sched; client_node; server_node; client_hub; server; fault }

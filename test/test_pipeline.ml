@@ -52,8 +52,8 @@ let make_world ?(cfg = Net.default_config) ?pipeline_cache () =
   let net = Net.create sched cfg in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create ?pipeline_cache server_hub ~name:"server" in
   { sched; net; client_node; server_node; client_hub; server }
 
@@ -275,7 +275,7 @@ let test_forward_ref_on_same_stream_fails () =
 let test_cross_node_pipe_rejected () =
   let w = make_world () in
   let other_node = Net.add_node w.net ~name:"other" in
-  let other_hub = CH.create_hub w.net other_node in
+  let other_hub = CH.create_hub ~net:(w.net, other_node) () in
   let other = G.create other_hub ~name:"other" in
   G.register w.server ~group:"main" step_sig (fun _ n -> Ok (n + 1));
   G.register other ~group:"main" step_sig (fun _ n -> Ok (n + 1));

@@ -45,8 +45,8 @@ let make_world ?(seed = 42) () =
   let net = Net.create sched Net.default_config in
   let client_node = Net.add_node net ~name:"client" in
   let server_node = Net.add_node net ~name:"server" in
-  let client_hub = CH.create_hub net client_node in
-  let server_hub = CH.create_hub net server_node in
+  let client_hub = CH.create_hub ~net:(net, client_node) () in
+  let server_hub = CH.create_hub ~net:(net, server_node) () in
   let server = G.create server_hub ~name:"server" in
   { sched; net; client_node; server_node; client_hub; server }
 
@@ -150,8 +150,8 @@ let raw_reply_order ~seed ~shards =
   let net = Net.create sched Net.default_config in
   let node_a = Net.add_node net ~name:"a" in
   let node_b = Net.add_node net ~name:"b" in
-  let hub_a = CH.create_hub net node_a in
-  let hub_b = CH.create_hub net node_b in
+  let hub_a = CH.create_hub ~net:(net, node_a) () in
+  let hub_b = CH.create_hub ~net:(net, node_b) () in
   let n = 20 in
   let dispatch _conn ~seq ~port:_ ~kind:_ ~args ~reply =
     ignore

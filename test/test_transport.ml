@@ -170,8 +170,8 @@ let test_tcp_accounting () =
    items must block the sender repeatedly, and acks must release it —
    on either substrate — until everything is delivered in order. *)
 let backpressure rig =
-  let hub_a = CH.create_hub_tr rig.rg_a in
-  let hub_b = CH.create_hub_tr rig.rg_b in
+  let hub_a = CH.create_hub ~transport:rig.rg_a () in
+  let hub_b = CH.create_hub ~transport:rig.rg_b () in
   let delivered = ref [] in
   CH.on_connect hub_b ~label:"bp" (fun ic ->
       CH.set_deliver ic (fun items -> delivered := List.rev_append items !delivered));
@@ -241,8 +241,8 @@ let test_tcp_exactly_once_across_break () =
   Fun.protect ~finally:(fun () -> T.close fab) @@ fun () ->
   let a = T.endpoint fab ~addr:0 ~name:"client" () in
   let b = T.endpoint fab ~addr:1 ~name:"server" () in
-  let hub_a = CH.create_hub_tr a in
-  let hub_b = CH.create_hub_tr b in
+  let hub_a = CH.create_hub ~transport:a () in
+  let hub_b = CH.create_hub ~transport:b () in
   let server = G.create hub_b ~name:"server" in
   let n = 30 in
   let execs = Array.make n 0 in
